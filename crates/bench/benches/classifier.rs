@@ -1,0 +1,37 @@
+//! The Theorem 6.1 / 7.6 classifiers (experiments E11/E15): polynomial
+//! schema classification swept over arity and FD count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpr_classify::{classify_schema, classify_schema_ccp};
+use rpr_gen::random_schema;
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_theorem_3_1");
+    for &(arity, n_fds) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32), (64, 64)] {
+        let mut rng = StdRng::seed_from_u64(49);
+        let schema = random_schema(&mut rng, arity, n_fds, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arity}attrs_{n_fds}fds")),
+            &schema,
+            |b, s| b.iter(|| classify_schema(s).complexity()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("classify_theorem_7_1");
+    for &(arity, n_fds) in &[(4usize, 4usize), (16, 16), (64, 64)] {
+        let mut rng = StdRng::seed_from_u64(50);
+        let schema = random_schema(&mut rng, arity, n_fds, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arity}attrs_{n_fds}fds")),
+            &schema,
+            |b, s| b.iter(|| classify_schema_ccp(s).complexity()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

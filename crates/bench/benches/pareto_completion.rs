@@ -1,0 +1,34 @@
+//! The two "always polynomial" semantics (experiment E18): Pareto-
+//! optimal repair checking and completion-optimal repair checking
+//! (AND/OR closure), swept over instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpr_bench::single_fd_workload;
+use rpr_core::{is_completion_optimal, is_pareto_optimal};
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_optimal_check");
+    for &n in &[100usize, 400, 1600, 6400] {
+        let w = single_fd_workload(n, 6, 0.6, 45);
+        let cg = w.conflict_graph();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| is_pareto_optimal(&cg, &w.priority, &w.j))
+        });
+    }
+    group.finish();
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completion_optimal_check");
+    for &n in &[100usize, 400, 1600] {
+        let w = single_fd_workload(n, 6, 0.6, 46);
+        let cg = w.conflict_graph();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| is_completion_optimal(&cg, &w.priority, &w.j))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # rpr-classify — the dichotomy classifiers
+//!
+//! Implements the classification side of *Dichotomies in the Complexity
+//! of Preferred Repairs*:
+//!
+//! * [`classify_schema`] — Theorem 3.1 via the polynomial Theorem 6.1
+//!   algorithm (Lemma 6.2 + Maier–Mendelzon–Sagiv implication): for each
+//!   relation, is `Δ|R` equivalent to a single FD or to two keys? If
+//!   not, [`diagnose_hard_case`] identifies which §5.2 case (1–7) the
+//!   relation falls into — i.e. which of the six concrete schemas of
+//!   Example 3.4 reduces into it.
+//! * [`classify_schema_ccp`] — Theorem 7.1 via the polynomial Theorem
+//!   7.6 algorithm: is `Δ` a primary-key assignment or a
+//!   constant-attribute assignment?
+//!
+//! The classifiers return the witnesses (the single FD, the two key
+//! lhs's, the per-relation keys…) that the polynomial checkers in
+//! `rpr-core` dispatch on.
+
+#![warn(missing_docs)]
+
+pub mod explain;
+pub mod hard_case;
+pub mod relation_class;
+pub mod single_fd;
+pub mod theorem31;
+pub mod theorem71;
+pub mod two_keys;
+
+pub use explain::{explain_relation, explain_schema};
+pub use hard_case::{case_witness_detail, diagnose_hard_case};
+pub use relation_class::{Complexity, HardCase, RelationClass};
+pub use single_fd::{
+    equivalent_constant_attribute, equivalent_single_fd, equivalent_single_key,
+};
+pub use theorem31::{classify_relation, classify_schema, SchemaClass};
+pub use theorem71::{classify_schema_ccp, CcpClass};
+pub use two_keys::equivalent_two_incomparable_keys;

@@ -1,0 +1,173 @@
+//! Classification outcomes for a single relation symbol.
+
+use rpr_data::AttrSet;
+use rpr_fd::Fd;
+use std::fmt;
+
+/// The side of the Theorem 3.1 dichotomy a relation's FD set falls on,
+/// with the witness the polynomial algorithms need.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelationClass {
+    /// `Δ|R` is equivalent to the single FD carried here (condition 1 of
+    /// Theorem 3.1). Covers empty/trivial `Δ|R` (a trivial FD) and a
+    /// single key.
+    SingleFd(Fd),
+    /// `Δ|R` is equivalent to the two (incomparable) key constraints
+    /// with these left-hand sides (condition 2 of Theorem 3.1).
+    TwoKeys(AttrSet, AttrSet),
+    /// Neither condition holds: globally-optimal repair checking for
+    /// this relation alone is coNP-complete, via the §5.2 case carried
+    /// here.
+    Hard(HardCase),
+}
+
+impl RelationClass {
+    /// Is the relation on the tractable side?
+    pub fn is_tractable(&self) -> bool {
+        !matches!(self, RelationClass::Hard(_))
+    }
+}
+
+/// The §5.2 case analysis for hard relations. Each case names the
+/// concrete schema of Example 3.4 that reduces into it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HardCase {
+    /// Case 1: `Δ|R` is equivalent to a set of `k ≥ 3` keys (reduction
+    /// from `S1`); carries the minimized key set.
+    ThreeOrMoreKeys(Vec<AttrSet>),
+    /// Case 2: `A⁺ = B⁺` (reduction from `S2 = {1→2, 2→1}`).
+    Case2 {
+        /// The fixed minimal non-key determiner `A`.
+        a: AttrSet,
+        /// The fixed minimal non-redundant determiner `B ≠ A`.
+        b: AttrSet,
+    },
+    /// Case 3: `B⁺ ⊄ A⁺`, `A ∩ B̂ ≠ ∅`, `Â ∩ B ≠ ∅` (from `S3`).
+    Case3 {
+        /// `A` as in Case 2.
+        a: AttrSet,
+        /// `B` as in Case 2.
+        b: AttrSet,
+    },
+    /// Case 4: `B⁺ ⊄ A⁺`, `A ∩ B̂ ≠ ∅`, `Â ∩ B = ∅` (from `S4`).
+    Case4 {
+        /// `A` as in Case 2.
+        a: AttrSet,
+        /// `B` as in Case 2.
+        b: AttrSet,
+    },
+    /// Case 5: `B⁺ ⊄ A⁺`, `A ∩ B̂ = ∅`, `B̂ ⊆ Â` (from `S5`).
+    Case5 {
+        /// `A` as in Case 2.
+        a: AttrSet,
+        /// `B` as in Case 2.
+        b: AttrSet,
+    },
+    /// Case 6: `B⁺ ⊄ A⁺`, `A ∩ B̂ = ∅`, `B̂ ⊄ Â` (from `S6`).
+    Case6 {
+        /// `A` as in Case 2.
+        a: AttrSet,
+        /// `B` as in Case 2.
+        b: AttrSet,
+    },
+    /// Case 7: `A⁺ ⊄ B⁺` (symmetric to the `B⁺ ⊄ A⁺` cases).
+    Case7 {
+        /// `A` as in Case 2.
+        a: AttrSet,
+        /// `B` as in Case 2.
+        b: AttrSet,
+    },
+    /// The relation is on the hard side (both tractability tests
+    /// failed — that decision is exact and polynomial, per Theorem
+    /// 6.1), but the diagnostic search for the §5.2 witness pair
+    /// exhausted its budget. Only reachable on very wide schemas.
+    Unresolved,
+}
+
+impl HardCase {
+    /// The case number in §5.2 (1–7); `0` for [`HardCase::Unresolved`].
+    pub fn number(&self) -> u8 {
+        match self {
+            HardCase::ThreeOrMoreKeys(_) => 1,
+            HardCase::Case2 { .. } => 2,
+            HardCase::Case3 { .. } => 3,
+            HardCase::Case4 { .. } => 4,
+            HardCase::Case5 { .. } => 5,
+            HardCase::Case6 { .. } => 6,
+            HardCase::Case7 { .. } => 7,
+            HardCase::Unresolved => 0,
+        }
+    }
+}
+
+impl fmt::Display for HardCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardCase::ThreeOrMoreKeys(keys) => {
+                write!(f, "Case 1 ({} keys)", keys.len())
+            }
+            HardCase::Unresolved => write!(f, "hard (case undiagnosed)"),
+            other => {
+                let (a, b) = match other {
+                    HardCase::Case2 { a, b }
+                    | HardCase::Case3 { a, b }
+                    | HardCase::Case4 { a, b }
+                    | HardCase::Case5 { a, b }
+                    | HardCase::Case6 { a, b }
+                    | HardCase::Case7 { a, b } => (a, b),
+                    HardCase::ThreeOrMoreKeys(_) | HardCase::Unresolved => unreachable!(),
+                };
+                write!(f, "Case {} (A={a}, B={b})", other.number())
+            }
+        }
+    }
+}
+
+/// The overall complexity of globally-optimal repair checking for a
+/// schema.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Complexity {
+    /// Solvable in polynomial time.
+    PolynomialTime,
+    /// coNP-complete.
+    ConpComplete,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::PolynomialTime => write!(f, "PTIME"),
+            Complexity::ConpComplete => write!(f, "coNP-complete"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    #[test]
+    fn tractability_predicate() {
+        let fd = Fd::from_attrs(RelId(0), [1], [2]);
+        assert!(RelationClass::SingleFd(fd).is_tractable());
+        assert!(RelationClass::TwoKeys(AttrSet::singleton(1), AttrSet::singleton(2))
+            .is_tractable());
+        assert!(!RelationClass::Hard(HardCase::Case2 {
+            a: AttrSet::singleton(1),
+            b: AttrSet::singleton(2)
+        })
+        .is_tractable());
+    }
+
+    #[test]
+    fn case_numbers_and_display() {
+        assert_eq!(HardCase::ThreeOrMoreKeys(vec![]).number(), 1);
+        let c = HardCase::Case5 { a: AttrSet::singleton(1), b: AttrSet::singleton(2) };
+        assert_eq!(c.number(), 5);
+        assert!(c.to_string().contains("Case 5"));
+        assert!(c.to_string().contains("A={1}"));
+        assert_eq!(Complexity::PolynomialTime.to_string(), "PTIME");
+        assert_eq!(Complexity::ConpComplete.to_string(), "coNP-complete");
+    }
+}

@@ -1,0 +1,133 @@
+//! Deciding equivalence to a single FD (§6, Lemma 6.2 part 1).
+//!
+//! Lemma 6.2(1): if `Δ` is equivalent to a nontrivial FD `A → B`, then
+//! some FD in `Δ` has `A` as its left-hand side. The polynomial
+//! algorithm therefore only tries left-hand sides occurring in `Δ`:
+//! for each such `A`, the strongest single FD with that lhs is
+//! `A → ⟦R.A^Δ⟧` (Theorem 6.3 gives the closure in polynomial time);
+//! `Δ` is equivalent to it iff every FD of `Δ` is implied by it.
+
+use rpr_data::{AttrSet, RelId};
+use rpr_fd::{closure, implies, lhs_candidates, Fd};
+
+/// If `fds` (all over one relation of the given arity) is equivalent to
+/// a single FD, returns one such FD; otherwise `None`.
+///
+/// The returned FD is `A → ⟦R.A^Δ⟧` for the first qualifying lhs `A`,
+/// or the trivial FD `∅ → ∅` when `Δ` has no nontrivial consequences.
+pub fn equivalent_single_fd(fds: &[Fd], rel: RelId, _arity: usize) -> Option<Fd> {
+    // All-trivial (or empty) Δ ⟺ equivalent to a trivial FD.
+    if fds.iter().all(|fd| fd.is_trivial()) {
+        return Some(Fd::new(rel, AttrSet::EMPTY, AttrSet::EMPTY));
+    }
+    for lhs in lhs_candidates(fds) {
+        let candidate = Fd::new(rel, lhs, closure(lhs, fds));
+        if fds.iter().all(|&fd| implies(&[candidate], fd)) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// If `fds` is equivalent to a **single key constraint** `A → ⟦R⟧`,
+/// returns the key's lhs. This is the per-relation test of the ccp
+/// primary-key-assignment condition (Theorem 7.1).
+pub fn equivalent_single_key(fds: &[Fd], rel: RelId, arity: usize) -> Option<AttrSet> {
+    let fd = equivalent_single_fd(fds, rel, arity)?;
+    if fd.is_trivial() {
+        // Trivial Δ is equivalent to the trivial key ⟦R⟧ → ⟦R⟧.
+        return Some(AttrSet::full(arity));
+    }
+    if closure(fd.lhs, fds) == AttrSet::full(arity) {
+        Some(fd.lhs)
+    } else {
+        None
+    }
+}
+
+/// If `fds` is equivalent to a **constant-attribute constraint**
+/// `∅ → B` (§7.1), returns `B = ⟦R.∅^Δ⟧`. Trivial `Δ` qualifies with
+/// `B = ∅`.
+pub fn equivalent_constant_attribute(fds: &[Fd], rel: RelId) -> Option<AttrSet> {
+    let b = closure(AttrSet::EMPTY, fds);
+    let candidate = Fd::new(rel, AttrSet::EMPTY, b);
+    if fds.iter().all(|&fd| implies(&[candidate], fd)) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn single_fd_positive_cases() {
+        // Literally a single FD.
+        let got = equivalent_single_fd(&[fd(&[1], &[2])], R, 3).unwrap();
+        assert_eq!(got.lhs, AttrSet::singleton(1));
+        assert_eq!(got.rhs, AttrSet::from_attrs([1, 2]));
+        // Redundant decorations of one FD.
+        let fds = [fd(&[1], &[2]), fd(&[1], &[2, 3]), fd(&[1, 2], &[3])];
+        assert!(equivalent_single_fd(&fds, R, 3).is_some());
+        // Empty and all-trivial sets (Example 3.3's S-relation: "∆|S is
+        // empty, hence equivalent to a single trivial fd").
+        assert!(equivalent_single_fd(&[], R, 3).unwrap().is_trivial());
+        assert!(equivalent_single_fd(&[fd(&[1, 2], &[1])], R, 3).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn single_fd_negative_cases() {
+        // S2 of Example 3.4: {1→2, 2→1} over ternary.
+        assert!(equivalent_single_fd(&[fd(&[1], &[2]), fd(&[2], &[1])], R, 3).is_none());
+        // S4: {1→2, 2→3}.
+        assert!(equivalent_single_fd(&[fd(&[1], &[2]), fd(&[2], &[3])], R, 3).is_none());
+        // S5: {1→3, 2→3}.
+        assert!(equivalent_single_fd(&[fd(&[1], &[3]), fd(&[2], &[3])], R, 3).is_none());
+        // S6: {∅→1, 2→3}.
+        assert!(equivalent_single_fd(&[fd(&[], &[1]), fd(&[2], &[3])], R, 3).is_none());
+    }
+
+    #[test]
+    fn chain_fds_on_binary_collapse_to_a_key() {
+        // Over a binary relation, {1→2, 2→1} is NOT a single fd… each
+        // candidate: 1→{1,2} implies 1→2 but not 2→1. Still None.
+        assert!(equivalent_single_fd(&[fd(&[1], &[2]), fd(&[2], &[1])], R, 2).is_none());
+    }
+
+    #[test]
+    fn single_key_detection() {
+        // {1→2, 1→3} over ternary ≡ key 1→⟦R⟧.
+        let fds = [fd(&[1], &[2]), fd(&[1], &[3])];
+        assert_eq!(equivalent_single_key(&fds, R, 3), Some(AttrSet::singleton(1)));
+        // {1→2} over ternary is a single FD but not a key.
+        assert_eq!(equivalent_single_key(&[fd(&[1], &[2])], R, 3), None);
+        // Trivial Δ is the trivial key.
+        assert_eq!(equivalent_single_key(&[], R, 2), Some(AttrSet::full(2)));
+    }
+
+    #[test]
+    fn constant_attribute_detection() {
+        // {∅→3} qualifies (§7.1).
+        assert_eq!(
+            equivalent_constant_attribute(&[fd(&[], &[3])], R),
+            Some(AttrSet::singleton(3))
+        );
+        // {∅→1, ∅→2} merges.
+        assert_eq!(
+            equivalent_constant_attribute(&[fd(&[], &[1]), fd(&[], &[2])], R),
+            Some(AttrSet::from_attrs([1, 2]))
+        );
+        // {1→2} is not constant-attribute.
+        assert_eq!(equivalent_constant_attribute(&[fd(&[1], &[2])], R), None);
+        // Trivial Δ is ∅ → ∅.
+        assert_eq!(equivalent_constant_attribute(&[], R), Some(AttrSet::EMPTY));
+    }
+}

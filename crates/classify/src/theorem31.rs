@@ -1,0 +1,212 @@
+//! The Theorem 3.1 / Theorem 6.1 classifier.
+//!
+//! For each relation symbol `R`, globally-optimal repair checking for
+//! `({R}, Δ|R)` is polynomial iff `Δ|R` is equivalent to a single FD or
+//! to two key constraints; by Proposition 3.5 the whole schema is
+//! polynomial iff every relation is, and coNP-complete as soon as one
+//! relation is hard. Theorem 6.1: this classification is itself
+//! computable in polynomial time, via Lemma 6.2 and Theorem 6.3.
+
+use crate::hard_case::diagnose_hard_case;
+use crate::relation_class::{Complexity, HardCase, RelationClass};
+use crate::single_fd::equivalent_single_fd;
+use crate::two_keys::equivalent_two_incomparable_keys;
+use rpr_data::RelId;
+use rpr_fd::Schema;
+use std::fmt;
+
+/// The classification of a whole schema under Theorem 3.1.
+#[derive(Clone, Debug)]
+pub struct SchemaClass {
+    per_relation: Vec<(RelId, RelationClass)>,
+}
+
+impl SchemaClass {
+    /// The per-relation classes, in signature order.
+    pub fn per_relation(&self) -> &[(RelId, RelationClass)] {
+        &self.per_relation
+    }
+
+    /// The class of one relation.
+    pub fn class_of(&self, rel: RelId) -> &RelationClass {
+        &self.per_relation[rel.index()].1
+    }
+
+    /// The overall complexity (Proposition 3.5: hard iff some relation
+    /// is hard).
+    pub fn complexity(&self) -> Complexity {
+        if self.per_relation.iter().all(|(_, c)| c.is_tractable()) {
+            Complexity::PolynomialTime
+        } else {
+            Complexity::ConpComplete
+        }
+    }
+
+    /// The hard relations and their §5.2 cases.
+    pub fn hard_relations(&self) -> impl Iterator<Item = (RelId, &HardCase)> {
+        self.per_relation.iter().filter_map(|(rel, c)| match c {
+            RelationClass::Hard(hc) => Some((*rel, hc)),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for SchemaClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.complexity())
+    }
+}
+
+/// Classifies one relation's FD set (the per-relation core of Theorem
+/// 3.1). `fds` must all be over `rel`.
+pub fn classify_relation(fds: &[rpr_fd::Fd], rel: RelId, arity: usize) -> RelationClass {
+    if let Some(fd) = equivalent_single_fd(fds, rel, arity) {
+        return RelationClass::SingleFd(fd);
+    }
+    if let Some((a1, a2)) = equivalent_two_incomparable_keys(fds, arity) {
+        return RelationClass::TwoKeys(a1, a2);
+    }
+    // Both tractability tests failed, so the relation is coNP-complete
+    // (that decision is exact and polynomial). Identifying *which* §5.2
+    // case applies is diagnostic and budgeted; on very wide schemas the
+    // witness search may come back unresolved.
+    let hc = diagnose_hard_case(fds, arity).unwrap_or(HardCase::Unresolved);
+    RelationClass::Hard(hc)
+}
+
+/// Classifies a schema under Theorem 3.1 (the Theorem 6.1 algorithm).
+///
+/// ```
+/// use rpr_data::Signature;
+/// use rpr_fd::Schema;
+/// use rpr_classify::{classify_schema, Complexity};
+///
+/// // The paper's running example is on the tractable side…
+/// let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+/// let tractable = Schema::from_named(sig, [
+///     ("BookLoc", &[1][..], &[2][..]),
+///     ("LibLoc", &[1][..], &[2][..]),
+///     ("LibLoc", &[2][..], &[1][..]),
+/// ]).unwrap();
+/// assert_eq!(classify_schema(&tractable).complexity(), Complexity::PolynomialTime);
+///
+/// // …while S4 = {1→2, 2→3} of Example 3.4 is coNP-complete.
+/// let sig = Signature::new([("R", 3)]).unwrap();
+/// let hard = Schema::from_named(sig, [
+///     ("R", &[1][..], &[2][..]),
+///     ("R", &[2][..], &[3][..]),
+/// ]).unwrap();
+/// assert_eq!(classify_schema(&hard).complexity(), Complexity::ConpComplete);
+/// ```
+pub fn classify_schema(schema: &Schema) -> SchemaClass {
+    let sig = schema.signature();
+    let per_relation = sig
+        .rel_ids()
+        .map(|rel| (rel, classify_relation(schema.fds_for(rel), rel, sig.arity(rel))))
+        .collect();
+    SchemaClass { per_relation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::Signature;
+
+    #[test]
+    fn example_3_2_running_schema_is_tractable() {
+        // BookLoc: single fd; LibLoc: two keys → PTIME.
+        let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [
+                ("BookLoc", &[1][..], &[2][..]),
+                ("LibLoc", &[1][..], &[2][..]),
+                ("LibLoc", &[2][..], &[1][..]),
+            ],
+        )
+        .unwrap();
+        let class = classify_schema(&schema);
+        assert_eq!(class.complexity(), Complexity::PolynomialTime);
+        let b = schema.signature().rel_id("BookLoc").unwrap();
+        let l = schema.signature().rel_id("LibLoc").unwrap();
+        assert!(matches!(class.class_of(b), RelationClass::SingleFd(_)));
+        assert!(matches!(class.class_of(l), RelationClass::TwoKeys(..)));
+        assert_eq!(class.hard_relations().count(), 0);
+    }
+
+    #[test]
+    fn example_3_3_is_tractable() {
+        // R ternary {1→2}; S ternary {}; T quaternary {1→{2,3,4}, {2,3}→1}.
+        let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [
+                ("R", &[1][..], &[2][..]),
+                ("T", &[1][..], &[2, 3, 4][..]),
+                ("T", &[2, 3][..], &[1][..]),
+            ],
+        )
+        .unwrap();
+        let class = classify_schema(&schema);
+        assert_eq!(class.complexity(), Complexity::PolynomialTime);
+        let s = schema.signature().rel_id("S").unwrap();
+        // ∆|S is empty — equivalent to a single (trivial) fd.
+        match class.class_of(s) {
+            RelationClass::SingleFd(fd) => assert!(fd.is_trivial()),
+            other => panic!("unexpected class {other:?}"),
+        }
+        let t = schema.signature().rel_id("T").unwrap();
+        assert!(matches!(class.class_of(t), RelationClass::TwoKeys(..)));
+    }
+
+    #[test]
+    fn example_3_4_all_six_schemas_are_hard() {
+        let specs: [&[(&[usize], &[usize])]; 6] = [
+            &[(&[1, 2], &[3]), (&[1, 3], &[2]), (&[2, 3], &[1])],
+            &[(&[1], &[2]), (&[2], &[1])],
+            &[(&[1, 2], &[3]), (&[3], &[2])],
+            &[(&[1], &[2]), (&[2], &[3])],
+            &[(&[1], &[3]), (&[2], &[3])],
+            &[(&[], &[1]), (&[2], &[3])],
+        ];
+        for (i, spec) in specs.iter().enumerate() {
+            let sig = Signature::new([("R", 3)]).unwrap();
+            let fds: Vec<(&str, &[usize], &[usize])> =
+                spec.iter().map(|&(l, r)| ("R", l, r)).collect();
+            let schema = Schema::from_named(sig, fds).unwrap();
+            let class = classify_schema(&schema);
+            assert_eq!(
+                class.complexity(),
+                Complexity::ConpComplete,
+                "S{} must be hard",
+                i + 1
+            );
+            let (_, hc) = class.hard_relations().next().unwrap();
+            assert_eq!(hc.number() as usize, i + 1, "S{} lands in its case", i + 1);
+        }
+    }
+
+    #[test]
+    fn mixed_schema_is_hard_if_any_relation_is() {
+        let sig = Signature::new([("Good", 2), ("Bad", 3)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [
+                ("Good", &[1][..], &[2][..]),
+                ("Bad", &[1][..], &[2][..]),
+                ("Bad", &[2][..], &[3][..]),
+            ],
+        )
+        .unwrap();
+        let class = classify_schema(&schema);
+        assert_eq!(class.complexity(), Complexity::ConpComplete);
+        assert_eq!(class.hard_relations().count(), 1);
+    }
+
+    #[test]
+    fn empty_schema_is_tractable() {
+        let sig = Signature::new([("R", 3)]).unwrap();
+        let schema = Schema::new(sig, []).unwrap();
+        assert_eq!(classify_schema(&schema).complexity(), Complexity::PolynomialTime);
+    }
+}

@@ -1,0 +1,172 @@
+//! The Theorem 7.1 / Theorem 7.6 classifier for cross-conflict
+//! priorities.
+//!
+//! With ccp-instances the dichotomy condition changes: globally-optimal
+//! repair checking is polynomial iff `Δ` is a **primary-key assignment**
+//! (every `Δ|R` equivalent to a single key constraint) or a
+//! **constant-attribute assignment** (every `Δ|R` equivalent to
+//! `∅ → B`); in every other case it is coNP-complete. Note the
+//! "every relation" quantifier — unlike Theorem 3.1, ccp hardness does
+//! not decompose per relation, because priorities cross relations.
+
+use crate::relation_class::Complexity;
+use crate::single_fd::{equivalent_constant_attribute, equivalent_single_key};
+use rpr_data::{AttrSet, RelId};
+use rpr_fd::Schema;
+
+/// The classification of a schema under Theorem 7.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcpClass {
+    /// Every `Δ|R` is equivalent to a single key; carries the key lhs
+    /// per relation (signature order).
+    PrimaryKeyAssignment(Vec<AttrSet>),
+    /// Every `Δ|R` is equivalent to `∅ → B`; carries `B` per relation
+    /// (signature order).
+    ConstantAttributeAssignment(Vec<AttrSet>),
+    /// Neither: coNP-complete over ccp-instances. Carries one relation
+    /// witnessing the failure of each condition.
+    Hard {
+        /// A relation whose `Δ|R` is not equivalent to a single key.
+        not_primary_key: RelId,
+        /// A relation whose `Δ|R` is not equivalent to `∅ → B`.
+        not_constant_attribute: RelId,
+    },
+}
+
+impl CcpClass {
+    /// The overall complexity over ccp-instances.
+    pub fn complexity(&self) -> Complexity {
+        match self {
+            CcpClass::Hard { .. } => Complexity::ConpComplete,
+            _ => Complexity::PolynomialTime,
+        }
+    }
+}
+
+/// Classifies a schema under Theorem 7.1 (the Theorem 7.6 algorithm).
+///
+/// When both conditions hold (e.g. `Δ` is empty), the primary-key form
+/// is preferred — the graph algorithm is the cheaper checker.
+pub fn classify_schema_ccp(schema: &Schema) -> CcpClass {
+    let sig = schema.signature();
+
+    let mut pk: Vec<AttrSet> = Vec::with_capacity(sig.len());
+    let mut pk_fail: Option<RelId> = None;
+    let mut ca: Vec<AttrSet> = Vec::with_capacity(sig.len());
+    let mut ca_fail: Option<RelId> = None;
+
+    for rel in sig.rel_ids() {
+        let fds = schema.fds_for(rel);
+        let arity = sig.arity(rel);
+        match equivalent_single_key(fds, rel, arity) {
+            Some(key) => pk.push(key),
+            None => pk_fail = pk_fail.or(Some(rel)),
+        }
+        match equivalent_constant_attribute(fds, rel) {
+            Some(b) => ca.push(b),
+            None => ca_fail = ca_fail.or(Some(rel)),
+        }
+    }
+
+    match (pk_fail, ca_fail) {
+        (None, _) => CcpClass::PrimaryKeyAssignment(pk),
+        (Some(_), None) => CcpClass::ConstantAttributeAssignment(ca),
+        (Some(p), Some(c)) => {
+            CcpClass::Hard { not_primary_key: p, not_constant_attribute: c }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::Signature;
+
+    #[test]
+    fn section_7_1_worked_examples() {
+        // Example 3.3's schema is PTIME classically but hard for ccp:
+        // ∆|R = {1→2} is neither a key nor constant-attribute.
+        let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [
+                ("R", &[1][..], &[2][..]),
+                ("T", &[1][..], &[2, 3, 4][..]),
+                ("T", &[2, 3][..], &[1][..]),
+            ],
+        )
+        .unwrap();
+        let class = classify_schema_ccp(&schema);
+        assert_eq!(class.complexity(), Complexity::ConpComplete);
+
+        // §7.1: replace Δ with {R:1→{2,3}, S:∅→1}: still coNP-complete —
+        // R is a key but S is constant-attribute (mixed assignments).
+        let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [("R", &[1][..], &[2, 3][..]), ("S", &[][..], &[1][..])],
+        )
+        .unwrap();
+        assert_eq!(classify_schema_ccp(&schema).complexity(), Complexity::ConpComplete);
+
+        // §7.1: with {R:1→{2,3}, S:{1,2}→3}: now a primary-key
+        // assignment (T gets the trivial key), hence PTIME.
+        let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [("R", &[1][..], &[2, 3][..]), ("S", &[1, 2][..], &[3][..])],
+        )
+        .unwrap();
+        let class = classify_schema_ccp(&schema);
+        assert_eq!(class.complexity(), Complexity::PolynomialTime);
+        assert!(matches!(class, CcpClass::PrimaryKeyAssignment(_)));
+    }
+
+    #[test]
+    fn constant_attribute_assignment_detected() {
+        let sig = Signature::new([("R", 2), ("S", 3)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [("R", &[][..], &[1][..]), ("S", &[][..], &[2, 3][..])],
+        )
+        .unwrap();
+        match classify_schema_ccp(&schema) {
+            CcpClass::ConstantAttributeAssignment(bs) => {
+                assert_eq!(bs[0], AttrSet::singleton(1));
+                assert_eq!(bs[1], AttrSet::from_attrs([2, 3]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_delta_prefers_primary_key_form() {
+        // §7.1: "if ∆ is empty then ∆ is both a primary-key assignment
+        // and a constant-attribute assignment."
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::new(sig, []).unwrap();
+        assert!(matches!(
+            classify_schema_ccp(&schema),
+            CcpClass::PrimaryKeyAssignment(_)
+        ));
+    }
+
+    #[test]
+    fn hard_class_carries_witnesses() {
+        // Running-example schema: LibLoc has two keys → not a single
+        // key, not constant-attribute (this is Δd of §7.3).
+        let sig = Signature::new([("LibLoc", 2)]).unwrap();
+        let schema = Schema::from_named(
+            sig,
+            [("LibLoc", &[1][..], &[2][..]), ("LibLoc", &[2][..], &[1][..])],
+        )
+        .unwrap();
+        match classify_schema_ccp(&schema) {
+            CcpClass::Hard { not_primary_key, not_constant_attribute } => {
+                assert_eq!(not_primary_key, RelId(0));
+                assert_eq!(not_constant_attribute, RelId(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

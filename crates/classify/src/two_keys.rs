@@ -1,0 +1,124 @@
+//! Deciding equivalence to a set of two key constraints (§6, Lemma 6.2
+//! part 2).
+//!
+//! Lemma 6.2(2): if `Δ` is equivalent to `{A1 → B1, A2 → B2}` with
+//! incomparable nontrivial left-hand sides, then `Δ` contains FDs with
+//! lhs `A1` and lhs `A2`. The §6 algorithm therefore tries every pair of
+//! left-hand sides occurring in `Δ`, verifies both are keys (closure =
+//! `⟦R⟧`), and checks that every FD of `Δ` is implied by the two keys.
+//! The comparable-keys case collapses to a single key, which
+//! [`crate::single_fd::equivalent_single_fd`] already covers.
+
+use rpr_data::AttrSet;
+use rpr_fd::{closure, implies, lhs_candidates, Fd};
+
+/// If `fds` (all over one relation of the given arity) is equivalent to
+/// a set of two *incomparable* key constraints, returns their left-hand
+/// sides `(A1, A2)` with `A1 < A2` in bitmask order; otherwise `None`.
+///
+/// Note: FD sets equivalent to a *single* key return `None` here — they
+/// are already on the tractable side via the single-FD condition, and
+/// the two-keys algorithm (`GRepCheck2Keys`) explicitly assumes
+/// incomparable keys (§4.2).
+pub fn equivalent_two_incomparable_keys(fds: &[Fd], arity: usize) -> Option<(AttrSet, AttrSet)> {
+    let full = AttrSet::full(arity);
+    let candidates = lhs_candidates(fds);
+    let rel = fds.first()?.rel;
+    for (i, &a1) in candidates.iter().enumerate() {
+        if closure(a1, fds) != full {
+            continue;
+        }
+        for &a2 in candidates.iter().skip(i + 1) {
+            if a1.is_subset(a2) || a2.is_subset(a1) {
+                continue;
+            }
+            if closure(a2, fds) != full {
+                continue;
+            }
+            let keys = [Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)];
+            if fds.iter().all(|&fd| implies(&keys, fd)) {
+                return if a1 < a2 { Some((a1, a2)) } else { Some((a2, a1)) };
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn libloc_is_two_keys() {
+        // Running example: LibLoc with {1→2, 2→1} over a binary relation.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
+        assert_eq!(
+            equivalent_two_incomparable_keys(&fds, 2),
+            Some((AttrSet::singleton(1), AttrSet::singleton(2)))
+        );
+    }
+
+    #[test]
+    fn example_3_3_t_relation() {
+        // ∆|T = {1→{2,3,4}, {2,3}→1} ≡ {1→⟦T⟧, {2,3}→⟦T⟧}.
+        let fds = [fd(&[1], &[2, 3, 4]), fd(&[2, 3], &[1])];
+        assert_eq!(
+            equivalent_two_incomparable_keys(&fds, 4),
+            Some((AttrSet::singleton(1), AttrSet::from_attrs([2, 3])))
+        );
+    }
+
+    #[test]
+    fn s2_is_not_two_keys_over_ternary() {
+        // S2 = {1→2, 2→1} over a TERNARY relation: neither {1} nor {2}
+        // reaches attribute 3, so they are not keys.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
+        assert_eq!(equivalent_two_incomparable_keys(&fds, 3), None);
+    }
+
+    #[test]
+    fn s1_three_keys_rejected() {
+        let fds = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        assert_eq!(equivalent_two_incomparable_keys(&fds, 3), None);
+    }
+
+    #[test]
+    fn s3_rejected() {
+        // S3 = {{1,2}→3, 3→2}: {1,2} is a key, {3} is not; not two keys.
+        let fds = [fd(&[1, 2], &[3]), fd(&[3], &[2])];
+        assert_eq!(equivalent_two_incomparable_keys(&fds, 3), None);
+    }
+
+    #[test]
+    fn comparable_keys_return_none() {
+        // {1→all, {1,2}→all}: comparable lhs; single key covers it.
+        let fds = [fd(&[1], &[2, 3]), fd(&[1, 2], &[3])];
+        assert_eq!(equivalent_two_incomparable_keys(&fds, 3), None);
+    }
+
+    #[test]
+    fn two_keys_with_extra_implied_fds() {
+        // Two keys plus consequences of them still classify as two keys.
+        let fds = [
+            fd(&[1], &[2, 3]),
+            fd(&[2], &[1, 3]),
+            fd(&[1, 2], &[3]), // implied
+        ];
+        assert_eq!(
+            equivalent_two_incomparable_keys(&fds, 3),
+            Some((AttrSet::singleton(1), AttrSet::singleton(2)))
+        );
+    }
+
+    #[test]
+    fn empty_fd_set_returns_none() {
+        assert_eq!(equivalent_two_incomparable_keys(&[], 3), None);
+    }
+}

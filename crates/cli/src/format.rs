@@ -1,0 +1,474 @@
+//! The `.rpr` workspace file format.
+//!
+//! A single text file declares a schema, an instance, a priority and
+//! optional named candidate repairs:
+//!
+//! ```text
+//! # The paper's running example (fragment).
+//! relation BookLoc/3
+//! relation LibLoc/2
+//!
+//! fd BookLoc: 1 -> 2
+//! fd LibLoc: 1 -> 2
+//! fd LibLoc: 2 -> 1
+//!
+//! fact BookLoc(b1, fiction, lib1)
+//! fact LibLoc(lib1, almaden)
+//! fact LibLoc(lib1, edenvale)
+//!
+//! prefer LibLoc(lib1, edenvale) > LibLoc(lib1, almaden)
+//!
+//! # mode ccp            # uncomment for cross-conflict priorities
+//!
+//! repair J: BookLoc(b1, fiction, lib1); LibLoc(lib1, edenvale)
+//! ```
+//!
+//! Grammar, line-oriented (blank lines and `#` comments ignored):
+//!
+//! * `relation NAME/ARITY`
+//! * `fd NAME: a1 a2 -> b1 b2` (attribute indices, 1-based; an empty
+//!   left side is written `∅` or `-`)
+//! * `fact NAME(v1, …, vn)` (integers parse as ints, everything else
+//!   as symbols)
+//! * `prefer FACT > FACT` (both facts must be declared)
+//! * `mode ccp` / `mode conflict` (default `conflict`)
+//! * `repair NAME: FACT; FACT; …`
+
+use rpr_data::{AttrSet, DataError, Fact, FactId, FactSet, Instance, Signature, Value};
+use rpr_fd::{Fd, Schema};
+use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
+use std::fmt;
+
+/// A parsed workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The declared schema.
+    pub schema: Schema,
+    /// The declared instance `I`.
+    pub instance: Instance,
+    /// The declared priority `≻`.
+    pub priority: PriorityRelation,
+    /// The priority mode.
+    pub mode: PriorityMode,
+    /// Named candidate repairs, in declaration order.
+    pub repairs: Vec<(String, FactSet)>,
+}
+
+impl Workspace {
+    /// Wraps the workspace as a validated prioritizing instance.
+    ///
+    /// # Errors
+    /// Propagates conflict-restriction violations in classical mode.
+    pub fn prioritized(&self) -> Result<PrioritizedInstance, FormatError> {
+        match self.mode {
+            PriorityMode::ConflictRestricted => PrioritizedInstance::conflict_restricted(
+                &self.schema,
+                self.instance.clone(),
+                self.priority.clone(),
+            )
+            .map_err(|e| FormatError::new(0, format!("priority not conflict-restricted: {e}"))),
+            PriorityMode::CrossConflict => Ok(PrioritizedInstance::cross_conflict(
+                self.instance.clone(),
+                self.priority.clone(),
+            )),
+        }
+    }
+
+    /// Looks a named repair up.
+    pub fn repair(&self, name: &str) -> Option<&FactSet> {
+        self.repairs.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// A parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line (0 for whole-file problems).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl FormatError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        FormatError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn parse_value(token: &str) -> Value {
+    match token.parse::<i64>() {
+        Ok(n) => Value::Int(n),
+        Err(_) => Value::sym(token),
+    }
+}
+
+/// Parses `NAME(v1, …, vn)` into a fact.
+fn parse_fact(sig: &Signature, text: &str, line: usize) -> Result<Fact, FormatError> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| FormatError::new(line, format!("expected Relation(...), got `{text}`")))?;
+    if !text.ends_with(')') {
+        return Err(FormatError::new(line, "missing `)`"));
+    }
+    let rel = text[..open].trim();
+    let body = &text[open + 1..text.len() - 1];
+    let values: Vec<Value> = body.split(',').map(|t| parse_value(t.trim())).collect();
+    Fact::parse_new(sig, rel, values).map_err(|e: DataError| FormatError::new(line, e.to_string()))
+}
+
+fn parse_attr_list(text: &str, line: usize) -> Result<AttrSet, FormatError> {
+    let text = text.trim();
+    if text.is_empty() || text == "∅" || text == "-" {
+        return Ok(AttrSet::EMPTY);
+    }
+    let mut out = AttrSet::EMPTY;
+    for tok in text.split_whitespace() {
+        for piece in tok.split(',') {
+            if piece.is_empty() {
+                continue;
+            }
+            let n: usize = piece
+                .parse()
+                .map_err(|_| FormatError::new(line, format!("bad attribute index `{piece}`")))?;
+            if n == 0 || n > 64 {
+                return Err(FormatError::new(line, format!("attribute {n} out of range")));
+            }
+            out = out.insert(n);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a workspace file.
+///
+/// # Errors
+/// [`FormatError`] with a line number on the first problem.
+pub fn parse_workspace(text: &str) -> Result<Workspace, FormatError> {
+    // Pass 1: relations.
+    let mut rels: Vec<(String, usize)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let l = raw.trim();
+        if let Some(rest) = l.strip_prefix("relation ") {
+            let (name, arity) = rest
+                .rsplit_once('/')
+                .ok_or_else(|| FormatError::new(line, "expected `relation NAME/ARITY`"))?;
+            let arity: usize = arity
+                .trim()
+                .parse()
+                .map_err(|_| FormatError::new(line, format!("bad arity `{arity}`")))?;
+            rels.push((name.trim().to_owned(), arity));
+        }
+    }
+    if rels.is_empty() {
+        return Err(FormatError::new(0, "no `relation` declarations"));
+    }
+    let sig = Signature::new(rels.iter().map(|(n, a)| (n.as_str(), *a)))
+        .map_err(|e| FormatError::new(0, e.to_string()))?;
+
+    // Pass 2: everything else.
+    let mut fds: Vec<Fd> = Vec::new();
+    let mut instance = Instance::new(sig.clone());
+    let mut prefer_lines: Vec<(usize, Fact, Fact)> = Vec::new();
+    let mut mode = PriorityMode::ConflictRestricted;
+    let mut repairs: Vec<(String, Vec<Fact>)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') || l.starts_with("relation ") {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("fd ") {
+            let (rel_name, spec) = rest
+                .split_once(':')
+                .ok_or_else(|| FormatError::new(line, "expected `fd NAME: lhs -> rhs`"))?;
+            let rel = sig
+                .require(rel_name.trim())
+                .map_err(|e| FormatError::new(line, e.to_string()))?;
+            let (lhs, rhs) = spec
+                .split_once("->")
+                .ok_or_else(|| FormatError::new(line, "expected `lhs -> rhs`"))?;
+            let fd = Fd::new(rel, parse_attr_list(lhs, line)?, parse_attr_list(rhs, line)?);
+            if !fd.fits_arity(sig.arity(rel)) {
+                return Err(FormatError::new(line, "FD mentions attributes beyond the arity"));
+            }
+            fds.push(fd);
+        } else if let Some(rest) = l.strip_prefix("fact ") {
+            let fact = parse_fact(&sig, rest, line)?;
+            instance.insert(fact);
+        } else if let Some(rest) = l.strip_prefix("prefer ") {
+            let (a, b) = rest
+                .split_once('>')
+                .ok_or_else(|| FormatError::new(line, "expected `prefer FACT > FACT`"))?;
+            prefer_lines.push((line, parse_fact(&sig, a, line)?, parse_fact(&sig, b, line)?));
+        } else if let Some(rest) = l.strip_prefix("mode ") {
+            mode = match rest.trim() {
+                "ccp" | "cross-conflict" => PriorityMode::CrossConflict,
+                "conflict" | "conflict-restricted" => PriorityMode::ConflictRestricted,
+                other => {
+                    return Err(FormatError::new(line, format!("unknown mode `{other}`")))
+                }
+            };
+        } else if let Some(rest) = l.strip_prefix("repair ") {
+            let (name, body) = rest
+                .split_once(':')
+                .ok_or_else(|| FormatError::new(line, "expected `repair NAME: FACT; …`"))?;
+            let mut facts = Vec::new();
+            for part in body.split(';') {
+                let part = part.trim();
+                if !part.is_empty() {
+                    facts.push(parse_fact(&sig, part, line)?);
+                }
+            }
+            repairs.push((name.trim().to_owned(), facts));
+        } else {
+            return Err(FormatError::new(line, format!("unrecognized directive `{l}`")));
+        }
+    }
+
+    let schema = Schema::new(sig, fds).map_err(|e| FormatError::new(0, e.to_string()))?;
+
+    let mut edges: Vec<(FactId, FactId)> = Vec::new();
+    for (line, a, b) in prefer_lines {
+        let ai = instance
+            .id_of(&a)
+            .ok_or_else(|| FormatError::new(line, "preferred fact not declared with `fact`"))?;
+        let bi = instance
+            .id_of(&b)
+            .ok_or_else(|| FormatError::new(line, "dominated fact not declared with `fact`"))?;
+        edges.push((ai, bi));
+    }
+    let priority = PriorityRelation::new(instance.len(), edges)
+        .map_err(|e| FormatError::new(0, format!("priority rejected: {e}")))?;
+
+    let mut repair_sets = Vec::new();
+    for (name, facts) in repairs {
+        let mut set = instance.empty_set();
+        for f in &facts {
+            let id = instance.id_of(f).ok_or_else(|| {
+                FormatError::new(
+                    0,
+                    format!("repair `{name}` uses a fact not declared with `fact`"),
+                )
+            })?;
+            set.insert(id);
+        }
+        repair_sets.push((name, set));
+    }
+
+    Ok(Workspace { schema, instance, priority, mode, repairs: repair_sets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# sample
+relation R/2
+relation S/2
+
+fd R: 1 -> 2
+fd S: - -> 1
+
+fact R(a, 1)
+fact R(a, 2)
+fact S(x, 0)
+
+prefer R(a, 2) > R(a, 1)
+
+repair best: R(a, 2); S(x, 0)
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let ws = parse_workspace(SAMPLE).unwrap();
+        assert_eq!(ws.instance.len(), 3);
+        assert_eq!(ws.schema.fds().len(), 2);
+        assert_eq!(ws.priority.edge_count(), 1);
+        assert_eq!(ws.mode, PriorityMode::ConflictRestricted);
+        let j = ws.repair("best").unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(ws.prioritized().is_ok());
+        // The empty-lhs FD parsed as constant-attribute.
+        assert!(ws.schema.fds()[1].is_constant_attribute());
+    }
+
+    #[test]
+    fn mode_ccp_allows_cross_edges() {
+        let text = "\
+relation R/2
+fd R: 1 -> 2
+fact R(a, 1)
+fact R(b, 2)
+mode ccp
+prefer R(a, 1) > R(b, 2)
+";
+        let ws = parse_workspace(text).unwrap();
+        assert_eq!(ws.mode, PriorityMode::CrossConflict);
+        assert!(ws.prioritized().is_ok());
+        // The same file in classical mode fails validation.
+        let classical = text.replace("mode ccp\n", "");
+        let ws = parse_workspace(&classical).unwrap();
+        assert!(ws.prioritized().is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "relation R/2\nfd R 1 -> 2\n";
+        let err = parse_workspace(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let bad = "relation R/2\nfact R(a)\n";
+        let err = parse_workspace(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("arity"));
+
+        let bad = "relation R/2\nprefer R(a,1) > R(a,2)\n";
+        let err = parse_workspace(bad).unwrap_err();
+        assert!(err.message.contains("not declared"));
+
+        let bad = "relation R/2\nbanana\n";
+        assert!(parse_workspace(bad).unwrap_err().message.contains("unrecognized"));
+
+        assert!(parse_workspace("fact R(a,b)\n").unwrap_err().message.contains("relation"));
+    }
+
+    #[test]
+    fn cyclic_priorities_are_rejected() {
+        let text = "\
+relation R/2
+fd R: 1 -> 2
+fact R(a, 1)
+fact R(a, 2)
+prefer R(a, 1) > R(a, 2)
+prefer R(a, 2) > R(a, 1)
+";
+        let err = parse_workspace(text).unwrap_err();
+        assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn multi_attribute_fd_sides() {
+        let text = "\
+relation T/4
+fd T: 1 -> 2 3 4
+fd T: 2, 3 -> 1
+fact T(a, b, c, d)
+";
+        let ws = parse_workspace(text).unwrap();
+        assert_eq!(ws.schema.fds()[0].rhs, AttrSet::from_attrs([2, 3, 4]));
+        assert_eq!(ws.schema.fds()[1].lhs, AttrSet::from_attrs([2, 3]));
+    }
+}
+
+/// Renders a workspace back to the `.rpr` text format (the inverse of
+/// [`parse_workspace`] up to whitespace and ordering). Used by
+/// `rpr export file.rprb out.rpr` to turn binary workspaces back into
+/// human-editable form.
+pub fn render_workspace(ws: &Workspace) -> String {
+    use std::fmt::Write as _;
+    let sig = ws.schema.signature();
+    let mut out = String::new();
+    for (_, sym) in sig.iter() {
+        let _ = writeln!(out, "relation {}/{}", sym.name(), sym.arity());
+    }
+    out.push('\n');
+    let attrs = |a: AttrSet| -> String {
+        if a.is_empty() {
+            "-".to_owned()
+        } else {
+            a.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+        }
+    };
+    for fd in ws.schema.fds() {
+        let _ = writeln!(
+            out,
+            "fd {}: {} -> {}",
+            sig.symbol(fd.rel).name(),
+            attrs(fd.lhs),
+            attrs(fd.rhs)
+        );
+    }
+    if ws.mode == PriorityMode::CrossConflict {
+        let _ = writeln!(out, "\nmode ccp");
+    }
+    out.push('\n');
+    for (_, fact) in ws.instance.iter() {
+        let _ = writeln!(out, "fact {}", fact.display(sig));
+    }
+    out.push('\n');
+    for &(a, b) in ws.priority.edges() {
+        let _ = writeln!(
+            out,
+            "prefer {} > {}",
+            ws.instance.fact(a).display(sig),
+            ws.instance.fact(b).display(sig)
+        );
+    }
+    for (name, set) in &ws.repairs {
+        let members: Vec<String> =
+            set.iter().map(|id| ws.instance.fact(id).display(sig).to_string()).collect();
+        let _ = writeln!(out, "repair {name}: {}", members.join("; "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+relation R/2
+relation S/3
+fd R: 1 -> 2
+fd S: - -> 3
+mode ccp
+fact R(a, 1)
+fact R(a, 2)
+fact S(x, y, 0)
+prefer R(a, 2) > S(x, y, 0)
+repair best: R(a, 2); S(x, y, 0)
+";
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let ws = parse_workspace(SAMPLE).unwrap();
+        let text = render_workspace(&ws);
+        let back = parse_workspace(&text).unwrap();
+        assert_eq!(back.instance.len(), ws.instance.len());
+        for (_, f) in ws.instance.iter() {
+            assert!(back.instance.contains(f));
+        }
+        assert_eq!(back.schema.fds(), ws.schema.fds());
+        assert_eq!(back.priority.edges(), ws.priority.edges());
+        assert_eq!(back.mode, ws.mode);
+        assert_eq!(back.repairs.len(), ws.repairs.len());
+        assert_eq!(back.repairs[0].1.len(), 2);
+    }
+
+    #[test]
+    fn rendered_text_uses_the_documented_directives() {
+        let ws = parse_workspace(SAMPLE).unwrap();
+        let text = render_workspace(&ws);
+        assert!(text.contains("relation R/2"));
+        assert!(text.contains("fd S: - -> 3"));
+        assert!(text.contains("mode ccp"));
+        assert!(text.contains("prefer R(a,2) > S(x,y,0)"));
+        assert!(text.contains("repair best:"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # rpr-cli — the `rpr` command-line front end
+//!
+//! A small, file-driven interface to the preferred-repairs system:
+//!
+//! * [`format`] — the `.rpr` workspace format (schema + instance +
+//!   priority + named candidate repairs in one text file);
+//! * [`query_parse`] — `q(?x) <- R(?x, c), S(c, ?y)` conjunctive-query
+//!   syntax;
+//! * [`commands`] — `classify`, `check`, `repairs`, `construct`,
+//!   `cqa`, `discover`, `lint` as report-returning library functions
+//!   (the binary is a thin wrapper, which keeps every command
+//!   unit-testable);
+//! * [`store`] — the compact binary `.rprb` encoding (`rpr export`);
+//!   every command accepts both formats.
+//!
+//! Sample workspaces live in the repository's `workloads/` directory.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod format;
+pub mod query_parse;
+pub mod store;

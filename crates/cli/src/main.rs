@@ -1,0 +1,146 @@
+//! `rpr` — the preferred-repairs command line.
+//!
+//! ```text
+//! rpr classify  FILE
+//! rpr check     FILE [REPAIR_NAME]
+//! rpr repairs   FILE [--semantics all|pareto|global|completion] [--budget N]
+//! rpr construct FILE
+//! rpr cqa       FILE "q(?x) <- R(?x, c)" [--semantics …] [--budget N]
+//! ```
+//!
+//! `FILE` is a `.rpr` workspace (see `rpr_cli::format`). Exit codes:
+//! 0 success, 1 usage error, 2 parse/command error.
+
+use rpr_cli::commands;
+use rpr_cli::format::parse_workspace;
+use rpr_cli::store;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rpr <command> <file.rpr> [args]
+
+commands:
+  classify  FILE [--explain]          report both dichotomy classifications
+                                      (--explain adds Armstrong certificates)
+  check     FILE [NAME]               check candidate repair(s) declared in the file
+  repairs   FILE [--semantics S] [--budget N]
+                                      enumerate repairs (S: all|pareto|global|completion)
+  construct FILE                      build one globally-optimal repair (always PTIME)
+  cqa       FILE QUERY [--semantics S] [--budget N]
+                                      certain/possible answers, e.g. \"q(?x) <- R(?x, c)\"
+  discover  FILE [--max-lhs N]        mine the FDs holding in the declared facts
+  lint      FILE                      normal-form + dichotomy report per relation
+  export    FILE OUT                  convert: .rprb writes binary, otherwise text
+                                      (all commands read both forms)
+  stats     FILE                      conflict statistics of the instance
+  derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(UsageOr::Usage(msg)) => {
+            eprintln!("{msg}\n{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(UsageOr::Command(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum UsageOr {
+    Usage(String),
+    Command(String),
+}
+
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<String, UsageOr> {
+    let command = args.first().ok_or_else(|| UsageOr::Usage("missing command".into()))?;
+    let path = args.get(1).ok_or_else(|| UsageOr::Usage("missing workspace file".into()))?;
+    let raw = std::fs::read(path)
+        .map_err(|e| UsageOr::Command(format!("cannot read {path}: {e}")))?;
+    let ws = if store::is_binary(&raw) {
+        store::decode(&raw).map_err(|e| UsageOr::Command(e.to_string()))?
+    } else {
+        let text = String::from_utf8(raw)
+            .map_err(|_| UsageOr::Command(format!("{path} is neither UTF-8 text nor .rprb")))?;
+        parse_workspace(&text).map_err(|e| UsageOr::Command(e.to_string()))?
+    };
+
+    let semantics = opt_value(args, "--semantics").unwrap_or_else(|| "global".to_owned());
+    let budget: usize = match opt_value(args, "--budget") {
+        Some(b) => b
+            .parse()
+            .map_err(|_| UsageOr::Command(format!("bad --budget value `{b}`")))?,
+        None => 1 << 22,
+    };
+
+    match command.as_str() {
+        "classify" => {
+            if args.iter().any(|a| a == "--explain") {
+                Ok(commands::classify_explain(&ws))
+            } else {
+                Ok(commands::classify(&ws))
+            }
+        }
+        "check" => {
+            let name = args.get(2).filter(|a| !a.starts_with("--")).map(|s| s.as_str());
+            commands::check(&ws, name).map_err(|e| UsageOr::Command(e.to_string()))
+        }
+        "repairs" => commands::repairs(&ws, &semantics, budget)
+            .map_err(|e| UsageOr::Command(e.to_string())),
+        "construct" => Ok(commands::construct(&ws)),
+        "discover" => {
+            let max_lhs: usize = match opt_value(args, "--max-lhs") {
+                Some(m) => m
+                    .parse()
+                    .map_err(|_| UsageOr::Command(format!("bad --max-lhs value `{m}`")))?,
+                None => 3,
+            };
+            Ok(commands::discover(&ws, max_lhs))
+        }
+        "lint" => Ok(commands::lint(&ws)),
+        "derive" => {
+            let fd_text = args
+                .get(2)
+                .ok_or_else(|| UsageOr::Usage("derive needs an FD argument".into()))?;
+            commands::derive(&ws, fd_text).map_err(|e| UsageOr::Command(e.to_string()))
+        }
+        "export" => {
+            let out = args
+                .get(2)
+                .ok_or_else(|| UsageOr::Usage("export needs an output path".into()))?;
+            // Extension picks the format: .rprb binary, anything else text.
+            if out.ends_with(".rprb") {
+                let bytes = store::encode(&ws);
+                std::fs::write(out, &bytes)
+                    .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
+                Ok(format!("wrote {out} ({} bytes, binary)\n", bytes.len()))
+            } else {
+                let text = rpr_cli::format::render_workspace(&ws);
+                std::fs::write(out, &text)
+                    .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
+                Ok(format!("wrote {out} ({} bytes, text)\n", text.len()))
+            }
+        }
+        "stats" => Ok(commands::stats(&ws)),
+        "cqa" => {
+            let query = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| UsageOr::Usage("cqa needs a query argument".into()))?;
+            commands::cqa(&ws, query, &semantics, budget)
+                .map_err(|e| UsageOr::Command(e.to_string()))
+        }
+        other => Err(UsageOr::Usage(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,181 @@
+//! Parsing conjunctive queries from the command line.
+//!
+//! Syntax: `q(?x, ?y) <- R(?x, c), S(c, ?y)` — head variables listed in
+//! output order (possibly empty for a boolean query), body atoms
+//! comma-separated at the top level, `?name` for variables, anything
+//! else a constant (integers parse as ints).
+
+use rpr_cqa::{Atom, ConjunctiveQuery, Term};
+use rpr_data::{Instance, Value};
+use rpr_data::FxHashMap;
+
+/// A query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError(pub String);
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn err(msg: impl Into<String>) -> QueryError {
+    QueryError(msg.into())
+}
+
+/// Splits `R(a, b), S(c)` at top-level commas.
+fn split_atoms(body: &str) -> Result<Vec<&str>, QueryError> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1).ok_or_else(|| err("unbalanced `)`"))?;
+            }
+            ',' if depth == 0 => {
+                out.push(body[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(err("unbalanced `(`"));
+    }
+    let last = body[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    Ok(out)
+}
+
+fn parse_atom_text(
+    instance: &Instance,
+    text: &str,
+    vars: &mut FxHashMap<String, u32>,
+) -> Result<Atom, QueryError> {
+    let open = text.find('(').ok_or_else(|| err(format!("expected atom, got `{text}`")))?;
+    if !text.ends_with(')') {
+        return Err(err(format!("atom `{text}` missing `)`")));
+    }
+    let rel_name = text[..open].trim();
+    let rel = instance
+        .signature()
+        .require(rel_name)
+        .map_err(|e| err(e.to_string()))?;
+    let mut terms = Vec::new();
+    for tok in text[open + 1..text.len() - 1].split(',') {
+        let tok = tok.trim();
+        if let Some(var) = tok.strip_prefix('?') {
+            if var.is_empty() {
+                return Err(err("empty variable name `?`"));
+            }
+            let next = vars.len() as u32;
+            let id = *vars.entry(var.to_owned()).or_insert(next);
+            terms.push(Term::Var(id));
+        } else if tok.is_empty() {
+            return Err(err(format!("empty term in `{text}`")));
+        } else {
+            let value = match tok.parse::<i64>() {
+                Ok(n) => Value::Int(n),
+                Err(_) => Value::sym(tok),
+            };
+            terms.push(Term::Const(value));
+        }
+    }
+    Ok(Atom { rel, terms })
+}
+
+/// Parses a query against an instance's signature.
+///
+/// # Errors
+/// [`QueryError`] on syntax problems; validation errors (arity, unbound
+/// head variables) are surfaced too.
+pub fn parse_query(instance: &Instance, text: &str) -> Result<ConjunctiveQuery, QueryError> {
+    let (head, body) = text
+        .split_once("<-")
+        .ok_or_else(|| err("expected `head <- body`"))?;
+    let head = head.trim();
+    let open = head.find('(').ok_or_else(|| err("head must look like q(?x, …)"))?;
+    if !head.ends_with(')') {
+        return Err(err("head missing `)`"));
+    }
+    let mut vars: FxHashMap<String, u32> = FxHashMap::default();
+    let mut head_vars = Vec::new();
+    let head_body = head[open + 1..head.len() - 1].trim();
+    if !head_body.is_empty() {
+        for tok in head_body.split(',') {
+            let tok = tok.trim();
+            let var = tok
+                .strip_prefix('?')
+                .ok_or_else(|| err(format!("head terms must be variables, got `{tok}`")))?;
+            let next = vars.len() as u32;
+            head_vars.push(*vars.entry(var.to_owned()).or_insert(next));
+        }
+    }
+    let mut atoms = Vec::new();
+    for atom_text in split_atoms(body.trim())? {
+        atoms.push(parse_atom_text(instance, atom_text, &mut vars)?);
+    }
+    let q = ConjunctiveQuery { head: head_vars, atoms };
+    q.validate(instance).map_err(QueryError)?;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::Signature;
+
+    fn instance() -> Instance {
+        let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [Value::sym("a"), Value::Int(1)]).unwrap();
+        i.insert_named("S", [Value::Int(1), Value::sym("z")]).unwrap();
+        i
+    }
+
+    #[test]
+    fn parses_joins_and_evaluates() {
+        let i = instance();
+        let q = parse_query(&i, "q(?x, ?y) <- R(?x, ?m), S(?m, ?y)").unwrap();
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.atoms.len(), 2);
+        let ans = q.eval(&i);
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn constants_and_booleans() {
+        let i = instance();
+        let q = parse_query(&i, "q() <- R(a, 1)").unwrap();
+        assert!(q.holds(&i));
+        let q = parse_query(&i, "q() <- R(a, 2)").unwrap();
+        assert!(!q.holds(&i));
+        // Integers vs symbols matter.
+        let q = parse_query(&i, "q() <- S(1, z)").unwrap();
+        assert!(q.holds(&i));
+    }
+
+    #[test]
+    fn repeated_variables_join() {
+        let i = instance();
+        let q = parse_query(&i, "q(?v) <- R(?x, ?v), S(?v, ?y)").unwrap();
+        assert_eq!(q.eval(&i).len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let i = instance();
+        assert!(parse_query(&i, "no arrow here").is_err());
+        assert!(parse_query(&i, "q(?x) <- T(?x)").is_err()); // unknown relation
+        assert!(parse_query(&i, "q(?x) <- R(?y, ?z)").is_err()); // unbound head
+        assert!(parse_query(&i, "q(c) <- R(?x, ?y)").is_err()); // constant in head
+        assert!(parse_query(&i, "q() <- R(?x)").is_err()); // arity
+        assert!(parse_query(&i, "q() <- R(?x, ?y").is_err()); // unbalanced
+    }
+}

@@ -1,0 +1,138 @@
+//! True end-to-end tests of the `rpr` binary: argument handling, exit
+//! codes, stdout/stderr wiring, and the text↔binary format bridge.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rpr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn workload(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../workloads");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn classify_succeeds_with_report() {
+    let out = rpr(&["classify", &workload("running_example.rpr")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Theorem 3.1"));
+    assert!(stdout.contains("PTIME"));
+}
+
+#[test]
+fn check_reports_witnesses_and_exit_zero() {
+    let out = rpr(&["check", &workload("running_example.rpr"), "J1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("NOT globally optimal"));
+    assert!(stdout.contains("improvement: remove"));
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let out = rpr(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"));
+
+    let out = rpr(&["frobnicate", &workload("running_example.rpr")]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn command_errors_exit_two() {
+    let out = rpr(&["classify", "/nonexistent/file.rpr"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"));
+
+    let out = rpr(&["check", &workload("running_example.rpr"), "NoSuchRepair"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = rpr(&["cqa", &workload("running_example.rpr"), "garbage query"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn export_then_reload_binary() {
+    let dir = std::env::temp_dir();
+    let out_path = dir.join("rpr_binary_test.rprb");
+    let out_str = out_path.to_string_lossy().into_owned();
+    let out = rpr(&["export", &workload("running_example.rpr"), &out_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Every command accepts the binary form.
+    let out = rpr(&["check", &out_str, "J2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("globally-optimal repair"));
+
+    let out = rpr(&["repairs", &out_str, "--semantics", "global"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().starts_with("3 global repair(s)"));
+
+    std::fs::remove_file(out_path).ok();
+}
+
+#[test]
+fn derive_and_lint_and_discover_run() {
+    let out = rpr(&["derive", &workload("hard_s4.rpr"), "R4: 1 -> 3"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("transitivity"));
+
+    let out = rpr(&["lint", &workload("hard_s4.rpr")]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("coNP-complete"));
+
+    let out = rpr(&["discover", &workload("source_trust.rpr"), "--max-lhs", "2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("minimal FD(s)"));
+}
+
+#[test]
+fn budget_flag_is_parsed_and_enforced() {
+    let out = rpr(&["repairs", &workload("running_example.rpr"), "--budget", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("budget"));
+
+    let out = rpr(&["repairs", &workload("running_example.rpr"), "--budget", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stats_and_text_export_roundtrip() {
+    let out = rpr(&["stats", &workload("running_example.rpr")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("conflicting pairs"), "{stdout}");
+
+    // Binary → text → binary keeps every command working.
+    let dir = std::env::temp_dir();
+    let bin_path = dir.join("rpr_roundtrip.rprb");
+    let txt_path = dir.join("rpr_roundtrip.rpr");
+    let bin_str = bin_path.to_string_lossy().into_owned();
+    let txt_str = txt_path.to_string_lossy().into_owned();
+    assert!(rpr(&["export", &workload("running_example.rpr"), &bin_str]).status.success());
+    assert!(rpr(&["export", &bin_str, &txt_str]).status.success());
+    let out = rpr(&["check", &txt_str, "J2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("globally-optimal repair"));
+    std::fs::remove_file(bin_path).ok();
+    std::fs::remove_file(txt_path).ok();
+}
+
+#[test]
+fn classify_explain_adds_certificates() {
+    let out = rpr(&["classify", &workload("running_example.rpr"), "--explain"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("equivalence certificate"), "{stdout}");
+    assert!(stdout.contains("incomparable"), "{stdout}");
+}

@@ -1,0 +1,298 @@
+//! Brute-force oracles.
+//!
+//! Definitional, exponential-time implementations of every notion the
+//! polynomial algorithms compute. These are first-class library members
+//! (guarded by explicit budgets) because the differential tests and the
+//! experiment harness check every fast path against them, and because
+//! on the hard side of the dichotomy nothing better than exponential
+//! search exists unless P = NP.
+//!
+//! A useful reduction keeps the search space small: if `J` has a global
+//! (resp. Pareto) improvement, it has one that is a *repair* — extend
+//! any improving `J′` to a maximal consistent `J″ ⊇ J′`; then
+//! `J \ J″ ⊆ J \ J′` and `J′ \ J ⊆ J″ \ J`, so the improvement
+//! condition transfers. The oracles therefore only enumerate repairs,
+//! i.e. the maximal independent sets of the conflict graph.
+
+use crate::improvement::{is_global_improvement, BudgetExceeded, Improvement};
+use rpr_data::{FactId, FactSet};
+use rpr_fd::ConflictGraph;
+use rpr_priority::PriorityRelation;
+
+/// Enumerates all repairs (maximal consistent subinstances) of the
+/// instance underlying `cg`.
+///
+/// # Errors
+/// [`BudgetExceeded`] when more than `budget` recursion steps are
+/// needed.
+pub fn enumerate_repairs(cg: &ConflictGraph, budget: usize) -> Result<Vec<FactSet>, BudgetExceeded> {
+    let mut out = Vec::new();
+    for_each_repair(cg, budget, |r| {
+        out.push(r.clone());
+        true
+    })?;
+    Ok(out)
+}
+
+/// Streams every repair to `visit`; stop early by returning `false`.
+///
+/// # Errors
+/// [`BudgetExceeded`] when more than `budget` recursion steps are
+/// needed.
+pub fn for_each_repair(
+    cg: &ConflictGraph,
+    budget: usize,
+    mut visit: impl FnMut(&FactSet) -> bool,
+) -> Result<(), BudgetExceeded> {
+    let n = cg.len();
+    let mut steps = 0usize;
+    let mut current = FactSet::empty(n);
+    // Depth-first in/out branching over facts in id order. A fact
+    // conflicting with the current set is forced out; at the leaves we
+    // keep exactly the maximal sets (every excluded fact must conflict).
+    fn recurse(
+        cg: &ConflictGraph,
+        i: usize,
+        current: &mut FactSet,
+        steps: &mut usize,
+        budget: usize,
+        visit: &mut impl FnMut(&FactSet) -> bool,
+    ) -> Result<bool, BudgetExceeded> {
+        *steps += 1;
+        if *steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
+        let n = cg.len();
+        if i == n {
+            // Maximality check: every fact outside `current` conflicts.
+            let maximal = (0..n).all(|k| {
+                let id = FactId(k as u32);
+                current.contains(id) || cg.conflicts_with_set(id, current)
+            });
+            if maximal {
+                return Ok(visit(current));
+            }
+            return Ok(true);
+        }
+        let id = FactId(i as u32);
+        if cg.conflicts_with_set(id, current) {
+            return recurse(cg, i + 1, current, steps, budget, visit);
+        }
+        // Branch: include id…
+        current.insert(id);
+        if !recurse(cg, i + 1, current, steps, budget, visit)? {
+            current.remove(id);
+            return Ok(false);
+        }
+        current.remove(id);
+        // …or exclude it. Pruning: excluding is only useful if some
+        // later or earlier fact conflicts with it (otherwise the leaf
+        // fails the maximality check anyway).
+        if !cg.conflicts_of(id).is_empty()
+            && !recurse(cg, i + 1, current, steps, budget, visit)? {
+                return Ok(false);
+            }
+        Ok(true)
+    }
+    recurse(cg, 0, &mut current, &mut steps, budget, &mut visit).map(|_| ())
+}
+
+/// Finds a global improvement of `j` by scanning all repairs
+/// (definitional oracle).
+///
+/// # Errors
+/// [`BudgetExceeded`] if repair enumeration exceeds the budget.
+pub fn find_global_improvement_brute(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    j: &FactSet,
+    budget: usize,
+) -> Result<Option<Improvement>, BudgetExceeded> {
+    let mut found = None;
+    for_each_repair(cg, budget, |r| {
+        if is_global_improvement(priority, j, r) {
+            found = Some(Improvement { removed: j.difference(r), added: r.difference(j) });
+            false
+        } else {
+            true
+        }
+    })?;
+    Ok(found)
+}
+
+/// Is `j` a globally-optimal repair, by definition (oracle)?
+///
+/// # Errors
+/// [`BudgetExceeded`] if repair enumeration exceeds the budget.
+pub fn is_globally_optimal_brute(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    j: &FactSet,
+    budget: usize,
+) -> Result<bool, BudgetExceeded> {
+    if !cg.is_consistent_set(j) {
+        return Ok(false);
+    }
+    if !cg.is_repair(j) {
+        return Ok(false);
+    }
+    Ok(find_global_improvement_brute(cg, priority, j, budget)?.is_none())
+}
+
+/// Enumerates all globally-optimal repairs (oracle).
+///
+/// # Errors
+/// [`BudgetExceeded`] if the doubly-nested enumeration exceeds the
+/// budget.
+pub fn globally_optimal_repairs(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    budget: usize,
+) -> Result<Vec<FactSet>, BudgetExceeded> {
+    let repairs = enumerate_repairs(cg, budget)?;
+    let mut out = Vec::new();
+    for j in &repairs {
+        if !repairs.iter().any(|r| is_global_improvement(priority, j, r)) {
+            out.push(j.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Counts globally-optimal repairs; `unique` is a common special case
+/// (the "unambiguous cleaning" question of the concluding remarks).
+///
+/// # Errors
+/// [`BudgetExceeded`] if enumeration exceeds the budget.
+pub fn count_globally_optimal_repairs(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    budget: usize,
+) -> Result<usize, BudgetExceeded> {
+    Ok(globally_optimal_repairs(cg, priority, budget)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::{Instance, Signature, Value};
+    use rpr_fd::Schema;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    /// R(a,1..3) ∪ R(b,1..2) under R:1→2: repairs pick one fact per group.
+    fn grouped() -> (ConflictGraph, Instance) {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        for x in ["1", "2", "3"] {
+            i.insert_named("R", [v("a"), v(x)]).unwrap();
+        }
+        for x in ["1", "2"] {
+            i.insert_named("R", [v("b"), v(x)]).unwrap();
+        }
+        (ConflictGraph::new(&schema, &i), i)
+    }
+
+    #[test]
+    fn repair_enumeration_counts() {
+        let (cg, _) = grouped();
+        let repairs = enumerate_repairs(&cg, 1 << 20).unwrap();
+        // 3 choices × 2 choices.
+        assert_eq!(repairs.len(), 6);
+        for r in &repairs {
+            assert!(cg.is_repair(r));
+            assert_eq!(r.len(), 2);
+        }
+        // All distinct.
+        let uniq: std::collections::HashSet<_> =
+            repairs.iter().map(|r| format!("{r:?}")).collect();
+        assert_eq!(uniq.len(), 6);
+    }
+
+    #[test]
+    fn conflict_free_instance_has_one_repair() {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [v("a"), v("1")]).unwrap();
+        i.insert_named("R", [v("b"), v("1")]).unwrap();
+        let cg = ConflictGraph::new(&schema, &i);
+        let repairs = enumerate_repairs(&cg, 1 << 20).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0], i.full_set());
+    }
+
+    #[test]
+    fn empty_instance_has_the_empty_repair() {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let i = Instance::new(sig);
+        let cg = ConflictGraph::new(&schema, &i);
+        let repairs = enumerate_repairs(&cg, 1024).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].is_empty());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (cg, _) = grouped();
+        assert!(enumerate_repairs(&cg, 3).is_err());
+    }
+
+    #[test]
+    fn global_optimality_with_a_chain_priority() {
+        let (cg, i) = grouped();
+        // Prefer R(a,1) ≻ R(a,2) ≻ R(a,3) and R(b,1) ≻ R(b,2):
+        let p = PriorityRelation::new(
+            i.len(),
+            [
+                (FactId(0), FactId(1)),
+                (FactId(1), FactId(2)),
+                (FactId(0), FactId(2)),
+                (FactId(3), FactId(4)),
+            ],
+        )
+        .unwrap();
+        // The unique globally-optimal repair is {R(a,1), R(b,1)}.
+        let best = i.set_of([FactId(0), FactId(3)]);
+        assert!(is_globally_optimal_brute(&cg, &p, &best, 1 << 20).unwrap());
+        let worse = i.set_of([FactId(1), FactId(3)]);
+        assert!(!is_globally_optimal_brute(&cg, &p, &worse, 1 << 20).unwrap());
+        let opt = globally_optimal_repairs(&cg, &p, 1 << 20).unwrap();
+        assert_eq!(opt, vec![best]);
+        assert_eq!(count_globally_optimal_repairs(&cg, &p, 1 << 20).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_priority_makes_every_repair_optimal() {
+        let (cg, i) = grouped();
+        let p = PriorityRelation::empty(i.len());
+        let opt = globally_optimal_repairs(&cg, &p, 1 << 20).unwrap();
+        assert_eq!(opt.len(), 6);
+    }
+
+    #[test]
+    fn non_repairs_are_never_optimal() {
+        let (cg, i) = grouped();
+        let p = PriorityRelation::empty(i.len());
+        // Consistent but not maximal.
+        let partial = i.set_of([FactId(0)]);
+        assert!(!is_globally_optimal_brute(&cg, &p, &partial, 1 << 20).unwrap());
+        // Inconsistent.
+        let bad = i.set_of([FactId(0), FactId(1)]);
+        assert!(!is_globally_optimal_brute(&cg, &p, &bad, 1 << 20).unwrap());
+    }
+
+    #[test]
+    fn improvement_witness_from_brute_force_is_valid() {
+        let (cg, i) = grouped();
+        let p =
+            PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
+        let j = i.set_of([FactId(1), FactId(3)]);
+        let imp = find_global_improvement_brute(&cg, &p, &j, 1 << 20).unwrap().unwrap();
+        assert!(imp.is_valid_global_improvement(&cg, &p, &j));
+    }
+}

@@ -1,0 +1,180 @@
+//! Exact (exponential) globally-optimal repair checking for hard
+//! schemas.
+//!
+//! On the coNP-complete side of the dichotomy nothing polynomial exists
+//! unless P = NP, so the dispatching checker falls back to exhaustive
+//! search over repairs with early termination. Compared to the plain
+//! oracle in [`crate::brute`], this search prunes with the one cheap
+//! sound test available — the Pareto pre-check — and carries an
+//! explicit step budget so callers can bound worst-case behaviour.
+//! The benchmark `dichotomy_gap` measures exactly this fall-back
+//! against the polynomial algorithms.
+
+use crate::improvement::{is_global_improvement, BudgetExceeded, CheckOutcome, Improvement};
+use crate::pareto::find_pareto_improvement;
+use rpr_data::FactSet;
+use rpr_fd::ConflictGraph;
+use rpr_priority::PriorityRelation;
+
+/// Exhaustively searches for a global improvement of `j` among the
+/// repairs contained in `domain` (pass the full set for whole-instance
+/// checking).
+///
+/// # Errors
+/// [`BudgetExceeded`] if the enumeration exceeds `budget` steps.
+pub fn check_global_exact(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    domain: &FactSet,
+    j: &FactSet,
+    budget: usize,
+) -> Result<CheckOutcome, BudgetExceeded> {
+    // Repair pre-checks.
+    for f in j.iter() {
+        if let Some(g) = cg.conflicts_in(f, j).first() {
+            return Ok(CheckOutcome::Inconsistent(f, g));
+        }
+    }
+    // Cheap sound pre-check: a Pareto improvement is a global
+    // improvement (and covers non-maximality).
+    if let Some(imp) = find_pareto_improvement(cg, priority, j, domain) {
+        return Ok(CheckOutcome::Improvable(imp));
+    }
+
+    // Exhaustive search over repairs within the domain. We enumerate
+    // maximal consistent subsets of `domain` by branching over its
+    // facts; each leaf is tested as a global improvement.
+    let facts: Vec<_> = domain.iter().collect();
+    let mut current = FactSet::empty(j.universe());
+    let mut steps = 0usize;
+    let mut found: Option<Improvement> = None;
+
+    #[allow(clippy::too_many_arguments)] // internal recursion carries the whole search state
+    fn recurse(
+        cg: &ConflictGraph,
+        priority: &PriorityRelation,
+        j: &FactSet,
+        facts: &[rpr_data::FactId],
+        idx: usize,
+        current: &mut FactSet,
+        steps: &mut usize,
+        budget: usize,
+        found: &mut Option<Improvement>,
+    ) -> Result<(), BudgetExceeded> {
+        if found.is_some() {
+            return Ok(());
+        }
+        *steps += 1;
+        if *steps > budget {
+            return Err(BudgetExceeded { budget });
+        }
+        if idx == facts.len() {
+            // Maximality within the domain.
+            let maximal = facts
+                .iter()
+                .all(|&f| current.contains(f) || cg.conflicts_with_set(f, current));
+            if maximal && is_global_improvement(priority, j, current) {
+                *found = Some(Improvement {
+                    removed: j.difference(current),
+                    added: current.difference(j),
+                });
+            }
+            return Ok(());
+        }
+        let f = facts[idx];
+        if cg.conflicts_with_set(f, current) {
+            return recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found);
+        }
+        current.insert(f);
+        recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found)?;
+        current.remove(f);
+        if !cg.conflicts_of(f).is_empty() {
+            recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found)?;
+        }
+        Ok(())
+    }
+
+    recurse(cg, priority, j, &facts, 0, &mut current, &mut steps, budget, &mut found)?;
+    Ok(match found {
+        Some(imp) => {
+            debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
+            CheckOutcome::Improvable(imp)
+        }
+        None => CheckOutcome::Optimal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{enumerate_repairs, is_globally_optimal_brute};
+    use rpr_data::{FactId, Instance, Signature, Value};
+    use rpr_fd::Schema;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    /// S4 = {1→2, 2→3} over a ternary relation — a hard schema.
+    fn s4_instance() -> (ConflictGraph, Instance) {
+        let sig = Signature::new([("R", 3)]).unwrap();
+        let schema = Schema::from_named(
+            sig.clone(),
+            [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])],
+        )
+        .unwrap();
+        let mut i = Instance::new(sig);
+        for (a, b, c) in [
+            ("a", "x", "1"),
+            ("a", "y", "1"),
+            ("b", "x", "1"),
+            ("b", "x", "2"),
+            ("c", "y", "2"),
+        ] {
+            i.insert_named("R", [v(a), v(b), v(c)]).unwrap();
+        }
+        (ConflictGraph::new(&schema, &i), i)
+    }
+
+    #[test]
+    fn agrees_with_plain_oracle_on_a_hard_schema() {
+        let (cg, i) = s4_instance();
+        let p = PriorityRelation::new(
+            i.len(),
+            [(FactId(0), FactId(1)), (FactId(3), FactId(2))],
+        )
+        .unwrap();
+        let domain = i.full_set();
+        for j in enumerate_repairs(&cg, 1 << 22).unwrap() {
+            let fast = check_global_exact(&cg, &p, &domain, &j, 1 << 22)
+                .unwrap()
+                .is_optimal();
+            let slow = is_globally_optimal_brute(&cg, &p, &j, 1 << 22).unwrap();
+            assert_eq!(fast, slow, "disagreement on {}", i.render_set(&j));
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (cg, i) = s4_instance();
+        let p = PriorityRelation::empty(i.len());
+        let j = {
+            let r = enumerate_repairs(&cg, 1 << 22).unwrap();
+            r[0].clone()
+        };
+        // With an empty priority every repair is optimal, so the search
+        // must run to exhaustion — and trip a tiny budget.
+        assert!(check_global_exact(&cg, &p, &i.full_set(), &j, 2).is_err());
+    }
+
+    #[test]
+    fn inconsistent_input_short_circuits() {
+        let (cg, i) = s4_instance();
+        let p = PriorityRelation::empty(i.len());
+        let bad = i.set_of([0, 1].map(FactId));
+        assert!(matches!(
+            check_global_exact(&cg, &p, &i.full_set(), &bad, 1024).unwrap(),
+            CheckOutcome::Inconsistent(..)
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! `GRepCheck1FD` — globally-optimal repair checking for a single FD
+//! (§4.1, Figure 2, Lemma 4.2).
+//!
+//! When `Δ|R` is equivalent to a single FD `A → B`, the paper shows that
+//! `J` has a global improvement iff it has one of the special form
+//! `J[f ↔ g]`: pick conflicting `f ∈ J`, `g ∈ I \ J`, remove from `J`
+//! all facts agreeing with `f` on `A` (equivalently on `A ∪ B`, since
+//! `J` is consistent), and add all facts of `I` agreeing with `g` on
+//! `A` and `B` (Lemma 4.2). There are only quadratically many such
+//! candidates, and each is consistent by construction, so the check is
+//! polynomial.
+//!
+//! Our implementation works block-wise rather than fact-wise: group the
+//! facts of the relation by their `A`-projection, and within a group by
+//! their `B`-projection. `J[f ↔ g]` depends only on the blocks of `f`
+//! and `g`, so we test each ordered pair of blocks once. §4.1 notes
+//! that this procedure also subsumes the non-maximality and Pareto
+//! cases, because a proper consistent superset is itself a global
+//! improvement — we still pre-check maximality to give the cheaper
+//! witness first.
+
+use crate::improvement::{CheckOutcome, Improvement};
+use rpr_data::{FactId, FactSet, FxHashMap, Instance, Tuple};
+use rpr_fd::{ConflictGraph, Fd};
+use rpr_priority::PriorityRelation;
+
+/// The block structure of one relation's facts under a single FD:
+/// groups share the `A`-projection; blocks within a group share the
+/// `B`-projection. Facts in different blocks of one group conflict.
+struct Blocks {
+    /// `groups[g]` = list of blocks; each block is a list of fact ids.
+    groups: Vec<Vec<Vec<FactId>>>,
+}
+
+impl Blocks {
+    fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> Blocks {
+        let mut map: FxHashMap<Tuple, FxHashMap<Tuple, Vec<FactId>>> = FxHashMap::default();
+        for id in domain.iter() {
+            let f = instance.fact(id);
+            debug_assert_eq!(f.rel(), fd.rel, "domain contains foreign facts");
+            map.entry(f.project(fd.lhs))
+                .or_default()
+                .entry(f.project(fd.rhs))
+                .or_default()
+                .push(id);
+        }
+        Blocks {
+            groups: map.into_values().map(|g| g.into_values().collect()).collect(),
+        }
+    }
+}
+
+/// Runs `GRepCheck1FD` for the facts in `domain` (one relation), under
+/// the single FD `fd` to which `Δ|R` is equivalent.
+///
+/// `j` is the candidate repair restricted to `domain`; `cg` is the
+/// conflict graph of the whole instance (used for the repair
+/// pre-checks). Returns the outcome with a checked witness.
+pub fn check_global_1fd(
+    instance: &Instance,
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    fd: Fd,
+    domain: &FactSet,
+    j: &FactSet,
+) -> CheckOutcome {
+    debug_assert!(j.is_subset(domain));
+
+    // Repair pre-checks: J must be consistent and maximal in `domain`.
+    for f in j.iter() {
+        let confl = cg.conflicts_in(f, j);
+        if let Some(g) = confl.first() {
+            return CheckOutcome::Inconsistent(f, g);
+        }
+    }
+    for g in domain.difference(j).iter() {
+        if !cg.conflicts_with_set(g, j) {
+            let mut added = FactSet::empty(j.universe());
+            added.insert(g);
+            return CheckOutcome::Improvable(Improvement {
+                removed: FactSet::empty(j.universe()),
+                added,
+            });
+        }
+    }
+
+    let blocks = Blocks::build(instance, fd, domain);
+    for group in &blocks.groups {
+        if group.len() < 2 {
+            continue; // no conflicts inside a single block
+        }
+        // J ∩ group lives in exactly one block (J is consistent).
+        let j_block: Option<usize> =
+            group.iter().position(|b| b.iter().any(|id| j.contains(*id)));
+        let Some(bf) = j_block else { continue };
+        let removed: Vec<FactId> =
+            group[bf].iter().copied().filter(|id| j.contains(*id)).collect();
+        for (bg, block) in group.iter().enumerate() {
+            if bg == bf {
+                continue;
+            }
+            // J[f↔g]: remove `removed`, add the whole candidate block.
+            // Global improvement ⇔ every removed fact is beaten by some
+            // added fact.
+            let improves = removed.iter().all(|&f_prime| {
+                block.iter().any(|&g| priority.prefers(g, f_prime))
+            });
+            if improves {
+                let mut rem = FactSet::empty(j.universe());
+                for &f in &removed {
+                    rem.insert(f);
+                }
+                let mut add = FactSet::empty(j.universe());
+                for &g in block {
+                    add.insert(g);
+                }
+                let witness = Improvement { removed: rem, added: add };
+                debug_assert!(witness.is_valid_global_improvement(cg, priority, j));
+                return CheckOutcome::Improvable(witness);
+            }
+        }
+    }
+    CheckOutcome::Optimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::is_globally_optimal_brute;
+    use rpr_data::{Signature, Value};
+    use rpr_fd::Schema;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    /// BookLoc fragment of the running example under 1→2 (Example 4.1).
+    fn bookloc() -> (Schema, Instance, Fd) {
+        let sig = Signature::new([("BookLoc", 3)]).unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("BookLoc", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        for (a, b, c) in [
+            ("b1", "fiction", "lib1"), // 0 g1f1
+            ("b1", "fiction", "lib2"), // 1 g1f2
+            ("b1", "drama", "lib3"),   // 2 f1d3
+            ("b2", "poetry", "lib1"),  // 3 f2p1
+            ("b3", "horror", "lib2"),  // 4 h3h2
+        ] {
+            i.insert_named("BookLoc", [v(a), v(b), v(c)]).unwrap();
+        }
+        let fd = schema.fds()[0];
+        (schema, i, fd)
+    }
+
+    #[test]
+    fn example_4_1_swap_semantics() {
+        // J = {g1f1, g1f2, f2p1}; J[g1f1 ↔ f1d3] must drop BOTH g1f1 and
+        // g1f2 and add f1d3.
+        let (schema, i, fd) = bookloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(i.len(), [(FactId(2), FactId(0)), (FactId(2), FactId(1))])
+            .unwrap();
+        // With f1d3 preferred over both g-facts, J (completed to a
+        // repair with h3h2) is improvable by the block swap.
+        let j = i.set_of([0, 1, 3, 4].map(FactId));
+        match check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &j) {
+            CheckOutcome::Improvable(imp) => {
+                assert_eq!(imp.removed.iter().collect::<Vec<_>>(), vec![FactId(0), FactId(1)]);
+                assert_eq!(imp.added.iter().collect::<Vec<_>>(), vec![FactId(2)]);
+            }
+            other => panic!("expected improvement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_example_priority_makes_g_block_optimal() {
+        // Example 2.3's priority: g ≻ f ⇒ J containing the g-block is
+        // optimal, J' containing f1d3 is improvable.
+        let (schema, i, fd) = bookloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(2)), (FactId(1), FactId(2))])
+            .unwrap();
+        let j_good = i.set_of([0, 1, 3, 4].map(FactId));
+        assert!(check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &j_good).is_optimal());
+        let j_bad = i.set_of([2, 3, 4].map(FactId));
+        match check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &j_bad) {
+            CheckOutcome::Improvable(imp) => {
+                assert!(imp.is_valid_global_improvement(&cg, &p, &j_bad));
+            }
+            other => panic!("expected improvement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_and_non_maximal_inputs() {
+        let (schema, i, fd) = bookloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::empty(i.len());
+        let bad = i.set_of([0, 2].map(FactId));
+        assert!(matches!(
+            check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &bad),
+            CheckOutcome::Inconsistent(..)
+        ));
+        let partial = i.set_of([0, 1].map(FactId));
+        match check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &partial) {
+            CheckOutcome::Improvable(imp) => assert!(imp.removed.is_empty()),
+            other => panic!("expected vacuous improvement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_dense_conflicts() {
+        // 3 groups of sizes 3/2/2 with a half-ordered priority; check
+        // every repair's verdict against the oracle.
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        for (a, b) in [
+            ("g1", "x"),
+            ("g1", "y"),
+            ("g1", "z"),
+            ("g2", "x"),
+            ("g2", "y"),
+            ("g3", "x"),
+            ("g3", "y"),
+        ] {
+            i.insert_named("R", [v(a), v(b)]).unwrap();
+        }
+        let fd = schema.fds()[0];
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(
+            i.len(),
+            [
+                (FactId(0), FactId(1)), // g1: x ≻ y
+                (FactId(1), FactId(2)), // g1: y ≻ z
+                (FactId(4), FactId(3)), // g2: y ≻ x
+            ],
+        )
+        .unwrap();
+        let repairs = crate::brute::enumerate_repairs(&cg, 1 << 20).unwrap();
+        assert_eq!(repairs.len(), 3 * 2 * 2);
+        for j in &repairs {
+            let fast = check_global_1fd(&i, &cg, &p, fd, &i.full_set(), j).is_optimal();
+            let slow = is_globally_optimal_brute(&cg, &p, j, 1 << 20).unwrap();
+            assert_eq!(fast, slow, "disagreement on {j:?}");
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! `GRepCheck2Keys` — globally-optimal repair checking for two key
+//! constraints (§4.2, Figure 4, Lemma 4.4).
+//!
+//! When `Δ|R` is equivalent to two incomparable keys `A1 → ⟦R⟧` and
+//! `A2 → ⟦R⟧`, Lemma 4.4 characterizes improvability: a consistent `J`
+//! has a global improvement iff it has a Pareto improvement, or one of
+//! two bipartite directed graphs has a cycle:
+//!
+//! * `G12_J`: left vertices are the `A1`-projections of `J`'s facts,
+//!   right vertices the `A2`-projections; every `f ∈ J` contributes the
+//!   edge `f[A1] → f[A2]`, and every `f′ ∈ I \ J` with `f′ ≻ f` for some
+//!   `f ∈ J` sharing its `A2`-projection contributes the *reverse* edge
+//!   `f′[A2] → f′[A1]`.
+//! * `G21_J`: the same with the roles of `A1`/`A2` swapped.
+//!
+//! A cycle alternates `J`-edges and reverse edges; exchanging the `J`
+//! facts on the cycle (`F`) for the reverse-edge facts (`F′`) yields a
+//! global improvement, which this implementation extracts as the
+//! witness. Keys make the exchange consistent: on a simple cycle all
+//! `A1`-projections are distinct and all `A2`-projections are distinct,
+//! and conflicts under two keys require agreeing on one of them.
+
+use crate::improvement::{CheckOutcome, Improvement};
+use crate::pareto::find_pareto_improvement;
+use rpr_data::{AttrSet, FactId, FactSet, FxHashMap, Instance, Tuple};
+use rpr_fd::ConflictGraph;
+use rpr_priority::PriorityRelation;
+
+/// One direction (`G12` or `G21`) of the Lemma 4.4 graph.
+struct BipartiteGraph {
+    /// `j_edge[left] = (right, fact)` — each left vertex carries the
+    /// unique `J`-fact projecting to it (keys make it unique).
+    j_edge: Vec<(usize, FactId)>,
+    /// `reverse[right]` = list of `(left, fact)` edges induced by
+    /// preferred outside facts.
+    reverse: Vec<Vec<(usize, FactId)>>,
+}
+
+impl BipartiteGraph {
+    /// Builds the graph for keys `(key_x, key_y)`; `G12` is
+    /// `(A1, A2)`, `G21` is `(A2, A1)`.
+    fn build(
+        instance: &Instance,
+        priority: &PriorityRelation,
+        j: &FactSet,
+        candidates: &FactSet,
+        key_x: AttrSet,
+        key_y: AttrSet,
+    ) -> BipartiteGraph {
+        let mut left_ids: FxHashMap<Tuple, usize> = FxHashMap::default();
+        let mut right_ids: FxHashMap<Tuple, usize> = FxHashMap::default();
+        // `J` must be consistent: one fact per X-projection and per
+        // Y-projection.
+        let mut right_fact: Vec<FactId> = Vec::new();
+        let mut j_edge: Vec<(usize, FactId)> = Vec::new();
+        for f in j.iter() {
+            let fact = instance.fact(f);
+            let lx = *left_ids.entry(fact.project(key_x)).or_insert(j_edge.len());
+            let ry = *right_ids.entry(fact.project(key_y)).or_insert(right_fact.len());
+            debug_assert_eq!(lx, j_edge.len(), "two J facts share an X-projection");
+            debug_assert_eq!(ry, right_fact.len(), "two J facts share a Y-projection");
+            j_edge.push((ry, f));
+            right_fact.push(f);
+        }
+        let mut reverse: Vec<Vec<(usize, FactId)>> = vec![Vec::new(); right_fact.len()];
+        for fp in candidates.iter() {
+            let fact = instance.fact(fp);
+            let Some(&ry) = right_ids.get(&fact.project(key_y)) else { continue };
+            // The unique J fact sharing the Y-projection:
+            let dominated = right_fact[ry];
+            if !priority.prefers(fp, dominated) {
+                continue;
+            }
+            // The reverse edge is useful only if it lands on a left
+            // vertex of the graph (otherwise it cannot close a cycle).
+            let Some(&lx) = left_ids.get(&fact.project(key_x)) else { continue };
+            reverse[ry].push((lx, fp));
+        }
+        BipartiteGraph { j_edge, reverse }
+    }
+
+    /// Finds a cycle and returns the improvement `(F, F′)` it encodes.
+    fn find_cycle_improvement(&self, universe: usize) -> Option<Improvement> {
+        // DFS over left vertices. Every left vertex has out-degree 1
+        // (its J-edge), so we walk left → right, then branch over the
+        // right vertex's reverse edges.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.j_edge.len();
+        let mut color = vec![WHITE; n]; // colors on left vertices
+        // Parent chain over left vertices: parent[l2] = l1 when the path
+        // l1 → r(l1) → l2 was taken, remembering the reverse-edge fact.
+        let mut parent: Vec<Option<(usize, FactId)>> = vec![None; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // Iterative DFS: stack of (left_vertex, next_reverse_index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = GRAY;
+            while let Some(&mut (l, ref mut next)) = stack.last_mut() {
+                let (r, _jf) = self.j_edge[l];
+                if *next < self.reverse[r].len() {
+                    let (l2, fp) = self.reverse[r][*next];
+                    *next += 1;
+                    match color[l2] {
+                        WHITE => {
+                            color[l2] = GRAY;
+                            parent[l2] = Some((l, fp));
+                            stack.push((l2, 0));
+                        }
+                        GRAY => {
+                            // Cycle: l2 ⇒ … ⇒ l ⇒(fp) l2.
+                            let mut removed = FactSet::empty(universe);
+                            let mut added = FactSet::empty(universe);
+                            added.insert(fp);
+                            removed.insert(self.j_edge[l].1);
+                            let mut cur = l;
+                            while cur != l2 {
+                                let (prev, via) = parent[cur].expect("gray chain");
+                                added.insert(via);
+                                removed.insert(self.j_edge[prev].1);
+                                cur = prev;
+                            }
+                            return Some(Improvement { removed, added });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[l] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs `GRepCheck2Keys` for the facts in `domain` (one relation),
+/// under the two incomparable keys `a1`, `a2` to which `Δ|R` is
+/// equivalent.
+pub fn check_global_2keys(
+    instance: &Instance,
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    a1: AttrSet,
+    a2: AttrSet,
+    domain: &FactSet,
+    j: &FactSet,
+) -> CheckOutcome {
+    debug_assert!(j.is_subset(domain));
+
+    // Repair pre-checks.
+    for f in j.iter() {
+        if let Some(g) = cg.conflicts_in(f, j).first() {
+            return CheckOutcome::Inconsistent(f, g);
+        }
+    }
+    // Step 1 of Figure 4: Pareto improvement (also covers
+    // non-maximality via the vacuous-superset case).
+    if let Some(imp) = find_pareto_improvement(cg, priority, j, domain) {
+        debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
+        return CheckOutcome::Improvable(imp);
+    }
+    // Step 2: cycles in G12 and G21.
+    let candidates = domain.difference(j);
+    for (x, y) in [(a1, a2), (a2, a1)] {
+        let graph = BipartiteGraph::build(instance, priority, j, &candidates, x, y);
+        if let Some(imp) = graph.find_cycle_improvement(j.universe()) {
+            debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
+            return CheckOutcome::Improvable(imp);
+        }
+    }
+    CheckOutcome::Optimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{enumerate_repairs, is_globally_optimal_brute};
+    use rpr_data::{Signature, Value};
+    use rpr_fd::Schema;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    /// The LibLoc fragment of the running example (Figure 1) under
+    /// {1→2, 2→1}, with the Example 2.3 priority.
+    fn libloc() -> (Schema, Instance, PriorityRelation) {
+        let sig = Signature::new([("LibLoc", 2)]).unwrap();
+        let schema = Schema::from_named(
+            sig.clone(),
+            [("LibLoc", &[1][..], &[2][..]), ("LibLoc", &[2][..], &[1][..])],
+        )
+        .unwrap();
+        let mut i = Instance::new(sig);
+        for (a, b) in [
+            ("lib1", "almaden"),  // 0 d1a
+            ("lib1", "edenvale"), // 1 d1e
+            ("lib2", "almaden"),  // 2 g2a
+            ("lib2", "bascom"),   // 3 f2b
+            ("lib3", "almaden"),  // 4 f3a
+            ("lib3", "cambrian"), // 5 f3c
+            ("lib1", "bascom"),   // 6 e1b
+            ("lib3", "bascom"),   // 7 e3b
+        ] {
+            i.insert_named("LibLoc", [v(a), v(b)]).unwrap();
+        }
+        // g ≻ f, e ≻ d on conflicting pairs:
+        let p = PriorityRelation::new(
+            i.len(),
+            [
+                (FactId(2), FactId(3)), // g2a ≻ f2b   (lib2)
+                (FactId(2), FactId(4)), // g2a ≻ f3a   (almaden)
+                (FactId(6), FactId(0)), // e1b ≻ d1a   (lib1)
+                (FactId(6), FactId(1)), // e1b ≻ d1e   (lib1)
+            ],
+        )
+        .unwrap();
+        (schema, i, p)
+    }
+
+    #[test]
+    fn example_4_3_graph_edges() {
+        // J = {d1a, f2b, f3c} (Figure 3). G12 has no reverse edges; G21
+        // has exactly two: lib2 → almaden (g2a ≻ f2b) and lib1 → bascom
+        // (e1b ≻ d1a).
+        let (_, i, p) = libloc();
+        let j = i.set_of([0, 3, 5].map(FactId));
+        let candidates = i.full_set().difference(&j);
+        let a1 = AttrSet::singleton(1);
+        let a2 = AttrSet::singleton(2);
+        let g12 = BipartiteGraph::build(&i, &p, &j, &candidates, a1, a2);
+        assert_eq!(g12.reverse.iter().map(|r| r.len()).sum::<usize>(), 0);
+        let g21 = BipartiteGraph::build(&i, &p, &j, &candidates, a2, a1);
+        let mut edge_facts: Vec<u32> = g21
+            .reverse
+            .iter()
+            .flat_map(|r| r.iter().map(|&(_, f)| f.0))
+            .collect();
+        edge_facts.sort();
+        assert_eq!(edge_facts, vec![2, 6]); // g2a and e1b
+        // G12 is acyclic, but G21's two reverse edges close the cycle
+        // almaden → lib1 → bascom → lib2 → almaden: swapping {d1a, f2b}
+        // for {e1b, g2a} is a global improvement of J.
+        assert!(g12.find_cycle_improvement(i.len()).is_none());
+        let imp = g21.find_cycle_improvement(i.len()).unwrap();
+        assert_eq!(imp.removed.iter().collect::<Vec<_>>(), vec![FactId(0), FactId(3)]);
+        assert_eq!(imp.added.iter().collect::<Vec<_>>(), vec![FactId(2), FactId(6)]);
+    }
+
+    #[test]
+    fn j2_is_globally_optimal_j1_is_not() {
+        let (schema, i, p) = libloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let a1 = AttrSet::singleton(1);
+        let a2 = AttrSet::singleton(2);
+        // J2 ∩ LibLoc = {d1e, g2a, e3b}.
+        let j2 = i.set_of([1, 2, 7].map(FactId));
+        assert!(check_global_2keys(&i, &cg, &p, a1, a2, &i.full_set(), &j2).is_optimal());
+        // J1 ∩ LibLoc = {d1e, f2b, f3a}: improvable (Pareto, via g2a).
+        let j1 = i.set_of([1, 3, 4].map(FactId));
+        match check_global_2keys(&i, &cg, &p, a1, a2, &i.full_set(), &j1) {
+            CheckOutcome::Improvable(imp) => {
+                assert!(imp.is_valid_global_improvement(&cg, &p, &j1));
+            }
+            other => panic!("expected improvement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_improvement_without_pareto() {
+        // Classic swap cycle: facts R(1,a), R(2,b) in J; preferred
+        // R(2,a) ≻ R(2,b) and R(1,b) ≻ R(1,a) force a G21-style cycle
+        // where the only improvement swaps both facts at once.
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(
+            sig.clone(),
+            [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
+        )
+        .unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [v("1"), v("a")]).unwrap(); // 0
+        i.insert_named("R", [v("2"), v("b")]).unwrap(); // 1
+        i.insert_named("R", [v("2"), v("a")]).unwrap(); // 2
+        i.insert_named("R", [v("1"), v("b")]).unwrap(); // 3
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(i.len(), [(FactId(2), FactId(1)), (FactId(3), FactId(0))])
+            .unwrap();
+        let j = i.set_of([0, 1].map(FactId));
+        assert!(cg.is_repair(&j));
+        // No Pareto improvement: R(2,a) conflicts with both J facts but
+        // beats only R(2,b); R(1,b) beats only R(1,a).
+        assert!(find_pareto_improvement(&cg, &p, &j, &i.full_set()).is_none());
+        match check_global_2keys(
+            &i,
+            &cg,
+            &p,
+            AttrSet::singleton(1),
+            AttrSet::singleton(2),
+            &i.full_set(),
+            &j,
+        ) {
+            CheckOutcome::Improvable(imp) => {
+                assert_eq!(imp.removed.len(), 2);
+                assert_eq!(imp.added.len(), 2);
+                assert!(imp.is_valid_global_improvement(&cg, &p, &j));
+            }
+            other => panic!("expected cycle improvement, got {other:?}"),
+        }
+        // And the swapped repair is optimal.
+        let swapped = i.set_of([2, 3].map(FactId));
+        assert!(check_global_2keys(
+            &i,
+            &cg,
+            &p,
+            AttrSet::singleton(1),
+            AttrSet::singleton(2),
+            &i.full_set(),
+            &swapped
+        )
+        .is_optimal());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_all_repairs() {
+        let (schema, i, p) = libloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let repairs = enumerate_repairs(&cg, 1 << 22).unwrap();
+        assert!(!repairs.is_empty());
+        for j in &repairs {
+            let fast = check_global_2keys(
+                &i,
+                &cg,
+                &p,
+                AttrSet::singleton(1),
+                AttrSet::singleton(2),
+                &i.full_set(),
+                j,
+            )
+            .is_optimal();
+            let slow = is_globally_optimal_brute(&cg, &p, j, 1 << 22).unwrap();
+            assert_eq!(fast, slow, "disagreement on {}", i.render_set(j));
+        }
+    }
+
+    #[test]
+    fn generalized_keys_with_overlap() {
+        // Quaternary R with keys {1,2} and {2,3} (sharing attribute 2).
+        let sig = Signature::new([("R", 4)]).unwrap();
+        let schema = Schema::from_named(
+            sig.clone(),
+            [("R", &[1, 2][..], &[3, 4][..]), ("R", &[2, 3][..], &[1, 4][..])],
+        )
+        .unwrap();
+        let mut i = Instance::new(sig);
+        // Two "slots" sharing attribute-2 value m; a swap cycle like above.
+        i.insert_named("R", [v("1"), v("m"), v("a"), v("p")]).unwrap(); // 0
+        i.insert_named("R", [v("2"), v("m"), v("b"), v("q")]).unwrap(); // 1
+        i.insert_named("R", [v("2"), v("m"), v("a"), v("r")]).unwrap(); // 2
+        i.insert_named("R", [v("1"), v("m"), v("b"), v("s")]).unwrap(); // 3
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(i.len(), [(FactId(2), FactId(1)), (FactId(3), FactId(0))])
+            .unwrap();
+        let a1 = AttrSet::from_attrs([1, 2]);
+        let a2 = AttrSet::from_attrs([2, 3]);
+        let repairs = enumerate_repairs(&cg, 1 << 22).unwrap();
+        for j in &repairs {
+            let fast =
+                check_global_2keys(&i, &cg, &p, a1, a2, &i.full_set(), j).is_optimal();
+            let slow = is_globally_optimal_brute(&cg, &p, j, 1 << 22).unwrap();
+            assert_eq!(fast, slow, "disagreement on {}", i.render_set(j));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Conjunctive queries and naive evaluation.
+//!
+//! The concluding remarks of the paper name *preferred consistent query
+//! answering* as the next classification target; this module supplies
+//! the query substrate: conjunctive queries `q(x̄) ← R1(t̄1), …, Rk(t̄k)`
+//! with variables and constants, evaluated by backtracking joins.
+//! Instances are small (they come from repair enumeration), so the
+//! naive evaluator is the right tool.
+
+use rpr_data::{FxHashMap, Instance, RelId, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A term in a query atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A variable, identified by a small integer.
+    Var(u32),
+    /// A constant.
+    Const(Value),
+}
+
+/// An atom `R(t1, …, tn)`.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+/// A conjunctive query: head variables plus a conjunction of atoms.
+///
+/// ```
+/// use rpr_data::{Instance, Signature, Tuple, Value};
+/// use rpr_cqa::{atom, ConjunctiveQuery};
+///
+/// let sig = Signature::new([("E", 2)]).unwrap();
+/// let mut i = Instance::new(sig);
+/// i.insert_named("E", ["a".into(), "b".into()]).unwrap();
+/// i.insert_named("E", ["b".into(), "c".into()]).unwrap();
+///
+/// // q(x, z) ← E(x, y), E(y, z): two-step reachability.
+/// let q = ConjunctiveQuery {
+///     head: vec![0, 2],
+///     atoms: vec![atom(&i, "E", &["?0", "?1"]), atom(&i, "E", &["?1", "?2"])],
+/// };
+/// q.validate(&i).unwrap();
+/// let answers = q.eval(&i);
+/// assert!(answers.contains(&Tuple::new(["a".into(), "c".into()])));
+/// assert_eq!(answers.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConjunctiveQuery {
+    /// The answer variables, in output order.
+    pub head: Vec<u32>,
+    /// The body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// A boolean query (empty head).
+    pub fn boolean(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { head: Vec::new(), atoms }
+    }
+
+    /// Validates the query against a signature: arities match and every
+    /// head variable occurs in the body.
+    pub fn validate(&self, instance: &Instance) -> Result<(), String> {
+        let sig = instance.signature();
+        let mut body_vars: BTreeSet<u32> = BTreeSet::new();
+        for atom in &self.atoms {
+            let arity = sig.arity(atom.rel);
+            if atom.terms.len() != arity {
+                return Err(format!(
+                    "atom over {} has {} terms, arity is {arity}",
+                    sig.symbol(atom.rel).name(),
+                    atom.terms.len()
+                ));
+            }
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    body_vars.insert(*v);
+                }
+            }
+        }
+        for h in &self.head {
+            if !body_vars.contains(h) {
+                return Err(format!("head variable ?{h} does not occur in the body"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the query over an instance, returning the set of head
+    /// projections (a single empty tuple for satisfied boolean
+    /// queries).
+    pub fn eval(&self, instance: &Instance) -> BTreeSet<Tuple> {
+        let mut answers = BTreeSet::new();
+        let mut binding: FxHashMap<u32, Value> = FxHashMap::default();
+        self.join(instance, 0, &mut binding, &mut answers);
+        answers
+    }
+
+    fn join(
+        &self,
+        instance: &Instance,
+        depth: usize,
+        binding: &mut FxHashMap<u32, Value>,
+        answers: &mut BTreeSet<Tuple>,
+    ) {
+        if depth == self.atoms.len() {
+            let tuple = Tuple::new(self.head.iter().map(|v| {
+                binding.get(v).expect("validated head variable is bound").clone()
+            }));
+            answers.insert(tuple);
+            return;
+        }
+        let atom = &self.atoms[depth];
+        'facts: for &id in instance.facts_of(atom.rel) {
+            let fact = instance.fact(id);
+            let mut bound_here: Vec<u32> = Vec::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                let value = fact.get(pos + 1);
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            for v in bound_here.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'facts;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v) {
+                        Some(existing) if existing != value => {
+                            for v in bound_here.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'facts;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(*v, value.clone());
+                            bound_here.push(*v);
+                        }
+                    },
+                }
+            }
+            self.join(instance, depth + 1, binding, answers);
+            for v in bound_here {
+                binding.remove(&v);
+            }
+        }
+    }
+
+    /// Does the (boolean) query hold on the instance?
+    pub fn holds(&self, instance: &Instance) -> bool {
+        !self.eval(instance).is_empty()
+    }
+}
+
+/// Convenience constructor: `atom(rel, terms)` with `?n` strings for
+/// variables and anything else a symbol constant.
+pub fn atom(instance: &Instance, rel: &str, terms: &[&str]) -> Atom {
+    let rel = instance.signature().require(rel).expect("relation exists");
+    let terms = terms
+        .iter()
+        .map(|t| match t.strip_prefix('?') {
+            Some(v) => Term::Var(v.parse().expect("?N variables")),
+            None => Term::Const(Value::sym(*t)),
+        })
+        .collect();
+    Atom { rel, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::Signature;
+
+    fn library() -> Instance {
+        let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+        let mut i = Instance::new(sig);
+        let v = Value::sym;
+        i.insert_named("BookLoc", [v("b1"), v("fiction"), v("lib1")]).unwrap();
+        i.insert_named("BookLoc", [v("b2"), v("poetry"), v("lib1")]).unwrap();
+        i.insert_named("BookLoc", [v("b3"), v("horror"), v("lib2")]).unwrap();
+        i.insert_named("LibLoc", [v("lib1"), v("almaden")]).unwrap();
+        i.insert_named("LibLoc", [v("lib2"), v("bascom")]).unwrap();
+        i
+    }
+
+    #[test]
+    fn single_atom_selection_and_projection() {
+        let i = library();
+        // q(x) ← BookLoc(x, y, lib1)
+        let q = ConjunctiveQuery {
+            head: vec![0],
+            atoms: vec![atom(&i, "BookLoc", &["?0", "?1", "lib1"])],
+        };
+        q.validate(&i).unwrap();
+        let ans = q.eval(&i);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&Tuple::new([Value::sym("b1")])));
+        assert!(ans.contains(&Tuple::new([Value::sym("b2")])));
+    }
+
+    #[test]
+    fn join_across_relations() {
+        let i = library();
+        // q(x, l) ← BookLoc(x, g, y), LibLoc(y, l)
+        let q = ConjunctiveQuery {
+            head: vec![0, 3],
+            atoms: vec![
+                atom(&i, "BookLoc", &["?0", "?1", "?2"]),
+                atom(&i, "LibLoc", &["?2", "?3"]),
+            ],
+        };
+        q.validate(&i).unwrap();
+        let ans = q.eval(&i);
+        assert_eq!(ans.len(), 3);
+        assert!(ans.contains(&Tuple::new([Value::sym("b3"), Value::sym("bascom")])));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let i = library();
+        // q() ← LibLoc(x, x): no library named after its location.
+        let q = ConjunctiveQuery::boolean(vec![atom(&i, "LibLoc", &["?0", "?0"])]);
+        assert!(!q.holds(&i));
+        // q() ← BookLoc(x, y, z), LibLoc(z, w): holds.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom(&i, "BookLoc", &["?0", "?1", "?2"]),
+            atom(&i, "LibLoc", &["?2", "?3"]),
+        ]);
+        assert!(q.holds(&i));
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let i = library();
+        let bad_arity = ConjunctiveQuery::boolean(vec![Atom {
+            rel: i.signature().rel_id("LibLoc").unwrap(),
+            terms: vec![Term::Var(0)],
+        }]);
+        assert!(bad_arity.validate(&i).is_err());
+        let unbound_head = ConjunctiveQuery {
+            head: vec![9],
+            atoms: vec![atom(&i, "LibLoc", &["?0", "?1"])],
+        };
+        assert!(unbound_head.validate(&i).is_err());
+    }
+
+    #[test]
+    fn empty_body_boolean_query_is_true_with_empty_tuple() {
+        let i = library();
+        let q = ConjunctiveQuery::boolean(vec![]);
+        assert!(q.holds(&i));
+    }
+}

@@ -1,0 +1,298 @@
+//! Attribute sets.
+//!
+//! The paper writes `⟦R⟧ = {1, …, arity(R)}` and manipulates subsets of
+//! `⟦R⟧` constantly: FD left/right-hand sides, closures `⟦R.A^Δ⟧`, the
+//! sets `A⁺`, `Â = A⁺ \ A` of the §5.2 case analysis. We cap arity at 64
+//! and represent attribute sets as one machine word, so closure
+//! computation and the case branching are branch-free set algebra.
+//!
+//! Attributes are **1-based** in the paper; we keep that convention in
+//! the public API (attribute `1` is the first column) and store bit
+//! `i - 1` internally.
+
+use std::fmt;
+
+/// Maximum supported relation arity.
+pub const MAX_ARITY: usize = 64;
+
+/// A set of attribute indices (1-based), backed by a `u64` bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty attribute set (the `∅` of constant-attribute FDs `∅ → B`).
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// The full set `⟦R⟧ = {1, …, arity}`.
+    ///
+    /// # Panics
+    /// Panics if `arity > 64`.
+    pub fn full(arity: usize) -> Self {
+        assert!(arity <= MAX_ARITY, "arity {arity} exceeds {MAX_ARITY}");
+        if arity == MAX_ARITY {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << arity) - 1)
+        }
+    }
+
+    /// The singleton `{attr}` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `attr` is `0` or exceeds [`MAX_ARITY`].
+    pub fn singleton(attr: usize) -> Self {
+        assert!((1..=MAX_ARITY).contains(&attr), "attribute {attr} out of range");
+        AttrSet(1u64 << (attr - 1))
+    }
+
+    /// Builds a set from 1-based attribute indices.
+    pub fn from_attrs<I: IntoIterator<Item = usize>>(attrs: I) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for a in attrs {
+            s = s.union(AttrSet::singleton(a));
+        }
+        s
+    }
+
+    /// Raw bit representation (bit `i` ⇔ attribute `i + 1`).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Does the set contain the (1-based) attribute?
+    pub fn contains(self, attr: usize) -> bool {
+        (1..=MAX_ARITY).contains(&attr) && (self.0 >> (attr - 1)) & 1 == 1
+    }
+
+    /// Set union `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Adds a (1-based) attribute.
+    #[must_use]
+    pub fn insert(self, attr: usize) -> AttrSet {
+        self.union(AttrSet::singleton(attr))
+    }
+
+    /// Removes a (1-based) attribute.
+    #[must_use]
+    pub fn remove(self, attr: usize) -> AttrSet {
+        self.difference(AttrSet::singleton(attr))
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self ⊊ other`?
+    pub fn is_proper_subset(self, other: AttrSet) -> bool {
+        self != other && self.is_subset(other)
+    }
+
+    /// Is `self ∩ other = ∅`?
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates the attributes in increasing (1-based) order.
+    pub fn iter(self) -> AttrIter {
+        AttrIter(self.0)
+    }
+
+    /// All subsets of `self`, in submask order (the empty set first,
+    /// `self` last). Used by the exhaustive classifier oracles.
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter { mask: self.0, current: 0, done: false }
+    }
+}
+
+/// Iterator over the attributes of an [`AttrSet`].
+pub struct AttrIter(u64);
+
+impl Iterator for AttrIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(tz + 1)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+/// Iterator over all subsets of a mask (standard submask enumeration).
+pub struct SubsetIter {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        if self.done {
+            return None;
+        }
+        let out = AttrSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Next submask of `mask` above `current`.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        AttrSet::from_attrs(iter)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_singleton() {
+        assert_eq!(AttrSet::full(3).len(), 3);
+        assert!(AttrSet::full(3).contains(1));
+        assert!(AttrSet::full(3).contains(3));
+        assert!(!AttrSet::full(3).contains(4));
+        assert_eq!(AttrSet::singleton(2).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(AttrSet::full(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_over_64_panics() {
+        let _ = AttrSet::full(65);
+    }
+
+    #[test]
+    #[should_panic]
+    fn attribute_zero_panics() {
+        let _ = AttrSet::singleton(0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AttrSet::from_attrs([1, 2, 3]);
+        let b = AttrSet::from_attrs([2, 3, 4]);
+        assert_eq!(a.union(b), AttrSet::from_attrs([1, 2, 3, 4]));
+        assert_eq!(a.intersect(b), AttrSet::from_attrs([2, 3]));
+        assert_eq!(a.difference(b), AttrSet::singleton(1));
+        assert!(AttrSet::from_attrs([2]).is_subset(a));
+        assert!(AttrSet::from_attrs([2]).is_proper_subset(a));
+        assert!(!a.is_proper_subset(a));
+        assert!(a.is_subset(a));
+        assert!(AttrSet::singleton(1).is_disjoint(AttrSet::singleton(2)));
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        assert!(AttrSet::EMPTY.is_empty());
+        assert_eq!(AttrSet::EMPTY.len(), 0);
+        assert!(AttrSet::EMPTY.is_subset(AttrSet::EMPTY));
+        assert!(AttrSet::EMPTY.is_subset(AttrSet::full(5)));
+        assert_eq!(AttrSet::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = AttrSet::EMPTY.insert(5).insert(1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(s.remove(5), AttrSet::singleton(1));
+        assert_eq!(s.remove(3), s); // removing an absent attr is a no-op
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let s = AttrSet::from_attrs([1, 3, 4]);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert_eq!(subs[0], AttrSet::EMPTY);
+        assert_eq!(*subs.last().unwrap(), s);
+        for sub in &subs {
+            assert!(sub.is_subset(s));
+        }
+        // All distinct.
+        let uniq: std::collections::HashSet<_> = subs.iter().copied().collect();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<_> = AttrSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(AttrSet::from_attrs([1, 3]).to_string(), "{1,3}");
+        assert_eq!(AttrSet::EMPTY.to_string(), "{}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Tuples and facts (§2.1).
+//!
+//! A *fact* is `R(t)` for a relation symbol `R` and a tuple `t` of
+//! constants whose width equals `arity(R)`. Instances are identified with
+//! their sets of facts.
+
+use crate::attrset::AttrSet;
+use crate::error::DataError;
+use crate::signature::{RelId, Signature};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple of constants.
+///
+/// Stored as a boxed slice (two words, no spare capacity — facts are
+/// immutable after construction).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// Width of the tuple.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the tuple empty? (Never true for well-formed facts.)
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value at (1-based) attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is `0` or exceeds the width.
+    pub fn get(&self, attr: usize) -> &Value {
+        &self.0[attr - 1]
+    }
+
+    /// All values, in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The projection onto an attribute set, in increasing attribute
+    /// order. This is the paper's `f[A]` notation (§4.2).
+    pub fn project(&self, attrs: AttrSet) -> Tuple {
+        Tuple(attrs.iter().map(|a| self.0[a - 1].clone()).collect())
+    }
+
+    /// Do `self` and `other` agree on (have equal values for) every
+    /// attribute in `attrs`? This is the paper's "agree on A" (§2.2).
+    pub fn agrees_on(&self, other: &Tuple, attrs: AttrSet) -> bool {
+        attrs.iter().all(|a| self.0[a - 1] == other.0[a - 1])
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A fact `R(t)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    rel: RelId,
+    tuple: Tuple,
+}
+
+impl Fact {
+    /// Builds a fact, checking the tuple width against the signature.
+    ///
+    /// # Errors
+    /// Fails if the tuple width differs from the relation's arity.
+    pub fn new(sig: &Signature, rel: RelId, tuple: Tuple) -> Result<Self, DataError> {
+        let expected = sig.arity(rel);
+        if tuple.len() != expected {
+            return Err(DataError::ArityMismatch {
+                relation: sig.symbol(rel).name().to_owned(),
+                expected,
+                got: tuple.len(),
+            });
+        }
+        Ok(Fact { rel, tuple })
+    }
+
+    /// Convenience constructor resolving the relation by name.
+    ///
+    /// # Errors
+    /// Fails on unknown relation names or arity mismatches.
+    pub fn parse_new<I>(sig: &Signature, rel_name: &str, values: I) -> Result<Self, DataError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let rel = sig.require(rel_name)?;
+        Fact::new(sig, rel, Tuple::new(values))
+    }
+
+    /// The relation this fact belongs to.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The fact's tuple.
+    pub fn tuple(&self) -> &Tuple {
+        &self.tuple
+    }
+
+    /// The value at (1-based) attribute `attr`.
+    pub fn get(&self, attr: usize) -> &Value {
+        self.tuple.get(attr)
+    }
+
+    /// The projection `f[A]` (§4.2).
+    pub fn project(&self, attrs: AttrSet) -> Tuple {
+        self.tuple.project(attrs)
+    }
+
+    /// Do the two facts agree on all attributes of `attrs`?
+    ///
+    /// Facts of different relations never agree (they are incomparable in
+    /// the paper's model because FDs are per-relation).
+    pub fn agrees_on(&self, other: &Fact, attrs: AttrSet) -> bool {
+        self.rel == other.rel && self.tuple.agrees_on(&other.tuple, attrs)
+    }
+
+    /// Renders the fact with its relation name.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> FactDisplay<'a> {
+        FactDisplay { fact: self, sig }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}{}", self.rel.0, self.tuple)
+    }
+}
+
+/// Helper for rendering a fact with its relation name resolved.
+pub struct FactDisplay<'a> {
+    fact: &'a Fact,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.sig.symbol(self.fact.rel).name(), self.fact.tuple)
+    }
+}
+
+/// Shared handle to a signature, used across facts/instances/schemas.
+pub type SigRef = Arc<Signature>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> SigRef {
+        Signature::new([("R", 3), ("S", 2)]).unwrap()
+    }
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    #[test]
+    fn tuple_projection_and_agreement() {
+        let t = Tuple::new([v("a"), v("b"), v("c")]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(2), &v("b"));
+        assert_eq!(t.project(AttrSet::from_attrs([1, 3])), Tuple::new([v("a"), v("c")]));
+        assert_eq!(t.project(AttrSet::EMPTY), Tuple::new([]));
+
+        let u = Tuple::new([v("a"), v("x"), v("c")]);
+        assert!(t.agrees_on(&u, AttrSet::from_attrs([1, 3])));
+        assert!(!t.agrees_on(&u, AttrSet::from_attrs([1, 2])));
+        // Every pair of tuples vacuously agrees on the empty set.
+        assert!(t.agrees_on(&u, AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn fact_construction_checks_arity() {
+        let sig = sig();
+        let r = sig.rel_id("R").unwrap();
+        assert!(Fact::new(&sig, r, Tuple::new([v("a"), v("b"), v("c")])).is_ok());
+        assert!(matches!(
+            Fact::new(&sig, r, Tuple::new([v("a")])),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(Fact::parse_new(&sig, "T", [v("a")]).is_err());
+    }
+
+    #[test]
+    fn facts_of_different_relations_never_agree() {
+        let sig = sig();
+        let f = Fact::parse_new(&sig, "S", [v("a"), v("b")]).unwrap();
+        let g = Fact::parse_new(&sig, "R", [v("a"), v("b"), v("c")]).unwrap();
+        assert!(!f.agrees_on(&g, AttrSet::EMPTY));
+        assert!(!f.agrees_on(&g, AttrSet::singleton(1)));
+    }
+
+    #[test]
+    fn display_resolves_relation_name() {
+        let sig = sig();
+        let f = Fact::parse_new(&sig, "S", [v("lib1"), v("almaden")]).unwrap();
+        assert_eq!(f.display(&sig).to_string(), "S(lib1,almaden)");
+    }
+}

@@ -1,0 +1,508 @@
+//! Database instances and subinstance bitsets.
+//!
+//! All the repair-checking algorithms of the paper work with one fixed
+//! inconsistent instance `I` and range over its *subinstances* (`J`,
+//! `J′`, the sets `X`, `Y`, `F`, `F′` …). We therefore give every fact
+//! of `I` a dense [`FactId`] and represent subinstances as [`FactSet`]
+//! bitsets over those ids, so that the set algebra in the inner loops
+//! (global/Pareto improvement tests, graph constructions) is
+//! word-parallel and allocation-free.
+
+use crate::error::DataError;
+use crate::fact::{Fact, SigRef, Tuple};
+use crate::hash::FxHashMap;
+use crate::signature::RelId;
+use crate::value::Value;
+use std::fmt;
+
+/// Dense identifier of a fact within one [`Instance`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The dense index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite database instance: a set of facts over a signature.
+///
+/// Facts are deduplicated on insertion; the id of a fact is stable for
+/// the lifetime of the instance.
+#[derive(Clone)]
+pub struct Instance {
+    sig: SigRef,
+    facts: Vec<Fact>,
+    index: FxHashMap<Fact, FactId>,
+    by_rel: Vec<Vec<FactId>>,
+}
+
+impl Instance {
+    /// Creates an empty instance over a signature.
+    pub fn new(sig: SigRef) -> Self {
+        let nrels = sig.len();
+        Instance {
+            sig,
+            facts: Vec::new(),
+            index: FxHashMap::default(),
+            by_rel: vec![Vec::new(); nrels],
+        }
+    }
+
+    /// The instance's signature.
+    pub fn signature(&self) -> &SigRef {
+        &self.sig
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Inserts a fact, returning its id (existing id if already present).
+    pub fn insert(&mut self, fact: Fact) -> FactId {
+        if let Some(&id) = self.index.get(&fact) {
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.by_rel[fact.rel().index()].push(id);
+        self.index.insert(fact.clone(), id);
+        self.facts.push(fact);
+        id
+    }
+
+    /// Inserts a fact given by relation name and values.
+    ///
+    /// # Errors
+    /// Fails on unknown relations or arity mismatches.
+    pub fn insert_named<I>(&mut self, rel: &str, values: I) -> Result<FactId, DataError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let fact = Fact::parse_new(&self.sig, rel, values)?;
+        Ok(self.insert(fact))
+    }
+
+    /// The fact with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is not from this instance.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.index()]
+    }
+
+    /// Looks up the id of a fact.
+    pub fn id_of(&self, fact: &Fact) -> Option<FactId> {
+        self.index.get(fact).copied()
+    }
+
+    /// Does the instance contain the fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.index.contains_key(fact)
+    }
+
+    /// Iterates `(FactId, &Fact)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts.iter().enumerate().map(|(i, f)| (FactId(i as u32), f))
+    }
+
+    /// All fact ids.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len() as u32).map(FactId)
+    }
+
+    /// The facts of one relation, in insertion order.
+    pub fn facts_of(&self, rel: RelId) -> &[FactId] {
+        &self.by_rel[rel.index()]
+    }
+
+    /// A fresh all-zeros fact set sized to this instance.
+    pub fn empty_set(&self) -> FactSet {
+        FactSet::empty(self.len())
+    }
+
+    /// The fact set containing every fact of the instance.
+    pub fn full_set(&self) -> FactSet {
+        FactSet::full(self.len())
+    }
+
+    /// The fact set of all facts of one relation (the per-relation
+    /// decomposition of Proposition 3.5).
+    pub fn rel_set(&self, rel: RelId) -> FactSet {
+        let mut s = self.empty_set();
+        for &id in self.facts_of(rel) {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Builds a fact set from fact ids.
+    pub fn set_of<I: IntoIterator<Item = FactId>>(&self, ids: I) -> FactSet {
+        let mut s = self.empty_set();
+        for id in ids {
+            assert!(id.index() < self.len(), "fact id out of range");
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Builds a fact set from facts (which must all be present).
+    ///
+    /// # Errors
+    /// Fails if some fact is not in the instance.
+    pub fn set_of_facts<'a, I>(&self, facts: I) -> Result<FactSet, DataError>
+    where
+        I: IntoIterator<Item = &'a Fact>,
+    {
+        let mut s = self.empty_set();
+        for f in facts {
+            match self.id_of(f) {
+                Some(id) => s.insert(id),
+                None => return Err(DataError::SignatureMismatch),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Materializes a subinstance as a fresh `Instance` (used by the Π
+    /// reductions and by query evaluation, which want standalone
+    /// instances).
+    pub fn materialize(&self, set: &FactSet) -> Instance {
+        let mut out = Instance::new(self.sig.clone());
+        for id in set.iter() {
+            out.insert(self.fact(id).clone());
+        }
+        out
+    }
+
+    /// Renders a subinstance with relation names, for diagnostics.
+    pub fn render_set(&self, set: &FactSet) -> String {
+        let mut parts: Vec<String> =
+            set.iter().map(|id| self.fact(id).display(&self.sig).to_string()).collect();
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Instance over [{}]:", self.sig)?;
+        for (_, fact) in self.iter() {
+            writeln!(f, "  {}", fact.display(&self.sig))?;
+        }
+        Ok(())
+    }
+}
+
+/// A subinstance of a fixed base [`Instance`], as a bitset of fact ids.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl FactSet {
+    /// The empty set over a universe of `universe` facts.
+    pub fn empty(universe: usize) -> Self {
+        FactSet { words: vec![0; universe.div_ceil(64)], universe }
+    }
+
+    /// The full set over a universe of `universe` facts.
+    pub fn full(universe: usize) -> Self {
+        let mut s = FactSet::empty(universe);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.universe;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of facts in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: FactId) -> bool {
+        let i = id.index();
+        i < self.universe && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Adds a fact.
+    ///
+    /// # Panics
+    /// Panics if the id is outside the universe.
+    pub fn insert(&mut self, id: FactId) {
+        let i = id.index();
+        assert!(i < self.universe, "fact id {i} outside universe {}", self.universe);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes a fact (no-op if absent).
+    pub fn remove(&mut self, id: FactId) {
+        let i = id.index();
+        if i < self.universe {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// `self ∪ other`.
+    #[must_use]
+    pub fn union(&self, other: &FactSet) -> FactSet {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// `self ∩ other`.
+    #[must_use]
+    pub fn intersect(&self, other: &FactSet) -> FactSet {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &FactSet) -> FactSet {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// Complement within the universe.
+    #[must_use]
+    pub fn complement(&self) -> FactSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.trim();
+        out
+    }
+
+    fn zip_with(&self, other: &FactSet, f: impl Fn(u64, u64) -> u64) -> FactSet {
+        assert_eq!(self.universe, other.universe, "fact sets over different instances");
+        FactSet {
+            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &FactSet) -> bool {
+        assert_eq!(self.universe, other.universe, "fact sets over different instances");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Is `self ∩ other = ∅`?
+    pub fn is_disjoint(&self, other: &FactSet) -> bool {
+        assert_eq!(self.universe, other.universe, "fact sets over different instances");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates members in increasing id order.
+    pub fn iter(&self) -> FactSetIter<'_> {
+        FactSetIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// An arbitrary member, if any.
+    pub fn first(&self) -> Option<FactId> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for FactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`FactSet`].
+pub struct FactSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for FactSetIter<'_> {
+    type Item = FactId;
+
+    fn next(&mut self) -> Option<FactId> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(FactId((self.word_idx * 64 + tz) as u32));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Convenience: build a [`Tuple`] from anything convertible to values.
+pub fn tuple<const N: usize>(values: [impl Into<Value>; N]) -> Tuple {
+    Tuple::new(values.into_iter().map(Into::into))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    fn small_instance() -> Instance {
+        let sig = Signature::new([("R", 2), ("S", 1)]).unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [Value::sym("a"), Value::sym("b")]).unwrap();
+        i.insert_named("R", [Value::sym("a"), Value::sym("c")]).unwrap();
+        i.insert_named("S", [Value::sym("x")]).unwrap();
+        i
+    }
+
+    #[test]
+    fn insertion_dedups_and_ids_are_stable() {
+        let mut i = small_instance();
+        assert_eq!(i.len(), 3);
+        let id = i.insert_named("R", [Value::sym("a"), Value::sym("b")]).unwrap();
+        assert_eq!(id, FactId(0));
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn per_relation_listing() {
+        let i = small_instance();
+        let r = i.signature().rel_id("R").unwrap();
+        let s = i.signature().rel_id("S").unwrap();
+        assert_eq!(i.facts_of(r).len(), 2);
+        assert_eq!(i.facts_of(s), &[FactId(2)]);
+        assert_eq!(i.rel_set(r).len(), 2);
+        assert!(!i.rel_set(r).contains(FactId(2)));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut i = small_instance();
+        assert!(i.insert_named("T", [Value::sym("x")]).is_err());
+    }
+
+    #[test]
+    fn factset_algebra() {
+        let a = {
+            let mut s = FactSet::empty(130);
+            s.insert(FactId(0));
+            s.insert(FactId(64));
+            s.insert(FactId(129));
+            s
+        };
+        let b = {
+            let mut s = FactSet::empty(130);
+            s.insert(FactId(64));
+            s.insert(FactId(100));
+            s
+        };
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![FactId(64)]);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let mut s = FactSet::empty(70);
+        s.insert(FactId(3));
+        let c = s.complement();
+        assert_eq!(c.len(), 69);
+        assert!(!c.contains(FactId(3)));
+        assert!(c.contains(FactId(69)));
+        // No phantom bits beyond the universe.
+        assert_eq!(c.union(&s).len(), 70);
+        assert_eq!(FactSet::full(70), c.union(&s));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut s = FactSet::empty(200);
+        for i in [5u32, 63, 64, 65, 199] {
+            s.insert(FactId(i));
+        }
+        let got: Vec<u32> = s.iter().map(|f| f.0).collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 199]);
+        assert_eq!(s.first(), Some(FactId(5)));
+        assert_eq!(FactSet::empty(10).first(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_outside_universe_panics() {
+        let mut s = FactSet::empty(10);
+        s.insert(FactId(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_universe_algebra_panics() {
+        let a = FactSet::empty(10);
+        let b = FactSet::empty(11);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let i = small_instance();
+        let sub = i.set_of([FactId(0), FactId(2)]);
+        let m = i.materialize(&sub);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(i.fact(FactId(0))));
+        assert!(m.contains(i.fact(FactId(2))));
+        assert!(!m.contains(i.fact(FactId(1))));
+    }
+
+    #[test]
+    fn render_set_is_sorted_and_named() {
+        let i = small_instance();
+        let sub = i.set_of([FactId(1), FactId(2)]);
+        assert_eq!(i.render_set(&sub), "{R(a,c), S(x)}");
+    }
+
+    #[test]
+    fn set_of_facts_checks_membership() {
+        let i = small_instance();
+        let present = i.fact(FactId(0)).clone();
+        assert_eq!(i.set_of_facts([&present]).unwrap().len(), 1);
+        let absent = Fact::parse_new(i.signature(), "S", [Value::sym("zz")]).unwrap();
+        assert!(i.set_of_facts([&absent]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # rpr-data — relational substrate for the preferred-repairs system
+//!
+//! This crate implements the data model of §2.1 of *Dichotomies in the
+//! Complexity of Preferred Repairs* (Fagin, Kimelfeld, Kolaitis, PODS
+//! 2015): constants, tuples, facts, relational signatures and instances,
+//! plus the two bitset work-horses every algorithm in the upper crates
+//! relies on:
+//!
+//! * [`AttrSet`] — subsets of the attribute universe `⟦R⟧` as one
+//!   machine word (FD sides, closures, the `A⁺`/`Â` sets of §5.2);
+//! * [`FactSet`] — subinstances of a fixed instance `I` as dense
+//!   bitsets over [`FactId`]s (the repairs `J`, improvements, and the
+//!   `F`/`F′` exchange sets of Lemmas 4.2/4.4/7.3).
+//!
+//! Nothing in this crate knows about functional dependencies or repairs;
+//! see `rpr-fd` and `rpr-core` for those layers.
+
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod error;
+pub mod fact;
+pub mod hash;
+pub mod instance;
+pub mod parse;
+pub mod signature;
+pub mod value;
+
+pub use attrset::{AttrSet, MAX_ARITY};
+pub use error::DataError;
+pub use fact::{Fact, SigRef, Tuple};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use instance::{tuple, FactId, FactSet, Instance};
+pub use parse::{parse_instance, render_instance};
+pub use signature::{RelId, RelationSymbol, Signature};
+pub use value::Value;

@@ -1,0 +1,199 @@
+//! Relational signatures (§2.1): finite sets of relation symbols with
+//! designated arities.
+
+use crate::attrset::{AttrSet, MAX_ARITY};
+use crate::error::DataError;
+use crate::hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation symbol within its [`Signature`] (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The dense index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation symbol: a name plus an arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelationSymbol {
+    name: Arc<str>,
+    arity: usize,
+}
+
+impl RelationSymbol {
+    /// Creates a relation symbol.
+    ///
+    /// # Errors
+    /// Fails if the arity is zero or exceeds [`MAX_ARITY`].
+    pub fn new(name: impl AsRef<str>, arity: usize) -> Result<Self, DataError> {
+        if arity == 0 || arity > MAX_ARITY {
+            return Err(DataError::BadArity { name: name.as_ref().to_owned(), arity });
+        }
+        Ok(RelationSymbol { name: Arc::from(name.as_ref()), arity })
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The attribute universe `⟦R⟧ = {1, …, arity}`.
+    pub fn attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity)
+    }
+}
+
+/// A relational signature `R = {R1, …, Rn}`.
+///
+/// Signatures are immutable once built and shared via `Arc` by schemas,
+/// instances and queries, so that every component agrees on the
+/// `RelId ↔ name` correspondence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    symbols: Vec<RelationSymbol>,
+    by_name: FxHashMap<Arc<str>, RelId>,
+}
+
+impl Signature {
+    /// Builds a signature from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    /// Fails on duplicate names or invalid arities.
+    pub fn new<'a, I>(symbols: I) -> Result<Arc<Self>, DataError>
+    where
+        I: IntoIterator<Item = (&'a str, usize)>,
+    {
+        let mut sig = Signature { symbols: Vec::new(), by_name: FxHashMap::default() };
+        for (name, arity) in symbols {
+            sig.push(RelationSymbol::new(name, arity)?)?;
+        }
+        Ok(Arc::new(sig))
+    }
+
+    fn push(&mut self, sym: RelationSymbol) -> Result<RelId, DataError> {
+        if self.by_name.contains_key(sym.name.as_ref() as &str) {
+            return Err(DataError::DuplicateRelation(sym.name().to_owned()));
+        }
+        let id = RelId(self.symbols.len() as u32);
+        self.by_name.insert(sym.name.clone(), id);
+        self.symbols.push(sym);
+        Ok(id)
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Is the signature empty?
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this signature.
+    pub fn symbol(&self, id: RelId) -> &RelationSymbol {
+        &self.symbols[id.index()]
+    }
+
+    /// The arity of the relation with the given id.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.symbol(id).arity()
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name, erroring if absent.
+    pub fn require(&self, name: &str) -> Result<RelId, DataError> {
+        self.rel_id(name).ok_or_else(|| DataError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Iterates `(RelId, &RelationSymbol)` in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSymbol)> {
+        self.symbols.iter().enumerate().map(|(i, s)| (RelId(i as u32), s))
+    }
+
+    /// All relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.symbols.len()).map(|i| RelId(i as u32))
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.symbols {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", s.name(), s.arity())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+        assert_eq!(sig.len(), 2);
+        let b = sig.rel_id("BookLoc").unwrap();
+        let l = sig.rel_id("LibLoc").unwrap();
+        assert_ne!(b, l);
+        assert_eq!(sig.arity(b), 3);
+        assert_eq!(sig.arity(l), 2);
+        assert_eq!(sig.symbol(b).name(), "BookLoc");
+        assert_eq!(sig.symbol(b).attrs(), AttrSet::full(3));
+        assert!(sig.rel_id("Nope").is_none());
+        assert!(sig.require("Nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(matches!(
+            Signature::new([("R", 2), ("R", 3)]),
+            Err(DataError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_arities_rejected() {
+        assert!(Signature::new([("R", 0)]).is_err());
+        assert!(Signature::new([("R", 65)]).is_err());
+        assert!(Signature::new([("R", 64)]).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        let sig = Signature::new([("R", 3), ("S", 1)]).unwrap();
+        assert_eq!(sig.to_string(), "R/3, S/1");
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let sig = Signature::new([("A", 1), ("B", 2), ("C", 3)]).unwrap();
+        let names: Vec<_> = sig.iter().map(|(_, s)| s.name().to_owned()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        let ids: Vec<_> = sig.rel_ids().collect();
+        assert_eq!(ids, vec![RelId(0), RelId(1), RelId(2)]);
+    }
+}

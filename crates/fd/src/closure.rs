@@ -1,0 +1,278 @@
+//! Attribute-set closure and FD implication (§2.2, Theorem 6.3).
+//!
+//! `closure(A, Δ)` computes `⟦R.A^Δ⟧`, the set of all attributes `i`
+//! such that `R : A → i ∈ Δ⁺`. By Theorem 6.3 (Maier, Mendelzon, Sagiv),
+//! `Δ ⊨ A → B` iff `B ⊆ closure(A, Δ)`, which makes implication — and
+//! hence equivalence of FD sets — decidable in polynomial time. These
+//! two functions carry the entire tractability side of §6.
+//!
+//! The functions here take a slice of FDs that must all constrain the
+//! *same* relation (FDs never interact across relations); the
+//! [`crate::schema::Schema`] type handles the multi-relation bookkeeping.
+
+use crate::fd::Fd;
+use rpr_data::AttrSet;
+
+/// Computes the closure `⟦R.A^Δ⟧` of `attrs` under `fds`.
+///
+/// Iterates to a fixpoint; each pass is a linear scan, and at most
+/// `arity` passes can add an attribute, so the cost is
+/// `O(arity · |fds|)` with word-parallel set operations.
+///
+/// ```
+/// use rpr_data::{AttrSet, RelId};
+/// use rpr_fd::{closure, Fd};
+///
+/// // §2.2's example: Δ = {R:1→2, R:2→3} over a ternary R.
+/// let fds = [Fd::from_attrs(RelId(0), [1], [2]), Fd::from_attrs(RelId(0), [2], [3])];
+/// assert_eq!(closure(AttrSet::singleton(1), &fds), AttrSet::from_attrs([1, 2, 3]));
+/// assert_eq!(closure(AttrSet::singleton(3), &fds), AttrSet::singleton(3));
+/// ```
+pub fn closure(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut closed = attrs;
+    loop {
+        let mut grew = false;
+        for fd in fds {
+            if fd.lhs.is_subset(closed) && !fd.rhs.is_subset(closed) {
+                closed = closed.union(fd.rhs);
+                grew = true;
+            }
+        }
+        if !grew {
+            return closed;
+        }
+    }
+}
+
+/// The Beeri–Bernstein linear-time closure: one counter per FD tracks
+/// how many lhs attributes are still missing; an attribute-to-FD index
+/// drives propagation, so each FD fires at most once and each
+/// (attribute, FD) incidence is touched at most once — `O(Σ |fd|)`
+/// total, vs the fixpoint's `O(arity · |fds|)`.
+///
+/// [`closure`] is the right default (the word-parallel fixpoint wins on
+/// the small FD sets the paper's schemas have); this variant is for
+/// wide schemas with many FDs, and the `fd_theory` bench compares the
+/// two. Both are differential-tested against each other.
+pub fn closure_linear(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
+    // missing[k] = number of lhs attributes of fds[k] not yet in the
+    // closure; fds with empty lhs fire immediately.
+    let mut missing: Vec<usize> = fds.iter().map(|fd| fd.lhs.difference(attrs).len()).collect();
+    // by_attr[a-1] = indices of FDs whose lhs contains attribute a.
+    let mut by_attr: Vec<Vec<usize>> = vec![Vec::new(); rpr_data::MAX_ARITY];
+    for (k, fd) in fds.iter().enumerate() {
+        for a in fd.lhs.iter() {
+            by_attr[a - 1].push(k);
+        }
+    }
+    let mut closed = attrs;
+    // Work queue of NEWLY added attributes only — the initial attributes
+    // were already discounted when `missing` was computed, so queueing
+    // them here would double-decrement.
+    let mut queue: Vec<usize> = Vec::new();
+    // Fire the zero-missing FDs up front.
+    let mut fire = |k: usize, closed: &mut AttrSet, queue: &mut Vec<usize>| {
+        for b in fds[k].rhs.difference(*closed).iter() {
+            *closed = closed.insert(b);
+            queue.push(b);
+        }
+    };
+    for (k, &m) in missing.iter().enumerate() {
+        if m == 0 {
+            fire(k, &mut closed, &mut queue);
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &k in &by_attr[a - 1] {
+            // Each (a, k) incidence decrements exactly once: `a` enters
+            // the queue at most once.
+            missing[k] -= 1;
+            if missing[k] == 0 {
+                fire(k, &mut closed, &mut queue);
+            }
+        }
+    }
+    closed
+}
+
+/// Does `fds ⊨ fd`? (Theorem 6.3: test `rhs ⊆ closure(lhs)`.)
+///
+/// FDs on other relations are ignored — an FD on `R` can only be implied
+/// by FDs on `R` (plus trivial reasoning).
+pub fn implies(fds: &[Fd], fd: Fd) -> bool {
+    let same_rel: Vec<Fd> = fds.iter().copied().filter(|d| d.rel == fd.rel).collect();
+    fd.rhs.is_subset(closure(fd.lhs, &same_rel))
+}
+
+/// Are the two FD sets equivalent (`Δ₁⁺ = Δ₂⁺`)?
+pub fn equivalent(fds1: &[Fd], fds2: &[Fd]) -> bool {
+    fds1.iter().all(|&fd| implies(fds2, fd)) && fds2.iter().all(|&fd| implies(fds1, fd))
+}
+
+/// Is `attrs` a superkey (`closure(attrs) = ⟦R⟧`) for a relation of the
+/// given arity?
+pub fn is_superkey(attrs: AttrSet, fds: &[Fd], arity: usize) -> bool {
+    closure(attrs, fds) == AttrSet::full(arity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+    const S: RelId = RelId(1);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn closure_of_the_paper_example() {
+        // §2.2: Δ = {R:1→2, R:2→3} over a ternary R.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert_eq!(closure(AttrSet::singleton(1), &fds), AttrSet::from_attrs([1, 2, 3]));
+        assert_eq!(closure(AttrSet::singleton(2), &fds), AttrSet::from_attrs([2, 3]));
+        assert_eq!(closure(AttrSet::singleton(3), &fds), AttrSet::singleton(3));
+        // Δ⁺ contains R:1→3, R:{1,2}→3, R:3→3 (the paper's examples).
+        assert!(implies(&fds, fd(&[1], &[3])));
+        assert!(implies(&fds, fd(&[1, 2], &[3])));
+        assert!(implies(&fds, fd(&[3], &[3])));
+        assert!(!implies(&fds, fd(&[3], &[1])));
+    }
+
+    #[test]
+    fn running_example_closures() {
+        // Example 2.2: ⟦BookLoc.{1}^Δ⟧ = {1,2}; ⟦BookLoc.{1,3}^Δ⟧ = {1,2,3}.
+        let fds = [fd(&[1], &[2])];
+        assert_eq!(closure(AttrSet::singleton(1), &fds), AttrSet::from_attrs([1, 2]));
+        assert_eq!(
+            closure(AttrSet::from_attrs([1, 3]), &fds),
+            AttrSet::from_attrs([1, 2, 3])
+        );
+        // BookLoc : {1,3} → {1,2} ∈ Δ⁺ (paper's example of a derived FD).
+        assert!(implies(&fds, fd(&[1, 3], &[1, 2])));
+    }
+
+    #[test]
+    fn constant_attribute_closure() {
+        let fds = [fd(&[], &[1]), fd(&[1], &[2])];
+        assert_eq!(closure(AttrSet::EMPTY, &fds), AttrSet::from_attrs([1, 2]));
+    }
+
+    #[test]
+    fn implication_ignores_other_relations() {
+        let fds = [Fd::from_attrs(S, [1], [2])];
+        assert!(!implies(&fds, fd(&[1], &[2])));
+        // Trivial FDs are implied by anything, on any relation.
+        assert!(implies(&fds, fd(&[1, 2], &[2])));
+    }
+
+    #[test]
+    fn equivalence_examples() {
+        // Example 3.3: ∆|T = {T:1→{2,3,4}, T:{2,3}→1} over quaternary T
+        // is equivalent to the pair of keys {1→⟦T⟧, {2,3}→⟦T⟧}.
+        let t = RelId(0);
+        let d1 = [
+            Fd::from_attrs(t, [1], [2, 3, 4]),
+            Fd::from_attrs(t, [2, 3], [1]),
+        ];
+        let d2 = [
+            Fd::key(t, AttrSet::singleton(1), 4),
+            Fd::key(t, AttrSet::from_attrs([2, 3]), 4),
+        ];
+        assert!(equivalent(&d1, &d2));
+        assert!(!equivalent(&d1, &[Fd::key(t, AttrSet::singleton(1), 4)]));
+        // Empty sets are equivalent to sets of trivial FDs.
+        assert!(equivalent(&[], &[Fd::from_attrs(t, [1, 2], [1])]));
+    }
+
+    #[test]
+    fn superkey_detection() {
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert!(is_superkey(AttrSet::singleton(1), &fds, 3));
+        assert!(!is_superkey(AttrSet::singleton(2), &fds, 3));
+        assert!(is_superkey(AttrSet::from_attrs([2, 1]), &fds, 3));
+    }
+
+    #[test]
+    fn closure_is_monotone_idempotent_extensive() {
+        // Spot-check the closure-operator laws on a fixed FD set.
+        let fds = [fd(&[1], &[2]), fd(&[2, 3], &[4]), fd(&[4], &[1])];
+        let universe = AttrSet::full(4);
+        for a in universe.subsets() {
+            let ca = closure(a, &fds);
+            assert!(a.is_subset(ca), "extensive");
+            assert_eq!(closure(ca, &fds), ca, "idempotent");
+            for b in universe.subsets() {
+                if a.is_subset(b) {
+                    assert!(ca.is_subset(closure(b, &fds)), "monotone");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod linear_closure_tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(RelId(0), lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn matches_fixpoint_exhaustively() {
+        let pools: Vec<Vec<Fd>> = vec![
+            vec![fd(&[1], &[2]), fd(&[2], &[3])],
+            vec![fd(&[], &[1]), fd(&[1, 2], &[3, 4]), fd(&[4], &[2])],
+            vec![fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])],
+            vec![],
+            vec![fd(&[1], &[1])], // trivial
+        ];
+        for fds in pools {
+            for a in AttrSet::full(4).subsets() {
+                assert_eq!(
+                    closure(a, &fds),
+                    closure_linear(a, &fds),
+                    "start {a} under {fds:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_fixpoint_on_random_wide_sets() {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        for _ in 0..200 {
+            let arity = rng.random_range(2..=20usize);
+            let nfds = rng.random_range(0..=12usize);
+            let fds: Vec<Fd> = (0..nfds)
+                .map(|_| {
+                    let side = |rng: &mut rand::rngs::StdRng| {
+                        let size = rng.random_range(0..=3usize);
+                        let mut s = AttrSet::EMPTY;
+                        for _ in 0..size {
+                            s = s.insert(rng.random_range(1..=arity));
+                        }
+                        s
+                    };
+                    Fd::new(RelId(0), side(&mut rng), side(&mut rng))
+                })
+                .collect();
+            for _ in 0..5 {
+                let start = AttrSet::from_bits(rng.random::<u64>() & AttrSet::full(arity).bits());
+                assert_eq!(closure(start, &fds), closure_linear(start, &fds));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lhs_fds_fire_immediately() {
+        let fds = [fd(&[], &[3]), fd(&[3], &[4])];
+        assert_eq!(closure_linear(AttrSet::EMPTY, &fds), AttrSet::from_attrs([3, 4]));
+    }
+}

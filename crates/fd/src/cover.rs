@@ -1,0 +1,203 @@
+//! Minimal covers of FD sets.
+//!
+//! A *minimal cover* of `Δ` is an equivalent set of FDs where every
+//! right-hand side is a single attribute, every left-hand side is
+//! reduced (no attribute can be dropped), and no FD is redundant. The
+//! classifiers of §6 don't strictly need covers, but covers give
+//! canonical, human-readable forms for diagnostics, shrink the FD sets
+//! before the hot closure loops, and are independently useful library
+//! surface for a database tool.
+
+use crate::closure::{closure, implies};
+use crate::fd::Fd;
+use rpr_data::AttrSet;
+
+/// Computes a minimal cover of `fds` (which must all be on one relation;
+/// multi-relation sets are handled by `Schema::minimal_cover`).
+///
+/// The result is deterministic for a given input order.
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    // 1. Split right-hand sides into single attributes, dropping trivial parts.
+    let mut work: Vec<Fd> = Vec::new();
+    for fd in fds {
+        for b in fd.effective_rhs().iter() {
+            work.push(Fd::new(fd.rel, fd.lhs, AttrSet::singleton(b)));
+        }
+    }
+
+    // 2. Left-reduce each FD: drop lhs attributes while implication holds.
+    for i in 0..work.len() {
+        let mut lhs = work[i].lhs;
+        for a in work[i].lhs.iter() {
+            let candidate = lhs.remove(a);
+            let test = Fd::new(work[i].rel, candidate, work[i].rhs);
+            if implies(&work, test) {
+                lhs = candidate;
+            }
+        }
+        work[i].lhs = lhs;
+    }
+
+    // A left-reduction can have made an FD trivial (rhs ⊆ lhs never
+    // happens for singleton effective rhs, but duplicates can appear).
+    work.dedup();
+
+    // 3. Drop redundant FDs.
+    let mut i = 0;
+    while i < work.len() {
+        let fd = work.remove(i);
+        if implies(&work, fd) {
+            // redundant — leave it out
+        } else {
+            work.insert(i, fd);
+            i += 1;
+        }
+    }
+    work
+}
+
+/// Merges cover FDs with equal left-hand sides back together
+/// (`A → b1, A → b2 ⇒ A → {b1,b2}`), for compact display.
+pub fn merge_by_lhs(fds: &[Fd]) -> Vec<Fd> {
+    let mut out: Vec<Fd> = Vec::new();
+    for fd in fds {
+        if let Some(existing) =
+            out.iter_mut().find(|e| e.rel == fd.rel && e.lhs == fd.lhs)
+        {
+            existing.rhs = existing.rhs.union(fd.rhs);
+        } else {
+            out.push(*fd);
+        }
+    }
+    out
+}
+
+/// The distinct left-hand sides appearing in `fds` (used by the Lemma
+/// 6.2 classifiers, which only need to try lhs's that occur in Δ).
+pub fn lhs_candidates(fds: &[Fd]) -> Vec<AttrSet> {
+    let mut seen: Vec<AttrSet> = Vec::new();
+    for fd in fds {
+        if !seen.contains(&fd.lhs) {
+            seen.push(fd.lhs);
+        }
+    }
+    seen
+}
+
+/// Saturates a set of FDs into *all* nontrivial implied FDs with
+/// single-attribute right-hand sides over the given arity. Exponential
+/// in the arity; this is the oracle the classifier differential tests
+/// compare against, not a production path.
+pub fn saturate(fds: &[Fd], arity: usize) -> Vec<Fd> {
+    let rel = fds.first().map(|f| f.rel).unwrap_or(rpr_data::RelId(0));
+    let mut out = Vec::new();
+    for lhs in AttrSet::full(arity).subsets() {
+        let cl = closure(lhs, fds);
+        for b in cl.difference(lhs).iter() {
+            out.push(Fd::new(rel, lhs, AttrSet::singleton(b)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::equivalent;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn cover_splits_and_reduces() {
+        // {1→{2,3}, {1,2}→3} over ternary: the second FD is redundant and
+        // the cover is {1→2, 1→3}.
+        let fds = [fd(&[1], &[2, 3]), fd(&[1, 2], &[3])];
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&fds, &cover));
+        assert_eq!(cover.len(), 2);
+        for c in &cover {
+            assert_eq!(c.lhs, AttrSet::singleton(1));
+            assert_eq!(c.rhs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn cover_drops_trivial_fds() {
+        let fds = [fd(&[1, 2], &[2]), fd(&[1], &[1])];
+        assert!(minimal_cover(&fds).is_empty());
+    }
+
+    #[test]
+    fn cover_left_reduces_using_other_fds() {
+        // {2}→3 follows, so {1,2}→3 left-reduces… only if 1 is
+        // droppable: with Δ = {2→3, {1,2}→3} the cover is {2→3}.
+        let fds = [fd(&[2], &[3]), fd(&[1, 2], &[3])];
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover, vec![fd(&[2], &[3])]);
+    }
+
+    #[test]
+    fn cover_preserves_equivalence_exhaustively() {
+        // All FD sets over a ternary relation built from a pool.
+        let pool = [
+            fd(&[1], &[2]),
+            fd(&[2], &[3]),
+            fd(&[3], &[1]),
+            fd(&[1, 2], &[3]),
+            fd(&[], &[2]),
+            fd(&[2, 3], &[1]),
+        ];
+        for mask in 0u32..(1 << pool.len()) {
+            let set: Vec<Fd> =
+                pool.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, f)| *f).collect();
+            let cover = minimal_cover(&set);
+            assert!(equivalent(&set, &cover), "mask {mask}: cover not equivalent");
+            // Every cover FD is left-reduced: no lhs attribute can be
+            // dropped without losing implication. (Implication is
+            // semantic, so testing against the cover itself is the same
+            // as testing against the original set.)
+            for c in &cover {
+                for a in c.lhs.iter() {
+                    let smaller = Fd::new(c.rel, c.lhs.remove(a), c.rhs);
+                    assert!(!implies(&cover, smaller), "mask {mask}: {c:?} not left-reduced");
+                }
+            }
+            // No cover FD is redundant.
+            for (i, c) in cover.iter().enumerate() {
+                let mut others = cover.clone();
+                others.remove(i);
+                assert!(!implies(&others, *c), "mask {mask}: redundant {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_by_lhs_groups() {
+        let split = [fd(&[1], &[2]), fd(&[1], &[3]), fd(&[2], &[1])];
+        let merged = merge_by_lhs(&split);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], fd(&[1], &[2, 3]));
+    }
+
+    #[test]
+    fn lhs_candidates_dedup() {
+        let fds = [fd(&[1], &[2]), fd(&[1], &[3]), fd(&[2], &[3])];
+        let cands = lhs_candidates(&fds);
+        assert_eq!(cands, vec![AttrSet::singleton(1), AttrSet::singleton(2)]);
+    }
+
+    #[test]
+    fn saturate_finds_all_consequences() {
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        let sat = saturate(&fds, 3);
+        assert!(sat.contains(&fd(&[1], &[3])));
+        assert!(sat.contains(&fd(&[1, 3], &[2])));
+        assert!(!sat.iter().any(|f| f.is_trivial()));
+        assert!(equivalent(&fds, &sat));
+    }
+}

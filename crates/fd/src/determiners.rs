@@ -1,0 +1,330 @@
+//! Determiners (§5.2).
+//!
+//! For the hard-case branching of the dichotomy proof the paper defines,
+//! for `A ⊆ ⟦R⟧`:
+//!
+//! * `A` is a **nontrivial determiner** if `A ⊊ ⟦R.A^Δ⟧` — it determines
+//!   something outside itself;
+//! * `A` is a **non-redundant determiner** if there is no `B ⊊ A` with
+//!   `(⟦R.A^Δ⟧ \ A) ⊆ ⟦R.B^Δ⟧` — what `A` determines outside itself is
+//!   not already determined by a proper subset;
+//! * `A` is a **minimal determiner** if `A` is a nontrivial determiner
+//!   and does not strictly contain any nontrivial determiner.
+//!
+//! The paper notes: minimal ⇒ non-redundant ⇒ nontrivial, and neither
+//! converse holds. The case analysis of §5.2 fixes a minimal determiner
+//! `A` that is not a key and a non-redundant determiner `B ≠ A` minimal
+//! w.r.t. set containment; this module computes those witnesses.
+//!
+//! **Complexity.** Minimal determiners are found in polynomial time via
+//! a structural fact: *every minimal nontrivial determiner is the
+//! left-hand side of some FD in `Δ`.* (The closure of a nontrivial
+//! determiner `A` fires a first FD `L → R` with `L ⊆ A` and `R ⊄ L`;
+//! if `L ⊊ A` then `L` is a nontrivial determiner strictly inside `A`,
+//! contradicting minimality; hence `L = A`.) The non-redundant witness
+//! `B`, by contrast, need *not* be an lhs (e.g. `Δ = {∅→1, {1,2}→5}`
+//! makes `{2}` non-redundant), so [`hard_case_witnesses`] searches
+//! subsets of the *relevant* attributes (those occurring in some
+//! nontrivial FD — sets containing inert attributes are always
+//! redundant) in size order under a step budget. This is fine: only
+//! the tractable/hard *decision* must be polynomial (Theorem 6.1); the
+//! case identification is diagnostic.
+
+use crate::closure::closure;
+use crate::fd::Fd;
+use rpr_data::AttrSet;
+
+/// Is `a` a nontrivial determiner (`A ⊊ closure(A)`)?
+pub fn is_nontrivial_determiner(a: AttrSet, fds: &[Fd]) -> bool {
+    a.is_proper_subset(closure(a, fds))
+}
+
+/// Is `a` a non-redundant determiner?
+///
+/// Enumerates the proper subsets of `a` (exponential in `|a|`, which is
+/// small in practice — `a` is a candidate witness, not a whole
+/// attribute universe).
+pub fn is_nonredundant_determiner(a: AttrSet, fds: &[Fd]) -> bool {
+    if !is_nontrivial_determiner(a, fds) {
+        return false;
+    }
+    let gain = closure(a, fds).difference(a);
+    a.subsets()
+        .filter(|&b| b != a)
+        .all(|b| !gain.is_subset(closure(b, fds)))
+}
+
+/// Is `a` a minimal determiner (nontrivial, containing no nontrivial
+/// determiner strictly inside it)?
+///
+/// By the structural fact above it suffices to look for FD left-hand
+/// sides strictly inside `a`.
+pub fn is_minimal_determiner(a: AttrSet, fds: &[Fd]) -> bool {
+    is_nontrivial_determiner(a, fds)
+        && !fds.iter().any(|fd| {
+            fd.lhs.is_proper_subset(a) && is_nontrivial_determiner(fd.lhs, fds)
+        })
+}
+
+/// All minimal determiners, in ascending bitmask order. Polynomial:
+/// candidates are the FD left-hand sides.
+pub fn minimal_determiners(fds: &[Fd], _arity: usize) -> Vec<AttrSet> {
+    let mut candidates: Vec<AttrSet> = fds
+        .iter()
+        .map(|fd| fd.lhs)
+        .filter(|&l| is_nontrivial_determiner(l, fds))
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    let minimal: Vec<AttrSet> = candidates
+        .iter()
+        .copied()
+        .filter(|&a| !candidates.iter().any(|&b| b.is_proper_subset(a)))
+        .collect();
+    minimal
+}
+
+/// The attributes occurring in some nontrivial FD. Determiner
+/// witnesses never need attributes outside this set: an inert attribute
+/// `x ∈ B` makes `B` redundant (`closure(B) = closure(B∖x) ∪ {x}`, so
+/// `gain(B) ⊆ closure(B∖x)`).
+pub fn relevant_attrs(fds: &[Fd]) -> AttrSet {
+    fds.iter()
+        .filter(|fd| !fd.is_trivial())
+        .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.lhs).union(fd.rhs))
+}
+
+/// All non-redundant determiners that are *minimal w.r.t. set
+/// containment among the non-redundant determiners*. Searches subsets
+/// of the relevant attributes (exponential in their number; a test and
+/// diagnostic facility).
+pub fn minimal_nonredundant_determiners(fds: &[Fd], _arity: usize) -> Vec<AttrSet> {
+    let universe = relevant_attrs(fds);
+    let all: Vec<AttrSet> =
+        universe.subsets().filter(|&a| is_nonredundant_determiner(a, fds)).collect();
+    let mut minimal: Vec<AttrSet> = all
+        .iter()
+        .copied()
+        .filter(|&a| !all.iter().any(|&b| b.is_proper_subset(a)))
+        .collect();
+    minimal.sort();
+    minimal
+}
+
+/// Default step budget for the `B` witness search.
+pub const WITNESS_BUDGET: usize = 1 << 18;
+
+/// The §5.2 witness pair: a minimal determiner `A` that is not a key,
+/// and a non-redundant determiner `B ≠ A`, minimal w.r.t. containment.
+///
+/// Returns `None` when no such pair exists — which, per §5.2, happens
+/// exactly on the tractable side (Δ equivalent to a single FD) or in
+/// the all-keys Case 1 — or when the size-ordered search for `B`
+/// exhausts [`WITNESS_BUDGET`] closure computations (only possible on
+/// very wide schemas, where the §5.2 diagnosis is not attempted).
+pub fn hard_case_witnesses(fds: &[Fd], arity: usize) -> Option<(AttrSet, AttrSet)> {
+    let full = AttrSet::full(arity);
+    let a = minimal_determiners(fds, arity)
+        .into_iter()
+        .find(|&a| closure(a, fds) != full)?;
+
+    // Size-ordered search for B over the relevant attributes: the first
+    // non-redundant determiner ≠ A found at the smallest size is
+    // minimal within NR \ {A} (all of its proper subsets are smaller
+    // and were already rejected).
+    let universe: Vec<usize> = relevant_attrs(fds).iter().collect();
+    let mut steps = 0usize;
+    for size in 0..=universe.len() {
+        let mut found: Option<AttrSet> = None;
+        let mut chosen = vec![0usize; size];
+        combos(&universe, size, 0, &mut chosen, 0, &mut |combo| {
+            if found.is_some() || steps > WITNESS_BUDGET {
+                return;
+            }
+            steps += 1;
+            let b = AttrSet::from_attrs(combo.iter().copied());
+            if b != a && is_nonredundant_determiner(b, fds) {
+                found = Some(b);
+            }
+        });
+        if let Some(b) = found {
+            return Some((a, b));
+        }
+        if steps > WITNESS_BUDGET {
+            return None;
+        }
+    }
+    None
+}
+
+fn combos(
+    pool: &[usize],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    depth: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if depth == size {
+        f(&chosen[..size]);
+        return;
+    }
+    for i in start..pool.len() {
+        chosen[depth] = pool[i];
+        combos(pool, size, i + 1, chosen, depth + 1, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn nontrivial_determiners() {
+        let fds = [fd(&[1], &[2])];
+        assert!(is_nontrivial_determiner(AttrSet::singleton(1), &fds));
+        assert!(!is_nontrivial_determiner(AttrSet::singleton(2), &fds));
+        // Supersets of determiners are determiners while they still gain.
+        assert!(is_nontrivial_determiner(AttrSet::from_attrs([1, 3]), &fds));
+        assert!(!is_nontrivial_determiner(AttrSet::from_attrs([1, 2]), &fds));
+    }
+
+    #[test]
+    fn minimality_vs_nonredundancy() {
+        // Δ = {1→2, {1,3}→4} over arity 4.
+        // {1,3} is a non-redundant determiner (it determines 4, and no
+        // proper subset does) but NOT minimal (it strictly contains the
+        // nontrivial determiner {1}).
+        let fds = [fd(&[1], &[2]), fd(&[1, 3], &[4])];
+        let a13 = AttrSet::from_attrs([1, 3]);
+        assert!(is_nonredundant_determiner(a13, &fds));
+        assert!(!is_minimal_determiner(a13, &fds));
+        assert!(is_minimal_determiner(AttrSet::singleton(1), &fds));
+        assert!(is_nonredundant_determiner(AttrSet::singleton(1), &fds));
+    }
+
+    #[test]
+    fn redundant_but_nontrivial() {
+        // Δ = {∅→2, 1→2}: {1} is a nontrivial determiner but redundant.
+        let fds = [fd(&[], &[2]), fd(&[1], &[2])];
+        assert!(is_nontrivial_determiner(AttrSet::singleton(1), &fds));
+        assert!(!is_nonredundant_determiner(AttrSet::singleton(1), &fds));
+        assert!(is_minimal_determiner(AttrSet::EMPTY, &fds));
+        assert!(is_nonredundant_determiner(AttrSet::EMPTY, &fds));
+    }
+
+    #[test]
+    fn minimal_determiners_enumeration() {
+        // S4 = {1→2, 2→3}: minimal determiners are {1} and {2}.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert_eq!(
+            minimal_determiners(&fds, 3),
+            vec![AttrSet::singleton(1), AttrSet::singleton(2)]
+        );
+        // S6 = {∅→1, 2→3}: ∅ is a determiner, so it is the only minimal one.
+        let fds = [fd(&[], &[1]), fd(&[2], &[3])];
+        assert_eq!(minimal_determiners(&fds, 3), vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn minimal_determiners_match_exhaustive_search() {
+        // Cross-check the lhs-based polynomial computation against a
+        // full subset enumeration on assorted small FD sets.
+        let cases: Vec<Vec<Fd>> = vec![
+            vec![fd(&[1], &[2]), fd(&[2], &[3])],
+            vec![fd(&[], &[1]), fd(&[2], &[3])],
+            vec![fd(&[1, 2], &[3]), fd(&[3], &[2])],
+            vec![fd(&[1], &[3]), fd(&[2], &[3]), fd(&[1, 2], &[4])],
+            vec![fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])],
+            vec![],
+        ];
+        for fds in cases {
+            let arity = 4;
+            let fast = minimal_determiners(&fds, arity);
+            let slow: Vec<AttrSet> = {
+                let mut found: Vec<AttrSet> = AttrSet::full(arity)
+                    .subsets()
+                    .filter(|&a| is_nontrivial_determiner(a, &fds))
+                    .collect();
+                found.sort_by_key(|a| a.len());
+                let mut minimal: Vec<AttrSet> = Vec::new();
+                for a in found {
+                    if !minimal.iter().any(|m| m.is_subset(a)) {
+                        minimal.push(a);
+                    }
+                }
+                minimal.sort();
+                minimal
+            };
+            assert_eq!(fast, slow, "minimal determiners differ for {fds:?}");
+        }
+    }
+
+    #[test]
+    fn non_lhs_nonredundant_witness_is_found() {
+        // Δ = {∅→1, {1,2}→5}: {2} is non-redundant but not an lhs; the
+        // size-ordered B search must still find it (A = ∅).
+        let fds = [fd(&[], &[1]), fd(&[1, 2], &[5])];
+        let (a, b) = hard_case_witnesses(&fds, 5).unwrap();
+        assert_eq!(a, AttrSet::EMPTY);
+        assert_eq!(b, AttrSet::singleton(2));
+        assert!(is_nonredundant_determiner(b, &fds));
+    }
+
+    #[test]
+    fn hard_case_witnesses_for_s4() {
+        // Over arity 3, {1} is a key; {2} is the minimal non-key
+        // determiner.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        let (a, _b) = hard_case_witnesses(&fds, 3).unwrap();
+        assert_eq!(a, AttrSet::singleton(2));
+    }
+
+    #[test]
+    fn no_witness_for_single_fd_schema() {
+        let fds = [fd(&[1], &[2])];
+        assert!(hard_case_witnesses(&fds, 3).is_none());
+    }
+
+    #[test]
+    fn no_witness_for_all_keys_case1() {
+        let fds = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        assert!(hard_case_witnesses(&fds, 3).is_none());
+    }
+
+    #[test]
+    fn witness_for_s6() {
+        let fds = [fd(&[], &[1]), fd(&[2], &[3])];
+        let (a, b) = hard_case_witnesses(&fds, 3).unwrap();
+        assert_eq!(a, AttrSet::EMPTY);
+        assert_eq!(b, AttrSet::singleton(2));
+    }
+
+    #[test]
+    fn wide_schemas_do_not_hang() {
+        // 40 attributes, chain FDs: the A search is polynomial and the
+        // B search terminates quickly (small witnesses exist).
+        let fds: Vec<Fd> = (1..40).map(|i| fd(&[i], &[i + 1])).collect();
+        let t = std::time::Instant::now();
+        let got = hard_case_witnesses(&fds, 40);
+        assert!(got.is_some());
+        assert!(t.elapsed().as_secs() < 5, "witness search too slow");
+        let t = std::time::Instant::now();
+        let md = minimal_determiners(&fds, 40);
+        assert!(!md.is_empty());
+        assert!(t.elapsed().as_millis() < 500, "minimal determiners too slow");
+    }
+
+    #[test]
+    fn relevant_attrs_ignores_trivial_fds() {
+        let fds = [fd(&[1], &[2]), fd(&[5, 6], &[5])];
+        assert_eq!(relevant_attrs(&fds), AttrSet::from_attrs([1, 2]));
+    }
+}

@@ -1,0 +1,142 @@
+//! Functional dependencies (§2.2).
+//!
+//! An FD over a signature is an expression `R : A → B` with `A, B ⊆ ⟦R⟧`.
+//! Special cases the paper singles out:
+//!
+//! * *trivial*: `B ⊆ A` (satisfied by every instance);
+//! * *key constraint*: `B = ⟦R⟧`;
+//! * *constant-attribute constraint*: `A = ∅` (§7.1).
+
+use rpr_data::{AttrSet, RelId, Signature};
+use std::fmt;
+
+/// A functional dependency `R : A → B`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// The relation the dependency constrains.
+    pub rel: RelId,
+    /// Left-hand side `A`.
+    pub lhs: AttrSet,
+    /// Right-hand side `B`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Builds `R : A → B`.
+    pub fn new(rel: RelId, lhs: AttrSet, rhs: AttrSet) -> Self {
+        Fd { rel, lhs, rhs }
+    }
+
+    /// Builds `R : A → B` from 1-based attribute lists.
+    pub fn from_attrs<L, R>(rel: RelId, lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator<Item = usize>,
+        R: IntoIterator<Item = usize>,
+    {
+        Fd::new(rel, AttrSet::from_attrs(lhs), AttrSet::from_attrs(rhs))
+    }
+
+    /// The key constraint `R : A → ⟦R⟧`.
+    pub fn key(rel: RelId, lhs: AttrSet, arity: usize) -> Self {
+        Fd::new(rel, lhs, AttrSet::full(arity))
+    }
+
+    /// Is the FD trivial (`B ⊆ A`)?
+    pub fn is_trivial(self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// Is the FD a key constraint (`B = ⟦R⟧`) for the given arity?
+    pub fn is_key_constraint(self, arity: usize) -> bool {
+        self.rhs == AttrSet::full(arity)
+    }
+
+    /// Is the FD a constant-attribute constraint (`A = ∅`, §7.1)?
+    pub fn is_constant_attribute(self) -> bool {
+        self.lhs.is_empty()
+    }
+
+    /// Are all attributes within `{1, …, arity}`?
+    pub fn fits_arity(self, arity: usize) -> bool {
+        let full = AttrSet::full(arity);
+        self.lhs.is_subset(full) && self.rhs.is_subset(full)
+    }
+
+    /// The *effective* right-hand side `B \ A` — the attributes the FD
+    /// actually constrains.
+    pub fn effective_rhs(self) -> AttrSet {
+        self.rhs.difference(self.lhs)
+    }
+
+    /// Renders the FD with its relation name.
+    pub fn display(self, sig: &Signature) -> FdDisplay<'_> {
+        FdDisplay { fd: self, sig }
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}:{}→{}", self.rel.0, self.lhs, self.rhs)
+    }
+}
+
+/// Helper rendering an FD with the relation name resolved.
+pub struct FdDisplay<'a> {
+    fd: Fd,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for FdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} : {} → {}",
+            self.sig.symbol(self.fd.rel).name(),
+            self.fd.lhs,
+            self.fd.rhs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(0);
+
+    #[test]
+    fn classification_predicates() {
+        let trivial = Fd::from_attrs(R, [1, 2], [2]);
+        assert!(trivial.is_trivial());
+        assert!(!Fd::from_attrs(R, [1], [2]).is_trivial());
+
+        let key = Fd::key(R, AttrSet::singleton(1), 3);
+        assert!(key.is_key_constraint(3));
+        assert!(!key.is_key_constraint(4));
+        assert!(!Fd::from_attrs(R, [1], [2]).is_key_constraint(3));
+
+        assert!(Fd::from_attrs(R, [], [2]).is_constant_attribute());
+        assert!(!Fd::from_attrs(R, [1], [2]).is_constant_attribute());
+    }
+
+    #[test]
+    fn fits_arity() {
+        assert!(Fd::from_attrs(R, [1], [3]).fits_arity(3));
+        assert!(!Fd::from_attrs(R, [1], [4]).fits_arity(3));
+        assert!(!Fd::from_attrs(R, [5], [1]).fits_arity(3));
+    }
+
+    #[test]
+    fn effective_rhs_drops_lhs_attrs() {
+        let fd = Fd::from_attrs(R, [1, 2], [2, 3]);
+        assert_eq!(fd.effective_rhs(), AttrSet::singleton(3));
+        assert!(Fd::from_attrs(R, [1, 2], [1, 2]).effective_rhs().is_empty());
+    }
+
+    #[test]
+    fn display_uses_relation_name() {
+        let sig = Signature::new([("BookLoc", 3)]).unwrap();
+        let fd = Fd::from_attrs(RelId(0), [1], [2]);
+        assert_eq!(fd.display(&sig).to_string(), "BookLoc : {1} → {2}");
+    }
+}

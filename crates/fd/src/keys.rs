@@ -1,0 +1,246 @@
+//! Keys and candidate-key enumeration.
+//!
+//! A *key constraint* is an FD `A → ⟦R⟧` (§2.2). The tractable side of
+//! Theorem 3.1 needs "equivalent to a set of two key constraints", the
+//! hard Case 1 of §5.2 needs "equivalent to three or more keys", and the
+//! ccp dichotomy (Theorem 7.1) needs "equivalent to a single key". This
+//! module provides superkey tests, minimization, and candidate-key
+//! enumeration.
+//!
+//! Candidate-key enumeration is worst-case exponential in the arity;
+//! the §6 classifier never calls it (it only needs the Lemma 6.2 lhs
+//! scan), but the hard-case *diagnosis* of §5.2 and the test oracles do.
+
+use crate::closure::{closure, is_superkey};
+use crate::fd::Fd;
+use rpr_data::AttrSet;
+
+/// Shrinks a superkey to a minimal key by greedily dropping attributes.
+///
+/// # Panics
+/// Panics (debug) if `attrs` is not a superkey.
+pub fn minimize_key(mut attrs: AttrSet, fds: &[Fd], arity: usize) -> AttrSet {
+    debug_assert!(is_superkey(attrs, fds, arity), "not a superkey: {attrs}");
+    for a in attrs.iter() {
+        let candidate = attrs.remove(a);
+        if is_superkey(candidate, fds, arity) {
+            attrs = candidate;
+        }
+    }
+    attrs
+}
+
+/// Enumerates all candidate keys (minimal superkeys) of `fds` over a
+/// relation with the given arity.
+///
+/// Uses the standard necessary/possible attribute split: attributes
+/// never appearing on any effective right-hand side are in *every* key;
+/// the search then explores subsets of the remaining attributes,
+/// smallest first, pruning supersets of found keys.
+pub fn candidate_keys(fds: &[Fd], arity: usize) -> Vec<AttrSet> {
+    let full = AttrSet::full(arity);
+    // Attributes that appear on some effective rhs can potentially be
+    // derived; all others must be in every key.
+    let derivable: AttrSet = fds
+        .iter()
+        .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.effective_rhs()));
+    let necessary = full.difference(derivable);
+
+    if is_superkey(necessary, fds, arity) {
+        return vec![minimize_key(necessary, fds, arity)];
+    }
+
+    // Order the optional attributes and explore subsets by size.
+    let optional: Vec<usize> = derivable.iter().collect();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Enumerate subsets of `optional` grouped by cardinality so that the
+    // first hit along any chain is minimal.
+    for size in 1..=optional.len() {
+        let mut chosen = vec![0usize; size];
+        enumerate_combinations(&optional, size, 0, &mut chosen, 0, &mut |combo| {
+            let cand = necessary.union(AttrSet::from_attrs(combo.iter().copied()));
+            if keys.iter().any(|k| k.is_subset(cand)) {
+                return; // a smaller key is already inside
+            }
+            if is_superkey(cand, fds, arity) {
+                keys.push(cand);
+            }
+        });
+    }
+    keys.sort();
+    keys
+}
+
+fn enumerate_combinations(
+    pool: &[usize],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    depth: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if depth == size {
+        f(&chosen[..size]);
+        return;
+    }
+    for i in start..pool.len() {
+        chosen[depth] = pool[i];
+        enumerate_combinations(pool, size, i + 1, chosen, depth + 1, f);
+    }
+}
+
+/// Is `fds` equivalent to a set of key constraints, and if so, which
+/// (minimized, pairwise-incomparable) set?
+///
+/// Polynomial-time test: `Δ` is equivalent to some set of keys iff
+/// **every nontrivial FD in `Δ` has a superkey left-hand side**.
+/// (⇒: if `Δ ≡ K` and `A → B ∈ Δ` is nontrivial, then `A → B ∈ K⁺`
+/// requires some key inside `A`, making `A` a superkey. ⇐: the set
+/// `{minimize(A) → ⟦R⟧ : A a superkey lhs}` implies every FD of `Δ`
+/// and is implied by `Δ`.) The returned family is the minimized,
+/// deduplicated key set derived from the left-hand sides — pairwise
+/// incomparable because each member is a *minimal* key.
+pub fn as_key_set(fds: &[Fd], arity: usize) -> Option<Vec<AttrSet>> {
+    let full = AttrSet::full(arity);
+    let mut keys: Vec<AttrSet> = Vec::new();
+    for fd in fds {
+        if fd.is_trivial() {
+            continue;
+        }
+        if closure(fd.lhs, fds) != full {
+            return None;
+        }
+        let key = minimize_key(fd.lhs, fds, arity);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    if keys.is_empty() {
+        // Trivial Δ ≡ the trivial key ⟦R⟧ → ⟦R⟧.
+        keys.push(minimize_key(full, fds, arity));
+    }
+    keys.sort();
+    Some(keys)
+}
+
+/// Does `attrs` determine attribute `b` under `fds`?
+pub fn determines(attrs: AttrSet, b: usize, fds: &[Fd]) -> bool {
+    closure(attrs, fds).contains(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn minimize_key_shrinks() {
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert_eq!(
+            minimize_key(AttrSet::from_attrs([1, 2, 3]), &fds, 3),
+            AttrSet::singleton(1)
+        );
+    }
+
+    #[test]
+    fn candidate_keys_chain() {
+        // 1→2, 2→3: the only key is {1}.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert_eq!(candidate_keys(&fds, 3), vec![AttrSet::singleton(1)]);
+    }
+
+    #[test]
+    fn candidate_keys_cycle() {
+        // 1→2, 2→1 over binary: keys {1} and {2}.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
+        assert_eq!(
+            candidate_keys(&fds, 2),
+            vec![AttrSet::singleton(1), AttrSet::singleton(2)]
+        );
+    }
+
+    #[test]
+    fn candidate_keys_s1() {
+        // S1 of Example 3.4: {1,2}→3, {1,3}→2, {2,3}→1 — three keys.
+        let fds = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        let keys = candidate_keys(&fds, 3);
+        assert_eq!(
+            keys,
+            vec![
+                AttrSet::from_attrs([1, 2]),
+                AttrSet::from_attrs([1, 3]),
+                AttrSet::from_attrs([2, 3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        // With no FDs the only key is the full attribute set.
+        assert_eq!(candidate_keys(&[], 3), vec![AttrSet::full(3)]);
+    }
+
+    #[test]
+    fn keys_are_minimal_and_incomparable() {
+        let fds = [
+            fd(&[1], &[2, 3, 4]),
+            fd(&[2, 3], &[1]),
+            fd(&[4], &[2]),
+        ];
+        let keys = candidate_keys(&fds, 4);
+        for (i, a) in keys.iter().enumerate() {
+            assert!(is_superkey(*a, &fds, 4));
+            for b in a.iter() {
+                assert!(!is_superkey(a.remove(b), &fds, 4), "{a} not minimal");
+            }
+            for (j, c) in keys.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(*c), "keys comparable: {a} ⊆ {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn as_key_set_accepts_key_equivalent() {
+        // Example 3.4 schema S1 is a set of keys.
+        let fds = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        assert_eq!(as_key_set(&fds, 3).unwrap().len(), 3);
+        // Example 3.3's T-relation FD set is equivalent to two keys.
+        let t = [fd(&[1], &[2, 3, 4]), fd(&[2, 3], &[1])];
+        let keys = as_key_set(&t, 4).unwrap();
+        assert_eq!(keys, vec![AttrSet::singleton(1), AttrSet::from_attrs([2, 3])]);
+    }
+
+    #[test]
+    fn as_key_set_rejects_non_key_sets() {
+        // S4 of Example 3.4: {1→2, 2→3} over ternary — 2→3 is not implied
+        // by the single key {1}.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert!(as_key_set(&fds, 3).is_none());
+        // S6: {∅→1, 2→3}.
+        let fds = [fd(&[], &[1]), fd(&[2], &[3])];
+        assert!(as_key_set(&fds, 3).is_none());
+    }
+
+    #[test]
+    fn empty_fd_set_is_trivially_a_key_set() {
+        // Equivalent to the trivial key ⟦R⟧ → ⟦R⟧.
+        let keys = as_key_set(&[], 2).unwrap();
+        assert_eq!(keys, vec![AttrSet::full(2)]);
+    }
+
+    #[test]
+    fn determines_works() {
+        let fds = [fd(&[1], &[2])];
+        assert!(determines(AttrSet::singleton(1), 2, &fds));
+        assert!(!determines(AttrSet::singleton(2), 1, &fds));
+        assert!(determines(AttrSet::singleton(2), 2, &fds));
+    }
+}

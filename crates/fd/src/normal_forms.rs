@@ -1,0 +1,152 @@
+//! Normal-form analysis: BCNF and 3NF violation detection.
+//!
+//! Not part of the paper's results, but a natural companion feature for
+//! an FD library shipped with a repair system: schemas whose relations
+//! are in BCNF have only key-based conflicts, which is exactly the
+//! territory of the tractable cases of Theorems 3.1 and 7.1, so the
+//! analysis doubles as a design lint ("this relation's FD set is why
+//! your schema classified coNP-complete").
+
+use crate::closure::{closure, is_superkey};
+use crate::fd::Fd;
+use crate::keys::candidate_keys;
+use rpr_data::AttrSet;
+
+/// One FD violating a normal form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The offending (nontrivial) FD, with its closure-completed rhs.
+    pub fd: Fd,
+    /// Whether the lhs at least contains… see [`ViolationKind`].
+    pub kind: ViolationKind,
+}
+
+/// How an FD violates a normal form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// Violates BCNF: nontrivial and the lhs is not a superkey.
+    Bcnf,
+    /// Violates 3NF too: additionally, some rhs attribute is not prime
+    /// (member of no candidate key).
+    ThirdNormalForm,
+}
+
+/// BCNF check: every nontrivial FD has a superkey lhs.
+///
+/// (Equivalently — see `rpr_fd::keys::as_key_set` — `Δ` is equivalent
+/// to a set of key constraints.)
+pub fn is_bcnf(fds: &[Fd], arity: usize) -> bool {
+    fds.iter()
+        .all(|fd| fd.is_trivial() || is_superkey(fd.lhs, fds, arity))
+}
+
+/// 3NF check: every nontrivial FD has a superkey lhs or only prime
+/// attributes (members of some candidate key) on its effective rhs.
+pub fn is_3nf(fds: &[Fd], arity: usize) -> bool {
+    let prime = prime_attributes(fds, arity);
+    fds.iter().all(|fd| {
+        fd.is_trivial()
+            || is_superkey(fd.lhs, fds, arity)
+            || fd.effective_rhs().is_subset(prime)
+    })
+}
+
+/// The prime attributes: union of all candidate keys.
+pub fn prime_attributes(fds: &[Fd], arity: usize) -> AttrSet {
+    candidate_keys(fds, arity)
+        .into_iter()
+        .fold(AttrSet::EMPTY, AttrSet::union)
+}
+
+/// All normal-form violations, each tagged with the strongest violated
+/// form.
+pub fn violations(fds: &[Fd], arity: usize) -> Vec<Violation> {
+    let prime = prime_attributes(fds, arity);
+    let mut out = Vec::new();
+    for &fd in fds {
+        if fd.is_trivial() || is_superkey(fd.lhs, fds, arity) {
+            continue;
+        }
+        let completed = Fd::new(fd.rel, fd.lhs, closure(fd.lhs, fds));
+        let kind = if fd.effective_rhs().is_subset(prime) {
+            ViolationKind::Bcnf
+        } else {
+            ViolationKind::ThirdNormalForm
+        };
+        out.push(Violation { fd: completed, kind });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn key_schemas_are_bcnf() {
+        // Two keys over binary (the LibLoc schema).
+        let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
+        assert!(is_bcnf(&fds, 2));
+        assert!(is_3nf(&fds, 2));
+        assert!(violations(&fds, 2).is_empty());
+        // S1 (three keys) is BCNF too.
+        let s1 = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        assert!(is_bcnf(&s1, 3));
+    }
+
+    #[test]
+    fn partial_dependency_breaks_bcnf_not_3nf() {
+        // S3 = {{1,2}→3, 3→2}: 3→2 has non-superkey lhs, but 2 is prime
+        // (candidate keys {1,2} and {1,3}): BCNF fails, 3NF holds.
+        let fds = [fd(&[1, 2], &[3]), fd(&[3], &[2])];
+        assert!(!is_bcnf(&fds, 3));
+        assert!(is_3nf(&fds, 3));
+        let v = violations(&fds, 3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Bcnf);
+    }
+
+    #[test]
+    fn transitive_dependency_breaks_3nf() {
+        // S4 = {1→2, 2→3}: 2→3 has non-superkey lhs and 3 is not prime
+        // (only candidate key is {1}).
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert!(!is_bcnf(&fds, 3));
+        assert!(!is_3nf(&fds, 3));
+        let v = violations(&fds, 3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ThirdNormalForm);
+        assert_eq!(v[0].fd.lhs, AttrSet::singleton(2));
+    }
+
+    #[test]
+    fn single_non_key_fd_violates_bcnf() {
+        // BookLoc's 1→2 over arity 3: {1} is not a superkey.
+        let fds = [fd(&[1], &[2])];
+        assert!(!is_bcnf(&fds, 3));
+        // attribute 2 prime? candidate key is {1,3}: no → 3NF fails too.
+        assert!(!is_3nf(&fds, 3));
+    }
+
+    #[test]
+    fn prime_attributes_union_of_keys() {
+        let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
+        assert_eq!(prime_attributes(&fds, 2), AttrSet::full(2));
+        let s4 = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert_eq!(prime_attributes(&s4, 3), AttrSet::singleton(1));
+    }
+
+    #[test]
+    fn empty_fd_set_is_in_every_normal_form() {
+        assert!(is_bcnf(&[], 4));
+        assert!(is_3nf(&[], 4));
+        assert!(violations(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! FD projection onto an attribute subset.
+//!
+//! `π_X(Δ) = {A → B ∈ Δ⁺ : A, B ⊆ X}` — the dependencies a view or a
+//! decomposed relation inherits. Projection is the classical companion
+//! to normal-form analysis (checking a decomposition preserves
+//! dependencies) and is worst-case exponential (the projected cover can
+//! be exponential in `|X|`); this implementation enumerates subsets of
+//! `X` and returns a minimal cover of the projection.
+
+use crate::closure::{closure, implies};
+use crate::cover::{merge_by_lhs, minimal_cover};
+use crate::fd::Fd;
+use rpr_data::AttrSet;
+
+/// Computes a minimal cover of the projection of `fds` onto `attrs`.
+///
+/// Exponential in `|attrs|` (subset enumeration); intended for the
+/// small arities the paper's schemas use.
+pub fn project_fds(fds: &[Fd], attrs: AttrSet) -> Vec<Fd> {
+    let rel = fds.first().map(|f| f.rel).unwrap_or(rpr_data::RelId(0));
+    let mut projected = Vec::new();
+    for lhs in attrs.subsets() {
+        let rhs = closure(lhs, fds).intersect(attrs).difference(lhs);
+        if !rhs.is_empty() {
+            projected.push(Fd::new(rel, lhs, rhs));
+        }
+    }
+    merge_by_lhs(&minimal_cover(&projected))
+}
+
+/// Does the decomposition into the given attribute sets preserve all
+/// dependencies? (The union of the projected FDs must imply every
+/// original FD.)
+pub fn is_dependency_preserving(fds: &[Fd], parts: &[AttrSet]) -> bool {
+    let mut union: Vec<Fd> = Vec::new();
+    for &part in parts {
+        union.extend(project_fds(fds, part));
+    }
+    fds.iter().all(|&fd| implies(&union, fd))
+}
+
+/// Is the binary decomposition `(x, y)` of the full attribute set a
+/// lossless join (the classical test: `x ∩ y` determines `x` or `y`)?
+pub fn is_lossless_join(fds: &[Fd], x: AttrSet, y: AttrSet) -> bool {
+    let shared = x.intersect(y);
+    let cl = closure(shared, fds);
+    x.is_subset(cl) || y.is_subset(cl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::equivalent;
+    use rpr_data::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::from_attrs(R, lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn projection_keeps_inside_fds_and_derives_transitive_ones() {
+        // Δ = {1→2, 2→3}; project onto {1,3}: 1→3 must appear.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        let p = project_fds(&fds, AttrSet::from_attrs([1, 3]));
+        assert!(equivalent(&p, &[fd(&[1], &[3])]));
+        // Project onto {2,3}: 2→3 survives.
+        let p = project_fds(&fds, AttrSet::from_attrs([2, 3]));
+        assert!(equivalent(&p, &[fd(&[2], &[3])]));
+        // Project onto {1}: nothing nontrivial.
+        assert!(project_fds(&fds, AttrSet::singleton(1)).is_empty());
+    }
+
+    #[test]
+    fn projection_onto_everything_is_equivalent() {
+        let fds = [fd(&[1], &[2]), fd(&[2, 3], &[4]), fd(&[4], &[1])];
+        let p = project_fds(&fds, AttrSet::full(4));
+        assert!(equivalent(&p, &fds));
+    }
+
+    #[test]
+    fn dependency_preservation() {
+        // The classic non-preserving decomposition: Δ = {1→2, 2→3}
+        // split into {1,2} and {1,3} loses 2→3.
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        assert!(!is_dependency_preserving(
+            &fds,
+            &[AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([1, 3])]
+        ));
+        // Splitting into {1,2} and {2,3} preserves both.
+        assert!(is_dependency_preserving(
+            &fds,
+            &[AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3])]
+        ));
+    }
+
+    #[test]
+    fn lossless_join_test() {
+        let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
+        // Split on {1,2} / {2,3}: shared {2} determines {2,3} ✓.
+        assert!(is_lossless_join(&fds, AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3])));
+        // Split on {1,2} / {3}: shared ∅ determines neither.
+        assert!(!is_lossless_join(&fds, AttrSet::from_attrs([1, 2]), AttrSet::singleton(3)));
+    }
+}

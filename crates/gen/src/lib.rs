@@ -1,0 +1,29 @@
+//! # rpr-gen — workload generation
+//!
+//! Everything the tests, examples and benchmarks feed to the checkers:
+//!
+//! * [`running_example`] — Figure 1, the Example 2.3 priority, and the
+//!   `J1..J4` subinstances of Example 2.5, with named fact handles;
+//! * [`schemas`] — the full named schema corpus of the paper (the
+//!   running example, Example 3.3, the six hard schemas `S1..S6`, the
+//!   ccp-hard `Sa..Sd`) plus parametric and random schema builders;
+//! * [`synthetic`] — seeded random instances with tunable conflict
+//!   density, random acyclic priorities (conflict-restricted and ccp),
+//!   and random repairs.
+
+#![warn(missing_docs)]
+
+pub mod feeds;
+pub mod running_example;
+pub mod schemas;
+pub mod synthetic;
+
+pub use feeds::{simulate_feed, trust_then_recency_priority, Feed, FeedSpec, SourceSpec};
+pub use running_example::{Facts, RunningExample};
+pub use schemas::{
+    ccp_hard_schema, example_3_3_schema, hard_schema, random_schema, running_example_schema,
+    single_fd_schema, two_keys_schema,
+};
+pub use synthetic::{
+    random_ccp_priority, random_conflict_priority, random_instance, random_repair, InstanceSpec,
+};

@@ -1,0 +1,200 @@
+//! Named schema corpus: every concrete schema the paper mentions, plus
+//! random schema generation for classifier benchmarks.
+
+use rand::Rng;
+use rpr_data::{AttrSet, RelId, Signature};
+use rpr_fd::{Fd, Schema};
+
+/// The running-example schema (Examples 2.1/2.2):
+/// `BookLoc(isbn, genre, lib)` with `1→2`, `LibLoc(lib, loc)` with
+/// `{1→2, 2→1}`.
+pub fn running_example_schema() -> Schema {
+    let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+    Schema::from_named(
+        sig,
+        [
+            ("BookLoc", &[1][..], &[2][..]),
+            ("LibLoc", &[1][..], &[2][..]),
+            ("LibLoc", &[2][..], &[1][..]),
+        ],
+    )
+    .unwrap()
+}
+
+/// The schema of Example 3.3: `R/3` with `1→2`; `S/3` with no FDs;
+/// `T/4` with `{1→{2,3,4}, {2,3}→1}`.
+pub fn example_3_3_schema() -> Schema {
+    let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
+    Schema::from_named(
+        sig,
+        [
+            ("R", &[1][..], &[2][..]),
+            ("T", &[1][..], &[2, 3, 4][..]),
+            ("T", &[2, 3][..], &[1][..]),
+        ],
+    )
+    .unwrap()
+}
+
+/// The six hard schemas of Example 3.4, `S1 … S6`, each a single
+/// ternary relation `R1 … R6`.
+///
+/// # Panics
+/// Panics unless `1 ≤ i ≤ 6`.
+pub fn hard_schema(i: usize) -> Schema {
+    let name = ["R1", "R2", "R3", "R4", "R5", "R6"][i - 1];
+    let sig = Signature::new([(name, 3)]).unwrap();
+    let fds: &[(&[usize], &[usize])] = match i {
+        1 => &[(&[1, 2], &[3]), (&[1, 3], &[2]), (&[2, 3], &[1])],
+        2 => &[(&[1], &[2]), (&[2], &[1])],
+        3 => &[(&[1, 2], &[3]), (&[3], &[2])],
+        4 => &[(&[1], &[2]), (&[2], &[3])],
+        5 => &[(&[1], &[3]), (&[2], &[3])],
+        6 => &[(&[], &[1]), (&[2], &[3])],
+        _ => panic!("hard schemas are S1..S6"),
+    };
+    let named: Vec<(&str, &[usize], &[usize])> =
+        fds.iter().map(|&(l, r)| (name, l, r)).collect();
+    Schema::from_named(sig, named).unwrap()
+}
+
+/// The §7.3 ccp hard schemas `Sa … Sd` (`x ∈ {'a','b','c','d'}`):
+/// * `Sa`: `R/2` with `1→2` and `S/2` with `∅→1`;
+/// * `Sb`: one ternary relation with `{1→2}`;
+/// * `Sc`: one ternary relation with `{1→2, ∅→3}`;
+/// * `Sd`: one binary relation with `{1→2, 2→1}`.
+///
+/// # Panics
+/// Panics on other letters.
+pub fn ccp_hard_schema(x: char) -> Schema {
+    match x {
+        'a' => {
+            let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
+            Schema::from_named(
+                sig,
+                [("R", &[1][..], &[2][..]), ("S", &[][..], &[1][..])],
+            )
+            .unwrap()
+        }
+        'b' => {
+            let sig = Signature::new([("R", 3)]).unwrap();
+            Schema::from_named(sig, [("R", &[1][..], &[2][..])]).unwrap()
+        }
+        'c' => {
+            let sig = Signature::new([("R", 3)]).unwrap();
+            Schema::from_named(
+                sig,
+                [("R", &[1][..], &[2][..]), ("R", &[][..], &[3][..])],
+            )
+            .unwrap()
+        }
+        'd' => {
+            let sig = Signature::new([("R", 2)]).unwrap();
+            Schema::from_named(
+                sig,
+                [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
+            )
+            .unwrap()
+        }
+        other => panic!("ccp hard schemas are Sa..Sd, got S{other}"),
+    }
+}
+
+/// A single-relation schema with one FD `A → B` (the `GRepCheck1FD`
+/// workload).
+pub fn single_fd_schema(arity: usize, lhs: &[usize], rhs: &[usize]) -> Schema {
+    let sig = Signature::new([("R", arity)]).unwrap();
+    Schema::from_named(sig, [("R", lhs, rhs)]).unwrap()
+}
+
+/// A single-relation schema with two key constraints (the
+/// `GRepCheck2Keys` workload).
+pub fn two_keys_schema(arity: usize, key1: &[usize], key2: &[usize]) -> Schema {
+    let sig = Signature::new([("R", arity)]).unwrap();
+    let full: Vec<usize> = (1..=arity).collect();
+    Schema::from_named(sig, [("R", key1, &full[..]), ("R", key2, &full[..])]).unwrap()
+}
+
+/// A random single-relation schema: `n_fds` FDs with lhs/rhs drawn
+/// uniformly from the non-full subsets (sizes ≤ `max_side`). Used by
+/// the classifier benchmarks and the classifier-vs-oracle differential
+/// experiment.
+pub fn random_schema<R: Rng>(rng: &mut R, arity: usize, n_fds: usize, max_side: usize) -> Schema {
+    let sig = Signature::new([("R", arity)]).unwrap();
+    let rel = RelId(0);
+    let mut fds = Vec::with_capacity(n_fds);
+    for _ in 0..n_fds {
+        let lhs_size = rng.random_range(0..=max_side.min(arity));
+        let rhs_size = rng.random_range(1..=max_side.min(arity));
+        let lhs = random_attrs(rng, arity, lhs_size);
+        let rhs = random_attrs(rng, arity, rhs_size);
+        fds.push(Fd::new(rel, lhs, rhs));
+    }
+    Schema::new(sig, fds).unwrap()
+}
+
+fn random_attrs<R: Rng>(rng: &mut R, arity: usize, size: usize) -> AttrSet {
+    let mut s = AttrSet::EMPTY;
+    while s.len() < size {
+        s = s.insert(rng.random_range(1..=arity));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpr_classify::{classify_schema, classify_schema_ccp, Complexity};
+
+    #[test]
+    fn corpus_classifications_match_the_paper() {
+        assert_eq!(
+            classify_schema(&running_example_schema()).complexity(),
+            Complexity::PolynomialTime
+        );
+        assert_eq!(
+            classify_schema(&example_3_3_schema()).complexity(),
+            Complexity::PolynomialTime
+        );
+        for i in 1..=6 {
+            assert_eq!(
+                classify_schema(&hard_schema(i)).complexity(),
+                Complexity::ConpComplete,
+                "S{i}"
+            );
+        }
+        for x in ['a', 'b', 'c', 'd'] {
+            assert_eq!(
+                classify_schema_ccp(&ccp_hard_schema(x)).complexity(),
+                Complexity::ConpComplete,
+                "S{x}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_schema_builders() {
+        let s = single_fd_schema(3, &[1], &[2]);
+        assert_eq!(s.fds().len(), 1);
+        let t = two_keys_schema(3, &[1], &[2]);
+        assert_eq!(t.fds().len(), 2);
+        assert!(t.fds().iter().all(|fd| fd.is_key_constraint(3)));
+    }
+
+    #[test]
+    fn random_schemas_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let s = random_schema(&mut rng, 4, 3, 2);
+            assert_eq!(s.signature().len(), 1);
+            for fd in s.fds() {
+                assert!(fd.fits_arity(4));
+            }
+            // Classification must never panic.
+            let _ = classify_schema(&s);
+            let _ = classify_schema_ccp(&s);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Undirected graphs and a Hamiltonian-cycle solver.
+//!
+//! The Lemma 5.2 reduction starts from the undirected Hamiltonian Cycle
+//! problem: given `G = (V, E)` with `V = {v0, …, v_{n-1}}`, is there a
+//! permutation `π` of `{0, …, n-1}` with an edge between `v_{π(i)}` and
+//! `v_{π(i+1)}` for all `i` (indices mod `n`)? The backtracking solver
+//! here is the ground truth the gadget is verified against.
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct UGraph {
+    n: usize,
+    adj: Vec<u64>,
+}
+
+impl UGraph {
+    /// An edgeless graph on `n ≤ 64` vertices.
+    ///
+    /// # Panics
+    /// Panics if `n > 64` (the solver and the gadget target small
+    /// graphs; 64 is far beyond what the coNP gadget can exercise).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 64, "gadget graphs are capped at 64 vertices");
+        UGraph { n, adj: vec![0; n] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the graph empty (no vertices)?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices or self-loops.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        assert_ne!(a, b, "self-loops are not part of the HC problem");
+        self.adj[a] |= 1 << b;
+        self.adj[b] |= 1 << a;
+    }
+
+    /// Is `{a, b}` an edge?
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && (self.adj[a] >> b) & 1 == 1
+    }
+
+    /// All edges `{a, b}` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.has_edge(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The cycle graph `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = UGraph::new(n);
+        if n >= 2 {
+            for i in 0..n {
+                let j = (i + 1) % n;
+                if i != j {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = UGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// The path graph `P_n` (never Hamiltonian for `n ≥ 2`).
+    pub fn path(n: usize) -> Self {
+        let mut g = UGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// Finds a Hamiltonian cycle (as the permutation `π`, starting at
+    /// vertex 0), by backtracking. Follows the paper's definition: a
+    /// 2-vertex graph with one edge *is* Hamiltonian (`π = (0 1)`
+    /// traverses the edge twice, once per direction).
+    pub fn hamiltonian_cycle(&self) -> Option<Vec<usize>> {
+        let n = self.n;
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            // A 1-cycle needs the edge {v0, v0}, which simple graphs lack.
+            return None;
+        }
+        let mut perm = vec![0usize];
+        let mut used = 1u64;
+        if self.backtrack(&mut perm, &mut used) {
+            Some(perm)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&self, perm: &mut Vec<usize>, used: &mut u64) -> bool {
+        if perm.len() == self.n {
+            return self.has_edge(perm[self.n - 1], perm[0]);
+        }
+        let last = *perm.last().expect("perm starts non-empty");
+        for next in 0..self.n {
+            if (*used >> next) & 1 == 0 && self.has_edge(last, next) {
+                perm.push(next);
+                *used |= 1 << next;
+                if self.backtrack(perm, used) {
+                    return true;
+                }
+                perm.pop();
+                *used &= !(1 << next);
+            }
+        }
+        false
+    }
+
+    /// Does the graph have a Hamiltonian cycle?
+    pub fn is_hamiltonian(&self) -> bool {
+        self.hamiltonian_cycle().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_and_cliques_are_hamiltonian() {
+        for n in 3..=7 {
+            assert!(UGraph::cycle(n).is_hamiltonian(), "C{n}");
+            assert!(UGraph::complete(n).is_hamiltonian(), "K{n}");
+        }
+    }
+
+    #[test]
+    fn paths_and_sparse_graphs_are_not() {
+        // P2 is the Figure-5 graph and counts as Hamiltonian under the
+        // paper's definition; larger paths never are.
+        for n in 3..=7 {
+            assert!(!UGraph::path(n).is_hamiltonian(), "P{n}");
+        }
+        // C5 minus one edge.
+        let mut g = UGraph::cycle(5);
+        g = {
+            let mut h = UGraph::new(5);
+            for (a, b) in g.edges().into_iter().skip(1) {
+                h.add_edge(a, b);
+            }
+            h
+        };
+        assert!(!g.is_hamiltonian());
+    }
+
+    #[test]
+    fn figure_5_graph_is_hamiltonian() {
+        // The paper's Figure 5 example: two vertices joined by an edge.
+        let mut g = UGraph::new(2);
+        g.add_edge(0, 1);
+        assert!(g.is_hamiltonian());
+        assert_eq!(g.hamiltonian_cycle().unwrap(), vec![0, 1]);
+        // Two isolated vertices are not Hamiltonian.
+        assert!(!UGraph::new(2).is_hamiltonian());
+    }
+
+    #[test]
+    fn witness_is_a_real_cycle() {
+        let g = UGraph::complete(6);
+        let perm = g.hamiltonian_cycle().unwrap();
+        assert_eq!(perm.len(), 6);
+        let mut sorted = perm.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        for i in 0..6 {
+            assert!(g.has_edge(perm[i], perm[(i + 1) % 6]));
+        }
+    }
+
+    #[test]
+    fn petersen_graph_is_not_hamiltonian() {
+        // The classic non-Hamiltonian 3-regular graph.
+        let mut g = UGraph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer C5
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        assert!(!g.is_hamiltonian());
+    }
+}

@@ -1,0 +1,34 @@
+//! # rpr-reductions — the hardness machinery of §5
+//!
+//! * [`graph`] — undirected graphs and a backtracking Hamiltonian-cycle
+//!   solver (the ground truth for the gadget);
+//! * [`hamiltonian`] — the Lemma 5.2 gadget: from a graph `G`, a
+//!   prioritizing instance over `S1` and a repair `J` such that `J` is
+//!   globally optimal iff `G` is **not** Hamiltonian;
+//! * [`pi`] — the §5.1 Π fact-mapping framework, with machine-checkable
+//!   key properties (injectivity, pairwise consistency preservation)
+//!   and whole-input translation;
+//! * [`case1`] — the §5.3 Π mapping from `S1` into any schema
+//!   equivalent to three or more pairwise-incomparable keys.
+//!
+//! Composing [`hamiltonian::hamiltonian_gadget`] with
+//! [`case1::CaseOneMapping`] yields, for every Case-1 schema, concrete
+//! repair-checking inputs whose answers decide Hamiltonicity — the
+//! executable form of the paper's hardness proof for Case 1. (The
+//! conference paper gives only Case 1 end-to-end; Cases 2–7 live in its
+//! full version, so this crate hosts the framework they would plug
+//! into. See DESIGN.md.)
+
+#![warn(missing_docs)]
+
+pub mod case1;
+pub mod graph;
+pub mod hamiltonian;
+pub mod pi;
+
+pub use case1::{CaseOneError, CaseOneMapping};
+pub use graph::UGraph;
+pub use hamiltonian::{
+    hamiltonian_gadget, hamiltonian_input_for_keys, improvement_from_cycle, HamiltonianGadget,
+};
+pub use pi::{check_injective, check_preserves_consistency, map_input, map_instance, FactMapping};

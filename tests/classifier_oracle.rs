@@ -1,0 +1,140 @@
+//! The Theorem 6.1 / 7.6 classifiers against exhaustive semantic
+//! search: for random small schemas, "equivalent to a single FD / two
+//! keys / one key / constant-attribute" is re-decided by enumerating
+//! *all* candidate attribute sets, and the answers must coincide.
+
+use preferred_repairs::classify::{
+    classify_relation, equivalent_constant_attribute, equivalent_single_fd,
+    equivalent_single_key, equivalent_two_incomparable_keys, RelationClass,
+};
+use preferred_repairs::data::{AttrSet, RelId};
+use preferred_repairs::fd::{closure, equivalent, Fd};
+use preferred_repairs::gen::random_schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Oracle: Δ ≡ single FD, by trying *every* lhs A ⊆ ⟦R⟧ (not just
+/// those occurring in Δ, which is what Lemma 6.2 licenses).
+fn oracle_single_fd(fds: &[Fd], rel: RelId, arity: usize) -> bool {
+    AttrSet::full(arity).subsets().any(|lhs| {
+        let candidate = Fd::new(rel, lhs, closure(lhs, fds));
+        equivalent(fds, &[candidate])
+    })
+}
+
+/// Oracle: Δ ≡ two (possibly comparable) keys, by trying every pair of
+/// attribute subsets.
+fn oracle_two_keys(fds: &[Fd], rel: RelId, arity: usize) -> bool {
+    let full = AttrSet::full(arity);
+    let subsets: Vec<AttrSet> = full.subsets().collect();
+    for (i, &a1) in subsets.iter().enumerate() {
+        for &a2 in subsets.iter().skip(i) {
+            let keys = [Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)];
+            if equivalent(fds, &keys) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Oracle: Δ ≡ one key.
+fn oracle_single_key(fds: &[Fd], rel: RelId, arity: usize) -> bool {
+    AttrSet::full(arity)
+        .subsets()
+        .any(|a| equivalent(fds, &[Fd::key(rel, a, arity)]))
+}
+
+/// Oracle: Δ ≡ ∅ → B for some B.
+fn oracle_const_attr(fds: &[Fd], rel: RelId, arity: usize) -> bool {
+    AttrSet::full(arity)
+        .subsets()
+        .any(|b| equivalent(fds, &[Fd::new(rel, AttrSet::EMPTY, b)]))
+}
+
+#[test]
+fn theorem_3_1_side_matches_semantic_oracle() {
+    let mut rng = StdRng::seed_from_u64(20_15);
+    for trial in 0..400 {
+        let arity = 2 + (trial % 3); // 2..=4
+        let schema = random_schema(&mut rng, arity, 1 + trial % 4, 2);
+        let rel = RelId(0);
+        let fds = schema.fds_for(rel);
+        let tractable_oracle =
+            oracle_single_fd(fds, rel, arity) || oracle_two_keys(fds, rel, arity);
+        let class = classify_relation(fds, rel, arity);
+        assert_eq!(
+            class.is_tractable(),
+            tractable_oracle,
+            "trial {trial}: classifier {class:?} vs oracle {tractable_oracle} on {fds:?}"
+        );
+        // The classifier's witnesses are genuine.
+        match class {
+            RelationClass::SingleFd(fd) => assert!(equivalent(fds, &[fd])),
+            RelationClass::TwoKeys(a1, a2) => {
+                let keys = [Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)];
+                assert!(equivalent(fds, &keys));
+                assert!(!a1.is_subset(a2) && !a2.is_subset(a1));
+            }
+            RelationClass::Hard(_) => {}
+        }
+    }
+}
+
+#[test]
+fn lemma_6_2_single_fd_agreement() {
+    // Directly compare the Lemma 6.2 algorithm (lhs's from Δ only)
+    // against the any-lhs oracle.
+    let mut rng = StdRng::seed_from_u64(6_2);
+    for trial in 0..400 {
+        let arity = 2 + (trial % 3);
+        let schema = random_schema(&mut rng, arity, 1 + trial % 4, 2);
+        let rel = RelId(0);
+        let fds = schema.fds_for(rel);
+        assert_eq!(
+            equivalent_single_fd(fds, rel, arity).is_some(),
+            oracle_single_fd(fds, rel, arity),
+            "trial {trial} on {fds:?}"
+        );
+    }
+}
+
+#[test]
+fn two_keys_detection_agreement() {
+    // equivalent_two_incomparable_keys + single-fd together must equal
+    // the unrestricted two-keys oracle (comparable keys collapse to a
+    // single key, which is a single FD).
+    let mut rng = StdRng::seed_from_u64(4_2);
+    for trial in 0..400 {
+        let arity = 2 + (trial % 3);
+        let schema = random_schema(&mut rng, arity, 1 + trial % 4, 2);
+        let rel = RelId(0);
+        let fds = schema.fds_for(rel);
+        let ours = equivalent_two_incomparable_keys(fds, arity).is_some()
+            || equivalent_single_fd(fds, rel, arity).is_some();
+        let oracle = oracle_two_keys(fds, rel, arity)
+            || oracle_single_fd(fds, rel, arity);
+        assert_eq!(ours, oracle, "trial {trial} on {fds:?}");
+    }
+}
+
+#[test]
+fn theorem_7_6_sides_match_semantic_oracles() {
+    let mut rng = StdRng::seed_from_u64(7_6);
+    for trial in 0..400 {
+        let arity = 2 + (trial % 3);
+        let schema = random_schema(&mut rng, arity, 1 + trial % 4, 2);
+        let rel = RelId(0);
+        let fds = schema.fds_for(rel);
+        assert_eq!(
+            equivalent_single_key(fds, rel, arity).is_some(),
+            oracle_single_key(fds, rel, arity),
+            "single-key, trial {trial} on {fds:?}"
+        );
+        assert_eq!(
+            equivalent_constant_attribute(fds, rel).is_some(),
+            oracle_const_attr(fds, rel, arity),
+            "const-attr, trial {trial} on {fds:?}"
+        );
+    }
+}
