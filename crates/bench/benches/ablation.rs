@@ -27,9 +27,7 @@ fn is_global_improvement_naive(
     }
     let lost: Vec<FactId> = j.difference(j2).copied().collect();
     let gained: BTreeSet<FactId> = j2.difference(j).copied().collect();
-    lost.iter().all(|f_prime| {
-        priority.better_than(*f_prime).iter().any(|f| gained.contains(f))
-    })
+    lost.iter().all(|f_prime| priority.better_than(*f_prime).iter().any(|f| gained.contains(f)))
 }
 
 fn to_btree(s: &FactSet) -> BTreeSet<FactId> {

@@ -9,25 +9,23 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpr_bench::{
-    ccp_const_workload, ccp_pk_workload, hard_s4_workload, single_fd_workload,
-    two_keys_workload,
+    ccp_const_workload, ccp_pk_workload, hard_s4_workload, single_fd_workload, two_keys_workload,
 };
 use rpr_classify::{
     classify_relation, classify_schema, classify_schema_ccp, equivalent_constant_attribute,
     equivalent_single_key, equivalent_two_incomparable_keys, CcpClass, Complexity,
 };
 use rpr_core::{
-    check_global_ccp_const, check_global_ccp_pk, check_global_exact, enumerate_const_attr_repairs,
-    enumerate_repairs, is_completion_optimal, is_completion_optimal_brute, is_global_improvement,
-    is_globally_optimal_brute, is_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute,
-    CcpChecker, GRepairChecker, Improvement,
+    check_global_ccp_const, check_global_ccp_pk, check_global_exact, default_jobs,
+    enumerate_const_attr_repairs, enumerate_repairs, is_completion_optimal,
+    is_completion_optimal_brute, is_global_improvement, is_globally_optimal_brute,
+    is_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute, CcpChecker, CheckSession,
+    GRepairChecker, Improvement,
 };
 use rpr_cqa::{answers, atom, ConjunctiveQuery, RepairSemantics, RepairSpace};
 use rpr_data::{AttrSet, FactId, Instance, RelId, Signature, Value};
 use rpr_fd::{closure, equivalent, ConflictGraph, Fd, Schema};
-use rpr_gen::{
-    ccp_hard_schema, example_3_3_schema, hard_schema, random_schema, RunningExample,
-};
+use rpr_gen::{ccp_hard_schema, example_3_3_schema, hard_schema, random_schema, RunningExample};
 use rpr_priority::{PrioritizedInstance, PriorityRelation};
 use rpr_reductions::{
     check_injective, check_preserves_consistency, hamiltonian_gadget, improvement_from_cycle,
@@ -45,29 +43,102 @@ struct Experiment {
 
 fn main() {
     let experiments: Vec<Experiment> = vec![
-        Experiment { id: "e01", title: "Figure 1 / Examples 2.1-2.2: running instance & conflicts", run: e01 },
+        Experiment {
+            id: "e01",
+            title: "Figure 1 / Examples 2.1-2.2: running instance & conflicts",
+            run: e01,
+        },
         Experiment { id: "e02", title: "Example 2.3: priority legality", run: e02 },
         Experiment { id: "e03", title: "Example 2.5: improvement claims for J1..J4", run: e03 },
         Experiment { id: "e04", title: "Examples 3.2/3.3: tractable classifications", run: e04 },
-        Experiment { id: "e05", title: "Example 3.4: the six hard schemas and their §5.2 cases", run: e05 },
+        Experiment {
+            id: "e05",
+            title: "Example 3.4: the six hard schemas and their §5.2 cases",
+            run: e05,
+        },
         Experiment { id: "e06", title: "Figure 2 / Lemma 4.2: GRepCheck1FD ≡ oracle", run: e06 },
         Experiment { id: "e07", title: "Figure 3 / Example 4.3: the G12/G21 graphs", run: e07 },
-        Experiment { id: "e08", title: "Figure 4 / Lemma 4.4: GRepCheck2Keys ≡ oracle", run: e08 },
-        Experiment { id: "e09", title: "Lemma 5.2 / Figure 5: the Hamiltonian-cycle gadget", run: e09 },
-        Experiment { id: "e10", title: "Lemmas 5.3/5.4: Case-1 Π key properties + end-to-end", run: e10 },
-        Experiment { id: "e11", title: "Theorem 6.1 / Lemma 6.2: classifier ≡ semantic oracle", run: e11 },
-        Experiment { id: "e12", title: "Example 7.2 / Figure 6: the ccp graph G_{J,I\\J}", run: e12 },
-        Experiment { id: "e13", title: "Lemma 7.3 / Prop 7.4: ccp primary-key checker ≡ oracle", run: e13 },
-        Experiment { id: "e14", title: "Prop 7.5: constant-attribute repairs ≡ oracle", run: e14 },
-        Experiment { id: "e15", title: "Theorem 7.1/7.6: ccp classifier on the §7.1 schemas", run: e15 },
-        Experiment { id: "e16", title: "Theorem 3.1 (empirical): dispatching checker ≡ oracle", run: e16 },
-        Experiment { id: "e17", title: "Dichotomy gap: polynomial checkers vs exponential search", run: e17 },
-        Experiment { id: "e18", title: "Pareto/completion PTIME + Prop 10(iii) of [14] refuted", run: e18 },
-        Experiment { id: "e19", title: "Concluding remarks: preferred CQA, counting, uniqueness", run: e19 },
-        Experiment { id: "e20", title: "Extension: polynomial construction of a globally-optimal repair", run: e20 },
-        Experiment { id: "e21", title: "Extension: how much the preferred semantics prune", run: e21 },
-        Experiment { id: "e22", title: "Extension: cleaning accuracy on simulated multi-source feeds", run: e22 },
-        Experiment { id: "e23", title: "Extension: discover → classify → clean pipeline", run: e23 },
+        Experiment {
+            id: "e08", title: "Figure 4 / Lemma 4.4: GRepCheck2Keys ≡ oracle", run: e08
+        },
+        Experiment {
+            id: "e09",
+            title: "Lemma 5.2 / Figure 5: the Hamiltonian-cycle gadget",
+            run: e09,
+        },
+        Experiment {
+            id: "e10",
+            title: "Lemmas 5.3/5.4: Case-1 Π key properties + end-to-end",
+            run: e10,
+        },
+        Experiment {
+            id: "e11",
+            title: "Theorem 6.1 / Lemma 6.2: classifier ≡ semantic oracle",
+            run: e11,
+        },
+        Experiment {
+            id: "e12",
+            title: "Example 7.2 / Figure 6: the ccp graph G_{J,I\\J}",
+            run: e12,
+        },
+        Experiment {
+            id: "e13",
+            title: "Lemma 7.3 / Prop 7.4: ccp primary-key checker ≡ oracle",
+            run: e13,
+        },
+        Experiment {
+            id: "e14", title: "Prop 7.5: constant-attribute repairs ≡ oracle", run: e14
+        },
+        Experiment {
+            id: "e15",
+            title: "Theorem 7.1/7.6: ccp classifier on the §7.1 schemas",
+            run: e15,
+        },
+        Experiment {
+            id: "e16",
+            title: "Theorem 3.1 (empirical): dispatching checker ≡ oracle",
+            run: e16,
+        },
+        Experiment {
+            id: "e17",
+            title: "Dichotomy gap: polynomial checkers vs exponential search",
+            run: e17,
+        },
+        Experiment {
+            id: "e18",
+            title: "Pareto/completion PTIME + Prop 10(iii) of [14] refuted",
+            run: e18,
+        },
+        Experiment {
+            id: "e19",
+            title: "Concluding remarks: preferred CQA, counting, uniqueness",
+            run: e19,
+        },
+        Experiment {
+            id: "e20",
+            title: "Extension: polynomial construction of a globally-optimal repair",
+            run: e20,
+        },
+        Experiment {
+            id: "e21",
+            title: "Extension: how much the preferred semantics prune",
+            run: e21,
+        },
+        Experiment {
+            id: "e22",
+            title: "Extension: cleaning accuracy on simulated multi-source feeds",
+            run: e22,
+        },
+        Experiment {
+            id: "e23",
+            title: "Extension: discover → classify → clean pipeline",
+            run: e23,
+        },
+        Experiment {
+            id: "e24",
+            title: "Extension: amortized check sessions (one-shot vs session vs parallel)",
+            run: e24,
+        },
     ];
 
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -202,10 +273,7 @@ fn e05() -> ExpResult {
     for i in 1..=6 {
         let schema = hard_schema(i);
         let class = classify_schema(&schema);
-        ensure(
-            class.complexity() == Complexity::ConpComplete,
-            &format!("S{i} must be hard"),
-        )?;
+        ensure(class.complexity() == Complexity::ConpComplete, &format!("S{i} must be hard"))?;
         let (_, hc) = class.hard_relations().next().ok_or("hard relation expected")?;
         ensure(
             hc.number() as usize == i,
@@ -242,8 +310,9 @@ fn e06() -> ExpResult {
     // Timing at scale (polynomial path only).
     let w = single_fd_workload(4000, 8, 0.6, 777);
     let checker = GRepairChecker::new(w.schema.clone());
-    let pi = PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
-        .map_err(|e| e.to_string())?;
+    let pi =
+        PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
+            .map_err(|e| e.to_string())?;
     let t = Instant::now();
     let _ = checker.check(&pi, &w.j).map_err(|e| e.to_string())?;
     let dt = t.elapsed();
@@ -313,8 +382,9 @@ fn e08() -> ExpResult {
     }
     let w = two_keys_workload(4000, 900, 0.7, 778);
     let checker = GRepairChecker::new(w.schema.clone());
-    let pi = PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
-        .map_err(|e| e.to_string())?;
+    let pi =
+        PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
+            .map_err(|e| e.to_string())?;
     let t = Instant::now();
     let _ = checker.check(&pi, &w.j).map_err(|e| e.to_string())?;
     let dt = t.elapsed();
@@ -327,9 +397,9 @@ fn e08() -> ExpResult {
 
 // ---------------------------------------------------------------- E09
 fn e09() -> ExpResult {
-    let mut out = vec![
-        "paper: the Lemma 5.2 gadget makes J globally-optimal iff G has no Hamiltonian cycle".into(),
-    ];
+    let mut out =
+        vec!["paper: the Lemma 5.2 gadget makes J globally-optimal iff G has no Hamiltonian cycle"
+            .into()];
     // Exhaustively checkable sizes.
     let mut k2 = UGraph::new(2);
     k2.add_edge(0, 1);
@@ -356,7 +426,9 @@ fn e09() -> ExpResult {
         ));
     }
     // Constructive direction at larger sizes.
-    for (name, graph) in [("C5", UGraph::cycle(5)), ("K4", UGraph::complete(4)), ("C8", UGraph::cycle(8))] {
+    for (name, graph) in
+        [("C5", UGraph::cycle(5)), ("K4", UGraph::complete(4)), ("C8", UGraph::cycle(8))]
+    {
         let pi = graph.hamiltonian_cycle().ok_or("test graph should be Hamiltonian")?;
         let gadget = hamiltonian_gadget(&graph);
         let cg = ConflictGraph::new(&gadget.schema, gadget.prioritized.instance());
@@ -379,7 +451,7 @@ fn e10() -> ExpResult {
     let mut rng = StdRng::seed_from_u64(510);
     let mut configs = 0;
     while configs < 25 {
-        let arity = rng.random_range(3..=6);
+        let arity = rng.random_range(3..=6usize);
         let keys: Vec<AttrSet> = (0..rng.random_range(3..=4usize))
             .map(|_| {
                 let size = rng.random_range(1..=arity.min(3));
@@ -408,31 +480,20 @@ fn e10() -> ExpResult {
             }
         }
         ensure(check_injective(&pi, &facts), "Lemma 5.3: Π injective")?;
-        ensure(
-            check_preserves_consistency(&pi, &facts),
-            "Lemma 5.4: Π preserves (in)consistency",
-        )?;
+        ensure(check_preserves_consistency(&pi, &facts), "Lemma 5.4: Π preserves (in)consistency")?;
     }
     // End-to-end: Figure-5 gadget through Π.
     let mut graph = UGraph::new(2);
     graph.add_edge(0, 1);
     let gadget = hamiltonian_gadget(&graph);
-    let keys = [
-        AttrSet::from_attrs([1, 2]),
-        AttrSet::from_attrs([2, 3]),
-        AttrSet::from_attrs([3, 4]),
-    ];
+    let keys =
+        [AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3]), AttrSet::from_attrs([3, 4])];
     let pi_map = CaseOneMapping::new("R", 5, &keys).map_err(|e| e.to_string())?;
     let (mapped, j2) = map_input(&pi_map, &gadget.prioritized, &gadget.j);
     let dst_cg = ConflictGraph::new(pi_map.target_schema(), mapped.instance());
-    let outcome = check_global_exact(
-        &dst_cg,
-        mapped.priority(),
-        &mapped.instance().full_set(),
-        &j2,
-        1 << 26,
-    )
-    .map_err(|e| e.to_string())?;
+    let outcome =
+        check_global_exact(&dst_cg, mapped.priority(), &mapped.instance().full_set(), &j2, 1 << 26)
+            .map_err(|e| e.to_string())?;
     ensure(!outcome.is_optimal(), "mapped Figure-5 input stays improvable")?;
     Ok(vec![
         "paper: the Case-1 Π is injective and preserves (in)consistency, transporting hardness to every ≥3-keys schema".into(),
@@ -456,9 +517,10 @@ fn e11() -> ExpResult {
             .any(|lhs| equivalent(fds, &[Fd::new(rel, lhs, closure(lhs, fds))]));
         let subsets: Vec<AttrSet> = AttrSet::full(arity).subsets().collect();
         let oracle_two = subsets.iter().enumerate().any(|(i, &a1)| {
-            subsets.iter().skip(i).any(|&a2| {
-                equivalent(fds, &[Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)])
-            })
+            subsets
+                .iter()
+                .skip(i)
+                .any(|&a2| equivalent(fds, &[Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)]))
         });
         let tractable = classify_relation(fds, rel, arity).is_tractable();
         ensure(
@@ -562,8 +624,8 @@ fn e14() -> ExpResult {
         slow_repairs.sort();
         ensure(fr == slow_repairs, &format!("seed {seed}: repair sets differ"))?;
         for j in &slow_repairs {
-            let fast = check_global_ccp_const(&w.instance, &cg, &w.priority, &consts, j)
-                .is_optimal();
+            let fast =
+                check_global_ccp_const(&w.instance, &cg, &w.priority, &consts, j).is_optimal();
             let slow = is_globally_optimal_brute(&cg, &w.priority, j, 1 << 22)
                 .map_err(|e| e.to_string())?;
             ensure(fast == slow, &format!("seed {seed}: disagreement"))?;
@@ -596,27 +658,23 @@ fn e15() -> ExpResult {
     out.push("measured: the §7.3 anchor schemas Sa..Sd all classify coNP-complete".into());
     // The two §7.1 replacement examples.
     let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
-    let mixed = Schema::from_named(
-        sig,
-        [("R", &[1][..], &[2, 3][..]), ("S", &[][..], &[1][..])],
-    )
-    .unwrap();
+    let mixed =
+        Schema::from_named(sig, [("R", &[1][..], &[2, 3][..]), ("S", &[][..], &[1][..])]).unwrap();
     ensure(
         classify_schema_ccp(&mixed).complexity() == Complexity::ConpComplete,
         "{R:1→{2,3}, S:∅→1} stays hard (mixed assignment)",
     )?;
     let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
-    let pk = Schema::from_named(
-        sig,
-        [("R", &[1][..], &[2, 3][..]), ("S", &[1, 2][..], &[3][..])],
-    )
-    .unwrap();
+    let pk = Schema::from_named(sig, [("R", &[1][..], &[2, 3][..]), ("S", &[1, 2][..], &[3][..])])
+        .unwrap();
     let class = classify_schema_ccp(&pk);
     ensure(
         matches!(class, CcpClass::PrimaryKeyAssignment(_)),
         "{R:1→{2,3}, S:{1,2}→3} is a primary-key assignment",
     )?;
-    out.push("measured: the mixed-assignment variant stays hard; the all-keys variant is PTIME".into());
+    out.push(
+        "measured: the mixed-assignment variant stays hard; the all-keys variant is PTIME".into(),
+    );
     // Classifier consistency with per-relation tests on random schemas.
     let mut rng = StdRng::seed_from_u64(715);
     for trial in 0..200 {
@@ -633,7 +691,9 @@ fn e15() -> ExpResult {
             &format!("trial {trial}: ccp classifier inconsistent"),
         )?;
     }
-    out.push("measured: 200 random schemas classify consistently with the per-relation tests".into());
+    out.push(
+        "measured: 200 random schemas classify consistently with the per-relation tests".into(),
+    );
     Ok(out)
 }
 
@@ -644,11 +704,7 @@ fn e16() -> ExpResult {
     let sig = Signature::new([("A", 3), ("B", 2)]).unwrap();
     let schema = Schema::from_named(
         sig,
-        [
-            ("A", &[1][..], &[2][..]),
-            ("B", &[1][..], &[2][..]),
-            ("B", &[2][..], &[1][..]),
-        ],
+        [("A", &[1][..], &[2][..]), ("B", &[1][..], &[2][..]), ("B", &[2][..], &[1][..])],
     )
     .unwrap();
     let checker = GRepairChecker::new(schema.clone());
@@ -661,9 +717,7 @@ fn e16() -> ExpResult {
             let g = rng.random_range(0..3);
             let b = rng.random_range(0..3);
             let c = rng.random_range(0..50);
-            instance
-                .insert_named("A", [Value::Int(g), Value::Int(b), Value::Int(c)])
-                .unwrap();
+            instance.insert_named("A", [Value::Int(g), Value::Int(b), Value::Int(c)]).unwrap();
         }
         for _ in 0..6 {
             let x = rng.random_range(0..3);
@@ -672,12 +726,9 @@ fn e16() -> ExpResult {
         }
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = rpr_gen::random_conflict_priority(&cg, 0.6, &mut rng);
-        let pi = PrioritizedInstance::conflict_restricted(
-            &schema,
-            instance.clone(),
-            priority.clone(),
-        )
-        .map_err(|e| e.to_string())?;
+        let pi =
+            PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
+                .map_err(|e| e.to_string())?;
         for j in enumerate_repairs(&cg, 1 << 22).map_err(|e| e.to_string())? {
             let fast = checker.check(&pi, &j).map_err(|e| e.to_string())?.is_optimal();
             let slow = is_globally_optimal_brute(&cg, &priority, &j, 1 << 22)
@@ -740,7 +791,13 @@ fn e17() -> ExpResult {
             Ok(_) => format!("{d3:.2?}"),
             Err(_) => format!(">{d3:.2?} (budget)"),
         };
-        out.push(format!("{:>6} {:>14} {:>14} {:>16}", n, format!("{d1:.2?}"), format!("{d2:.2?}"), d3s));
+        out.push(format!(
+            "{:>6} {:>14} {:>14} {:>16}",
+            n,
+            format!("{d1:.2?}"),
+            format!("{d2:.2?}"),
+            d3s
+        ));
     }
     out.push("measured: the polynomial columns stay flat while the exact-search column explodes — the dichotomy in wall-clock form (full sweep: bench dichotomy_gap)".into());
     Ok(out)
@@ -877,20 +934,13 @@ fn e21() -> ExpResult {
         let w = single_fd_workload(9, 3, 0.5, 3000 + seed);
         let cg = w.conflict_graph();
         let all = enumerate_repairs(&cg, 1 << 22).map_err(|e| e.to_string())?;
-        let pareto = all
-            .iter()
-            .filter(|j| is_pareto_optimal(&cg, &w.priority, j))
-            .count();
+        let pareto = all.iter().filter(|j| is_pareto_optimal(&cg, &w.priority, j)).count();
         let global = all
             .iter()
-            .filter(|j| {
-                is_globally_optimal_brute(&cg, &w.priority, j, 1 << 22).unwrap_or(false)
-            })
+            .filter(|j| is_globally_optimal_brute(&cg, &w.priority, j, 1 << 22).unwrap_or(false))
             .count();
-        let completion = all
-            .iter()
-            .filter(|j| rpr_core::is_completion_optimal(&cg, &w.priority, j))
-            .count();
+        let completion =
+            all.iter().filter(|j| rpr_core::is_completion_optimal(&cg, &w.priority, j)).count();
         totals[0] += all.len();
         totals[1] += pareto;
         totals[2] += global;
@@ -967,9 +1017,8 @@ fn e23() -> ExpResult {
     let rel = feed.instance.signature().rel_id("Record").unwrap();
     let dirty = discover_fds_for(&feed.instance, rel, DiscoveryOptions { max_lhs: 1 });
     let key_lhs = AttrSet::singleton(1);
-    let entity_determines_value = dirty
-        .iter()
-        .any(|fd| fd.lhs == key_lhs && fd.rhs == AttrSet::singleton(2));
+    let entity_determines_value =
+        dirty.iter().any(|fd| fd.lhs == key_lhs && fd.rhs == AttrSet::singleton(2));
     ensure(!entity_determines_value, "dirty data must violate entity→value")?;
     // …but the policy-cleaned repair does, and the mined schema is then
     // tractable (indeed a primary-key assignment for ccp too).
@@ -980,10 +1029,12 @@ fn e23() -> ExpResult {
     let mined = discover_fds_for(&clean_inst, rel, DiscoveryOptions { max_lhs: 1 });
     let recovered = mined.iter().any(|fd| fd.lhs == key_lhs || fd.lhs.is_empty());
     ensure(recovered, "cleaned data must satisfy the entity key (or stronger)")?;
-    let schema = rpr_fd::Schema::new(clean_inst.signature().clone(), mined).map_err(|e| e.to_string())?;
+    let schema =
+        rpr_fd::Schema::new(clean_inst.signature().clone(), mined).map_err(|e| e.to_string())?;
     let class = classify_schema(&schema);
     ensure(
-        class.complexity() == Complexity::PolynomialTime || class.complexity() == Complexity::ConpComplete,
+        class.complexity() == Complexity::PolynomialTime
+            || class.complexity() == Complexity::ConpComplete,
         "classification runs",
     )?;
     Ok(vec![
@@ -993,5 +1044,86 @@ fn e23() -> ExpResult {
             feed.instance.len(),
             class.complexity()
         ),
+    ])
+}
+
+// ---------------------------------------------------------------- E24
+/// Amortized check sessions: one-shot `GRepairChecker::check` (per-call
+/// conflict-graph rebuild) vs one `CheckSession` reused across ≥1000
+/// candidates, sequential and parallel. Records the speedups as JSON in
+/// `target/session_speedups.json` for machines; the acceptance floor is
+/// a ≥5× single-threaded amortized speedup on a 10k-fact instance.
+fn e24() -> ExpResult {
+    let n_facts = 10_000;
+    let n_candidates = 1000;
+    let one_shot_sample = 50;
+    let w = single_fd_workload(n_facts, 6, 0.6, 42);
+    let pi =
+        PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
+            .map_err(|e| e.to_string())?;
+    let cg = ConflictGraph::new(&w.schema, &w.instance);
+    let mut rng = StdRng::seed_from_u64(7);
+    let candidates: Vec<rpr_data::FactSet> =
+        (0..n_candidates).map(|_| rpr_gen::random_repair(&cg, &mut rng)).collect();
+
+    // One-shot baseline, timed on a sample (25ms/check adds up).
+    let checker = GRepairChecker::new(w.schema.clone());
+    let t0 = Instant::now();
+    let mut one_shot_outcomes = Vec::new();
+    for j in &candidates[..one_shot_sample] {
+        one_shot_outcomes.push(checker.check(&pi, j).map_err(|e| e.to_string())?);
+    }
+    let one_shot_per_check = t0.elapsed().as_secs_f64() / one_shot_sample as f64;
+
+    // Amortized: one session, sequential, all candidates.
+    let session = CheckSession::new(&w.schema, &pi).with_jobs(1);
+    let t1 = Instant::now();
+    let mut session_outcomes = Vec::new();
+    for j in &candidates {
+        session_outcomes.push(session.check(j).map_err(|e| e.to_string())?);
+    }
+    let amortized_per_check = t1.elapsed().as_secs_f64() / n_candidates as f64;
+
+    // Parallel: the same session fans the batch out over all cores.
+    let jobs = default_jobs();
+    let parallel_session = CheckSession::new(&w.schema, &pi).with_jobs(jobs);
+    let t2 = Instant::now();
+    let batch = parallel_session.check_batch(&candidates);
+    let parallel_per_check = t2.elapsed().as_secs_f64() / n_candidates as f64;
+
+    // Bit-identity across all three modes.
+    for (i, o) in one_shot_outcomes.iter().enumerate() {
+        ensure(o == &session_outcomes[i], "session ≠ one-shot outcome")?;
+    }
+    for (i, o) in session_outcomes.iter().enumerate() {
+        ensure(batch[i].as_ref() == Ok(o), "parallel batch ≠ sequential outcome")?;
+    }
+
+    let amortized_speedup = one_shot_per_check / amortized_per_check.max(1e-12);
+    let parallel_speedup = one_shot_per_check / parallel_per_check.max(1e-12);
+    let facts_per_sec = n_facts as f64 / amortized_per_check.max(1e-12);
+    ensure(
+        amortized_speedup >= 5.0,
+        "amortized session must be ≥5× faster than one-shot checking",
+    )?;
+
+    let json = format!(
+        "{{\n  \"facts\": {n_facts},\n  \"candidates\": {n_candidates},\n  \"one_shot_sample\": {one_shot_sample},\n  \"jobs\": {jobs},\n  \"one_shot_s_per_check\": {one_shot_per_check:.9},\n  \"amortized_s_per_check\": {amortized_per_check:.9},\n  \"parallel_s_per_check\": {parallel_per_check:.9},\n  \"amortized_facts_per_sec\": {facts_per_sec:.1},\n  \"amortized_speedup\": {amortized_speedup:.2},\n  \"parallel_speedup\": {parallel_speedup:.2}\n}}\n"
+    );
+    let out_path = "target/session_speedups.json";
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+
+    Ok(vec![
+        "extension: CheckSession amortizes conflict-graph + block construction across candidates".into(),
+        format!(
+            "measured: {n_candidates} candidates on {n_facts} facts — one-shot {:.2}ms, amortized {:.3}ms ({:.0}×), parallel x{jobs} {:.3}ms ({:.0}×)",
+            one_shot_per_check * 1e3,
+            amortized_per_check * 1e3,
+            amortized_speedup,
+            parallel_per_check * 1e3,
+            parallel_speedup
+        ),
+        format!("measured: amortized throughput {:.2}M facts/sec; JSON written to {out_path}", facts_per_sec / 1e6),
     ])
 }

@@ -35,12 +35,9 @@ fn time_us<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 
 fn classical_check_time(w: &Workload, reps: u32) -> f64 {
     let checker = GRepairChecker::new(w.schema.clone());
-    let pi = PrioritizedInstance::conflict_restricted(
-        &w.schema,
-        w.instance.clone(),
-        w.priority.clone(),
-    )
-    .expect("workload priorities are conflict-restricted");
+    let pi =
+        PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
+            .expect("workload priorities are conflict-restricted");
     time_us(reps, || checker.check(&pi, &w.j).unwrap().is_optimal())
 }
 
@@ -93,8 +90,7 @@ fn semantics_pruning_csv() -> String {
             .iter()
             .filter(|j| is_globally_optimal_brute(&cg, &w.priority, j, 1 << 22).unwrap())
             .count();
-        let completion =
-            all.iter().filter(|j| is_completion_optimal(&cg, &w.priority, j)).count();
+        let completion = all.iter().filter(|j| is_completion_optimal(&cg, &w.priority, j)).count();
         let _ = writeln!(out, "{seed},{},{pareto},{global},{completion}", all.len());
     }
     out

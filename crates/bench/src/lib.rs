@@ -39,7 +39,12 @@ impl Workload {
     }
 }
 
-fn finish(schema: Schema, instance: Instance, priority: PriorityRelation, rng: &mut StdRng) -> Workload {
+fn finish(
+    schema: Schema,
+    instance: Instance,
+    priority: PriorityRelation,
+    rng: &mut StdRng,
+) -> Workload {
     let cg = ConflictGraph::new(&schema, &instance);
     let j = rpr_gen::random_repair(&cg, rng);
     Workload { schema, instance, priority, j }
@@ -58,9 +63,7 @@ pub fn single_fd_workload(n: usize, group: u32, density: f64, seed: u64) -> Work
         let g = rng.random_range(0..domain) as i64;
         let b = rng.random_range(0..4) as i64;
         let c = rng.random_range(0..1000) as i64;
-        instance
-            .insert_named("R", [g.into(), b.into(), c.into()])
-            .expect("fits schema");
+        instance.insert_named("R", [g.into(), b.into(), c.into()]).expect("fits schema");
     }
     let cg = ConflictGraph::new(&schema, &instance);
     let priority = random_conflict_priority(&cg, density, &mut rng);
@@ -73,11 +76,8 @@ pub fn single_fd_workload(n: usize, group: u32, density: f64, seed: u64) -> Work
 pub fn two_keys_workload(n: usize, slots: u32, density: f64, seed: u64) -> Workload {
     let schema = two_keys_schema(2, &[1], &[2]);
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = random_instance(
-        &schema,
-        InstanceSpec { facts_per_relation: n, domain: slots },
-        &mut rng,
-    );
+    let instance =
+        random_instance(&schema, InstanceSpec { facts_per_relation: n, domain: slots }, &mut rng);
     let cg = ConflictGraph::new(&schema, &instance);
     let priority = random_conflict_priority(&cg, density, &mut rng);
     finish(schema, instance, priority, &mut rng)
@@ -87,17 +87,11 @@ pub fn two_keys_workload(n: usize, slots: u32, density: f64, seed: u64) -> Workl
 /// priority with `cross` extra cross-relation edges.
 pub fn ccp_pk_workload(n: usize, domain: u32, cross: usize, seed: u64) -> Workload {
     let sig = rpr_data::Signature::new([("R", 2), ("S", 2)]).unwrap();
-    let schema = Schema::from_named(
-        sig,
-        [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig, [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])]).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = random_instance(
-        &schema,
-        InstanceSpec { facts_per_relation: n / 2, domain },
-        &mut rng,
-    );
+    let instance =
+        random_instance(&schema, InstanceSpec { facts_per_relation: n / 2, domain }, &mut rng);
     let cg = ConflictGraph::new(&schema, &instance);
     let priority = random_ccp_priority(&cg, 0.6, cross, &mut rng);
     finish(schema, instance, priority, &mut rng)
@@ -107,17 +101,11 @@ pub fn ccp_pk_workload(n: usize, domain: u32, cross: usize, seed: u64) -> Worklo
 /// another.
 pub fn ccp_const_workload(n: usize, domain: u32, cross: usize, seed: u64) -> Workload {
     let sig = rpr_data::Signature::new([("R", 2), ("S", 2)]).unwrap();
-    let schema = Schema::from_named(
-        sig,
-        [("R", &[][..], &[2][..]), ("S", &[][..], &[1][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig, [("R", &[][..], &[2][..]), ("S", &[][..], &[1][..])]).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
-    let instance = random_instance(
-        &schema,
-        InstanceSpec { facts_per_relation: n / 2, domain },
-        &mut rng,
-    );
+    let instance =
+        random_instance(&schema, InstanceSpec { facts_per_relation: n / 2, domain }, &mut rng);
     let cg = ConflictGraph::new(&schema, &instance);
     let priority = random_ccp_priority(&cg, 0.6, cross, &mut rng);
     finish(schema, instance, priority, &mut rng)
@@ -138,9 +126,7 @@ pub fn hard_s4_workload(n: usize, domain: u32, density: f64, seed: u64) -> Workl
         let g = rng.random_range(0..groups) as i64;
         let b = rng.random_range(0..domain) as i64;
         let c = rng.random_range(0..domain) as i64;
-        instance
-            .insert_named("R4", [g.into(), b.into(), c.into()])
-            .expect("fits schema");
+        instance.insert_named("R4", [g.into(), b.into(), c.into()]).expect("fits schema");
     }
     let cg = ConflictGraph::new(&schema, &instance);
     let priority = random_conflict_priority(&cg, density, &mut rng);

@@ -62,12 +62,9 @@ pub fn explain_relation(fds: &[Fd], rel: RelId, arity: usize, name: &str) -> Str
             }
         }
         RelationClass::TwoKeys(a1, a2) => {
-            let _ = writeln!(
-                out,
-                "{name}: tractable (condition 2) — Δ ≡ {{{a1} → ⟦R⟧, {a2} → ⟦R⟧}}"
-            );
-            let keys =
-                [Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)];
+            let _ =
+                writeln!(out, "{name}: tractable (condition 2) — Δ ≡ {{{a1} → ⟦R⟧, {a2} → ⟦R⟧}}");
+            let keys = [Fd::key(rel, a1, arity), Fd::key(rel, a2, arity)];
             for fd in fds {
                 if let Some(proof) = derive(&keys, *fd) {
                     let _ = writeln!(
@@ -88,8 +85,7 @@ pub fn explain_relation(fds: &[Fd], rel: RelId, arity: usize, name: &str) -> Str
             let _ = writeln!(out, "{name}: coNP-complete — {hc}");
             match &hc {
                 HardCase::ThreeOrMoreKeys(keys) => {
-                    let rendered: Vec<String> =
-                        keys.iter().map(|k| k.to_string()).collect();
+                    let rendered: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
                     let _ = writeln!(
                         out,
                         "  Δ is equivalent to the key set {{{}}} (≥3 keys): the Case-1 Π \
@@ -170,11 +166,8 @@ mod tests {
     #[test]
     fn two_keys_explanation() {
         let sig = Signature::new([("L", 2)]).unwrap();
-        let s = Schema::from_named(
-            sig,
-            [("L", &[1][..], &[2][..]), ("L", &[2][..], &[1][..])],
-        )
-        .unwrap();
+        let s = Schema::from_named(sig, [("L", &[1][..], &[2][..]), ("L", &[2][..], &[1][..])])
+            .unwrap();
         let text = explain_schema(&s);
         assert!(text.contains("condition 2"), "{text}");
         assert!(text.contains("incomparable"), "{text}");

@@ -151,8 +151,7 @@ mod tests {
     fn tractability_predicate() {
         let fd = Fd::from_attrs(RelId(0), [1], [2]);
         assert!(RelationClass::SingleFd(fd).is_tractable());
-        assert!(RelationClass::TwoKeys(AttrSet::singleton(1), AttrSet::singleton(2))
-            .is_tractable());
+        assert!(RelationClass::TwoKeys(AttrSet::singleton(1), AttrSet::singleton(2)).is_tractable());
         assert!(!RelationClass::Hard(HardCase::Case2 {
             a: AttrSet::singleton(1),
             b: AttrSet::singleton(2)

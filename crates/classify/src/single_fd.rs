@@ -116,10 +116,7 @@ mod tests {
     #[test]
     fn constant_attribute_detection() {
         // {∅→3} qualifies (§7.1).
-        assert_eq!(
-            equivalent_constant_attribute(&[fd(&[], &[3])], R),
-            Some(AttrSet::singleton(3))
-        );
+        assert_eq!(equivalent_constant_attribute(&[fd(&[], &[3])], R), Some(AttrSet::singleton(3)));
         // {∅→1, ∅→2} merges.
         assert_eq!(
             equivalent_constant_attribute(&[fd(&[], &[1]), fd(&[], &[2])], R),

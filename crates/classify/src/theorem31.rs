@@ -175,12 +175,7 @@ mod tests {
                 spec.iter().map(|&(l, r)| ("R", l, r)).collect();
             let schema = Schema::from_named(sig, fds).unwrap();
             let class = classify_schema(&schema);
-            assert_eq!(
-                class.complexity(),
-                Complexity::ConpComplete,
-                "S{} must be hard",
-                i + 1
-            );
+            assert_eq!(class.complexity(), Complexity::ConpComplete, "S{} must be hard", i + 1);
             let (_, hc) = class.hard_relations().next().unwrap();
             assert_eq!(hc.number() as usize, i + 1, "S{} lands in its case", i + 1);
         }

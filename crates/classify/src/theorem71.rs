@@ -71,9 +71,7 @@ pub fn classify_schema_ccp(schema: &Schema) -> CcpClass {
     match (pk_fail, ca_fail) {
         (None, _) => CcpClass::PrimaryKeyAssignment(pk),
         (Some(_), None) => CcpClass::ConstantAttributeAssignment(ca),
-        (Some(p), Some(c)) => {
-            CcpClass::Hard { not_primary_key: p, not_constant_attribute: c }
-        }
+        (Some(p), Some(c)) => CcpClass::Hard { not_primary_key: p, not_constant_attribute: c },
     }
 }
 
@@ -102,21 +100,17 @@ mod tests {
         // §7.1: replace Δ with {R:1→{2,3}, S:∅→1}: still coNP-complete —
         // R is a key but S is constant-attribute (mixed assignments).
         let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
-        let schema = Schema::from_named(
-            sig,
-            [("R", &[1][..], &[2, 3][..]), ("S", &[][..], &[1][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig, [("R", &[1][..], &[2, 3][..]), ("S", &[][..], &[1][..])])
+                .unwrap();
         assert_eq!(classify_schema_ccp(&schema).complexity(), Complexity::ConpComplete);
 
         // §7.1: with {R:1→{2,3}, S:{1,2}→3}: now a primary-key
         // assignment (T gets the trivial key), hence PTIME.
         let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
-        let schema = Schema::from_named(
-            sig,
-            [("R", &[1][..], &[2, 3][..]), ("S", &[1, 2][..], &[3][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig, [("R", &[1][..], &[2, 3][..]), ("S", &[1, 2][..], &[3][..])])
+                .unwrap();
         let class = classify_schema_ccp(&schema);
         assert_eq!(class.complexity(), Complexity::PolynomialTime);
         assert!(matches!(class, CcpClass::PrimaryKeyAssignment(_)));
@@ -125,11 +119,9 @@ mod tests {
     #[test]
     fn constant_attribute_assignment_detected() {
         let sig = Signature::new([("R", 2), ("S", 3)]).unwrap();
-        let schema = Schema::from_named(
-            sig,
-            [("R", &[][..], &[1][..]), ("S", &[][..], &[2, 3][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig, [("R", &[][..], &[1][..]), ("S", &[][..], &[2, 3][..])])
+                .unwrap();
         match classify_schema_ccp(&schema) {
             CcpClass::ConstantAttributeAssignment(bs) => {
                 assert_eq!(bs[0], AttrSet::singleton(1));
@@ -145,10 +137,7 @@ mod tests {
         // and a constant-attribute assignment."
         let sig = Signature::new([("R", 2)]).unwrap();
         let schema = Schema::new(sig, []).unwrap();
-        assert!(matches!(
-            classify_schema_ccp(&schema),
-            CcpClass::PrimaryKeyAssignment(_)
-        ));
+        assert!(matches!(classify_schema_ccp(&schema), CcpClass::PrimaryKeyAssignment(_)));
     }
 
     #[test]

@@ -6,15 +6,13 @@ use crate::format::Workspace;
 use crate::query_parse::parse_query;
 use rpr_classify::{classify_relation, classify_schema, classify_schema_ccp, RelationClass};
 use rpr_core::{
-    construct_globally_optimal_repair, is_completion_optimal, is_pareto_optimal, CcpChecker,
-    CheckOutcome, GRepairChecker,
+    construct_globally_optimal_repair, is_completion_optimal, is_pareto_optimal, CheckOutcome,
+    CheckSession,
 };
-use rpr_cqa::{answers, repairs_under, RepairSemantics};
+use rpr_cqa::{answers_session, repairs_under_session, RepairSemantics};
 use rpr_fd::{
-    discover_fds_for, is_3nf, is_bcnf, merge_by_lhs, minimal_cover, ConflictGraph,
-    DiscoveryOptions,
+    discover_fds_for, is_3nf, is_bcnf, merge_by_lhs, minimal_cover, ConflictGraph, DiscoveryOptions,
 };
-use rpr_priority::PriorityMode;
 use std::fmt::Write;
 
 /// Errors surfaced to the CLI user.
@@ -47,11 +45,7 @@ pub fn classify(ws: &Workspace) -> String {
     let mut out = String::new();
     let sig = ws.schema.signature();
     let class = classify_schema(&ws.schema);
-    let _ = writeln!(
-        out,
-        "Theorem 3.1 (conflict-restricted priorities): {}",
-        class.complexity()
-    );
+    let _ = writeln!(out, "Theorem 3.1 (conflict-restricted priorities): {}", class.complexity());
     for (rel, c) in class.per_relation() {
         let name = sig.symbol(*rel).name();
         match c {
@@ -79,6 +73,21 @@ pub fn classify(ws: &Workspace) -> String {
 /// On unknown repair names, validation failures, or exact-search budget
 /// exhaustion.
 pub fn check(ws: &Workspace, name: Option<&str>) -> Result<String, CommandError> {
+    check_with_jobs(ws, name, 1)
+}
+
+/// [`check`] with an explicit worker count for the session's parallel
+/// fan-out (`rpr check --jobs N`). One [`CheckSession`] is built for
+/// the workspace and shared across all named repairs.
+///
+/// # Errors
+/// On unknown repair names, validation failures, or exact-search budget
+/// exhaustion.
+pub fn check_with_jobs(
+    ws: &Workspace,
+    name: Option<&str>,
+    jobs: usize,
+) -> Result<String, CommandError> {
     let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
     let targets: Vec<(String, rpr_data::FactSet)> = match name {
         Some(n) => {
@@ -93,16 +102,10 @@ pub fn check(ws: &Workspace, name: Option<&str>) -> Result<String, CommandError>
         }
     };
     let mut out = String::new();
-    let cg = ConflictGraph::new(&ws.schema, &ws.instance);
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let cg = session.conflict_graph();
     for (n, j) in targets {
-        let outcome = match ws.mode {
-            PriorityMode::ConflictRestricted => GRepairChecker::new(ws.schema.clone())
-                .check(&pi, &j)
-                .map_err(|e| fail(format!("`{n}`: {e}")))?,
-            PriorityMode::CrossConflict => CcpChecker::new(ws.schema.clone())
-                .check(&pi, &j)
-                .map_err(|e| fail(format!("`{n}`: {e}")))?,
-        };
+        let outcome = session.check(&j).map_err(|e| fail(format!("`{n}`: {e}")))?;
         let _ = write!(out, "{n}: ");
         match outcome {
             CheckOutcome::Optimal => {
@@ -129,8 +132,8 @@ pub fn check(ws: &Workspace, name: Option<&str>) -> Result<String, CommandError>
         let _ = writeln!(
             out,
             "  pareto-optimal: {}  completion-optimal: {}",
-            is_pareto_optimal(&cg, &ws.priority, &j),
-            is_completion_optimal(&cg, &ws.priority, &j)
+            is_pareto_optimal(cg, &ws.priority, &j),
+            is_completion_optimal(cg, &ws.priority, &j)
         );
     }
     Ok(out)
@@ -146,9 +149,25 @@ fn semantics_from(name: &str) -> Result<RepairSemantics, CommandError> {
 /// # Errors
 /// On bad semantics names or budget exhaustion.
 pub fn repairs(ws: &Workspace, semantics: &str, budget: usize) -> Result<String, CommandError> {
+    repairs_with_jobs(ws, semantics, budget, 1)
+}
+
+/// [`repairs`] with an explicit worker count (`rpr repairs --jobs N`):
+/// the globally-optimal filter fans out across candidates on one
+/// amortized session.
+///
+/// # Errors
+/// On bad semantics names or budget exhaustion.
+pub fn repairs_with_jobs(
+    ws: &Workspace,
+    semantics: &str,
+    budget: usize,
+    jobs: usize,
+) -> Result<String, CommandError> {
     let sem = semantics_from(semantics)?;
-    let cg = ConflictGraph::new(&ws.schema, &ws.instance);
-    let list = repairs_under(sem, &cg, &ws.priority, budget)
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let list = repairs_under_session(sem, &session, budget)
         .map_err(|e| fail(format!("{e} — raise --budget")))?;
     let mut out = String::new();
     let _ = writeln!(out, "{} {semantics} repair(s):", list.len());
@@ -177,9 +196,27 @@ pub fn cqa(
     semantics: &str,
     budget: usize,
 ) -> Result<String, CommandError> {
+    cqa_with_jobs(ws, query, semantics, budget, 1)
+}
+
+/// [`cqa`] with an explicit worker count (`rpr cqa --jobs N`). The
+/// session is built once per invocation; the repair quantification
+/// reuses its cached conflict graph and classification.
+///
+/// # Errors
+/// On query parse errors, bad semantics, or budget exhaustion.
+pub fn cqa_with_jobs(
+    ws: &Workspace,
+    query: &str,
+    semantics: &str,
+    budget: usize,
+    jobs: usize,
+) -> Result<String, CommandError> {
     let sem = semantics_from(semantics)?;
     let q = parse_query(&ws.instance, query).map_err(|e| fail(e.to_string()))?;
-    let res = answers(&ws.schema, &ws.instance, &ws.priority, &q, sem, budget)
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let res = answers_session(&session, &q, sem, budget)
         .map_err(|e| fail(format!("{e} — raise --budget")))?;
     let mut out = String::new();
     let _ = writeln!(out, "{} {semantics} repair(s) quantified over", res.repair_count);
@@ -205,7 +242,8 @@ pub fn discover(ws: &Workspace, max_lhs: usize) -> String {
         let cover = merge_by_lhs(&minimal_cover(&mined));
         let _ = writeln!(out, "{name}: {} minimal FD(s) hold in the data", cover.len());
         for fd in &cover {
-            let _ = writeln!(out, "  fd {name}: {} -> {}", render_attrs(fd.lhs), render_attrs(fd.rhs));
+            let _ =
+                writeln!(out, "  fd {name}: {} -> {}", render_attrs(fd.lhs), render_attrs(fd.rhs));
         }
         mined_all.extend(cover);
     }
@@ -249,9 +287,8 @@ pub fn stats(ws: &Workspace) -> String {
 /// On malformed FD syntax or unknown relations.
 pub fn derive(ws: &Workspace, fd_text: &str) -> Result<String, CommandError> {
     let sig = ws.schema.signature();
-    let (rel_name, spec) = fd_text
-        .split_once(':')
-        .ok_or_else(|| fail("expected `NAME: lhs -> rhs`"))?;
+    let (rel_name, spec) =
+        fd_text.split_once(':').ok_or_else(|| fail("expected `NAME: lhs -> rhs`"))?;
     let rel = sig.require(rel_name.trim()).map_err(|e| fail(e.to_string()))?;
     let (lhs_text, rhs_text) =
         spec.split_once("->").ok_or_else(|| fail("expected `lhs -> rhs`"))?;
@@ -262,8 +299,7 @@ pub fn derive(ws: &Workspace, fd_text: &str) -> Result<String, CommandError> {
         }
         let mut out = rpr_data::AttrSet::EMPTY;
         for tok in text.split([' ', ',']).filter(|t| !t.is_empty()) {
-            let n: usize =
-                tok.parse().map_err(|_| fail(format!("bad attribute `{tok}`")))?;
+            let n: usize = tok.parse().map_err(|_| fail(format!("bad attribute `{tok}`")))?;
             if n == 0 || n > sig.arity(rel) {
                 return Err(fail(format!("attribute {n} outside the arity")));
             }
@@ -325,6 +361,8 @@ pub fn lint(ws: &Workspace) -> String {
 mod tests {
     use super::*;
     use crate::format::parse_workspace;
+    use rpr_core::GRepairChecker;
+    use rpr_priority::PriorityMode;
 
     const RUNNING: &str = "\
 relation BookLoc/3
@@ -397,10 +435,7 @@ repair bad: BookLoc(b1, drama, lib3); LibLoc(lib1, almaden)
         let cg = ConflictGraph::new(&ws.schema, &ws.instance);
         let j = construct_globally_optimal_repair(&cg, &ws.priority);
         let pi = ws.prioritized().unwrap();
-        assert!(GRepairChecker::new(ws.schema.clone())
-            .check(&pi, &j)
-            .unwrap()
-            .is_optimal());
+        assert!(GRepairChecker::new(ws.schema.clone()).check(&pi, &j).unwrap().is_optimal());
     }
 
     #[test]

@@ -196,9 +196,8 @@ pub fn parse_workspace(text: &str) -> Result<Workspace, FormatError> {
             let (rel_name, spec) = rest
                 .split_once(':')
                 .ok_or_else(|| FormatError::new(line, "expected `fd NAME: lhs -> rhs`"))?;
-            let rel = sig
-                .require(rel_name.trim())
-                .map_err(|e| FormatError::new(line, e.to_string()))?;
+            let rel =
+                sig.require(rel_name.trim()).map_err(|e| FormatError::new(line, e.to_string()))?;
             let (lhs, rhs) = spec
                 .split_once("->")
                 .ok_or_else(|| FormatError::new(line, "expected `lhs -> rhs`"))?;
@@ -219,9 +218,7 @@ pub fn parse_workspace(text: &str) -> Result<Workspace, FormatError> {
             mode = match rest.trim() {
                 "ccp" | "cross-conflict" => PriorityMode::CrossConflict,
                 "conflict" | "conflict-restricted" => PriorityMode::ConflictRestricted,
-                other => {
-                    return Err(FormatError::new(line, format!("unknown mode `{other}`")))
-                }
+                other => return Err(FormatError::new(line, format!("unknown mode `{other}`"))),
             };
         } else if let Some(rest) = l.strip_prefix("repair ") {
             let (name, body) = rest
@@ -260,10 +257,7 @@ pub fn parse_workspace(text: &str) -> Result<Workspace, FormatError> {
         let mut set = instance.empty_set();
         for f in &facts {
             let id = instance.id_of(f).ok_or_else(|| {
-                FormatError::new(
-                    0,
-                    format!("repair `{name}` uses a fact not declared with `fact`"),
-                )
+                FormatError::new(0, format!("repair `{name}` uses a fact not declared with `fact`"))
             })?;
             set.insert(id);
         }

@@ -22,11 +22,11 @@ usage: rpr <command> <file.rpr> [args]
 commands:
   classify  FILE [--explain]          report both dichotomy classifications
                                       (--explain adds Armstrong certificates)
-  check     FILE [NAME]               check candidate repair(s) declared in the file
-  repairs   FILE [--semantics S] [--budget N]
+  check     FILE [NAME] [--jobs N]    check candidate repair(s) declared in the file
+  repairs   FILE [--semantics S] [--budget N] [--jobs N]
                                       enumerate repairs (S: all|pareto|global|completion)
   construct FILE                      build one globally-optimal repair (always PTIME)
-  cqa       FILE QUERY [--semantics S] [--budget N]
+  cqa       FILE QUERY [--semantics S] [--budget N] [--jobs N]
                                       certain/possible answers, e.g. \"q(?x) <- R(?x, c)\"
   discover  FILE [--max-lhs N]        mine the FDs holding in the declared facts
   lint      FILE                      normal-form + dichotomy report per relation
@@ -34,6 +34,10 @@ commands:
                                       (all commands read both forms)
   stats     FILE                      conflict statistics of the instance
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
+
+options:
+  --jobs N   worker threads for check/repairs/cqa parallel fan-out
+             (default: available parallelism; 1 = sequential)
 ";
 
 fn main() -> ExitCode {
@@ -66,8 +70,8 @@ fn opt_value(args: &[String], flag: &str) -> Option<String> {
 fn run(args: &[String]) -> Result<String, UsageOr> {
     let command = args.first().ok_or_else(|| UsageOr::Usage("missing command".into()))?;
     let path = args.get(1).ok_or_else(|| UsageOr::Usage("missing workspace file".into()))?;
-    let raw = std::fs::read(path)
-        .map_err(|e| UsageOr::Command(format!("cannot read {path}: {e}")))?;
+    let raw =
+        std::fs::read(path).map_err(|e| UsageOr::Command(format!("cannot read {path}: {e}")))?;
     let ws = if store::is_binary(&raw) {
         store::decode(&raw).map_err(|e| UsageOr::Command(e.to_string()))?
     } else {
@@ -77,10 +81,18 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
     };
 
     let semantics = opt_value(args, "--semantics").unwrap_or_else(|| "global".to_owned());
-    let budget: usize = match opt_value(args, "--budget") {
-        Some(b) => b
+    // Worker threads for the check session's parallel fan-out; the
+    // default is the machine's available parallelism.
+    let jobs: usize = match opt_value(args, "--jobs") {
+        Some(j) => j
             .parse()
-            .map_err(|_| UsageOr::Command(format!("bad --budget value `{b}`")))?,
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| UsageOr::Command(format!("bad --jobs value `{j}`")))?,
+        None => rpr_core::default_jobs(),
+    };
+    let budget: usize = match opt_value(args, "--budget") {
+        Some(b) => b.parse().map_err(|_| UsageOr::Command(format!("bad --budget value `{b}`")))?,
         None => 1 << 22,
     };
 
@@ -94,31 +106,29 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
         }
         "check" => {
             let name = args.get(2).filter(|a| !a.starts_with("--")).map(|s| s.as_str());
-            commands::check(&ws, name).map_err(|e| UsageOr::Command(e.to_string()))
+            commands::check_with_jobs(&ws, name, jobs).map_err(|e| UsageOr::Command(e.to_string()))
         }
-        "repairs" => commands::repairs(&ws, &semantics, budget)
+        "repairs" => commands::repairs_with_jobs(&ws, &semantics, budget, jobs)
             .map_err(|e| UsageOr::Command(e.to_string())),
         "construct" => Ok(commands::construct(&ws)),
         "discover" => {
             let max_lhs: usize = match opt_value(args, "--max-lhs") {
-                Some(m) => m
-                    .parse()
-                    .map_err(|_| UsageOr::Command(format!("bad --max-lhs value `{m}`")))?,
+                Some(m) => {
+                    m.parse().map_err(|_| UsageOr::Command(format!("bad --max-lhs value `{m}`")))?
+                }
                 None => 3,
             };
             Ok(commands::discover(&ws, max_lhs))
         }
         "lint" => Ok(commands::lint(&ws)),
         "derive" => {
-            let fd_text = args
-                .get(2)
-                .ok_or_else(|| UsageOr::Usage("derive needs an FD argument".into()))?;
+            let fd_text =
+                args.get(2).ok_or_else(|| UsageOr::Usage("derive needs an FD argument".into()))?;
             commands::derive(&ws, fd_text).map_err(|e| UsageOr::Command(e.to_string()))
         }
         "export" => {
-            let out = args
-                .get(2)
-                .ok_or_else(|| UsageOr::Usage("export needs an output path".into()))?;
+            let out =
+                args.get(2).ok_or_else(|| UsageOr::Usage("export needs an output path".into()))?;
             // Extension picks the format: .rprb binary, anything else text.
             if out.ends_with(".rprb") {
                 let bytes = store::encode(&ws);
@@ -138,7 +148,7 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
                 .get(2)
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| UsageOr::Usage("cqa needs a query argument".into()))?;
-            commands::cqa(&ws, query, &semantics, budget)
+            commands::cqa_with_jobs(&ws, query, &semantics, budget, jobs)
                 .map_err(|e| UsageOr::Command(e.to_string()))
         }
         other => Err(UsageOr::Usage(format!("unknown command `{other}`"))),

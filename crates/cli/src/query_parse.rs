@@ -6,8 +6,8 @@
 //! else a constant (integers parse as ints).
 
 use rpr_cqa::{Atom, ConjunctiveQuery, Term};
-use rpr_data::{Instance, Value};
 use rpr_data::FxHashMap;
+use rpr_data::{Instance, Value};
 
 /// A query parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,10 +63,7 @@ fn parse_atom_text(
         return Err(err(format!("atom `{text}` missing `)`")));
     }
     let rel_name = text[..open].trim();
-    let rel = instance
-        .signature()
-        .require(rel_name)
-        .map_err(|e| err(e.to_string()))?;
+    let rel = instance.signature().require(rel_name).map_err(|e| err(e.to_string()))?;
     let mut terms = Vec::new();
     for tok in text[open + 1..text.len() - 1].split(',') {
         let tok = tok.trim();
@@ -96,9 +93,7 @@ fn parse_atom_text(
 /// [`QueryError`] on syntax problems; validation errors (arity, unbound
 /// head variables) are surfaced too.
 pub fn parse_query(instance: &Instance, text: &str) -> Result<ConjunctiveQuery, QueryError> {
-    let (head, body) = text
-        .split_once("<-")
-        .ok_or_else(|| err("expected `head <- body`"))?;
+    let (head, body) = text.split_once("<-").ok_or_else(|| err("expected `head <- body`"))?;
     let head = head.trim();
     let open = head.find('(').ok_or_else(|| err("head must look like q(?x, …)"))?;
     if !head.ends_with(')') {

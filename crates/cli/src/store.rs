@@ -244,8 +244,7 @@ pub fn decode(data: &[u8]) -> Result<Workspace, StoreError> {
         let rhs = AttrSet::from_bits(r.u64()?);
         fds.push(Fd::new(rel, lhs, rhs));
     }
-    let schema =
-        Schema::new(sig.clone(), fds).map_err(|e| StoreError::Invalid(e.to_string()))?;
+    let schema = Schema::new(sig.clone(), fds).map_err(|e| StoreError::Invalid(e.to_string()))?;
 
     let nfacts = r.u32()? as usize;
     if nfacts > 1 << 26 {
@@ -349,7 +348,10 @@ repair best: R(a, 2); S(x, y, 0)
         let fact = Fact::parse_new(
             &sig,
             "R",
-            [Value::pair(Value::Int(1), Value::sym("x")), Value::triple(1.into(), 2.into(), 3.into())],
+            [
+                Value::pair(Value::Int(1), Value::sym("x")),
+                Value::triple(1.into(), 2.into(), 3.into()),
+            ],
         )
         .unwrap();
         ws.instance.insert(fact.clone());

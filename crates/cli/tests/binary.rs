@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn rpr(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_rpr"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_rpr")).args(args).output().expect("binary runs")
 }
 
 fn workload(name: &str) -> String {

@@ -31,9 +31,7 @@ fn workspace_strategy() -> impl Strategy<Value = Workspace> {
             let mut instance = Instance::new(sig);
             for (k, (a, b)) in rows.iter().enumerate() {
                 let rel = if k % 2 == 0 { "R" } else { "S" };
-                instance
-                    .insert_named(rel, [Value::Int(*a), Value::Int(*b)])
-                    .unwrap();
+                instance.insert_named(rel, [Value::Int(*a), Value::Int(*b)]).unwrap();
             }
             // Rank-oriented subset of pairs (acyclic by construction);
             // in classical mode restrict to conflicting pairs.

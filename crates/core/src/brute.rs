@@ -15,6 +15,7 @@
 //! i.e. the maximal independent sets of the conflict graph.
 
 use crate::improvement::{is_global_improvement, BudgetExceeded, Improvement};
+use crate::session::CheckSession;
 use rpr_data::{FactId, FactSet};
 use rpr_fd::ConflictGraph;
 use rpr_priority::PriorityRelation;
@@ -25,7 +26,10 @@ use rpr_priority::PriorityRelation;
 /// # Errors
 /// [`BudgetExceeded`] when more than `budget` recursion steps are
 /// needed.
-pub fn enumerate_repairs(cg: &ConflictGraph, budget: usize) -> Result<Vec<FactSet>, BudgetExceeded> {
+pub fn enumerate_repairs(
+    cg: &ConflictGraph,
+    budget: usize,
+) -> Result<Vec<FactSet>, BudgetExceeded> {
     let mut out = Vec::new();
     for_each_repair(cg, budget, |r| {
         out.push(r.clone());
@@ -88,10 +92,9 @@ pub fn for_each_repair(
         // …or exclude it. Pruning: excluding is only useful if some
         // later or earlier fact conflicts with it (otherwise the leaf
         // fails the maximality check anyway).
-        if !cg.conflicts_of(id).is_empty()
-            && !recurse(cg, i + 1, current, steps, budget, visit)? {
-                return Ok(false);
-            }
+        if !cg.conflicts_of(id).is_empty() && !recurse(cg, i + 1, current, steps, budget, visit)? {
+            return Ok(false);
+        }
         Ok(true)
     }
     recurse(cg, 0, &mut current, &mut steps, budget, &mut visit).map(|_| ())
@@ -172,6 +175,70 @@ pub fn count_globally_optimal_repairs(
     Ok(globally_optimal_repairs(cg, priority, budget)?.len())
 }
 
+/// Enumerates all repairs against a [`CheckSession`]'s cached conflict
+/// graph (no per-call graph construction).
+///
+/// # Errors
+/// [`BudgetExceeded`] when more than `budget` recursion steps are
+/// needed.
+pub fn enumerate_repairs_session(
+    session: &CheckSession<'_>,
+    budget: usize,
+) -> Result<Vec<FactSet>, BudgetExceeded> {
+    enumerate_repairs(session.conflict_graph(), budget)
+}
+
+/// Streams every repair of the session's instance to `visit`; stop
+/// early by returning `false`.
+///
+/// # Errors
+/// [`BudgetExceeded`] when more than `budget` recursion steps are
+/// needed.
+pub fn for_each_repair_session(
+    session: &CheckSession<'_>,
+    budget: usize,
+    visit: impl FnMut(&FactSet) -> bool,
+) -> Result<(), BudgetExceeded> {
+    for_each_repair(session.conflict_graph(), budget, visit)
+}
+
+/// Enumerates the globally-optimal repairs by filtering the repair
+/// enumeration through the session's dispatched (polynomial where
+/// possible) checker, fanning the checks out across the session's
+/// workers. Agrees with [`globally_optimal_repairs`] and keeps the
+/// enumeration order.
+///
+/// # Errors
+/// [`BudgetExceeded`] if enumeration or a hard-side check exceeds its
+/// budget.
+pub fn globally_optimal_repairs_session(
+    session: &CheckSession<'_>,
+    budget: usize,
+) -> Result<Vec<FactSet>, BudgetExceeded> {
+    let repairs = enumerate_repairs_session(session, budget)?;
+    let outcomes = session.check_batch(&repairs);
+    let mut out = Vec::new();
+    for (j, outcome) in repairs.into_iter().zip(outcomes) {
+        if outcome?.is_optimal() {
+            out.push(j);
+        }
+    }
+    Ok(out)
+}
+
+/// Counts globally-optimal repairs via
+/// [`globally_optimal_repairs_session`].
+///
+/// # Errors
+/// [`BudgetExceeded`] if enumeration or a hard-side check exceeds its
+/// budget.
+pub fn count_globally_optimal_repairs_session(
+    session: &CheckSession<'_>,
+    budget: usize,
+) -> Result<usize, BudgetExceeded> {
+    Ok(globally_optimal_repairs_session(session, budget)?.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,8 +274,7 @@ mod tests {
             assert_eq!(r.len(), 2);
         }
         // All distinct.
-        let uniq: std::collections::HashSet<_> =
-            repairs.iter().map(|r| format!("{r:?}")).collect();
+        let uniq: std::collections::HashSet<_> = repairs.iter().map(|r| format!("{r:?}")).collect();
         assert_eq!(uniq.len(), 6);
     }
 
@@ -289,8 +355,7 @@ mod tests {
     #[test]
     fn improvement_witness_from_brute_force_is_valid() {
         let (cg, i) = grouped();
-        let p =
-            PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
+        let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
         let j = i.set_of([FactId(1), FactId(3)]);
         let imp = find_global_improvement_brute(&cg, &p, &j, 1 << 20).unwrap().unwrap();
         assert!(imp.is_valid_global_improvement(&cg, &p, &j));

@@ -13,18 +13,14 @@
 //!   primary-key graph algorithm, the constant-attribute enumeration,
 //!   or the exact search.
 
-use crate::exact::check_global_exact;
-use crate::global_1fd::check_global_1fd;
-use crate::global_2keys::check_global_2keys;
-use crate::global_ccp_const::check_global_ccp_const;
-use crate::global_ccp_pk::check_global_ccp_pk;
 use crate::improvement::{BudgetExceeded, CheckOutcome};
+use crate::session::CheckSession;
 use rpr_classify::{
     classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
 };
 use rpr_data::FactSet;
-use rpr_fd::{ConflictGraph, Schema};
-use rpr_priority::{PrioritizedInstance, PriorityMode};
+use rpr_fd::Schema;
+use rpr_priority::PrioritizedInstance;
 
 /// Default budget for the exponential fall-back (search steps).
 pub const DEFAULT_EXACT_BUDGET: usize = 1 << 22;
@@ -80,6 +76,12 @@ impl GRepairChecker {
 
     /// Checks whether `j` is a globally-optimal repair of the instance.
     ///
+    /// One-shot convenience: builds a transient single-threaded
+    /// [`CheckSession`] for this call. Workloads that check many
+    /// candidates against one instance should construct the session
+    /// themselves (via [`GRepairChecker::session`]) to amortize the
+    /// conflict-graph construction.
+    ///
     /// # Errors
     /// [`BudgetExceeded`] only when a hard relation's exact search blows
     /// its budget; tractable schemas never fail.
@@ -91,42 +93,17 @@ impl GRepairChecker {
         pi: &PrioritizedInstance,
         j: &FactSet,
     ) -> Result<CheckOutcome, BudgetExceeded> {
-        assert_eq!(
-            pi.mode(),
-            PriorityMode::ConflictRestricted,
-            "ccp instances must use CcpChecker"
-        );
-        let instance = pi.instance();
-        let priority = pi.priority();
-        let cg = ConflictGraph::new(&self.schema, instance);
+        self.session(pi).with_jobs(1).check(j)
+    }
 
-        // Global consistency first (gives the cheapest witnesses).
-        for f in j.iter() {
-            if let Some(g) = cg.conflicts_in(f, j).first() {
-                return Ok(CheckOutcome::Inconsistent(f, g));
-            }
-        }
-
-        // Per-relation decomposition (Proposition 3.5).
-        for (rel, class) in self.class.per_relation() {
-            let domain = instance.rel_set(*rel);
-            let j_rel = j.intersect(&domain);
-            let outcome = match class {
-                RelationClass::SingleFd(fd) => {
-                    check_global_1fd(instance, &cg, priority, *fd, &domain, &j_rel)
-                }
-                RelationClass::TwoKeys(a1, a2) => {
-                    check_global_2keys(instance, &cg, priority, *a1, *a2, &domain, &j_rel)
-                }
-                RelationClass::Hard(_) => {
-                    check_global_exact(&cg, priority, &domain, &j_rel, self.exact_budget)?
-                }
-            };
-            if !outcome.is_optimal() {
-                return Ok(outcome);
-            }
-        }
-        Ok(CheckOutcome::Optimal)
+    /// Builds an amortized [`CheckSession`] over `pi`, reusing this
+    /// checker's classification and budget.
+    ///
+    /// # Panics
+    /// Panics if `pi` was validated in ccp mode (use [`CcpChecker`]).
+    pub fn session<'a>(&'a self, pi: &'a PrioritizedInstance) -> CheckSession<'a> {
+        CheckSession::with_classical_class(&self.schema, pi, self.class.clone())
+            .with_exact_budget(self.exact_budget)
     }
 
     /// The method used for a given relation (reporting).
@@ -183,6 +160,9 @@ impl CcpChecker {
     /// ccp-instance. Classical instances are accepted too (they are a
     /// special case of ccp).
     ///
+    /// One-shot convenience over a transient [`CheckSession`]; see
+    /// [`CcpChecker::session`] for amortized checking.
+    ///
     /// # Errors
     /// [`BudgetExceeded`] only on the hard side.
     pub fn check(
@@ -190,18 +170,14 @@ impl CcpChecker {
         pi: &PrioritizedInstance,
         j: &FactSet,
     ) -> Result<CheckOutcome, BudgetExceeded> {
-        let instance = pi.instance();
-        let priority = pi.priority();
-        let cg = ConflictGraph::new(&self.schema, instance);
-        Ok(match &self.class {
-            CcpClass::PrimaryKeyAssignment(_) => check_global_ccp_pk(&cg, priority, j),
-            CcpClass::ConstantAttributeAssignment(consts) => {
-                check_global_ccp_const(instance, &cg, priority, consts, j)
-            }
-            CcpClass::Hard { .. } => {
-                check_global_exact(&cg, priority, &instance.full_set(), j, self.exact_budget)?
-            }
-        })
+        self.session(pi).with_jobs(1).check(j)
+    }
+
+    /// Builds an amortized [`CheckSession`] over `pi`, reusing this
+    /// checker's classification and budget.
+    pub fn session<'a>(&'a self, pi: &'a PrioritizedInstance) -> CheckSession<'a> {
+        CheckSession::with_ccp_class(&self.schema, pi, self.class.clone())
+            .with_exact_budget(self.exact_budget)
     }
 }
 
@@ -210,6 +186,7 @@ mod tests {
     use super::*;
     use crate::brute::{enumerate_repairs, is_globally_optimal_brute};
     use rpr_data::{FactId, Instance, Signature, Value};
+    use rpr_fd::ConflictGraph;
     use rpr_priority::PriorityRelation;
 
     fn v(s: &str) -> Value {
@@ -297,11 +274,9 @@ mod tests {
     #[test]
     fn hard_schema_falls_back_to_exact() {
         let sig = Signature::new([("R", 3)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
         for (a, b, c) in [("a", "x", "1"), ("a", "y", "1"), ("b", "y", "2")] {
             i.insert_named("R", [v(a), v(b), v(c)]).unwrap();

@@ -70,9 +70,8 @@ pub fn check_global_exact(
         }
         if idx == facts.len() {
             // Maximality within the domain.
-            let maximal = facts
-                .iter()
-                .all(|&f| current.contains(f) || cg.conflicts_with_set(f, current));
+            let maximal =
+                facts.iter().all(|&f| current.contains(f) || cg.conflicts_with_set(f, current));
             if maximal && is_global_improvement(priority, j, current) {
                 *found = Some(Improvement {
                     removed: j.difference(current),
@@ -118,19 +117,13 @@ mod tests {
     /// S4 = {1→2, 2→3} over a ternary relation — a hard schema.
     fn s4_instance() -> (ConflictGraph, Instance) {
         let sig = Signature::new([("R", 3)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
-        for (a, b, c) in [
-            ("a", "x", "1"),
-            ("a", "y", "1"),
-            ("b", "x", "1"),
-            ("b", "x", "2"),
-            ("c", "y", "2"),
-        ] {
+        for (a, b, c) in
+            [("a", "x", "1"), ("a", "y", "1"), ("b", "x", "1"), ("b", "x", "2"), ("c", "y", "2")]
+        {
             i.insert_named("R", [v(a), v(b), v(c)]).unwrap();
         }
         (ConflictGraph::new(&schema, &i), i)
@@ -139,16 +132,11 @@ mod tests {
     #[test]
     fn agrees_with_plain_oracle_on_a_hard_schema() {
         let (cg, i) = s4_instance();
-        let p = PriorityRelation::new(
-            i.len(),
-            [(FactId(0), FactId(1)), (FactId(3), FactId(2))],
-        )
-        .unwrap();
+        let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(1)), (FactId(3), FactId(2))])
+            .unwrap();
         let domain = i.full_set();
         for j in enumerate_repairs(&cg, 1 << 22).unwrap() {
-            let fast = check_global_exact(&cg, &p, &domain, &j, 1 << 22)
-                .unwrap()
-                .is_optimal();
+            let fast = check_global_exact(&cg, &p, &domain, &j, 1 << 22).unwrap().is_optimal();
             let slow = is_globally_optimal_brute(&cg, &p, &j, 1 << 22).unwrap();
             assert_eq!(fast, slow, "disagreement on {}", i.render_set(&j));
         }

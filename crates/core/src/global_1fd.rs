@@ -18,6 +18,13 @@
 //! cases, because a proper consistent superset is itself a global
 //! improvement — we still pre-check maximality to give the cheaper
 //! witness first.
+//!
+//! The block structure depends only on `(instance, fd, domain)`, never
+//! on the candidate `J` — so amortized callers
+//! ([`CheckSession`](crate::session::CheckSession)) build [`FdBlocks`]
+//! once and call [`check_global_1fd_with_blocks`] per candidate, which
+//! also runs the repair pre-checks block-wise instead of via bitset
+//! scans (same witnesses, linear work).
 
 use crate::improvement::{CheckOutcome, Improvement};
 use rpr_data::{FactId, FactSet, FxHashMap, Instance, Tuple};
@@ -26,14 +33,16 @@ use rpr_priority::PriorityRelation;
 
 /// The block structure of one relation's facts under a single FD:
 /// groups share the `A`-projection; blocks within a group share the
-/// `B`-projection. Facts in different blocks of one group conflict.
-struct Blocks {
+/// `B`-projection. Facts in different blocks of one group conflict;
+/// facts in the same block, or in different groups, never do.
+pub struct FdBlocks {
     /// `groups[g]` = list of blocks; each block is a list of fact ids.
     groups: Vec<Vec<Vec<FactId>>>,
 }
 
-impl Blocks {
-    fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> Blocks {
+impl FdBlocks {
+    /// Groups `domain`'s facts by `A`- then `B`-projection.
+    pub fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> FdBlocks {
         let mut map: FxHashMap<Tuple, FxHashMap<Tuple, Vec<FactId>>> = FxHashMap::default();
         for id in domain.iter() {
             let f = instance.fact(id);
@@ -44,9 +53,67 @@ impl Blocks {
                 .or_default()
                 .push(id);
         }
-        Blocks {
-            groups: map.into_values().map(|g| g.into_values().collect()).collect(),
+        FdBlocks { groups: map.into_values().map(|g| g.into_values().collect()).collect() }
+    }
+
+    /// The minimal `f ∈ j` conflicting inside `j`, with its minimal
+    /// conflict partner — the witness the sequential bitset scan
+    /// `for f in j { cg.conflicts_in(f, j).first() }` finds. Two
+    /// `j`-facts conflict iff they sit in different blocks of one
+    /// group.
+    fn consistency_witness(&self, j: &FactSet) -> Option<(FactId, FactId)> {
+        let mut best: Option<(FactId, FactId)> = None;
+        for group in &self.groups {
+            if group.len() < 2 {
+                continue;
+            }
+            // The two minimal j-members in distinct blocks, if any.
+            let mut lo: Option<FactId> = None;
+            let mut hi: Option<FactId> = None;
+            for block in group {
+                let Some(&m) = block.iter().find(|id| j.contains(**id)) else {
+                    continue;
+                };
+                // Each block is visited once, so `m` is always from a
+                // block other than `lo`'s: the loser goes into `hi`.
+                match lo {
+                    None => lo = Some(m),
+                    Some(f0) if m < f0 => {
+                        lo = Some(m);
+                        hi = Some(hi.map_or(f0, |h| h.min(f0)));
+                    }
+                    Some(_) => hi = Some(hi.map_or(m, |h| h.min(m))),
+                }
+            }
+            if let (Some(f), Some(g)) = (lo, hi) {
+                if best.is_none_or(|(bf, _)| f < bf) {
+                    best = Some((f, g));
+                }
+            }
         }
+        best
+    }
+
+    /// The minimal fact of the domain addable to `j` without conflict
+    /// (`j` assumed consistent): any fact of a group without j-members,
+    /// or a fact of the j-block itself that is missing from `j`.
+    fn maximality_witness(&self, j: &FactSet) -> Option<FactId> {
+        let mut best: Option<FactId> = None;
+        for group in &self.groups {
+            let j_block = group.iter().position(|b| b.iter().any(|id| j.contains(*id)));
+            let candidate = match j_block {
+                // No j-members: every fact of the group is addable.
+                None => group.iter().flatten().copied().min(),
+                // Same-block facts agree on A and B — no conflict.
+                Some(bf) => group[bf].iter().copied().find(|id| !j.contains(*id)),
+            };
+            if let Some(c) = candidate {
+                if best.is_none_or(|b| c < b) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
     }
 }
 
@@ -54,8 +121,9 @@ impl Blocks {
 /// the single FD `fd` to which `Δ|R` is equivalent.
 ///
 /// `j` is the candidate repair restricted to `domain`; `cg` is the
-/// conflict graph of the whole instance (used for the repair
-/// pre-checks). Returns the outcome with a checked witness.
+/// conflict graph of the whole instance (used only to validate
+/// witnesses in debug builds). Returns the outcome with a checked
+/// witness. One-shot convenience over [`check_global_1fd_with_blocks`].
 pub fn check_global_1fd(
     instance: &Instance,
     cg: &ConflictGraph,
@@ -64,37 +132,45 @@ pub fn check_global_1fd(
     domain: &FactSet,
     j: &FactSet,
 ) -> CheckOutcome {
-    debug_assert!(j.is_subset(domain));
+    let blocks = FdBlocks::build(instance, fd, domain);
+    check_global_1fd_with_blocks(cg, priority, &blocks, j)
+}
+
+/// [`check_global_1fd`] against a prebuilt block structure — the
+/// amortized path: no hashing, no bitset-row scans, `O(|domain|)` per
+/// call. Outcomes and witnesses are identical to the one-shot entry
+/// point.
+pub fn check_global_1fd_with_blocks(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    blocks: &FdBlocks,
+    j: &FactSet,
+) -> CheckOutcome {
+    let _ = cg; // only read by debug assertions
 
     // Repair pre-checks: J must be consistent and maximal in `domain`.
-    for f in j.iter() {
-        let confl = cg.conflicts_in(f, j);
-        if let Some(g) = confl.first() {
-            return CheckOutcome::Inconsistent(f, g);
-        }
+    if let Some((f, g)) = blocks.consistency_witness(j) {
+        debug_assert!(cg.conflicting(f, g));
+        return CheckOutcome::Inconsistent(f, g);
     }
-    for g in domain.difference(j).iter() {
-        if !cg.conflicts_with_set(g, j) {
-            let mut added = FactSet::empty(j.universe());
-            added.insert(g);
-            return CheckOutcome::Improvable(Improvement {
-                removed: FactSet::empty(j.universe()),
-                added,
-            });
-        }
+    if let Some(g) = blocks.maximality_witness(j) {
+        debug_assert!(!cg.conflicts_with_set(g, j));
+        let mut added = FactSet::empty(j.universe());
+        added.insert(g);
+        return CheckOutcome::Improvable(Improvement {
+            removed: FactSet::empty(j.universe()),
+            added,
+        });
     }
 
-    let blocks = Blocks::build(instance, fd, domain);
     for group in &blocks.groups {
         if group.len() < 2 {
             continue; // no conflicts inside a single block
         }
         // J ∩ group lives in exactly one block (J is consistent).
-        let j_block: Option<usize> =
-            group.iter().position(|b| b.iter().any(|id| j.contains(*id)));
+        let j_block: Option<usize> = group.iter().position(|b| b.iter().any(|id| j.contains(*id)));
         let Some(bf) = j_block else { continue };
-        let removed: Vec<FactId> =
-            group[bf].iter().copied().filter(|id| j.contains(*id)).collect();
+        let removed: Vec<FactId> = group[bf].iter().copied().filter(|id| j.contains(*id)).collect();
         for (bg, block) in group.iter().enumerate() {
             if bg == bf {
                 continue;
@@ -102,9 +178,8 @@ pub fn check_global_1fd(
             // J[f↔g]: remove `removed`, add the whole candidate block.
             // Global improvement ⇔ every removed fact is beaten by some
             // added fact.
-            let improves = removed.iter().all(|&f_prime| {
-                block.iter().any(|&g| priority.prefers(g, f_prime))
-            });
+            let improves =
+                removed.iter().all(|&f_prime| block.iter().any(|&g| priority.prefers(g, f_prime)));
             if improves {
                 let mut rem = FactSet::empty(j.universe());
                 for &f in &removed {
@@ -137,8 +212,7 @@ mod tests {
     /// BookLoc fragment of the running example under 1→2 (Example 4.1).
     fn bookloc() -> (Schema, Instance, Fd) {
         let sig = Signature::new([("BookLoc", 3)]).unwrap();
-        let schema =
-            Schema::from_named(sig.clone(), [("BookLoc", &[1][..], &[2][..])]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("BookLoc", &[1][..], &[2][..])]).unwrap();
         let mut i = Instance::new(sig);
         for (a, b, c) in [
             ("b1", "fiction", "lib1"), // 0 g1f1
@@ -206,6 +280,26 @@ mod tests {
         match check_global_1fd(&i, &cg, &p, fd, &i.full_set(), &partial) {
             CheckOutcome::Improvable(imp) => assert!(imp.removed.is_empty()),
             other => panic!("expected vacuous improvement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_wise_prechecks_match_bitset_scans() {
+        // The cached path's consistency/maximality witnesses must be
+        // exactly what the sequential bitset scans produce, on every
+        // subset of a small instance.
+        let (schema, i, fd) = bookloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let blocks = FdBlocks::build(&i, fd, &i.full_set());
+        for bits in 0u32..(1 << i.len()) {
+            let j = i.set_of((0..i.len() as u32).filter(|b| bits >> b & 1 == 1).map(FactId));
+            let scan_incons = j.iter().find_map(|f| cg.conflicts_in(f, &j).first().map(|g| (f, g)));
+            assert_eq!(blocks.consistency_witness(&j), scan_incons, "J = {bits:b}");
+            if scan_incons.is_none() {
+                let scan_max =
+                    i.full_set().difference(&j).iter().find(|&g| !cg.conflicts_with_set(g, &j));
+                assert_eq!(blocks.maximality_witness(&j), scan_max, "J = {bits:b}");
+            }
         }
     }
 

@@ -89,8 +89,8 @@ impl BipartiteGraph {
         const BLACK: u8 = 2;
         let n = self.j_edge.len();
         let mut color = vec![WHITE; n]; // colors on left vertices
-        // Parent chain over left vertices: parent[l2] = l1 when the path
-        // l1 → r(l1) → l2 was taken, remembering the reverse-edge fact.
+                                        // Parent chain over left vertices: parent[l2] = l1 when the path
+                                        // l1 → r(l1) → l2 was taken, remembering the reverse-edge fact.
         let mut parent: Vec<Option<(usize, FactId)>> = vec![None; n];
         for start in 0..n {
             if color[start] != WHITE {
@@ -235,16 +235,13 @@ mod tests {
         let g12 = BipartiteGraph::build(&i, &p, &j, &candidates, a1, a2);
         assert_eq!(g12.reverse.iter().map(|r| r.len()).sum::<usize>(), 0);
         let g21 = BipartiteGraph::build(&i, &p, &j, &candidates, a2, a1);
-        let mut edge_facts: Vec<u32> = g21
-            .reverse
-            .iter()
-            .flat_map(|r| r.iter().map(|&(_, f)| f.0))
-            .collect();
+        let mut edge_facts: Vec<u32> =
+            g21.reverse.iter().flat_map(|r| r.iter().map(|&(_, f)| f.0)).collect();
         edge_facts.sort();
         assert_eq!(edge_facts, vec![2, 6]); // g2a and e1b
-        // G12 is acyclic, but G21's two reverse edges close the cycle
-        // almaden → lib1 → bascom → lib2 → almaden: swapping {d1a, f2b}
-        // for {e1b, g2a} is a global improvement of J.
+                                            // G12 is acyclic, but G21's two reverse edges close the cycle
+                                            // almaden → lib1 → bascom → lib2 → almaden: swapping {d1a, f2b}
+                                            // for {e1b, g2a} is a global improvement of J.
         assert!(g12.find_cycle_improvement(i.len()).is_none());
         let imp = g21.find_cycle_improvement(i.len()).unwrap();
         assert_eq!(imp.removed.iter().collect::<Vec<_>>(), vec![FactId(0), FactId(3)]);
@@ -276,11 +273,9 @@ mod tests {
         // R(2,a) ≻ R(2,b) and R(1,b) ≻ R(1,a) force a G21-style cycle
         // where the only improvement swaps both facts at once.
         let sig = Signature::new([("R", 2)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
         i.insert_named("R", [v("1"), v("a")]).unwrap(); // 0
         i.insert_named("R", [v("2"), v("b")]).unwrap(); // 1
@@ -368,8 +363,7 @@ mod tests {
         let a2 = AttrSet::from_attrs([2, 3]);
         let repairs = enumerate_repairs(&cg, 1 << 22).unwrap();
         for j in &repairs {
-            let fast =
-                check_global_2keys(&i, &cg, &p, a1, a2, &i.full_set(), j).is_optimal();
+            let fast = check_global_2keys(&i, &cg, &p, a1, a2, &i.full_set(), j).is_optimal();
             let slow = is_globally_optimal_brute(&cg, &p, j, 1 << 22).unwrap();
             assert_eq!(fast, slow, "disagreement on {}", i.render_set(j));
         }

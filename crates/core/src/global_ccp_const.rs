@@ -17,10 +17,7 @@ use rpr_priority::PriorityRelation;
 
 /// The consistent partitions of each relation (§7.2.2), given the
 /// per-relation constant attribute sets `B_R` (signature order).
-pub fn consistent_partitions(
-    instance: &Instance,
-    constant_attrs: &[AttrSet],
-) -> Vec<Vec<FactSet>> {
+pub fn consistent_partitions(instance: &Instance, constant_attrs: &[AttrSet]) -> Vec<Vec<FactSet>> {
     let sig = instance.signature();
     let mut out = Vec::with_capacity(sig.len());
     for rel in sig.rel_ids() {
@@ -46,8 +43,7 @@ pub fn enumerate_const_attr_repairs(
     constant_attrs: &[AttrSet],
 ) -> Vec<FactSet> {
     let partitions = consistent_partitions(instance, constant_attrs);
-    let nonempty: Vec<&Vec<FactSet>> =
-        partitions.iter().filter(|p| !p.is_empty()).collect();
+    let nonempty: Vec<&Vec<FactSet>> = partitions.iter().filter(|p| !p.is_empty()).collect();
     let mut out = vec![instance.empty_set()];
     for parts in nonempty {
         let mut next = Vec::with_capacity(out.len() * parts.len());
@@ -89,10 +85,8 @@ pub fn check_global_ccp_const(
 
     for candidate in enumerate_const_attr_repairs(instance, constant_attrs) {
         if is_global_improvement(priority, j, &candidate) {
-            let witness = Improvement {
-                removed: j.difference(&candidate),
-                added: candidate.difference(j),
-            };
+            let witness =
+                Improvement { removed: j.difference(&candidate), added: candidate.difference(j) };
             debug_assert!(witness.is_valid_global_improvement(cg, priority, j));
             return CheckOutcome::Improvable(witness);
         }
@@ -115,17 +109,15 @@ mod tests {
     /// ∅→1.
     fn setup() -> (Schema, Instance, Vec<AttrSet>) {
         let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[][..], &[2][..]), ("S", &[][..], &[1][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[][..], &[2][..]), ("S", &[][..], &[1][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
         // R partitions by attr 2: {x: 0,1}, {y: 2}.
         i.insert_named("R", [v("a"), v("x")]).unwrap(); // 0
         i.insert_named("R", [v("b"), v("x")]).unwrap(); // 1
         i.insert_named("R", [v("a"), v("y")]).unwrap(); // 2
-        // S partitions by attr 1: {s: 3}, {t: 4}.
+                                                        // S partitions by attr 1: {s: 3}, {t: 4}.
         i.insert_named("S", [v("s"), v("1")]).unwrap(); // 3
         i.insert_named("S", [v("t"), v("1")]).unwrap(); // 4
         let consts = vec![AttrSet::singleton(2), AttrSet::singleton(1)];
@@ -140,7 +132,7 @@ mod tests {
         assert_eq!(parts[1].len(), 2);
         let repairs = enumerate_const_attr_repairs(&i, &consts);
         assert_eq!(repairs.len(), 4); // 2 × 2
-        // They are exactly the brute-force repairs.
+                                      // They are exactly the brute-force repairs.
         let cg = ConflictGraph::new(&schema, &i);
         let mut brute = enumerate_repairs(&cg, 1 << 20).unwrap();
         let mut fast = repairs.clone();

@@ -59,8 +59,7 @@ pub fn check_global_ccp_pk(
         }
         // Stack entries: (J-fact, successor list, next index).
         type Frame = (FactId, Vec<(FactId, FactId)>, usize);
-        let mut stack: Vec<Frame> =
-            vec![(start, successors(cg, priority, j, start), 0)];
+        let mut stack: Vec<Frame> = vec![(start, successors(cg, priority, j, start), 0)];
         color[start.index()] = GRAY;
         while let Some((f, succs, idx)) = stack.last_mut() {
             if *idx < succs.len() {
@@ -190,11 +189,9 @@ mod tests {
         // Two relations, each with key 1: a priority from an S-fact to
         // an R-fact lets improving S enable improving R.
         let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
         i.insert_named("R", [v("k"), v("x")]).unwrap(); // 0
         i.insert_named("R", [v("k"), v("y")]).unwrap(); // 1

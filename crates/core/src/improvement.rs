@@ -46,11 +46,7 @@ impl Improvement {
 /// `j2 \ j`. Consistency of `j2` is *not* part of this predicate (the
 /// definition quantifies over consistent subinstances; callers check
 /// consistency where it is not structurally guaranteed).
-pub fn is_global_improvement(
-    priority: &PriorityRelation,
-    j: &FactSet,
-    j2: &FactSet,
-) -> bool {
+pub fn is_global_improvement(priority: &PriorityRelation, j: &FactSet, j2: &FactSet) -> bool {
     if j == j2 {
         return false;
     }
@@ -64,11 +60,7 @@ pub fn is_global_improvement(
 /// Some fact of `j2 \ j` beats *every* fact of `j \ j2`. (When
 /// `j ⊊ j2`, the condition holds vacuously for any added fact —
 /// consistent proper supersets are always Pareto improvements.)
-pub fn is_pareto_improvement(
-    priority: &PriorityRelation,
-    j: &FactSet,
-    j2: &FactSet,
-) -> bool {
+pub fn is_pareto_improvement(priority: &PriorityRelation, j: &FactSet, j2: &FactSet) -> bool {
     let lost = j.difference(j2);
     let gained = j2.difference(j);
     gained.iter().any(|f| priority.beats_all(f, &lost))
@@ -158,7 +150,7 @@ mod tests {
         let (cg, i, p) = setup();
         let j1 = i.set_of([FactId(1), FactId(3), FactId(4)]); // d1e, f2b, f3a
         let j2 = i.set_of([FactId(1), FactId(2), FactId(7)]); // d1e, g2a, e3b
-        // J1 \ J2 = {f2b, f3a}; g2a ≻ both → Pareto and global improvement.
+                                                              // J1 \ J2 = {f2b, f3a}; g2a ≻ both → Pareto and global improvement.
         assert!(cg.is_consistent_set(&j2));
         assert!(is_global_improvement(&p, &j1, &j2));
         assert!(is_pareto_improvement(&p, &j1, &j2));

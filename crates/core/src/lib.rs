@@ -31,8 +31,8 @@
 
 pub mod brute;
 pub mod checker;
-pub mod construct;
 pub mod completion;
+pub mod construct;
 pub mod exact;
 pub mod global_1fd;
 pub mod global_2keys;
@@ -40,17 +40,20 @@ pub mod global_ccp_const;
 pub mod global_ccp_pk;
 pub mod improvement;
 pub mod pareto;
+pub mod session;
 
 pub use brute::{
-    count_globally_optimal_repairs, enumerate_repairs, find_global_improvement_brute,
-    for_each_repair, globally_optimal_repairs, is_globally_optimal_brute,
+    count_globally_optimal_repairs, count_globally_optimal_repairs_session, enumerate_repairs,
+    enumerate_repairs_session, find_global_improvement_brute, for_each_repair,
+    for_each_repair_session, globally_optimal_repairs, globally_optimal_repairs_session,
+    is_globally_optimal_brute,
 };
 pub use checker::{CcpChecker, GRepairChecker, Method, DEFAULT_EXACT_BUDGET};
-pub use construct::construct_globally_optimal_repair;
 pub use completion::{
-    completion_optimal_repairs_brute, greedy_repair, greedy_repair_in_order,
-    is_completion_optimal, is_completion_optimal_brute,
+    completion_optimal_repairs_brute, greedy_repair, greedy_repair_in_order, is_completion_optimal,
+    is_completion_optimal_brute,
 };
+pub use construct::construct_globally_optimal_repair;
 pub use exact::check_global_exact;
 pub use global_1fd::check_global_1fd;
 pub use global_2keys::check_global_2keys;
@@ -62,3 +65,4 @@ pub use improvement::{
     is_global_improvement, is_pareto_improvement, BudgetExceeded, CheckOutcome, Improvement,
 };
 pub use pareto::{find_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute};
+pub use session::{default_jobs, CheckSession};

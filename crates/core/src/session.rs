@@ -1,0 +1,519 @@
+//! Amortized check sessions.
+//!
+//! [`GRepairChecker::check`](crate::checker::GRepairChecker::check)
+//! rebuilds the conflict graph of the base instance on every call.
+//! That is the right trade-off for a one-shot query, but enumeration,
+//! counting, and CQA workloads check *thousands* of candidate repairs
+//! against one fixed `(schema, instance, priority)` triple — and the
+//! graph construction then dominates everything else.
+//!
+//! A [`CheckSession`] is constructed once per triple and amortizes the
+//! invariant work across every subsequent [`check`](CheckSession::check):
+//!
+//! * the bitset [`ConflictGraph`] (consumed by the per-relation
+//!   algorithms),
+//! * its CSR packing ([`CsrConflictGraph`]) for cache-friendly
+//!   adjacency probes in the consistency pre-pass,
+//! * the connected components of the conflict graph (parallel
+//!   scheduling units for the pre-pass),
+//! * the per-relation fact partitions (`rel_set` bitsets), and
+//! * the Theorem 3.1 / 7.1 classification driving the Prop 3.5
+//!   dispatch.
+//!
+//! Sessions also parallelize: the `jobs` knob (default: available
+//! parallelism) fans work out over dependency-free
+//! [`std::thread::scope`] workers — across connected components in the
+//! consistency pre-pass, across relation symbols in the classical
+//! per-relation dispatch, and across candidates in
+//! [`check_batch`](CheckSession::check_batch).
+//!
+//! **Bit-identity.** Every session result — outcome *and* witness — is
+//! identical to what the corresponding one-shot checker returns, at
+//! every `jobs` setting. This falls out of three invariants: CSR
+//! neighbor lists are sorted ascending, so the first conflicting
+//! partner matches the bitset `first()`; the parallel pre-pass reduces
+//! to the *minimal* inconsistent fact, which is exactly the sequential
+//! first hit; and the parallel per-relation fan-out scans its results
+//! in `per_relation()` order, reproducing the sequential early exit.
+
+use crate::checker::DEFAULT_EXACT_BUDGET;
+use crate::exact::check_global_exact;
+use crate::global_1fd::{check_global_1fd_with_blocks, FdBlocks};
+use crate::global_2keys::check_global_2keys;
+use crate::global_ccp_const::check_global_ccp_const;
+use crate::global_ccp_pk::check_global_ccp_pk;
+use crate::improvement::{BudgetExceeded, CheckOutcome};
+use rpr_classify::{
+    classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
+};
+use rpr_data::{FactId, FactSet, Instance};
+use rpr_fd::{ConflictGraph, CsrConflictGraph, Schema};
+use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this universe size a parallel consistency pre-pass costs more
+/// in thread startup than it saves.
+const PARALLEL_PREPASS_MIN_FACTS: usize = 4096;
+
+/// The cached dispatch plan: which dichotomy the session runs under.
+enum Plan {
+    /// Conflict-restricted priorities: Prop 3.5 per-relation dispatch.
+    Classical(SchemaClass),
+    /// Cross-conflict priorities: whole-instance dispatch (§7).
+    Ccp(CcpClass),
+}
+
+/// An amortized checker for many `check(J)` calls against one
+/// `(schema, instance, priority)` triple. See the module docs.
+pub struct CheckSession<'a> {
+    schema: &'a Schema,
+    pi: &'a PrioritizedInstance,
+    cg: ConflictGraph,
+    csr: CsrConflictGraph,
+    plan: Plan,
+    /// `rel_domains[rel.index()]` is the fact partition of that
+    /// relation (classical dispatch domains).
+    rel_domains: Vec<FactSet>,
+    /// `rel_blocks[rel.index()]` caches the Lemma 4.2 group/block
+    /// structure for relations classified as a single FD — the hash
+    /// grouping is candidate-independent, so it is built once here
+    /// instead of on every check.
+    rel_blocks: Vec<Option<FdBlocks>>,
+    /// Connected components with ≥ 2 members, ordered by minimal
+    /// member; singletons can never witness an inconsistency.
+    nontrivial_components: Vec<Vec<FactId>>,
+    jobs: usize,
+    exact_budget: usize,
+}
+
+impl<'a> CheckSession<'a> {
+    /// Builds a session, classifying the schema under the dichotomy
+    /// matching `pi.mode()`.
+    pub fn new(schema: &'a Schema, pi: &'a PrioritizedInstance) -> Self {
+        let plan = match pi.mode() {
+            PriorityMode::ConflictRestricted => Plan::Classical(classify_schema(schema)),
+            PriorityMode::CrossConflict => Plan::Ccp(classify_schema_ccp(schema)),
+        };
+        Self::with_plan(schema, pi, plan)
+    }
+
+    /// Builds a classical session from a precomputed classification
+    /// (the [`GRepairChecker`](crate::checker::GRepairChecker) already
+    /// holds one).
+    ///
+    /// # Panics
+    /// Panics if `pi` was validated in ccp mode.
+    pub fn with_classical_class(
+        schema: &'a Schema,
+        pi: &'a PrioritizedInstance,
+        class: SchemaClass,
+    ) -> Self {
+        assert_eq!(
+            pi.mode(),
+            PriorityMode::ConflictRestricted,
+            "ccp instances must use CcpChecker / a ccp session"
+        );
+        Self::with_plan(schema, pi, Plan::Classical(class))
+    }
+
+    /// Builds a ccp session from a precomputed classification.
+    /// Classical instances are accepted too (they are a special case of
+    /// ccp).
+    pub fn with_ccp_class(
+        schema: &'a Schema,
+        pi: &'a PrioritizedInstance,
+        class: CcpClass,
+    ) -> Self {
+        Self::with_plan(schema, pi, Plan::Ccp(class))
+    }
+
+    fn with_plan(schema: &'a Schema, pi: &'a PrioritizedInstance, plan: Plan) -> Self {
+        let instance = pi.instance();
+        let cg = ConflictGraph::new(schema, instance);
+        let csr = CsrConflictGraph::from_graph(&cg);
+        let rel_domains: Vec<FactSet> =
+            schema.signature().rel_ids().map(|rel| instance.rel_set(rel)).collect();
+        let nontrivial_components = csr.components().into_iter().filter(|c| c.len() > 1).collect();
+        let mut rel_blocks: Vec<Option<FdBlocks>> =
+            schema.signature().rel_ids().map(|_| None).collect();
+        if let Plan::Classical(class) = &plan {
+            for (rel, rc) in class.per_relation() {
+                if let RelationClass::SingleFd(fd) = rc {
+                    rel_blocks[rel.index()] =
+                        Some(FdBlocks::build(instance, *fd, &rel_domains[rel.index()]));
+                }
+            }
+        }
+        CheckSession {
+            schema,
+            pi,
+            cg,
+            csr,
+            plan,
+            rel_domains,
+            rel_blocks,
+            nontrivial_components,
+            jobs: default_jobs(),
+            exact_budget: DEFAULT_EXACT_BUDGET,
+        }
+    }
+
+    /// Sets the worker count for parallel fan-out. `0` restores the
+    /// default (available parallelism); `1` forces sequential
+    /// execution.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { default_jobs() } else { jobs };
+        self
+    }
+
+    /// Overrides the step budget of the exponential fall-back.
+    pub fn with_exact_budget(mut self, budget: usize) -> Self {
+        self.exact_budget = budget;
+        self
+    }
+
+    /// The worker count used for parallel fan-out.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The cached bitset conflict graph.
+    pub fn conflict_graph(&self) -> &ConflictGraph {
+        &self.cg
+    }
+
+    /// The cached CSR packing of the conflict graph.
+    pub fn csr(&self) -> &CsrConflictGraph {
+        &self.csr
+    }
+
+    /// The schema the session was classified under.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// The base instance the session checks against.
+    pub fn instance(&self) -> &Instance {
+        self.pi.instance()
+    }
+
+    /// The priority relation.
+    pub fn priority(&self) -> &PriorityRelation {
+        self.pi.priority()
+    }
+
+    /// The priority mode the session dispatches under.
+    pub fn mode(&self) -> PriorityMode {
+        self.pi.mode()
+    }
+
+    /// The complexity of checking under the session's dichotomy.
+    pub fn complexity(&self) -> Complexity {
+        match &self.plan {
+            Plan::Classical(c) => c.complexity(),
+            Plan::Ccp(c) => c.complexity(),
+        }
+    }
+
+    /// Checks whether `j` is a globally-optimal repair, with the
+    /// session's cached invariants and parallel fan-out.
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] only when a hard schema's exact search blows
+    /// its budget; tractable schemas never fail.
+    pub fn check(&self, j: &FactSet) -> Result<CheckOutcome, BudgetExceeded> {
+        self.check_with_jobs(j, self.jobs)
+    }
+
+    /// Checks a batch of candidates, fanning out across them. Results
+    /// are in input order and identical to calling
+    /// [`check`](CheckSession::check) per candidate.
+    pub fn check_batch(&self, js: &[FactSet]) -> Vec<Result<CheckOutcome, BudgetExceeded>> {
+        // Inner checks stay sequential: the candidates themselves are
+        // the parallel unit.
+        self.fan_out(js.len(), |i| self.check_with_jobs(&js[i], 1))
+    }
+
+    fn check_with_jobs(&self, j: &FactSet, jobs: usize) -> Result<CheckOutcome, BudgetExceeded> {
+        // Global consistency first (gives the cheapest witnesses).
+        if let Some((f, g)) = self.consistency_witness(j, jobs) {
+            return Ok(CheckOutcome::Inconsistent(f, g));
+        }
+        match &self.plan {
+            Plan::Classical(class) => self.check_classical(class, j, jobs),
+            Plan::Ccp(class) => self.check_ccp(class, j),
+        }
+    }
+
+    /// The minimal fact of `j` conflicting inside `j`, with its minimal
+    /// conflict partner — exactly the witness the sequential loop
+    /// `for f in j.iter() { cg.conflicts_in(f, j).first() }` finds.
+    fn consistency_witness(&self, j: &FactSet, jobs: usize) -> Option<(FactId, FactId)> {
+        let parallel = jobs > 1
+            && j.universe() >= PARALLEL_PREPASS_MIN_FACTS
+            && self.nontrivial_components.len() > 1;
+        if !parallel {
+            return j.iter().find_map(|f| self.csr.first_conflict_in(f, j).map(|g| (f, g)));
+        }
+        // Conflicts never leave a component, so each component can be
+        // scanned independently; the global witness is the one with the
+        // minimal inconsistent fact.
+        let per_component = self.fan_out_n(jobs, self.nontrivial_components.len(), |c| {
+            self.nontrivial_components[c]
+                .iter()
+                .filter(|f| j.contains(**f))
+                .find_map(|&f| self.csr.first_conflict_in(f, j).map(|g| (f, g)))
+        });
+        per_component.into_iter().flatten().min_by_key(|&(f, _)| f)
+    }
+
+    fn check_classical(
+        &self,
+        class: &SchemaClass,
+        j: &FactSet,
+        jobs: usize,
+    ) -> Result<CheckOutcome, BudgetExceeded> {
+        let rels = class.per_relation();
+        if jobs > 1 && rels.len() > 1 {
+            // Evaluate all relations concurrently, then scan in
+            // `per_relation()` order: the first error or non-optimal
+            // outcome is exactly what the sequential early exit
+            // returns.
+            let outcomes = self.fan_out_n(jobs, rels.len(), |i| self.check_relation(&rels[i], j));
+            for outcome in outcomes {
+                match outcome? {
+                    o if !o.is_optimal() => return Ok(o),
+                    _ => {}
+                }
+            }
+        } else {
+            for rc in rels {
+                let outcome = self.check_relation(rc, j)?;
+                if !outcome.is_optimal() {
+                    return Ok(outcome);
+                }
+            }
+        }
+        Ok(CheckOutcome::Optimal)
+    }
+
+    fn check_relation(
+        &self,
+        (rel, class): &(rpr_data::RelId, RelationClass),
+        j: &FactSet,
+    ) -> Result<CheckOutcome, BudgetExceeded> {
+        let instance = self.pi.instance();
+        let priority = self.pi.priority();
+        let domain = &self.rel_domains[rel.index()];
+        let j_rel = j.intersect(domain);
+        Ok(match class {
+            RelationClass::SingleFd(_) => {
+                let blocks = self.rel_blocks[rel.index()]
+                    .as_ref()
+                    .expect("blocks cached for every single-FD relation");
+                check_global_1fd_with_blocks(&self.cg, priority, blocks, &j_rel)
+            }
+            RelationClass::TwoKeys(a1, a2) => {
+                check_global_2keys(instance, &self.cg, priority, *a1, *a2, domain, &j_rel)
+            }
+            RelationClass::Hard(_) => {
+                check_global_exact(&self.cg, priority, domain, &j_rel, self.exact_budget)?
+            }
+        })
+    }
+
+    fn check_ccp(&self, class: &CcpClass, j: &FactSet) -> Result<CheckOutcome, BudgetExceeded> {
+        let instance = self.pi.instance();
+        let priority = self.pi.priority();
+        Ok(match class {
+            CcpClass::PrimaryKeyAssignment(_) => check_global_ccp_pk(&self.cg, priority, j),
+            CcpClass::ConstantAttributeAssignment(consts) => {
+                check_global_ccp_const(instance, &self.cg, priority, consts, j)
+            }
+            CcpClass::Hard { .. } => {
+                check_global_exact(&self.cg, priority, &instance.full_set(), j, self.exact_budget)?
+            }
+        })
+    }
+
+    /// Runs `task(0..n_tasks)` on up to `self.jobs` scoped workers and
+    /// returns the results in task order.
+    fn fan_out<T, F>(&self, n_tasks: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.fan_out_n(self.jobs, n_tasks, task)
+    }
+
+    fn fan_out_n<T, F>(&self, jobs: usize, n_tasks: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = jobs.min(n_tasks);
+        if workers <= 1 {
+            return (0..n_tasks).map(task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_tasks {
+                                break;
+                            }
+                            local.push((i, task(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, t) in h.join().expect("session worker panicked") {
+                    slots[i] = Some(t);
+                }
+            }
+        });
+        slots.into_iter().map(|t| t.expect("every task ran")).collect()
+    }
+}
+
+/// The default `jobs` value: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::enumerate_repairs;
+    use crate::checker::{CcpChecker, GRepairChecker};
+    use rpr_data::{Signature, Value};
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn running() -> (Schema, Instance, PriorityRelation) {
+        let sig = Signature::new([("BookLoc", 3), ("LibLoc", 2)]).unwrap();
+        let schema = Schema::from_named(
+            sig.clone(),
+            [
+                ("BookLoc", &[1][..], &[2][..]),
+                ("LibLoc", &[1][..], &[2][..]),
+                ("LibLoc", &[2][..], &[1][..]),
+            ],
+        )
+        .unwrap();
+        let mut i = Instance::new(sig);
+        for (a, b, c) in [
+            ("b1", "fiction", "lib1"),
+            ("b1", "fiction", "lib2"),
+            ("b1", "drama", "lib3"),
+            ("b2", "poetry", "lib1"),
+            ("b3", "horror", "lib2"),
+        ] {
+            i.insert_named("BookLoc", [v(a), v(b), v(c)]).unwrap();
+        }
+        for (a, b) in [
+            ("lib1", "almaden"),
+            ("lib1", "edenvale"),
+            ("lib2", "almaden"),
+            ("lib2", "bascom"),
+            ("lib3", "almaden"),
+            ("lib3", "cambrian"),
+            ("lib1", "bascom"),
+            ("lib3", "bascom"),
+        ] {
+            i.insert_named("LibLoc", [v(a), v(b)]).unwrap();
+        }
+        let p = PriorityRelation::new(
+            i.len(),
+            [
+                (FactId(0), FactId(2)),
+                (FactId(1), FactId(2)),
+                (FactId(7), FactId(8)),
+                (FactId(7), FactId(9)),
+                (FactId(11), FactId(5)),
+                (FactId(11), FactId(6)),
+            ],
+        )
+        .unwrap();
+        (schema, i, p)
+    }
+
+    /// Candidate sets beyond repairs: inconsistent and non-maximal
+    /// subsets, so witnesses of every flavor get compared.
+    fn candidates(i: &Instance, cg: &ConflictGraph) -> Vec<FactSet> {
+        let mut out = enumerate_repairs(cg, 1 << 20).unwrap();
+        out.push(i.empty_set());
+        out.push(i.full_set());
+        out.push(i.set_of([FactId(0), FactId(1)]));
+        out.push(i.set_of([FactId(i.len() as u32 - 1)]));
+        out
+    }
+
+    #[test]
+    fn session_is_bit_identical_to_checker_at_all_jobs() {
+        let (schema, i, p) = running();
+        let cg = ConflictGraph::new(&schema, &i);
+        let checker = GRepairChecker::new(schema.clone());
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i.clone(), p).unwrap();
+        for jobs in [1, 2, 8] {
+            let session = CheckSession::new(&schema, &pi).with_jobs(jobs);
+            for j in candidates(&i, &cg) {
+                assert_eq!(session.check(&j), checker.check(&pi, &j), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_checks() {
+        let (schema, i, p) = running();
+        let cg = ConflictGraph::new(&schema, &i);
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i.clone(), p).unwrap();
+        let session = CheckSession::new(&schema, &pi).with_jobs(4);
+        let js = candidates(&i, &cg);
+        let batch = session.check_batch(&js);
+        assert_eq!(batch.len(), js.len());
+        for (j, outcome) in js.iter().zip(&batch) {
+            assert_eq!(outcome, &session.check(j));
+        }
+    }
+
+    #[test]
+    fn ccp_session_matches_ccp_checker() {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [v("a"), v("1")]).unwrap();
+        i.insert_named("R", [v("a"), v("2")]).unwrap();
+        i.insert_named("R", [v("b"), v("1")]).unwrap();
+        let p = PriorityRelation::new(i.len(), [(FactId(2), FactId(0))]).unwrap();
+        let cg = ConflictGraph::new(&schema, &i);
+        let checker = CcpChecker::new(schema.clone());
+        let pi = PrioritizedInstance::cross_conflict(i.clone(), p);
+        for jobs in [1, 4] {
+            let session = CheckSession::new(&schema, &pi).with_jobs(jobs);
+            for j in candidates(&i, &cg) {
+                assert_eq!(session.check(&j), checker.check(&pi, &j), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_knob_defaults_and_overrides() {
+        let (schema, i, p) = running();
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i, p).unwrap();
+        let session = CheckSession::new(&schema, &pi);
+        assert_eq!(session.jobs(), default_jobs());
+        assert_eq!(session.with_jobs(3).jobs(), 3);
+        let session = CheckSession::new(&schema, &pi).with_jobs(0);
+        assert_eq!(session.jobs(), default_jobs());
+    }
+}

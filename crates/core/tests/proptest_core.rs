@@ -28,13 +28,10 @@ fn input() -> impl Strategy<Value = Input> {
     )
         .prop_map(|(rows, ranks, edge_bits)| {
             let sig = Signature::new([("R", 3)]).unwrap();
-            let schema =
-                Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+            let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
             let mut instance = Instance::new(sig);
             for (a, b, c) in rows {
-                instance
-                    .insert_named("R", [Value::Int(a), Value::Int(b), Value::Int(c)])
-                    .unwrap();
+                instance.insert_named("R", [Value::Int(a), Value::Int(b), Value::Int(c)]).unwrap();
             }
             let cg = ConflictGraph::new(&schema, &instance);
             let edges: Vec<(FactId, FactId)> = cg

@@ -11,7 +11,7 @@
 use crate::query::ConjunctiveQuery;
 use rpr_core::{
     enumerate_repairs, is_completion_optimal, is_global_improvement, is_pareto_improvement,
-    BudgetExceeded,
+    BudgetExceeded, CheckSession,
 };
 use rpr_data::{FactSet, Instance, Tuple};
 use rpr_fd::{ConflictGraph, Schema};
@@ -98,11 +98,32 @@ pub fn repairs_under(
             .filter(|j| !all.iter().any(|r| is_global_improvement(priority, j, r)))
             .cloned()
             .collect(),
-        RepairSemantics::Completion => all
-            .into_iter()
-            .filter(|j| is_completion_optimal(cg, priority, j))
-            .collect(),
+        RepairSemantics::Completion => {
+            all.into_iter().filter(|j| is_completion_optimal(cg, priority, j)).collect()
+        }
     })
+}
+
+/// Enumerates the repairs of the chosen semantics against an amortized
+/// [`CheckSession`] — no per-call conflict-graph construction, and the
+/// globally-optimal filter runs through the session's dispatched
+/// (polynomial where possible, parallel) checker instead of the
+/// pairwise oracle scan.
+///
+/// Agrees with [`repairs_under`] on the session's conflict graph.
+///
+/// # Errors
+/// [`BudgetExceeded`] if repair enumeration (or, on hard schemas, an
+/// exact check) exceeds its budget.
+pub fn repairs_under_session(
+    semantics: RepairSemantics,
+    session: &CheckSession<'_>,
+    budget: usize,
+) -> Result<Vec<FactSet>, BudgetExceeded> {
+    if semantics == RepairSemantics::Global {
+        return rpr_core::globally_optimal_repairs_session(session, budget);
+    }
+    repairs_under(semantics, session.conflict_graph(), session.priority(), budget)
 }
 
 /// The result of a preferred-CQA computation.
@@ -131,9 +152,32 @@ pub fn answers(
 ) -> Result<CqaAnswers, BudgetExceeded> {
     let cg = ConflictGraph::new(schema, instance);
     let repairs = repairs_under(semantics, &cg, priority, budget)?;
+    Ok(quantify(instance, query, &repairs))
+}
+
+/// Computes certain and possible answers of `query` against an
+/// amortized [`CheckSession`]. Answer/count loops over many queries
+/// should build one session and call this per query: the conflict
+/// graph, classification, and partitions are shared across all of
+/// them.
+///
+/// # Errors
+/// [`BudgetExceeded`] if repair enumeration (or a hard-side exact
+/// check) exceeds its budget.
+pub fn answers_session(
+    session: &CheckSession<'_>,
+    query: &ConjunctiveQuery,
+    semantics: RepairSemantics,
+    budget: usize,
+) -> Result<CqaAnswers, BudgetExceeded> {
+    let repairs = repairs_under_session(semantics, session, budget)?;
+    Ok(quantify(session.instance(), query, &repairs))
+}
+
+fn quantify(instance: &Instance, query: &ConjunctiveQuery, repairs: &[FactSet]) -> CqaAnswers {
     let mut certain: Option<BTreeSet<Tuple>> = None;
     let mut possible: BTreeSet<Tuple> = BTreeSet::new();
-    for j in &repairs {
+    for j in repairs {
         let sub = instance.materialize(j);
         let ans = query.eval(&sub);
         possible.extend(ans.iter().cloned());
@@ -142,11 +186,7 @@ pub fn answers(
             Some(c) => c.intersection(&ans).cloned().collect(),
         });
     }
-    Ok(CqaAnswers {
-        certain: certain.unwrap_or_default(),
-        possible,
-        repair_count: repairs.len(),
-    })
+    CqaAnswers { certain: certain.unwrap_or_default(), possible, repair_count: repairs.len() }
 }
 
 #[cfg(test)]
@@ -159,14 +199,13 @@ mod tests {
     /// one winner per group: use R: 1→2 over (group, member)).
     fn setup() -> (Schema, Instance, PriorityRelation) {
         let sig = Signature::new([("R", 2)]).unwrap();
-        let schema =
-            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
         let mut i = Instance::new(sig);
         let v = Value::sym;
         i.insert_named("R", [v("g1"), v("a")]).unwrap(); // 0
         i.insert_named("R", [v("g1"), v("b")]).unwrap(); // 1
         i.insert_named("R", [v("g2"), v("c")]).unwrap(); // 2
-        // Prefer a over b.
+                                                         // Prefer a over b.
         let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
         (schema, i, p)
     }
@@ -178,8 +217,7 @@ mod tests {
         let all = repairs_under(RepairSemantics::All, &cg, &p, 1 << 20).unwrap();
         let pareto = repairs_under(RepairSemantics::Pareto, &cg, &p, 1 << 20).unwrap();
         let global = repairs_under(RepairSemantics::Global, &cg, &p, 1 << 20).unwrap();
-        let completion =
-            repairs_under(RepairSemantics::Completion, &cg, &p, 1 << 20).unwrap();
+        let completion = repairs_under(RepairSemantics::Completion, &cg, &p, 1 << 20).unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(pareto.len(), 1);
         assert_eq!(global.len(), 1);

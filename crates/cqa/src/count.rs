@@ -8,7 +8,7 @@
 //! questions by enumeration (with budgets), which is the best known
 //! general tool.
 
-use rpr_core::{globally_optimal_repairs, BudgetExceeded};
+use rpr_core::{globally_optimal_repairs, BudgetExceeded, CheckSession};
 use rpr_data::FactSet;
 use rpr_fd::ConflictGraph;
 use rpr_priority::PriorityRelation;
@@ -31,6 +31,22 @@ impl RepairSpace {
         budget: usize,
     ) -> Result<Self, BudgetExceeded> {
         Ok(RepairSpace { optimal: globally_optimal_repairs(cg, priority, budget)? })
+    }
+
+    /// Computes the space against an amortized [`CheckSession`]: the
+    /// session's cached conflict graph drives the enumeration, and
+    /// optimality is decided by its dispatched (parallel) checker
+    /// rather than the pairwise oracle. Agrees with
+    /// [`RepairSpace::compute`].
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] if enumeration or a hard-side exact check
+    /// exceeds its budget.
+    pub fn compute_session(
+        session: &CheckSession<'_>,
+        budget: usize,
+    ) -> Result<Self, BudgetExceeded> {
+        Ok(RepairSpace { optimal: rpr_core::globally_optimal_repairs_session(session, budget)? })
     }
 
     /// Number of globally-optimal repairs.
@@ -56,18 +72,14 @@ mod tests {
 
     fn setup(edges: &[(u32, u32)]) -> (ConflictGraph, PriorityRelation) {
         let sig = Signature::new([("R", 2)]).unwrap();
-        let schema =
-            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
         let mut i = Instance::new(sig);
         let v = Value::sym;
         i.insert_named("R", [v("g"), v("a")]).unwrap();
         i.insert_named("R", [v("g"), v("b")]).unwrap();
         i.insert_named("R", [v("g"), v("c")]).unwrap();
-        let p = PriorityRelation::new(
-            i.len(),
-            edges.iter().map(|&(a, b)| (FactId(a), FactId(b))),
-        )
-        .unwrap();
+        let p = PriorityRelation::new(i.len(), edges.iter().map(|&(a, b)| (FactId(a), FactId(b))))
+            .unwrap();
         (ConflictGraph::new(&schema, &i), p)
     }
 

@@ -90,10 +90,7 @@ fn search(
 /// head-preserving), if any.
 ///
 /// Requires the two queries to have equally long heads.
-pub fn find_homomorphism(
-    from: &ConjunctiveQuery,
-    to: &ConjunctiveQuery,
-) -> Option<Homomorphism> {
+pub fn find_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<Homomorphism> {
     if from.head.len() != to.head.len() {
         return None;
     }
@@ -185,10 +182,7 @@ mod tests {
             head: vec![0],
             atoms: vec![atom(&i, "E", &["?0", "?1"]), atom(&i, "E", &["?1", "?2"])],
         };
-        let edge = ConjunctiveQuery {
-            head: vec![0],
-            atoms: vec![atom(&i, "E", &["?0", "?1"])],
-        };
+        let edge = ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "E", &["?0", "?1"])] };
         assert!(is_contained_in(&path2, &edge));
         assert!(!is_contained_in(&edge, &path2));
         assert!(!are_equivalent(&path2, &edge));
@@ -259,10 +253,7 @@ mod tests {
             head: vec![0],
             atoms: vec![atom(&data, "E", &["?0", "?1"]), atom(&data, "E", &["?1", "?2"])],
         };
-        let edge = ConjunctiveQuery {
-            head: vec![0],
-            atoms: vec![atom(&data, "E", &["?0", "?1"])],
-        };
+        let edge = ConjunctiveQuery { head: vec![0], atoms: vec![atom(&data, "E", &["?0", "?1"])] };
         assert!(is_contained_in(&path2, &edge));
         let a1 = path2.eval(&data);
         let a2 = edge.eval(&data);

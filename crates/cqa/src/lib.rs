@@ -18,7 +18,9 @@ pub mod homomorphism;
 pub mod query;
 pub mod ucq;
 
-pub use answers::{answers, repairs_under, CqaAnswers, RepairSemantics};
+pub use answers::{
+    answers, answers_session, repairs_under, repairs_under_session, CqaAnswers, RepairSemantics,
+};
 pub use count::RepairSpace;
 pub use homomorphism::{
     are_equivalent, find_homomorphism, is_contained_in, minimize, Homomorphism,

@@ -109,9 +109,11 @@ impl ConjunctiveQuery {
         answers: &mut BTreeSet<Tuple>,
     ) {
         if depth == self.atoms.len() {
-            let tuple = Tuple::new(self.head.iter().map(|v| {
-                binding.get(v).expect("validated head variable is bound").clone()
-            }));
+            let tuple = Tuple::new(
+                self.head
+                    .iter()
+                    .map(|v| binding.get(v).expect("validated head variable is bound").clone()),
+            );
             answers.insert(tuple);
             return;
         }
@@ -243,10 +245,8 @@ mod tests {
             terms: vec![Term::Var(0)],
         }]);
         assert!(bad_arity.validate(&i).is_err());
-        let unbound_head = ConjunctiveQuery {
-            head: vec![9],
-            atoms: vec![atom(&i, "LibLoc", &["?0", "?1"])],
-        };
+        let unbound_head =
+            ConjunctiveQuery { head: vec![9], atoms: vec![atom(&i, "LibLoc", &["?0", "?1"])] };
         assert!(unbound_head.validate(&i).is_err());
     }
 

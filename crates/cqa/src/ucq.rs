@@ -31,9 +31,8 @@ impl UnionQuery {
     /// Fails (with a message) if the disjunct list is empty or head
     /// arities differ.
     pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Result<Self, String> {
-        let first = disjuncts
-            .first()
-            .ok_or_else(|| "a UCQ needs at least one disjunct".to_owned())?;
+        let first =
+            disjuncts.first().ok_or_else(|| "a UCQ needs at least one disjunct".to_owned())?;
         let width = first.head.len();
         if disjuncts.iter().any(|q| q.head.len() != width) {
             return Err("all disjuncts must share the head arity".to_owned());
@@ -74,9 +73,7 @@ impl UnionQuery {
     /// Sagiv–Yannakakis containment: `self ⊑ other` iff every disjunct
     /// of `self` is contained in some disjunct of `other`.
     pub fn is_contained_in(&self, other: &UnionQuery) -> bool {
-        self.disjuncts
-            .iter()
-            .all(|q| other.disjuncts.iter().any(|p| is_contained_in(q, p)))
+        self.disjuncts.iter().all(|q| other.disjuncts.iter().any(|p| is_contained_in(q, p)))
     }
 
     /// UCQ equivalence.
@@ -205,14 +202,8 @@ mod tests {
     fn minimization_drops_absorbed_disjuncts() {
         let i = instance();
         // R(x,y) ∪ R(x,a): the constant-bound disjunct is absorbed.
-        let general = ConjunctiveQuery {
-            head: vec![0],
-            atoms: vec![atom(&i, "R", &["?0", "?1"])],
-        };
-        let specific = ConjunctiveQuery {
-            head: vec![0],
-            atoms: vec![atom(&i, "R", &["?0", "a"])],
-        };
+        let general = ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "R", &["?0", "?1"])] };
+        let specific = ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "R", &["?0", "a"])] };
         let u = UnionQuery::new(vec![general.clone(), specific]).unwrap();
         let m = u.minimize();
         assert_eq!(m.disjuncts().len(), 1);

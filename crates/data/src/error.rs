@@ -50,7 +50,10 @@ impl fmt::Display for DataError {
                 write!(f, "unknown relation symbol {name}")
             }
             DataError::ArityMismatch { relation, expected, got } => {
-                write!(f, "fact over {relation} has {got} values but the relation has arity {expected}")
+                write!(
+                    f,
+                    "fact over {relation} has {got} values but the relation has arity {expected}"
+                )
             }
             DataError::SignatureMismatch => {
                 write!(f, "fact and instance use different signatures")

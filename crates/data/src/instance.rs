@@ -322,7 +322,11 @@ impl FactSet {
 
     /// Iterates members in increasing id order.
     pub fn iter(&self) -> FactSetIter<'_> {
-        FactSetIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        FactSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// An arbitrary member, if any.

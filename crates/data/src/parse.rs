@@ -69,8 +69,7 @@ pub fn parse_instance(sig: SigRef, text: &str) -> Result<Instance, DataError> {
 /// Serializes an instance back to the text format (sorted for stability).
 pub fn render_instance(instance: &Instance) -> String {
     let sig = instance.signature();
-    let mut lines: Vec<String> =
-        instance.iter().map(|(_, f)| f.display(sig).to_string()).collect();
+    let mut lines: Vec<String> = instance.iter().map(|(_, f)| f.display(sig).to_string()).collect();
     lines.sort();
     lines.join("\n")
 }
@@ -86,11 +85,7 @@ mod tests {
 
     #[test]
     fn parses_mixed_values_and_comments() {
-        let i = parse_instance(
-            sig(),
-            "# header\n\nR(a, 7)\nS(x, y, -3)\n  R( a ,7 )\n",
-        )
-        .unwrap();
+        let i = parse_instance(sig(), "# header\n\nR(a, 7)\nS(x, y, -3)\n  R( a ,7 )\n").unwrap();
         assert_eq!(i.len(), 2); // duplicate R(a,7) deduped
         let f = i.fact(crate::instance::FactId(0));
         assert_eq!(f.get(2), &Value::Int(7));

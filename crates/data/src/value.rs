@@ -121,14 +121,8 @@ mod tests {
         assert_eq!(Value::sym("lib1"), Value::sym("lib1"));
         assert_ne!(Value::sym("lib1"), Value::sym("lib2"));
         assert_ne!(Value::int(1), Value::sym("1"));
-        assert_eq!(
-            Value::pair(1.into(), 2.into()),
-            Value::pair(1.into(), 2.into())
-        );
-        assert_ne!(
-            Value::pair(1.into(), 2.into()),
-            Value::pair(2.into(), 1.into())
-        );
+        assert_eq!(Value::pair(1.into(), 2.into()), Value::pair(1.into(), 2.into()));
+        assert_ne!(Value::pair(1.into(), 2.into()), Value::pair(2.into(), 1.into()));
     }
 
     #[test]
@@ -153,10 +147,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::int(-3).to_string(), "-3");
         assert_eq!(Value::sym("x").to_string(), "x");
-        assert_eq!(
-            Value::pair("a".into(), 1.into()).to_string(),
-            "⟨a,1⟩"
-        );
+        assert_eq!(Value::pair("a".into(), 1.into()).to_string(), "⟨a,1⟩");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! repair algorithms silently rely on.
 
 use proptest::prelude::*;
-use rpr_data::{parse_instance, render_instance, AttrSet, FactId, FactSet, Signature, Tuple, Value};
+use rpr_data::{
+    parse_instance, render_instance, AttrSet, FactId, FactSet, Signature, Tuple, Value,
+};
 
 fn attrset() -> impl Strategy<Value = AttrSet> {
     any::<u64>().prop_map(|bits| AttrSet::from_bits(bits & AttrSet::full(16).bits()))

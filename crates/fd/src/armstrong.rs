@@ -153,9 +153,7 @@ pub fn derive(premises: &[Fd], target: Fd) -> Option<Derivation> {
 
     // Invariant: `proof` derives `target.lhs → closed`.
     let mut closed = target.lhs;
-    let mut proof = Derivation::Reflexivity {
-        fd: Fd::new(target.rel, target.lhs, target.lhs),
-    };
+    let mut proof = Derivation::Reflexivity { fd: Fd::new(target.rel, target.lhs, target.lhs) };
     while !target.rhs.is_subset(closed) {
         let (index, fired) = same_rel
             .iter()
@@ -167,13 +165,9 @@ pub fn derive(premises: &[Fd], target: Fd) -> Option<Derivation> {
         //   closed → fired.rhs ∪ closed
         // transitivity: lhs → fired.rhs ∪ closed.
         let given = Derivation::Given { index, fd: fired };
-        let augmented_fd =
-            Fd::new(target.rel, fired.lhs.union(closed), fired.rhs.union(closed));
-        let augmented = Derivation::Augmentation {
-            by: closed,
-            premise: Box::new(given),
-            fd: augmented_fd,
-        };
+        let augmented_fd = Fd::new(target.rel, fired.lhs.union(closed), fired.rhs.union(closed));
+        let augmented =
+            Derivation::Augmentation { by: closed, premise: Box::new(given), fd: augmented_fd };
         let new_closed = closed.union(fired.rhs);
         proof = Derivation::Transitivity {
             left: Box::new(proof),
@@ -185,14 +179,9 @@ pub fn derive(premises: &[Fd], target: Fd) -> Option<Derivation> {
     // Weaken lhs → closed to lhs → target.rhs via reflexivity +
     // transitivity (closed → target.rhs is trivial since rhs ⊆ closed).
     if closed != target.rhs {
-        let weaken = Derivation::Reflexivity {
-            fd: Fd::new(target.rel, closed, target.rhs),
-        };
-        proof = Derivation::Transitivity {
-            left: Box::new(proof),
-            right: Box::new(weaken),
-            fd: target,
-        };
+        let weaken = Derivation::Reflexivity { fd: Fd::new(target.rel, closed, target.rhs) };
+        proof =
+            Derivation::Transitivity { left: Box::new(proof), right: Box::new(weaken), fd: target };
     }
     Some(proof)
 }

@@ -71,7 +71,7 @@ pub fn closure_linear(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
     // them here would double-decrement.
     let mut queue: Vec<usize> = Vec::new();
     // Fire the zero-missing FDs up front.
-    let mut fire = |k: usize, closed: &mut AttrSet, queue: &mut Vec<usize>| {
+    let fire = |k: usize, closed: &mut AttrSet, queue: &mut Vec<usize>| {
         for b in fds[k].rhs.difference(*closed).iter() {
             *closed = closed.insert(b);
             queue.push(b);
@@ -146,10 +146,7 @@ mod tests {
         // Example 2.2: ⟦BookLoc.{1}^Δ⟧ = {1,2}; ⟦BookLoc.{1,3}^Δ⟧ = {1,2,3}.
         let fds = [fd(&[1], &[2])];
         assert_eq!(closure(AttrSet::singleton(1), &fds), AttrSet::from_attrs([1, 2]));
-        assert_eq!(
-            closure(AttrSet::from_attrs([1, 3]), &fds),
-            AttrSet::from_attrs([1, 2, 3])
-        );
+        assert_eq!(closure(AttrSet::from_attrs([1, 3]), &fds), AttrSet::from_attrs([1, 2, 3]));
         // BookLoc : {1,3} → {1,2} ∈ Δ⁺ (paper's example of a derived FD).
         assert!(implies(&fds, fd(&[1, 3], &[1, 2])));
     }
@@ -173,14 +170,8 @@ mod tests {
         // Example 3.3: ∆|T = {T:1→{2,3,4}, T:{2,3}→1} over quaternary T
         // is equivalent to the pair of keys {1→⟦T⟧, {2,3}→⟦T⟧}.
         let t = RelId(0);
-        let d1 = [
-            Fd::from_attrs(t, [1], [2, 3, 4]),
-            Fd::from_attrs(t, [2, 3], [1]),
-        ];
-        let d2 = [
-            Fd::key(t, AttrSet::singleton(1), 4),
-            Fd::key(t, AttrSet::from_attrs([2, 3]), 4),
-        ];
+        let d1 = [Fd::from_attrs(t, [1], [2, 3, 4]), Fd::from_attrs(t, [2, 3], [1])];
+        let d2 = [Fd::key(t, AttrSet::singleton(1), 4), Fd::key(t, AttrSet::from_attrs([2, 3]), 4)];
         assert!(equivalent(&d1, &d2));
         assert!(!equivalent(&d1, &[Fd::key(t, AttrSet::singleton(1), 4)]));
         // Empty sets are equivalent to sets of trivial FDs.
@@ -233,11 +224,7 @@ mod linear_closure_tests {
         ];
         for fds in pools {
             for a in AttrSet::full(4).subsets() {
-                assert_eq!(
-                    closure(a, &fds),
-                    closure_linear(a, &fds),
-                    "start {a} under {fds:?}"
-                );
+                assert_eq!(closure(a, &fds), closure_linear(a, &fds), "start {a} under {fds:?}");
             }
         }
     }

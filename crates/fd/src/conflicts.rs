@@ -276,7 +276,7 @@ mod tests {
         let (schema, i) = libloc();
         let g = ConflictGraph::new(&schema, &i);
         let j = i.set_of([FactId(0), FactId(3), FactId(5)]); // d1a, f2b, f3c
-        // e1b (6) conflicts with d1a (same lib1) and f2b (same bascom).
+                                                             // e1b (6) conflicts with d1a (same lib1) and f2b (same bascom).
         let c = g.conflicts_in(FactId(6), &j);
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![FactId(0), FactId(3)]);
         assert!(g.conflicts_with_set(FactId(6), &j));

@@ -61,9 +61,7 @@ pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
 pub fn merge_by_lhs(fds: &[Fd]) -> Vec<Fd> {
     let mut out: Vec<Fd> = Vec::new();
     for fd in fds {
-        if let Some(existing) =
-            out.iter_mut().find(|e| e.rel == fd.rel && e.lhs == fd.lhs)
-        {
+        if let Some(existing) = out.iter_mut().find(|e| e.rel == fd.rel && e.lhs == fd.lhs) {
             existing.rhs = existing.rhs.union(fd.rhs);
         } else {
             out.push(*fd);
@@ -153,8 +151,12 @@ mod tests {
             fd(&[2, 3], &[1]),
         ];
         for mask in 0u32..(1 << pool.len()) {
-            let set: Vec<Fd> =
-                pool.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, f)| *f).collect();
+            let set: Vec<Fd> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, f)| *f)
+                .collect();
             let cover = minimal_cover(&set);
             assert!(equivalent(&set, &cover), "mask {mask}: cover not equivalent");
             // Every cover FD is left-reduced: no lhs attribute can be

@@ -1,0 +1,287 @@
+//! CSR-packed conflict adjacency.
+//!
+//! [`ConflictGraph`] stores one bitset row per conflicted fact, which
+//! makes set intersections word-parallel but costs `Θ(n/8)` bytes per
+//! row regardless of degree. Check workloads that probe the same graph
+//! thousands of times (see `rpr-core::session`) are dominated by
+//! walking *sparse* rows, where a flat sorted neighbor list is both
+//! smaller and faster to scan.
+//!
+//! [`CsrConflictGraph`] packs the same adjacency into compressed
+//! sparse row form — one `u32` neighbor array plus per-fact offsets —
+//! and keeps a bitset row only for facts whose degree exceeds a
+//! density threshold (where the bitset is at most comparably sized and
+//! intersection wins). Neighbor lists are sorted ascending, so
+//! "first conflicting member of a set" queries return exactly the fact
+//! that [`ConflictGraph::conflicts_in`]`.first()` would — the checkers
+//! rely on this to keep witnesses bit-identical across representations.
+
+use crate::conflicts::ConflictGraph;
+use crate::schema::Schema;
+use rpr_data::{FactId, FactSet, Instance};
+
+/// Sentinel in `dense_idx` marking a CSR-backed (sparse) row.
+const SPARSE: u32 = u32::MAX;
+
+/// One adjacency row, in whichever representation it is stored.
+pub enum Row<'a> {
+    /// Sorted ascending neighbor ids.
+    Sparse(&'a [u32]),
+    /// Bitset over the fact universe.
+    Dense(&'a FactSet),
+}
+
+/// Hybrid CSR / bitset conflict adjacency. See the module docs.
+pub struct CsrConflictGraph {
+    n: usize,
+    /// `offsets[i]..offsets[i+1]` indexes `neighbors` for sparse rows;
+    /// for dense rows the range is empty.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists of all sparse rows.
+    neighbors: Vec<u32>,
+    /// `SPARSE`, or an index into `dense_rows`.
+    dense_idx: Vec<u32>,
+    dense_rows: Vec<FactSet>,
+}
+
+impl CsrConflictGraph {
+    /// A row goes dense once its neighbor list would outweigh a bitset
+    /// row: `4·degree` bytes of `u32`s versus `n/8` bytes of bits.
+    fn is_dense(degree: usize, n: usize) -> bool {
+        degree * 32 > n
+    }
+
+    /// Packs an existing [`ConflictGraph`] into hybrid CSR form.
+    pub fn from_graph(cg: &ConflictGraph) -> Self {
+        let n = cg.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut dense_idx = vec![SPARSE; n];
+        let mut dense_rows = Vec::new();
+        offsets.push(0u32);
+        for (i, slot) in dense_idx.iter_mut().enumerate() {
+            let row = cg.conflicts_of(FactId(i as u32));
+            let degree = row.len();
+            if Self::is_dense(degree, n) {
+                *slot = dense_rows.len() as u32;
+                dense_rows.push(row.clone());
+            } else {
+                // FactSet iteration is ascending, so the list is sorted.
+                neighbors.extend(row.iter().map(|id| id.0));
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        neighbors.shrink_to_fit();
+        CsrConflictGraph { n, offsets, neighbors, dense_idx, dense_rows }
+    }
+
+    /// Builds the conflict graph of `instance` under `schema` and packs
+    /// it. Convenience for callers that never need the bitset-only
+    /// original.
+    pub fn new(schema: &Schema, instance: &Instance) -> Self {
+        Self::from_graph(&ConflictGraph::new(schema, instance))
+    }
+
+    /// Number of facts (vertices).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the graph over an empty instance?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of rows stored as bitsets rather than neighbor lists.
+    pub fn dense_row_count(&self) -> usize {
+        self.dense_rows.len()
+    }
+
+    /// Total `u32` slots in the packed sparse neighbor array.
+    pub fn packed_neighbor_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    fn sparse_row(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The adjacency row of `id` in its stored representation.
+    pub fn row(&self, id: FactId) -> Row<'_> {
+        let i = id.index();
+        match self.dense_idx[i] {
+            SPARSE => Row::Sparse(self.sparse_row(i)),
+            d => Row::Dense(&self.dense_rows[d as usize]),
+        }
+    }
+
+    /// Degree of `id` in the conflict graph.
+    pub fn degree(&self, id: FactId) -> usize {
+        match self.row(id) {
+            Row::Sparse(s) => s.len(),
+            Row::Dense(b) => b.len(),
+        }
+    }
+
+    /// Do `a` and `b` conflict?
+    pub fn conflicting(&self, a: FactId, b: FactId) -> bool {
+        match self.row(a) {
+            Row::Sparse(s) => s.binary_search(&b.0).is_ok(),
+            Row::Dense(bits) => bits.contains(b),
+        }
+    }
+
+    /// Does `id` conflict with some member of `set`?
+    pub fn conflicts_with_set(&self, id: FactId, set: &FactSet) -> bool {
+        match self.row(id) {
+            Row::Sparse(s) => s.iter().any(|&g| set.contains(FactId(g))),
+            Row::Dense(bits) => !bits.is_disjoint(set),
+        }
+    }
+
+    /// The minimal member of `set` conflicting with `id`.
+    ///
+    /// Agrees exactly with `ConflictGraph::conflicts_in(id, set).first()`
+    /// because sparse rows are sorted ascending and bitset iteration is
+    /// ascending.
+    pub fn first_conflict_in(&self, id: FactId, set: &FactSet) -> Option<FactId> {
+        match self.row(id) {
+            Row::Sparse(s) => s.iter().map(|&g| FactId(g)).find(|&g| set.contains(g)),
+            Row::Dense(bits) => bits.intersect(set).first(),
+        }
+    }
+
+    /// The members of `set` conflicting with `id`, as a bitset.
+    pub fn conflicts_in(&self, id: FactId, set: &FactSet) -> FactSet {
+        match self.row(id) {
+            Row::Sparse(s) => {
+                let mut out = FactSet::empty(self.n);
+                for &g in s {
+                    let g = FactId(g);
+                    if set.contains(g) {
+                        out.insert(g);
+                    }
+                }
+                out
+            }
+            Row::Dense(bits) => bits.intersect(set),
+        }
+    }
+
+    /// Is the subinstance consistent (an independent set)?
+    pub fn is_consistent_set(&self, set: &FactSet) -> bool {
+        set.iter().all(|id| !self.conflicts_with_set(id, set))
+    }
+
+    /// The connected components of the conflict graph, each as the
+    /// sorted list of member fact ids, ordered by their minimal member.
+    /// Isolated vertices (degree 0) form singleton components and are
+    /// included.
+    ///
+    /// Sessions use components as parallel scheduling units; the
+    /// ordering makes the partition deterministic.
+    pub fn components(&self) -> Vec<Vec<FactId>> {
+        let mut comp = vec![u32::MAX; self.n];
+        let mut out: Vec<Vec<FactId>> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..self.n {
+            if comp[i] != u32::MAX {
+                continue;
+            }
+            let c = out.len() as u32;
+            comp[i] = c;
+            stack.push(i as u32);
+            let mut members = Vec::new();
+            while let Some(v) = stack.pop() {
+                members.push(FactId(v));
+                match self.row(FactId(v)) {
+                    Row::Sparse(s) => {
+                        for &g in s {
+                            if comp[g as usize] == u32::MAX {
+                                comp[g as usize] = c;
+                                stack.push(g);
+                            }
+                        }
+                    }
+                    Row::Dense(bits) => {
+                        for g in bits.iter() {
+                            if comp[g.index()] == u32::MAX {
+                                comp[g.index()] = c;
+                                stack.push(g.0);
+                            }
+                        }
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::{Signature, Value};
+
+    fn star(n_leaves: usize) -> (Schema, Instance) {
+        // R(k, v) with key 1: one hub key shared by all facts → clique;
+        // plus singleton keys → isolated vertices. Here: same key for
+        // all n_leaves + 1 facts, pairwise conflicting (a dense clique).
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut i = Instance::new(sig);
+        for k in 0..=n_leaves {
+            i.insert_named("R", [Value::sym("hub"), Value::Int(k as i64)]).unwrap();
+        }
+        (schema, i)
+    }
+
+    #[test]
+    fn dense_rows_kick_in_for_cliques() {
+        let (schema, i) = star(200);
+        let cg = ConflictGraph::new(&schema, &i);
+        let csr = CsrConflictGraph::from_graph(&cg);
+        // Every vertex has degree 200 in a 201-vertex graph → dense.
+        assert_eq!(csr.dense_row_count(), 201);
+        assert_eq!(csr.packed_neighbor_count(), 0);
+        assert!(csr.conflicting(FactId(0), FactId(200)));
+    }
+
+    #[test]
+    fn sparse_rows_for_scattered_conflicts() {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut inst = Instance::new(sig);
+        // 100 key groups of 2 → 100 disjoint edges.
+        for k in 0..100 {
+            for v in 0..2 {
+                inst.insert_named("R", [Value::Int(k), Value::Int(v)]).unwrap();
+            }
+        }
+        let cg = ConflictGraph::new(&schema, &inst);
+        let csr = CsrConflictGraph::from_graph(&cg);
+        assert_eq!(csr.dense_row_count(), 0);
+        assert_eq!(csr.packed_neighbor_count(), 200);
+        assert_eq!(csr.components().len(), 100);
+        for (a, b) in cg.edges() {
+            assert!(csr.conflicting(a, b));
+            assert!(csr.conflicting(b, a));
+        }
+    }
+
+    #[test]
+    fn queries_agree_with_bitset_graph() {
+        let (schema, i) = star(40);
+        let cg = ConflictGraph::new(&schema, &i);
+        let csr = CsrConflictGraph::from_graph(&cg);
+        let set = i.set_of([FactId(3), FactId(17), FactId(29)]);
+        for f in i.fact_ids() {
+            assert_eq!(csr.first_conflict_in(f, &set), cg.conflicts_in(f, &set).first(),);
+            assert_eq!(csr.conflicts_with_set(f, &set), cg.conflicts_with_set(f, &set));
+            assert_eq!(csr.degree(f), cg.conflicts_of(f).len());
+        }
+        assert_eq!(csr.is_consistent_set(&set), cg.is_consistent_set(&set));
+    }
+}

@@ -49,9 +49,7 @@ pub fn is_nonredundant_determiner(a: AttrSet, fds: &[Fd]) -> bool {
         return false;
     }
     let gain = closure(a, fds).difference(a);
-    a.subsets()
-        .filter(|&b| b != a)
-        .all(|b| !gain.is_subset(closure(b, fds)))
+    a.subsets().filter(|&b| b != a).all(|b| !gain.is_subset(closure(b, fds)))
 }
 
 /// Is `a` a minimal determiner (nontrivial, containing no nontrivial
@@ -61,19 +59,14 @@ pub fn is_nonredundant_determiner(a: AttrSet, fds: &[Fd]) -> bool {
 /// sides strictly inside `a`.
 pub fn is_minimal_determiner(a: AttrSet, fds: &[Fd]) -> bool {
     is_nontrivial_determiner(a, fds)
-        && !fds.iter().any(|fd| {
-            fd.lhs.is_proper_subset(a) && is_nontrivial_determiner(fd.lhs, fds)
-        })
+        && !fds.iter().any(|fd| fd.lhs.is_proper_subset(a) && is_nontrivial_determiner(fd.lhs, fds))
 }
 
 /// All minimal determiners, in ascending bitmask order. Polynomial:
 /// candidates are the FD left-hand sides.
 pub fn minimal_determiners(fds: &[Fd], _arity: usize) -> Vec<AttrSet> {
-    let mut candidates: Vec<AttrSet> = fds
-        .iter()
-        .map(|fd| fd.lhs)
-        .filter(|&l| is_nontrivial_determiner(l, fds))
-        .collect();
+    let mut candidates: Vec<AttrSet> =
+        fds.iter().map(|fd| fd.lhs).filter(|&l| is_nontrivial_determiner(l, fds)).collect();
     candidates.sort();
     candidates.dedup();
     let minimal: Vec<AttrSet> = candidates
@@ -102,11 +95,8 @@ pub fn minimal_nonredundant_determiners(fds: &[Fd], _arity: usize) -> Vec<AttrSe
     let universe = relevant_attrs(fds);
     let all: Vec<AttrSet> =
         universe.subsets().filter(|&a| is_nonredundant_determiner(a, fds)).collect();
-    let mut minimal: Vec<AttrSet> = all
-        .iter()
-        .copied()
-        .filter(|&a| !all.iter().any(|&b| b.is_proper_subset(a)))
-        .collect();
+    let mut minimal: Vec<AttrSet> =
+        all.iter().copied().filter(|&a| !all.iter().any(|&b| b.is_proper_subset(a))).collect();
     minimal.sort();
     minimal
 }
@@ -124,9 +114,7 @@ pub const WITNESS_BUDGET: usize = 1 << 18;
 /// very wide schemas, where the §5.2 diagnosis is not attempted).
 pub fn hard_case_witnesses(fds: &[Fd], arity: usize) -> Option<(AttrSet, AttrSet)> {
     let full = AttrSet::full(arity);
-    let a = minimal_determiners(fds, arity)
-        .into_iter()
-        .find(|&a| closure(a, fds) != full)?;
+    let a = minimal_determiners(fds, arity).into_iter().find(|&a| closure(a, fds) != full)?;
 
     // Size-ordered search for B over the relevant attributes: the first
     // non-redundant determiner ≠ A found at the smallest size is

@@ -55,11 +55,7 @@ pub fn fd_holds(instance: &Instance, rel: RelId, lhs: AttrSet, b: usize) -> bool
 
 /// Mines the minimal FDs `A → b` (singleton rhs, `|A| ≤ max_lhs`,
 /// `b ∉ A`) holding in one relation of the instance.
-pub fn discover_fds_for(
-    instance: &Instance,
-    rel: RelId,
-    options: DiscoveryOptions,
-) -> Vec<Fd> {
+pub fn discover_fds_for(instance: &Instance, rel: RelId, options: DiscoveryOptions) -> Vec<Fd> {
     let arity = instance.signature().arity(rel);
     let full = AttrSet::full(arity);
     let mut found: Vec<Fd> = Vec::new();
@@ -134,12 +130,7 @@ mod tests {
     #[test]
     fn discovers_a_planted_key() {
         // Column 1 is a key; column 2 determines column 3.
-        let i = rows(&[
-            ("k1", "x", "p"),
-            ("k2", "x", "p"),
-            ("k3", "y", "q"),
-            ("k4", "y", "q"),
-        ]);
+        let i = rows(&[("k1", "x", "p"), ("k2", "x", "p"), ("k3", "y", "q"), ("k4", "y", "q")]);
         let fds = discover_fds(&i, DiscoveryOptions::default());
         let rel = RelId(0);
         assert!(implies(&fds, Fd::from_attrs(rel, [1], [2])));
@@ -165,10 +156,7 @@ mod tests {
             let b = fd.rhs.iter().next().unwrap();
             assert!(fd_holds(&i, rel, fd.lhs, b), "{fd:?} must hold");
             for a in fd.lhs.iter() {
-                assert!(
-                    !fd_holds(&i, rel, fd.lhs.remove(a), b),
-                    "{fd:?} must be left-minimal"
-                );
+                assert!(!fd_holds(&i, rel, fd.lhs.remove(a), b), "{fd:?} must be left-minimal");
             }
         }
     }
@@ -177,12 +165,7 @@ mod tests {
     fn exhaustive_agreement_with_definition() {
         // Every candidate (lhs, b) with |lhs| ≤ 3 holds iff implied by
         // the mined cover.
-        let i = rows(&[
-            ("a", "x", "1"),
-            ("b", "x", "2"),
-            ("c", "y", "1"),
-            ("a", "x", "1"),
-        ]);
+        let i = rows(&[("a", "x", "1"), ("b", "x", "2"), ("c", "y", "1"), ("a", "x", "1")]);
         let rel = RelId(0);
         let fds = discover_fds(&i, DiscoveryOptions::default());
         for lhs in AttrSet::full(3).subsets() {
@@ -206,12 +189,7 @@ mod tests {
 
     #[test]
     fn max_lhs_bounds_the_search() {
-        let i = rows(&[
-            ("a", "x", "1"),
-            ("a", "y", "2"),
-            ("b", "x", "3"),
-            ("b", "y", "4"),
-        ]);
+        let i = rows(&[("a", "x", "1"), ("a", "y", "2"), ("b", "x", "3"), ("b", "y", "4")]);
         // 3 is determined only by {1,2}; with max_lhs = 1 it is missed.
         let narrow = discover_fds(&i, DiscoveryOptions { max_lhs: 1 });
         let rel = RelId(0);
@@ -226,11 +204,7 @@ mod tests {
         // schema, and interrogate it. (The mine → classify pipeline
         // test lives in the CLI crate, which can depend on
         // rpr-classify.)
-        let i = rows(&[
-            ("k1", "g1", "v1"),
-            ("k2", "g1", "v1"),
-            ("k3", "g2", "v2"),
-        ]);
+        let i = rows(&[("k1", "g1", "v1"), ("k2", "g1", "v1"), ("k3", "g2", "v2")]);
         let fds = discover_fds(&i, DiscoveryOptions::default());
         let schema = Schema::new(i.signature().clone(), fds).unwrap();
         let rel = RelId(0);

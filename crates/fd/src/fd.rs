@@ -88,13 +88,7 @@ pub struct FdDisplay<'a> {
 
 impl fmt::Display for FdDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} : {} → {}",
-            self.sig.symbol(self.fd.rel).name(),
-            self.fd.lhs,
-            self.fd.rhs
-        )
+        write!(f, "{} : {} → {}", self.sig.symbol(self.fd.rel).name(), self.fd.lhs, self.fd.rhs)
     }
 }
 

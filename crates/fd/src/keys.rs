@@ -41,9 +41,8 @@ pub fn candidate_keys(fds: &[Fd], arity: usize) -> Vec<AttrSet> {
     let full = AttrSet::full(arity);
     // Attributes that appear on some effective rhs can potentially be
     // derived; all others must be in every key.
-    let derivable: AttrSet = fds
-        .iter()
-        .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.effective_rhs()));
+    let derivable: AttrSet =
+        fds.iter().fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.effective_rhs()));
     let necessary = full.difference(derivable);
 
     if is_superkey(necessary, fds, arity) {
@@ -142,10 +141,7 @@ mod tests {
     #[test]
     fn minimize_key_shrinks() {
         let fds = [fd(&[1], &[2]), fd(&[2], &[3])];
-        assert_eq!(
-            minimize_key(AttrSet::from_attrs([1, 2, 3]), &fds, 3),
-            AttrSet::singleton(1)
-        );
+        assert_eq!(minimize_key(AttrSet::from_attrs([1, 2, 3]), &fds, 3), AttrSet::singleton(1));
     }
 
     #[test]
@@ -159,10 +155,7 @@ mod tests {
     fn candidate_keys_cycle() {
         // 1→2, 2→1 over binary: keys {1} and {2}.
         let fds = [fd(&[1], &[2]), fd(&[2], &[1])];
-        assert_eq!(
-            candidate_keys(&fds, 2),
-            vec![AttrSet::singleton(1), AttrSet::singleton(2)]
-        );
+        assert_eq!(candidate_keys(&fds, 2), vec![AttrSet::singleton(1), AttrSet::singleton(2)]);
     }
 
     #[test]
@@ -188,11 +181,7 @@ mod tests {
 
     #[test]
     fn keys_are_minimal_and_incomparable() {
-        let fds = [
-            fd(&[1], &[2, 3, 4]),
-            fd(&[2, 3], &[1]),
-            fd(&[4], &[2]),
-        ];
+        let fds = [fd(&[1], &[2, 3, 4]), fd(&[2, 3], &[1]), fd(&[4], &[2])];
         let keys = candidate_keys(&fds, 4);
         for (i, a) in keys.iter().enumerate() {
             assert!(is_superkey(*a, &fds, 4));

@@ -22,6 +22,7 @@ pub mod armstrong;
 pub mod closure;
 pub mod conflicts;
 pub mod cover;
+pub mod csr;
 pub mod determiners;
 pub mod discovery;
 pub mod fd;
@@ -35,6 +36,7 @@ pub use armstrong::{derive, Derivation};
 pub use closure::{closure, closure_linear, equivalent, implies, is_superkey};
 pub use conflicts::ConflictGraph;
 pub use cover::{lhs_candidates, merge_by_lhs, minimal_cover, saturate};
+pub use csr::{CsrConflictGraph, Row as CsrRow};
 pub use determiners::{
     hard_case_witnesses, is_minimal_determiner, is_nonredundant_determiner,
     is_nontrivial_determiner, minimal_determiners, minimal_nonredundant_determiners,

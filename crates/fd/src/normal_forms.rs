@@ -36,8 +36,7 @@ pub enum ViolationKind {
 /// (Equivalently — see `rpr_fd::keys::as_key_set` — `Δ` is equivalent
 /// to a set of key constraints.)
 pub fn is_bcnf(fds: &[Fd], arity: usize) -> bool {
-    fds.iter()
-        .all(|fd| fd.is_trivial() || is_superkey(fd.lhs, fds, arity))
+    fds.iter().all(|fd| fd.is_trivial() || is_superkey(fd.lhs, fds, arity))
 }
 
 /// 3NF check: every nontrivial FD has a superkey lhs or only prime
@@ -45,17 +44,13 @@ pub fn is_bcnf(fds: &[Fd], arity: usize) -> bool {
 pub fn is_3nf(fds: &[Fd], arity: usize) -> bool {
     let prime = prime_attributes(fds, arity);
     fds.iter().all(|fd| {
-        fd.is_trivial()
-            || is_superkey(fd.lhs, fds, arity)
-            || fd.effective_rhs().is_subset(prime)
+        fd.is_trivial() || is_superkey(fd.lhs, fds, arity) || fd.effective_rhs().is_subset(prime)
     })
 }
 
 /// The prime attributes: union of all candidate keys.
 pub fn prime_attributes(fds: &[Fd], arity: usize) -> AttrSet {
-    candidate_keys(fds, arity)
-        .into_iter()
-        .fold(AttrSet::EMPTY, AttrSet::union)
+    candidate_keys(fds, arity).into_iter().fold(AttrSet::EMPTY, AttrSet::union)
 }
 
 /// All normal-form violations, each tagged with the strongest violated

@@ -97,8 +97,7 @@ impl Schema {
     /// inconsistent pair, and is therefore invariant under replacing `Δ`
     /// by an equivalent FD set.
     pub fn conflicting(&self, f: &Fact, g: &Fact) -> bool {
-        f.rel() == g.rel()
-            && self.fds_for(f.rel()).iter().any(|&d| self.is_delta_conflict(d, f, g))
+        f.rel() == g.rel() && self.fds_for(f.rel()).iter().any(|&d| self.is_delta_conflict(d, f, g))
     }
 
     /// Does the instance satisfy `Δ` (§2.2)?
@@ -160,8 +159,10 @@ mod tests {
         // Example 2.2: {g1f1, f1d3} is a δ1-conflict; {d1a, g2a} a δ3-conflict.
         let s = running_schema();
         let sig = s.signature();
-        let g1f1 = Fact::parse_new(sig, "BookLoc", ["b1".into(), "fiction".into(), "lib1".into()]).unwrap();
-        let f1d3 = Fact::parse_new(sig, "BookLoc", ["b1".into(), "drama".into(), "lib3".into()]).unwrap();
+        let g1f1 = Fact::parse_new(sig, "BookLoc", ["b1".into(), "fiction".into(), "lib1".into()])
+            .unwrap();
+        let f1d3 =
+            Fact::parse_new(sig, "BookLoc", ["b1".into(), "drama".into(), "lib3".into()]).unwrap();
         let d1a = Fact::parse_new(sig, "LibLoc", ["lib1".into(), "almaden".into()]).unwrap();
         let g2a = Fact::parse_new(sig, "LibLoc", ["lib2".into(), "almaden".into()]).unwrap();
         assert!(s.conflicting(&g1f1, &f1d3));

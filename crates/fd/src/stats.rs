@@ -45,10 +45,7 @@ impl ConflictStats {
         let mut per_relation = Vec::with_capacity(sig.len());
         for rel in sig.rel_ids() {
             let nfacts = instance.facts_of(rel).len();
-            let npairs = edges
-                .iter()
-                .filter(|(a, _)| instance.fact(*a).rel() == rel)
-                .count();
+            let npairs = edges.iter().filter(|(a, _)| instance.fact(*a).rel() == rel).count();
             per_relation.push((sig.symbol(rel).name().to_owned(), nfacts, npairs));
         }
         ConflictStats {
@@ -101,11 +98,9 @@ mod tests {
 
     fn setup() -> (Schema, Instance) {
         let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
-        let schema = Schema::from_named(
-            sig.clone(),
-            [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])],
-        )
-        .unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])])
+                .unwrap();
         let mut i = Instance::new(sig);
         let v = Value::sym;
         i.insert_named("R", [v("k"), v("a")]).unwrap();

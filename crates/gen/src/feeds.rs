@@ -75,8 +75,7 @@ pub fn simulate_feed<R: Rng>(spec: &FeedSpec, rng: &mut R) -> Feed {
     assert!(!spec.sources.is_empty(), "need at least one source");
     assert!(spec.entities > 0, "need at least one entity");
     let sig = Signature::new([("Record", 4)]).unwrap();
-    let schema =
-        Schema::from_named(sig.clone(), [("Record", &[1][..], &[2, 3, 4][..])]).unwrap();
+    let schema = Schema::from_named(sig.clone(), [("Record", &[1][..], &[2, 3, 4][..])]).unwrap();
     let mut instance = Instance::new(sig);
     let mut truth = Vec::with_capacity(spec.entities);
     let mut ts = 0i64;
@@ -89,7 +88,7 @@ pub fn simulate_feed<R: Rng>(spec: &FeedSpec, rng: &mut R) -> Feed {
             }
             ts += 1;
             let value = if rng.random_bool(src.error_rate) {
-                Value::Int(9_000_000 + rng.random_range(0..1000))
+                Value::Int(9_000_000 + rng.random_range(0..1000i64))
             } else {
                 true_value.clone()
             };

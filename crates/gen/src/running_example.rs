@@ -74,9 +74,7 @@ impl RunningExample {
             ("b2", "poetry", "lib1"),
             ("b3", "horror", "lib2"),
         ] {
-            instance
-                .insert_named("BookLoc", [v(a), v(b), v(c)])
-                .expect("BookLoc fact");
+            instance.insert_named("BookLoc", [v(a), v(b), v(c)]).expect("BookLoc fact");
         }
         for (a, b) in [
             ("lib1", "almaden"),
@@ -170,12 +168,7 @@ impl RunningExample {
         let f = Self::fact_ids();
         PriorityRelation::new(
             self.instance.len(),
-            [
-                (f.g1f1, f.f1d3),
-                (f.g1f2, f.f1d3),
-                (f.e1b, f.d1a),
-                (f.e1b, f.d1e),
-            ],
+            [(f.g1f1, f.f1d3), (f.g1f2, f.f1d3), (f.e1b, f.d1a), (f.e1b, f.d1e)],
         )
         .expect("variant priority is acyclic")
     }
@@ -229,9 +222,7 @@ mod tests {
     fn example_2_5_sets_are_repairs() {
         let ex = RunningExample::new();
         let cg = ConflictGraph::new(&ex.schema, &ex.instance);
-        for (name, j) in
-            [("J1", ex.j1()), ("J2", ex.j2()), ("J3", ex.j3()), ("J4", ex.j4())]
-        {
+        for (name, j) in [("J1", ex.j1()), ("J2", ex.j2()), ("J3", ex.j3()), ("J4", ex.j4())] {
             assert!(cg.is_repair(&j), "{name} must be a repair");
             assert_eq!(j.len(), 7, "{name} has 7 facts");
         }

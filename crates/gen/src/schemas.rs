@@ -27,11 +27,7 @@ pub fn example_3_3_schema() -> Schema {
     let sig = Signature::new([("R", 3), ("S", 3), ("T", 4)]).unwrap();
     Schema::from_named(
         sig,
-        [
-            ("R", &[1][..], &[2][..]),
-            ("T", &[1][..], &[2, 3, 4][..]),
-            ("T", &[2, 3][..], &[1][..]),
-        ],
+        [("R", &[1][..], &[2][..]), ("T", &[1][..], &[2, 3, 4][..]), ("T", &[2, 3][..], &[1][..])],
     )
     .unwrap()
 }
@@ -53,8 +49,7 @@ pub fn hard_schema(i: usize) -> Schema {
         6 => &[(&[], &[1]), (&[2], &[3])],
         _ => panic!("hard schemas are S1..S6"),
     };
-    let named: Vec<(&str, &[usize], &[usize])> =
-        fds.iter().map(|&(l, r)| (name, l, r)).collect();
+    let named: Vec<(&str, &[usize], &[usize])> = fds.iter().map(|&(l, r)| (name, l, r)).collect();
     Schema::from_named(sig, named).unwrap()
 }
 
@@ -70,11 +65,7 @@ pub fn ccp_hard_schema(x: char) -> Schema {
     match x {
         'a' => {
             let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
-            Schema::from_named(
-                sig,
-                [("R", &[1][..], &[2][..]), ("S", &[][..], &[1][..])],
-            )
-            .unwrap()
+            Schema::from_named(sig, [("R", &[1][..], &[2][..]), ("S", &[][..], &[1][..])]).unwrap()
         }
         'b' => {
             let sig = Signature::new([("R", 3)]).unwrap();
@@ -82,19 +73,11 @@ pub fn ccp_hard_schema(x: char) -> Schema {
         }
         'c' => {
             let sig = Signature::new([("R", 3)]).unwrap();
-            Schema::from_named(
-                sig,
-                [("R", &[1][..], &[2][..]), ("R", &[][..], &[3][..])],
-            )
-            .unwrap()
+            Schema::from_named(sig, [("R", &[1][..], &[2][..]), ("R", &[][..], &[3][..])]).unwrap()
         }
         'd' => {
             let sig = Signature::new([("R", 2)]).unwrap();
-            Schema::from_named(
-                sig,
-                [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
-            )
-            .unwrap()
+            Schema::from_named(sig, [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])]).unwrap()
         }
         other => panic!("ccp hard schemas are Sa..Sd, got S{other}"),
     }
@@ -154,10 +137,7 @@ mod tests {
             classify_schema(&running_example_schema()).complexity(),
             Complexity::PolynomialTime
         );
-        assert_eq!(
-            classify_schema(&example_3_3_schema()).complexity(),
-            Complexity::PolynomialTime
-        );
+        assert_eq!(classify_schema(&example_3_3_schema()).complexity(), Complexity::PolynomialTime);
         for i in 1..=6 {
             assert_eq!(
                 classify_schema(&hard_schema(i)).complexity(),

@@ -131,7 +131,8 @@ mod tests {
     fn random_instances_respect_the_signature() {
         let schema = single_fd_schema(3, &[1], &[2]);
         let mut rng = StdRng::seed_from_u64(1);
-        let i = random_instance(&schema, InstanceSpec { facts_per_relation: 50, domain: 5 }, &mut rng);
+        let i =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 50, domain: 5 }, &mut rng);
         assert!(i.len() <= 50);
         assert!(i.len() > 10, "domain 5^3 = 125 values, few duplicates expected");
     }
@@ -140,7 +141,8 @@ mod tests {
     fn small_domains_create_conflicts() {
         let schema = single_fd_schema(2, &[1], &[2]);
         let mut rng = StdRng::seed_from_u64(2);
-        let i = random_instance(&schema, InstanceSpec { facts_per_relation: 40, domain: 4 }, &mut rng);
+        let i =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 40, domain: 4 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &i);
         assert!(!cg.edges().is_empty());
     }
@@ -149,7 +151,8 @@ mod tests {
     fn generated_priorities_are_conflict_restricted_and_acyclic() {
         let schema = two_keys_schema(2, &[1], &[2]);
         let mut rng = StdRng::seed_from_u64(3);
-        let i = random_instance(&schema, InstanceSpec { facts_per_relation: 30, domain: 6 }, &mut rng);
+        let i =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 30, domain: 6 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &i);
         let p = random_conflict_priority(&cg, 0.8, &mut rng);
         for &(a, b) in p.edges() {
@@ -164,7 +167,8 @@ mod tests {
     fn ccp_priorities_may_cross() {
         let schema = single_fd_schema(2, &[1], &[2]);
         let mut rng = StdRng::seed_from_u64(4);
-        let i = random_instance(&schema, InstanceSpec { facts_per_relation: 30, domain: 4 }, &mut rng);
+        let i =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 30, domain: 4 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &i);
         let p = random_ccp_priority(&cg, 0.5, 40, &mut rng);
         assert!(p.edge_count() > 0);
@@ -175,7 +179,8 @@ mod tests {
     fn random_repairs_are_repairs() {
         let schema = single_fd_schema(2, &[1], &[2]);
         let mut rng = StdRng::seed_from_u64(5);
-        let i = random_instance(&schema, InstanceSpec { facts_per_relation: 40, domain: 4 }, &mut rng);
+        let i =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 40, domain: 4 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &i);
         for _ in 0..20 {
             let j = random_repair(&cg, &mut rng);

@@ -19,12 +19,7 @@ fn instance(rows: &[(i64, i64, u8, i64)]) -> Instance {
     for &(k, v, s, t) in rows {
         i.insert_named(
             "R",
-            [
-                Value::Int(k),
-                Value::Int(v),
-                Value::sym(sources[(s % 3) as usize]),
-                Value::Int(t),
-            ],
+            [Value::Int(k), Value::Int(v), Value::sym(sources[(s % 3) as usize]), Value::Int(t)],
         )
         .unwrap();
     }

@@ -140,8 +140,7 @@ mod tests {
 
     fn setup() -> (Schema, Instance) {
         let sig = Signature::new([("R", 2)]).unwrap();
-        let schema =
-            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
         let mut i = Instance::new(sig);
         i.insert_named("R", [v("a"), v("x")]).unwrap(); // 0
         i.insert_named("R", [v("a"), v("y")]).unwrap(); // 1: conflicts with 0

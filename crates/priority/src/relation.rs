@@ -292,12 +292,11 @@ mod tests {
             PriorityError::Cyclic { cycle } => {
                 assert_eq!(cycle.len(), 3);
                 // Verify the cycle is genuine edge-wise.
-                let p = PriorityRelation::new(4, [(f(0), f(1)), (f(1), f(2)), (f(2), f(3))])
-                    .unwrap();
+                let p =
+                    PriorityRelation::new(4, [(f(0), f(1)), (f(1), f(2)), (f(2), f(3))]).unwrap();
                 let _ = p; // edges of the reported cycle come from the input
                 for w in cycle.windows(2) {
-                    assert!([(0, 1), (1, 2), (2, 0)]
-                        .contains(&(w[0].0 as usize, w[1].0 as usize)));
+                    assert!([(0, 1), (1, 2), (2, 0)].contains(&(w[0].0 as usize, w[1].0 as usize)));
                 }
             }
             other => panic!("expected cycle, got {other:?}"),
@@ -320,11 +319,14 @@ mod tests {
         set.insert(f(2));
         assert!(p.beats_all(f(0), &set));
         assert!(!p.beats_all(f(3), &set));
-        assert!(p.set_improves(&{
-            let mut s = FactSet::empty(4);
-            s.insert(f(0));
-            s
-        }, f(1)));
+        assert!(p.set_improves(
+            &{
+                let mut s = FactSet::empty(4);
+                s.insert(f(0));
+                s
+            },
+            f(1)
+        ));
         assert!(p.is_maximal_in(f(0), &set));
         assert!(!p.is_maximal_in(f(1), &{
             let mut s = FactSet::empty(4);
@@ -335,9 +337,8 @@ mod tests {
 
     #[test]
     fn topological_order_respects_edges() {
-        let p =
-            PriorityRelation::new(5, [(f(0), f(1)), (f(1), f(2)), (f(3), f(2)), (f(2), f(4))])
-                .unwrap();
+        let p = PriorityRelation::new(5, [(f(0), f(1)), (f(1), f(2)), (f(3), f(2)), (f(2), f(4))])
+            .unwrap();
         let order = p.topological_order();
         assert_eq!(order.len(), 5);
         let pos: Vec<usize> = {

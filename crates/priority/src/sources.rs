@@ -83,12 +83,8 @@ pub fn restrict_to_conflicts(
     priority: &PriorityRelation,
 ) -> PriorityRelation {
     let cg = ConflictGraph::new(schema, instance);
-    let edges: Vec<(FactId, FactId)> = priority
-        .edges()
-        .iter()
-        .copied()
-        .filter(|&(a, b)| cg.conflicting(a, b))
-        .collect();
+    let edges: Vec<(FactId, FactId)> =
+        priority.edges().iter().copied().filter(|&(a, b)| cg.conflicting(a, b)).collect();
     PriorityRelation::new(instance.len(), edges)
         .expect("a subset of an acyclic relation is acyclic")
 }
@@ -176,11 +172,7 @@ mod tests {
 
     #[test]
     fn transitive_closure_adds_chains_only() {
-        let p = PriorityRelation::new(
-            4,
-            [(FactId(0), FactId(1)), (FactId(1), FactId(2))],
-        )
-        .unwrap();
+        let p = PriorityRelation::new(4, [(FactId(0), FactId(1)), (FactId(1), FactId(2))]).unwrap();
         let tc = transitive_closure(&p);
         assert!(tc.prefers(FactId(0), FactId(2)));
         assert!(tc.prefers(FactId(0), FactId(1)));

@@ -72,11 +72,7 @@ impl CaseOneMapping {
     /// # Errors
     /// [`CaseOneError`] if fewer than three keys are supplied or the
     /// keys are comparable.
-    pub fn new(
-        target_name: &str,
-        arity: usize,
-        keys: &[AttrSet],
-    ) -> Result<Self, CaseOneError> {
+    pub fn new(target_name: &str, arity: usize, keys: &[AttrSet]) -> Result<Self, CaseOneError> {
         if keys.len() < 3 {
             return Err(CaseOneError::NeedThreeKeys);
         }
@@ -99,17 +95,10 @@ impl CaseOneMapping {
         .unwrap();
         let dst_sig = Signature::new([(target_name, arity)]).unwrap();
         let rel = dst_sig.rel_id(target_name).unwrap();
-        let target = Schema::new(
-            dst_sig,
-            keys.iter().map(|&k| Fd::key(rel, k, arity)).collect::<Vec<_>>(),
-        )
-        .expect("keys fit the arity");
-        Ok(CaseOneMapping {
-            source,
-            target,
-            keys: (keys[0], keys[1], keys[2]),
-            arity,
-        })
+        let target =
+            Schema::new(dst_sig, keys.iter().map(|&k| Fd::key(rel, k, arity)).collect::<Vec<_>>())
+                .expect("keys fit the arity");
+        Ok(CaseOneMapping { source, target, keys: (keys[0], keys[1], keys[2]), arity })
     }
 }
 
@@ -134,22 +123,16 @@ impl FactMapping for CaseOneMapping {
                     (false, true, false) => Value::pair(c2.clone(), c3.clone()),
                     (false, false, true) => Value::pair(c1.clone(), c3.clone()),
                     // Two keys sharing source index b carry c_b:
-                    (true, true, false) => c2.clone(),  // K12 ∩ K23 share 2
-                    (false, true, true) => c3.clone(),  // K23 ∩ K13 share 3
-                    (true, false, true) => c1.clone(),  // K12 ∩ K13 share 1
+                    (true, true, false) => c2.clone(), // K12 ∩ K23 share 2
+                    (false, true, true) => c3.clone(), // K23 ∩ K13 share 3
+                    (true, false, true) => c1.clone(), // K12 ∩ K13 share 1
                     (true, true, true) => Value::sym("⊥"),
-                    (false, false, false) => {
-                        Value::triple(c1.clone(), c2.clone(), c3.clone())
-                    }
+                    (false, false, false) => Value::triple(c1.clone(), c2.clone(), c3.clone()),
                 }
             })
             .collect();
-        Fact::new(
-            self.target.signature(),
-            rpr_data::RelId(0),
-            rpr_data::Tuple::new(values),
-        )
-        .expect("mapped fact fits the target arity")
+        Fact::new(self.target.signature(), rpr_data::RelId(0), rpr_data::Tuple::new(values))
+            .expect("mapped fact fits the target arity")
     }
 }
 
@@ -192,25 +175,15 @@ mod tests {
                 .unwrap_err(),
             CaseOneError::NeedThreeKeys
         );
-        let ks = [
-            AttrSet::singleton(1),
-            AttrSet::from_attrs([1, 2]),
-            AttrSet::singleton(3),
-        ];
-        assert!(matches!(
-            CaseOneMapping::new("R", 3, &ks),
-            Err(CaseOneError::ComparableKeys(..))
-        ));
+        let ks = [AttrSet::singleton(1), AttrSet::from_attrs([1, 2]), AttrSet::singleton(3)];
+        assert!(matches!(CaseOneMapping::new("R", 3, &ks), Err(CaseOneError::ComparableKeys(..))));
     }
 
     #[test]
     fn s1_maps_onto_itself() {
         // The identity configuration: target = S1's own three keys.
-        let keys = [
-            AttrSet::from_attrs([1, 2]),
-            AttrSet::from_attrs([2, 3]),
-            AttrSet::from_attrs([1, 3]),
-        ];
+        let keys =
+            [AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3]), AttrSet::from_attrs([1, 3])];
         let pi = CaseOneMapping::new("R", 3, &keys).unwrap();
         let facts = all_small_facts(&pi, 2);
         assert!(check_injective(&pi, &facts));
@@ -222,7 +195,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut tried = 0;
         while tried < 30 {
-            let arity = rng.random_range(3..=6);
+            let arity = rng.random_range(3..=6usize);
             let k = rng.random_range(3..=4usize);
             let keys: Vec<AttrSet> = (0..k)
                 .map(|_| {
@@ -252,11 +225,8 @@ mod tests {
         // A small S1 input, mapped into a 5-ary schema with keys
         // {1,2}, {2,3}, {3,4}: the answer must be identical on both
         // sides (checked against the brute-force oracle).
-        let keys = [
-            AttrSet::from_attrs([1, 2]),
-            AttrSet::from_attrs([2, 3]),
-            AttrSet::from_attrs([3, 4]),
-        ];
+        let keys =
+            [AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3]), AttrSet::from_attrs([3, 4])];
         let pi = CaseOneMapping::new("R", 5, &keys).unwrap();
 
         let mut instance = Instance::new(pi.source_schema().signature().clone());
@@ -264,11 +234,9 @@ mod tests {
         for c in [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1), (1, 0, 2)] {
             instance.insert(source_fact(&pi, c));
         }
-        let priority = PriorityRelation::new(
-            instance.len(),
-            [(FactId(1), FactId(0)), (FactId(2), FactId(3))],
-        )
-        .unwrap();
+        let priority =
+            PriorityRelation::new(instance.len(), [(FactId(1), FactId(0)), (FactId(2), FactId(3))])
+                .unwrap();
         let input = PrioritizedInstance::conflict_restricted(
             pi.source_schema(),
             instance.clone(),
@@ -280,8 +248,7 @@ mod tests {
         for j in enumerate_repairs(&src_cg, 1 << 20).unwrap() {
             let (mapped, j2) = map_input(&pi, &input, &j);
             let dst_cg = ConflictGraph::new(pi.target_schema(), mapped.instance());
-            let src_ans =
-                is_globally_optimal_brute(&src_cg, &priority, &j, 1 << 20).unwrap();
+            let src_ans = is_globally_optimal_brute(&src_cg, &priority, &j, 1 << 20).unwrap();
             let dst_ans =
                 is_globally_optimal_brute(&dst_cg, mapped.priority(), &j2, 1 << 20).unwrap();
             assert_eq!(src_ans, dst_ans, "reduction changed the answer on {j:?}");

@@ -86,9 +86,8 @@ pub fn hamiltonian_gadget(graph: &UGraph) -> HamiltonianGadget {
 
     let mut instance = Instance::new(sig.clone());
     let int = |i: usize| Value::Int(i as i64);
-    let fact = |a: Value, b: Value, c: Value| {
-        Fact::parse_new(&sig, "R1", [a, b, c]).expect("gadget fact")
-    };
+    let fact =
+        |a: Value, b: Value, c: Value| Fact::parse_new(&sig, "R1", [a, b, c]).expect("gadget fact");
 
     let mut j_facts: Vec<Fact> = Vec::new();
     let mut priority_pairs: Vec<(Fact, Fact)> = Vec::new();
@@ -149,18 +148,14 @@ pub fn hamiltonian_gadget(graph: &UGraph) -> HamiltonianGadget {
 /// The "if" direction of Lemma 5.2, constructively: given a
 /// Hamiltonian cycle `π`, the global improvement `J′` of `J` that the
 /// proof builds (as an exchange on `J`).
-pub fn improvement_from_cycle(
-    gadget: &HamiltonianGadget,
-    pi: &[usize],
-) -> (FactSet, FactSet) {
+pub fn improvement_from_cycle(gadget: &HamiltonianGadget, pi: &[usize]) -> (FactSet, FactSet) {
     let n = gadget.graph.len();
     assert_eq!(pi.len(), n, "π must be a permutation of the vertices");
     let instance = gadget.prioritized.instance();
     let sig = instance.signature().clone();
     let int = |i: usize| Value::Int(i as i64);
-    let fact = |a: Value, b: Value, c: Value| {
-        Fact::parse_new(&sig, "R1", [a, b, c]).expect("gadget fact")
-    };
+    let fact =
+        |a: Value, b: Value, c: Value| Fact::parse_new(&sig, "R1", [a, b, c]).expect("gadget fact");
     let mut removed = instance.empty_set();
     let mut added = instance.empty_set();
     let id = |f: &Fact| instance.id_of(f).expect("fact in I");
@@ -277,21 +272,20 @@ mod tests {
     #[test]
     fn composed_input_for_arbitrary_keys_decides_hamiltonicity() {
         use rpr_data::AttrSet;
-        let keys = [
-            AttrSet::from_attrs([1, 2]),
-            AttrSet::from_attrs([2, 3]),
-            AttrSet::from_attrs([1, 3]),
-        ];
+        let keys =
+            [AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3]), AttrSet::from_attrs([1, 3])];
         for (graph, expect_hc) in [
-            ({
-                let mut g = UGraph::new(2);
-                g.add_edge(0, 1);
-                g
-            }, true),
+            (
+                {
+                    let mut g = UGraph::new(2);
+                    g.add_edge(0, 1);
+                    g
+                },
+                true,
+            ),
             (UGraph::new(2), false),
         ] {
-            let (pi, mapped, j) =
-                hamiltonian_input_for_keys(&graph, "T", 4, &keys).unwrap();
+            let (pi, mapped, j) = hamiltonian_input_for_keys(&graph, "T", 4, &keys).unwrap();
             let cg = ConflictGraph::new(pi.target_schema(), mapped.instance());
             let outcome = check_global_exact(
                 &cg,

@@ -51,30 +51,23 @@ pub fn map_input<M: FactMapping>(
     j: &FactSet,
 ) -> (PrioritizedInstance, FactSet) {
     let (target, translation) = map_instance(pi, input.instance());
-    assert_eq!(
-        target.len(),
-        input.instance().len(),
-        "Π must be injective on the facts of I"
-    );
+    assert_eq!(target.len(), input.instance().len(), "Π must be injective on the facts of I");
     let edges: Vec<(FactId, FactId)> = input
         .priority()
         .edges()
         .iter()
         .map(|&(a, b)| (translation[a.index()], translation[b.index()]))
         .collect();
-    let priority =
-        PriorityRelation::new(target.len(), edges).expect("Π preserves acyclicity");
+    let priority = PriorityRelation::new(target.len(), edges).expect("Π preserves acyclicity");
     let mut j_out = target.empty_set();
     for f in j.iter() {
         j_out.insert(translation[f.index()]);
     }
     let prioritized = match input.mode() {
-        PriorityMode::ConflictRestricted => PrioritizedInstance::conflict_restricted(
-            pi.target_schema(),
-            target,
-            priority,
-        )
-        .expect("Π preserves conflicts"),
+        PriorityMode::ConflictRestricted => {
+            PrioritizedInstance::conflict_restricted(pi.target_schema(), target, priority)
+                .expect("Π preserves conflicts")
+        }
         PriorityMode::CrossConflict => PrioritizedInstance::cross_conflict(target, priority),
     };
     (prioritized, j_out)
@@ -128,11 +121,9 @@ mod tests {
     impl PadMapping {
         fn new() -> Self {
             let src_sig = Signature::new([("R", 2)]).unwrap();
-            let src =
-                Schema::from_named(src_sig, [("R", &[1][..], &[2][..])]).unwrap();
+            let src = Schema::from_named(src_sig, [("R", &[1][..], &[2][..])]).unwrap();
             let dst_sig = Signature::new([("T", 3)]).unwrap();
-            let dst =
-                Schema::from_named(dst_sig, [("T", &[1][..], &[2][..])]).unwrap();
+            let dst = Schema::from_named(dst_sig, [("T", &[1][..], &[2][..])]).unwrap();
             PadMapping { src, dst }
         }
     }
@@ -180,12 +171,8 @@ mod tests {
         pairs
             .iter()
             .map(|&(a, b)| {
-                Fact::parse_new(
-                    pi.source_schema().signature(),
-                    "R",
-                    [Value::sym(a), Value::sym(b)],
-                )
-                .unwrap()
+                Fact::parse_new(pi.source_schema().signature(), "R", [Value::sym(a), Value::sym(b)])
+                    .unwrap()
             })
             .collect()
     }
@@ -216,11 +203,9 @@ mod tests {
         for f in &fs {
             instance.insert(f.clone());
         }
-        let priority =
-            PriorityRelation::new(3, [(FactId(0), FactId(1))]).unwrap();
+        let priority = PriorityRelation::new(3, [(FactId(0), FactId(1))]).unwrap();
         let input =
-            PrioritizedInstance::conflict_restricted(&pi.src, instance.clone(), priority)
-                .unwrap();
+            PrioritizedInstance::conflict_restricted(&pi.src, instance.clone(), priority).unwrap();
         let j = instance.set_of([FactId(0), FactId(2)]);
         let (mapped, j2) = map_input(&pi, &input, &j);
         assert_eq!(mapped.instance().len(), 3);

@@ -24,11 +24,9 @@ fn key_family() -> impl Strategy<Value = (usize, Vec<AttrSet>)> {
             (Just(arity), keys)
         })
         .prop_filter("pairwise incomparable", |(_, keys)| {
-            keys.iter().enumerate().all(|(i, a)| {
-                keys.iter()
-                    .skip(i + 1)
-                    .all(|b| !a.is_subset(*b) && !b.is_subset(*a))
-            })
+            keys.iter()
+                .enumerate()
+                .all(|(i, a)| keys.iter().skip(i + 1).all(|b| !a.is_subset(*b) && !b.is_subset(*a)))
         })
 }
 

@@ -11,8 +11,7 @@ use preferred_repairs::prelude::*;
 fn main() {
     // Customer(id, email, source, updated_at); id determines the rest.
     let sig = Signature::new([("Customer", 4)]).unwrap();
-    let schema =
-        Schema::from_named(sig.clone(), [("Customer", &[1][..], &[2, 3, 4][..])]).unwrap();
+    let schema = Schema::from_named(sig.clone(), [("Customer", &[1][..], &[2, 3, 4][..])]).unwrap();
 
     let mut instance = Instance::new(sig);
     for (id, email, source, t) in [
@@ -24,10 +23,7 @@ fn main() {
         ("c3", "eve@x.example", "crm", 50),
     ] {
         instance
-            .insert_named(
-                "Customer",
-                [id.into(), email.into(), source.into(), Value::Int(t)],
-            )
+            .insert_named("Customer", [id.into(), email.into(), source.into(), Value::Int(t)])
             .unwrap();
     }
     println!("dirty table ({} rows):", instance.len());
@@ -56,11 +52,7 @@ fn main() {
     assert_eq!(all, vec![cleaned]);
 
     // The checker agrees (Theorem 3.1: single FD per relation ⇒ PTIME).
-    let pi = PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority)
-        .unwrap();
+    let pi = PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority).unwrap();
     let checker = GRepairChecker::new(schema);
-    println!(
-        "checker verdict on the cleaned table: {:?}",
-        checker.check(&pi, &all[0]).unwrap()
-    );
+    println!("checker verdict on the cleaned table: {:?}", checker.check(&pi, &all[0]).unwrap());
 }

@@ -53,30 +53,23 @@ fn main() {
     // For larger graphs the search space explodes, but the *construct-
     // ive* half of Lemma 5.2 still runs in polynomial time: from a
     // Hamiltonian cycle we can build and verify a global improvement.
-    for (name, graph) in [
-        ("C5", UGraph::cycle(5)),
-        ("K4", UGraph::complete(4)),
-        ("C8", UGraph::cycle(8)),
-    ] {
+    for (name, graph) in
+        [("C5", UGraph::cycle(5)), ("K4", UGraph::complete(4)), ("C8", UGraph::cycle(8))]
+    {
         let pi = graph.hamiltonian_cycle().expect("these graphs are Hamiltonian");
         let gadget = hamiltonian_gadget(&graph);
         let cg = ConflictGraph::new(&gadget.schema, gadget.prioritized.instance());
         let (removed, added) = improvement_from_cycle(&gadget, &pi);
         let imp = Improvement { removed, added };
         let ok = imp.is_valid_global_improvement(&cg, gadget.prioritized.priority(), &gadget.j);
-        println!(
-            "{name}: proof construction from π = {pi:?} is a valid global improvement: {ok}"
-        );
+        println!("{name}: proof construction from π = {pi:?} is a valid global improvement: {ok}");
         assert!(ok);
     }
 
     // Case 1 (§5.3): map the Figure-5 input into a 5-ary schema with
     // three keys {1,2}, {2,3}, {3,4} and check the answer transfers.
-    let keys = [
-        AttrSet::from_attrs([1, 2]),
-        AttrSet::from_attrs([2, 3]),
-        AttrSet::from_attrs([3, 4]),
-    ];
+    let keys =
+        [AttrSet::from_attrs([1, 2]), AttrSet::from_attrs([2, 3]), AttrSet::from_attrs([3, 4])];
     let pi_map = CaseOneMapping::new("R", 5, &keys).unwrap();
     let mut graph = UGraph::new(2);
     graph.add_edge(0, 1);

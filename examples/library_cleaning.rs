@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --example library_cleaning`.
 
-use preferred_repairs::core::{
-    check_global_1fd, check_global_2keys, is_pareto_optimal,
-};
+use preferred_repairs::core::{check_global_1fd, check_global_2keys, is_pareto_optimal};
 use preferred_repairs::gen::RunningExample;
 use preferred_repairs::prelude::*;
 

@@ -31,8 +31,7 @@ fn main() {
         ("globally-optimal ", RepairSemantics::Global),
         ("completion-optimal", RepairSemantics::Completion),
     ] {
-        let res =
-            answers(&ex.schema, instance, &ex.priority, &q, sem, 1 << 22).unwrap();
+        let res = answers(&ex.schema, instance, &ex.priority, &q, sem, 1 << 22).unwrap();
         let fmt = |s: &std::collections::BTreeSet<Tuple>| {
             let mut items: Vec<String> = s.iter().map(|t| t.to_string()).collect();
             items.sort();

@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use preferred_repairs::core::{
-    enumerate_repairs, globally_optimal_repairs, is_pareto_optimal,
-};
+use preferred_repairs::core::{enumerate_repairs, globally_optimal_repairs, is_pareto_optimal};
 use preferred_repairs::prelude::*;
 
 fn main() {
@@ -21,11 +19,7 @@ fn main() {
 
     // Two sources disagree about Alice and Bob.
     let mut instance = Instance::new(sig);
-    let src_a = [
-        ("alice", "eng", "b42"),
-        ("bob", "hr", "b17"),
-        ("carol", "legal", "b99"),
-    ];
+    let src_a = [("alice", "eng", "b42"), ("bob", "hr", "b17"), ("carol", "legal", "b99")];
     let src_b = [("alice", "eng", "b43"), ("bob", "sales", "b17")];
     let mut ids_a = Vec::new();
     let mut ids_b = Vec::new();
@@ -48,9 +42,8 @@ fn main() {
         }
     }
     let priority = builder.build().unwrap();
-    let pi =
-        PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
-            .unwrap();
+    let pi = PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
+        .unwrap();
 
     // Enumerate the classical repairs, then check each with the
     // dispatching polynomial checker.

@@ -30,11 +30,9 @@ fn main() {
     let mut instance = Instance::new(sig);
     let mut gold = Vec::new();
     let mut scratch = Vec::new();
-    for (rel, id, val) in [
-        ("Sensor", "s1", "lab"),
-        ("Sensor", "s2", "office"),
-        ("Calib", "s1", "dana"),
-    ] {
+    for (rel, id, val) in
+        [("Sensor", "s1", "lab"), ("Sensor", "s2", "office"), ("Calib", "s1", "dana")]
+    {
         gold.push(instance.insert_named(rel, [id.into(), val.into()]).unwrap());
     }
     for (rel, id, val) in [
@@ -66,11 +64,7 @@ fn main() {
     println!("\nrepairs:");
     for j in enumerate_repairs(&cg, 1 << 20).unwrap() {
         let outcome = checker.check(&pi, &j).unwrap();
-        println!(
-            "  {}  globally-optimal: {}",
-            instance.render_set(&j),
-            outcome.is_optimal()
-        );
+        println!("  {}  globally-optimal: {}", instance.render_set(&j), outcome.is_optimal());
         if let CheckOutcome::Improvable(imp) = outcome {
             println!(
                 "      improvement: remove {} / add {}",
@@ -86,11 +80,8 @@ fn main() {
          mode fails, because gold facts outrank non-conflicting scratch\n\
          facts:"
     );
-    let err = PrioritizedInstance::conflict_restricted(
-        &schema,
-        instance.clone(),
-        pi.priority().clone(),
-    )
-    .unwrap_err();
+    let err =
+        PrioritizedInstance::conflict_restricted(&schema, instance.clone(), pi.priority().clone())
+            .unwrap_err();
     println!("  {err}");
 }

@@ -50,21 +50,21 @@
 
 pub use rpr_classify as classify;
 pub use rpr_cli as cli;
-pub use rpr_policy as policy;
 pub use rpr_core as core;
 pub use rpr_cqa as cqa;
 pub use rpr_data as data;
 pub use rpr_fd as fd;
 pub use rpr_gen as gen;
+pub use rpr_policy as policy;
 pub use rpr_priority as priority;
 pub use rpr_reductions as reductions;
 
 /// The most common imports, for `use preferred_repairs::prelude::*`.
 pub mod prelude {
-    pub use rpr_classify::{classify_schema, classify_schema_ccp, CcpClass, Complexity, SchemaClass};
-    pub use rpr_core::{
-        CcpChecker, CheckOutcome, GRepairChecker, Improvement, Method,
+    pub use rpr_classify::{
+        classify_schema, classify_schema_ccp, CcpClass, Complexity, SchemaClass,
     };
+    pub use rpr_core::{CcpChecker, CheckOutcome, GRepairChecker, Improvement, Method};
     pub use rpr_data::{AttrSet, Fact, FactId, FactSet, Instance, Signature, Tuple, Value};
     pub use rpr_fd::{ConflictGraph, Fd, Schema};
     pub use rpr_priority::{PrioritizedInstance, PriorityBuilder, PriorityMode, PriorityRelation};

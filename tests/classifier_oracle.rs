@@ -4,8 +4,8 @@
 //! *all* candidate attribute sets, and the answers must coincide.
 
 use preferred_repairs::classify::{
-    classify_relation, equivalent_constant_attribute, equivalent_single_fd,
-    equivalent_single_key, equivalent_two_incomparable_keys, RelationClass,
+    classify_relation, equivalent_constant_attribute, equivalent_single_fd, equivalent_single_key,
+    equivalent_two_incomparable_keys, RelationClass,
 };
 use preferred_repairs::data::{AttrSet, RelId};
 use preferred_repairs::fd::{closure, equivalent, Fd};
@@ -40,16 +40,12 @@ fn oracle_two_keys(fds: &[Fd], rel: RelId, arity: usize) -> bool {
 
 /// Oracle: Δ ≡ one key.
 fn oracle_single_key(fds: &[Fd], rel: RelId, arity: usize) -> bool {
-    AttrSet::full(arity)
-        .subsets()
-        .any(|a| equivalent(fds, &[Fd::key(rel, a, arity)]))
+    AttrSet::full(arity).subsets().any(|a| equivalent(fds, &[Fd::key(rel, a, arity)]))
 }
 
 /// Oracle: Δ ≡ ∅ → B for some B.
 fn oracle_const_attr(fds: &[Fd], rel: RelId, arity: usize) -> bool {
-    AttrSet::full(arity)
-        .subsets()
-        .any(|b| equivalent(fds, &[Fd::new(rel, AttrSet::EMPTY, b)]))
+    AttrSet::full(arity).subsets().any(|b| equivalent(fds, &[Fd::new(rel, AttrSet::EMPTY, b)]))
 }
 
 #[test]
@@ -112,8 +108,7 @@ fn two_keys_detection_agreement() {
         let fds = schema.fds_for(rel);
         let ours = equivalent_two_incomparable_keys(fds, arity).is_some()
             || equivalent_single_fd(fds, rel, arity).is_some();
-        let oracle = oracle_two_keys(fds, rel, arity)
-            || oracle_single_fd(fds, rel, arity);
+        let oracle = oracle_two_keys(fds, rel, arity) || oracle_single_fd(fds, rel, arity);
         assert_eq!(ours, oracle, "trial {trial} on {fds:?}");
     }
 }

@@ -23,11 +23,8 @@ use rand::{Rng, SeedableRng};
 #[test]
 fn proposition_3_5_decomposition() {
     let sig = Signature::new([("A", 2), ("B", 2)]).unwrap();
-    let schema = Schema::from_named(
-        sig,
-        [("A", &[1][..], &[2][..]), ("B", &[1][..], &[2][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig, [("A", &[1][..], &[2][..]), ("B", &[1][..], &[2][..])]).unwrap();
     let mut rng = StdRng::seed_from_u64(35);
     for _ in 0..25 {
         let mut instance = Instance::new(schema.signature().clone());
@@ -68,9 +65,7 @@ fn proposition_3_5_decomposition() {
                     .filter(|(a, b)| domain.contains(*a) && domain.contains(*b))
                     .map(|&(a, b)| {
                         let pos = |x: FactId| {
-                            FactId(
-                                translate.iter().position(|t| *t == x).unwrap() as u32
-                            )
+                            FactId(translate.iter().position(|t| *t == x).unwrap() as u32)
                         };
                         (pos(a), pos(b))
                     })
@@ -78,9 +73,7 @@ fn proposition_3_5_decomposition() {
                 let sub_p =
                     preferred_repairs::priority::PriorityRelation::new(sub.len(), sub_edges)
                         .unwrap();
-                parts.push(
-                    is_globally_optimal_brute(&sub_cg, &sub_p, &sub_j, 1 << 20).unwrap(),
-                );
+                parts.push(is_globally_optimal_brute(&sub_cg, &sub_p, &sub_j, 1 << 20).unwrap());
             }
             assert_eq!(
                 whole,
@@ -116,11 +109,7 @@ fn constructor_lands_in_all_three_semantics() {
     let sig = Signature::new([("A", 3), ("B", 2)]).unwrap();
     let schema = Schema::from_named(
         sig,
-        [
-            ("A", &[1][..], &[2][..]),
-            ("B", &[1][..], &[2][..]),
-            ("B", &[2][..], &[1][..]),
-        ],
+        [("A", &[1][..], &[2][..]), ("B", &[1][..], &[2][..]), ("B", &[2][..], &[1][..])],
     )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(37);
@@ -129,9 +118,7 @@ fn constructor_lands_in_all_three_semantics() {
         for _ in 0..6 {
             let (x, y, z) =
                 (rng.random_range(0..3), rng.random_range(0..3), rng.random_range(0..9));
-            instance
-                .insert_named("A", [Value::Int(x), Value::Int(y), Value::Int(z)])
-                .unwrap();
+            instance.insert_named("A", [Value::Int(x), Value::Int(y), Value::Int(z)]).unwrap();
         }
         for _ in 0..5 {
             let (x, y) = (rng.random_range(0..3), rng.random_range(0..3));

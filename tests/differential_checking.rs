@@ -27,19 +27,13 @@ fn single_fd_checker_vs_oracle_randomized() {
     let mut checked = 0;
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 9, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 9, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_conflict_priority(&cg, 0.6, &mut rng);
-        let pi = PrioritizedInstance::conflict_restricted(
-            &schema,
-            instance.clone(),
-            priority.clone(),
-        )
-        .unwrap();
+        let pi =
+            PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
+                .unwrap();
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
             let fast = checker.check(&pi, &j).unwrap().is_optimal();
             let slow = is_globally_optimal_brute(&cg, &priority, &j, REPAIR_BUDGET).unwrap();
@@ -57,19 +51,13 @@ fn two_keys_checker_vs_oracle_randomized() {
     let mut checked = 0;
     for seed in 100..130u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 8, domain: 4 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 8, domain: 4 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_conflict_priority(&cg, 0.7, &mut rng);
-        let pi = PrioritizedInstance::conflict_restricted(
-            &schema,
-            instance.clone(),
-            priority.clone(),
-        )
-        .unwrap();
+        let pi =
+            PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
+                .unwrap();
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
             let fast = checker.check(&pi, &j).unwrap().is_optimal();
             let slow = is_globally_optimal_brute(&cg, &priority, &j, REPAIR_BUDGET).unwrap();
@@ -87,19 +75,13 @@ fn generalized_two_keys_with_overlap_vs_oracle() {
     let checker = GRepairChecker::new(schema.clone());
     for seed in 200..215u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 7, domain: 2 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 7, domain: 2 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_conflict_priority(&cg, 0.7, &mut rng);
-        let pi = PrioritizedInstance::conflict_restricted(
-            &schema,
-            instance.clone(),
-            priority.clone(),
-        )
-        .unwrap();
+        let pi =
+            PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority.clone())
+                .unwrap();
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
             let fast = checker.check(&pi, &j).unwrap().is_optimal();
             let slow = is_globally_optimal_brute(&cg, &priority, &j, REPAIR_BUDGET).unwrap();
@@ -113,11 +95,8 @@ fn pareto_checker_vs_oracle_randomized() {
     let schema = single_fd_schema(2, &[1], &[2]);
     for seed in 300..340u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 9, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 9, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_conflict_priority(&cg, 0.5, &mut rng);
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
@@ -136,11 +115,8 @@ fn completion_checker_vs_completion_enumeration_randomized() {
     let mut verified = 0;
     for seed in 400..460u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 7, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 7, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         // Keep the number of unordered conflict pairs enumerable.
         if cg.edges().len() > 14 {
@@ -149,8 +125,7 @@ fn completion_checker_vs_completion_enumeration_randomized() {
         let priority = random_conflict_priority(&cg, 0.4, &mut rng);
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
             let fast = is_completion_optimal(&cg, &priority, &j);
-            let slow =
-                is_completion_optimal_brute(&cg, &priority, &j, 1 << 20).unwrap();
+            let slow = is_completion_optimal_brute(&cg, &priority, &j, 1 << 20).unwrap();
             assert_eq!(fast, slow, "seed {seed}, J = {}", instance.render_set(&j));
             verified += 1;
         }
@@ -163,11 +138,8 @@ fn ccp_primary_key_vs_oracle_randomized() {
     let schema = single_fd_schema(2, &[1], &[2]); // a key over binary R
     for seed in 500..530u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 8, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 8, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_ccp_priority(&cg, 0.5, 8, &mut rng);
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
@@ -189,16 +161,12 @@ fn ccp_constant_attribute_vs_oracle_randomized() {
     let consts = vec![AttrSet::singleton(2), AttrSet::singleton(1)];
     for seed in 600..625u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 5, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 5, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = random_ccp_priority(&cg, 0.5, 6, &mut rng);
         for j in enumerate_repairs(&cg, REPAIR_BUDGET).unwrap() {
-            let fast =
-                check_global_ccp_const(&instance, &cg, &priority, &consts, &j).is_optimal();
+            let fast = check_global_ccp_const(&instance, &cg, &priority, &consts, &j).is_optimal();
             let slow = is_globally_optimal_brute(&cg, &priority, &j, REPAIR_BUDGET).unwrap();
             assert_eq!(fast, slow, "seed {seed}, J = {}", instance.render_set(&j));
         }

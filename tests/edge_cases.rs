@@ -48,11 +48,9 @@ fn hard_schema_checker_surfaces_budget_errors() {
     // S4 with a big instance: the dispatching checker's exact fall-back
     // must return Err rather than hang.
     let sig = Signature::new([("R", 3)]).unwrap();
-    let schema = Schema::from_named(
-        sig.clone(),
-        [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("R", &[2][..], &[3][..])])
+            .unwrap();
     let mut i = Instance::new(sig);
     for g in 0..10 {
         for v in 0..3 {
@@ -96,11 +94,9 @@ fn ccp_checker_accepts_classical_instances() {
 fn max_arity_relation_works_end_to_end() {
     let sig = Signature::new([("Wide", MAX_ARITY)]).unwrap();
     let rel = sig.rel_id("Wide").unwrap();
-    let schema = Schema::new(
-        sig.clone(),
-        [Fd::new(rel, AttrSet::singleton(1), AttrSet::full(MAX_ARITY))],
-    )
-    .unwrap();
+    let schema =
+        Schema::new(sig.clone(), [Fd::new(rel, AttrSet::singleton(1), AttrSet::full(MAX_ARITY))])
+            .unwrap();
     let mut i = Instance::new(sig);
     let row = |seed: i64| -> Vec<Value> {
         (0..MAX_ARITY as i64).map(|k| Value::Int(if k == 0 { 7 } else { seed * k })).collect()
@@ -146,11 +142,9 @@ fn singleton_j_against_everything_conflicting() {
     // One fact conflicting with all others, preferred over none: adding
     // it alone is a repair only if it kills everything else.
     let sig = Signature::new([("R", 2)]).unwrap();
-    let schema = Schema::from_named(
-        sig.clone(),
-        [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])])
+            .unwrap();
     let mut i = Instance::new(sig);
     let hub = i.insert_named("R", [Value::sym("k"), Value::sym("v")]).unwrap();
     for n in 0..4 {

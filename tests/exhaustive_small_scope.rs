@@ -71,8 +71,7 @@ fn run_exhaustive(
         if pairs.len() > 4 {
             continue; // keep 3^p bounded; densest instances are covered below 5 pairs
         }
-        let repairs =
-            preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
+        let repairs = preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
         priority_assignments(instance.len(), &pairs, |p| {
             for j in &repairs {
                 let fast = check(&instance, &cg, p, j);
@@ -106,11 +105,8 @@ fn grepcheck_1fd_exhaustive_small_scope() {
 #[test]
 fn grepcheck_2keys_exhaustive_small_scope() {
     let sig = Signature::new([("R", 2)]).unwrap();
-    let schema = Schema::from_named(
-        sig,
-        [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])],
-    )
-    .unwrap();
+    let schema =
+        Schema::from_named(sig, [("R", &[1][..], &[2][..]), ("R", &[2][..], &[1][..])]).unwrap();
     let a1 = AttrSet::singleton(1);
     let a2 = AttrSet::singleton(2);
     let checked = run_exhaustive(&schema, (2, 3), |instance, cg, p, j| {
@@ -141,8 +137,7 @@ fn ccp_primary_key_exhaustive_small_scope() {
             }
         }
         let cg = ConflictGraph::new(&schema, &instance);
-        let repairs =
-            preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
+        let repairs = preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
         priority_assignments(n, &all_pairs, |p| {
             for j in &repairs {
                 let fast = check_global_ccp_pk(&cg, p, j).is_optimal();
@@ -173,8 +168,7 @@ fn pareto_and_completion_exhaustive_small_scope() {
         if pairs.len() > 3 {
             continue;
         }
-        let repairs =
-            preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
+        let repairs = preferred_repairs::core::enumerate_repairs(&cg, 1 << 20).unwrap();
         priority_assignments(instance.len(), &pairs, |p| {
             for j in &repairs {
                 assert_eq!(

@@ -34,21 +34,17 @@ fn policy_cleaning_pipeline() {
         .prefer_source_ranking(3, &["gold", "scrape"])
         .prefer_newer(4)
         .break_ties_lexicographically();
-    let priority = policy
-        .compile(&feed.schema, &feed.instance, PriorityScope::ConflictsOnly)
-        .unwrap();
+    let priority =
+        policy.compile(&feed.schema, &feed.instance, PriorityScope::ConflictsOnly).unwrap();
 
     let cg = ConflictGraph::new(&feed.schema, &feed.instance);
     let cleaned = construct_globally_optimal_repair(&cg, &priority);
     assert!(cg.is_repair(&cleaned));
 
     // The checker certifies the construction in polynomial time.
-    let pi = PrioritizedInstance::conflict_restricted(
-        &feed.schema,
-        feed.instance.clone(),
-        priority,
-    )
-    .unwrap();
+    let pi =
+        PrioritizedInstance::conflict_restricted(&feed.schema, feed.instance.clone(), priority)
+            .unwrap();
     let checker = GRepairChecker::new(feed.schema.clone());
     assert!(checker.check(&pi, &cleaned).unwrap().is_optimal());
 
@@ -77,9 +73,8 @@ fn total_policies_make_the_cleaning_unambiguous() {
         .prefer_source_ranking(3, &["gold", "scrape"])
         .prefer_newer(4)
         .break_ties_lexicographically();
-    let priority = policy
-        .compile(&feed.schema, &feed.instance, PriorityScope::ConflictsOnly)
-        .unwrap();
+    let priority =
+        policy.compile(&feed.schema, &feed.instance, PriorityScope::ConflictsOnly).unwrap();
     let cg = ConflictGraph::new(&feed.schema, &feed.instance);
     // Every conflicting pair is ordered (timestamps are distinct and
     // the tie-break is total) ⇒ there is exactly one optimal repair —

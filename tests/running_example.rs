@@ -37,14 +37,8 @@ fn example_3_2_classification() {
     let class = classify_schema(&ex.schema);
     assert_eq!(class.complexity(), Complexity::PolynomialTime);
     let sig = ex.schema.signature();
-    assert!(matches!(
-        class.class_of(sig.rel_id("BookLoc").unwrap()),
-        RelationClass::SingleFd(_)
-    ));
-    assert!(matches!(
-        class.class_of(sig.rel_id("LibLoc").unwrap()),
-        RelationClass::TwoKeys(..)
-    ));
+    assert!(matches!(class.class_of(sig.rel_id("BookLoc").unwrap()), RelationClass::SingleFd(_)));
+    assert!(matches!(class.class_of(sig.rel_id("LibLoc").unwrap()), RelationClass::TwoKeys(..)));
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn big_keyed_instance(n: usize, seed: u64) -> (Schema, Instance, Vec<i64>) {
         let val = rng.random_range(0..1_000_000);
         let before = instance.len();
         instance
-            .insert_named("R", [Value::Int(key), Value::Int(val), Value::Int(rng.random_range(0..4))])
+            .insert_named(
+                "R",
+                [Value::Int(key), Value::Int(val), Value::Int(rng.random_range(0..4))],
+            )
             .unwrap();
         if instance.len() > before {
             timestamps.push(rng.random_range(0..1_000_000));
@@ -45,8 +48,7 @@ fn thirty_thousand_facts_classical_pipeline() {
     assert!(cg.is_repair(&j));
     assert!(is_pareto_optimal(&cg, &priority, &j));
     assert!(is_completion_optimal(&cg, &priority, &j));
-    let pi =
-        PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority).unwrap();
+    let pi = PrioritizedInstance::conflict_restricted(&schema, instance.clone(), priority).unwrap();
     let checker = GRepairChecker::new(schema);
     assert!(checker.check(&pi, &j).unwrap().is_optimal());
     // And a deliberately suboptimal repair is caught with a witness.

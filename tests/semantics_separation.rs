@@ -9,7 +9,9 @@ use preferred_repairs::core::{
 };
 use preferred_repairs::data::{FactId, Instance, Signature, Value};
 use preferred_repairs::fd::{ConflictGraph, Schema};
-use preferred_repairs::gen::{random_conflict_priority, random_instance, single_fd_schema, InstanceSpec};
+use preferred_repairs::gen::{
+    random_conflict_priority, random_instance, single_fd_schema, InstanceSpec,
+};
 use preferred_repairs::priority::PriorityRelation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,10 +59,7 @@ fn proposition_10_iii_of_staworko_et_al_is_refuted() {
         preferred_repairs::data::RelId(0),
         3,
     );
-    assert!(matches!(
-        class,
-        preferred_repairs::classify::RelationClass::SingleFd(_)
-    ));
+    assert!(matches!(class, preferred_repairs::classify::RelationClass::SingleFd(_)));
 }
 
 /// The chain of inclusions C-repairs ⊆ G-repairs ⊆ P-repairs ⊆ repairs
@@ -77,11 +76,8 @@ fn semantics_inclusion_chain_randomized() {
     let mut strict_gp = 0;
     for seed in 0..50u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let instance = random_instance(
-            &schema,
-            InstanceSpec { facts_per_relation: 7, domain: 3 },
-            &mut rng,
-        );
+        let instance =
+            random_instance(&schema, InstanceSpec { facts_per_relation: 7, domain: 3 }, &mut rng);
         let cg = ConflictGraph::new(&schema, &instance);
         if cg.edges().len() > 14 {
             continue;

@@ -1,0 +1,58 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::{Any, Strategy};
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domains() {
+        let mut rng = TestRng::deterministic("arbitrary-tests");
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            seen[usize::from(s.generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

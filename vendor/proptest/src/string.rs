@@ -1,0 +1,177 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the pragmatic subset that shows up in tests:
+//! literal characters, escapes (`\\`, `\d`, `\w`, `\s`, `\n`, `\t`,
+//! `\.` …), character classes `[a-z0-9_]` (ranges and literals, no
+//! negation), and the repetition operators `{m}`, `{m,n}`, `*`, `+`,
+//! `?` applied to the preceding atom. Unsupported syntax panics with a
+//! clear message rather than silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed pattern element: a set of candidate chars plus a
+/// repetition band.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn class_for_escape(c: char) -> Vec<char> {
+    match c {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        's' => vec![' ', '\t', '\n'],
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        'r' => vec!['\r'],
+        // Escaped metacharacters generate themselves.
+        other => vec![other],
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidates: Vec<char> = match c {
+            '\\' => {
+                let e = chars.next().expect("dangling escape in pattern");
+                class_for_escape(e)
+            }
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let k = chars.next().expect("unterminated character class");
+                    match k {
+                        ']' => break,
+                        '\\' => {
+                            let e = chars.next().expect("dangling escape in class");
+                            set.extend(class_for_escape(e));
+                            prev = None;
+                        }
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "inverted range {lo}-{hi} in class");
+                            // `lo` is already in `set`; append the rest.
+                            let mut x = lo;
+                            while x < hi {
+                                x = char::from_u32(x as u32 + 1).expect("char range");
+                                set.push(x);
+                            }
+                        }
+                        '^' if set.is_empty() && prev.is_none() => {
+                            panic!("negated character classes are not supported by the vendored proptest stand-in")
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class");
+                set
+            }
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' => {
+                panic!("pattern construct {c:?} is not supported by the vendored proptest stand-in")
+            }
+            literal => vec![literal],
+        };
+        // Repetition suffix?
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for k in chars.by_ref() {
+                    if k == '}' {
+                        break;
+                    }
+                    body.push(k);
+                }
+                match body.split_once(',') {
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad {n} repetition");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("bad {m,n} repetition");
+                        let hi: usize = if hi.trim().is_empty() {
+                            lo + 16
+                        } else {
+                            hi.trim().parse().expect("bad {m,n} repetition")
+                        };
+                        (lo, hi)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { chars: candidates, min, max });
+    }
+    atoms
+}
+
+/// `&str` patterns are strategies generating matching `String`s.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let n = if atom.min >= atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_band_matches() {
+        let mut rng = TestRng::deterministic("string-tests");
+        let pat = "[ -~]{0,80}";
+        for _ in 0..200 {
+            let s = Strategy::generate(pat, &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_classes_and_repeats() {
+        let mut rng = TestRng::deterministic("string-tests-2");
+        for _ in 0..100 {
+            let s = Strategy::generate("ab[0-9]+c?\\d{2}", &mut rng);
+            assert!(s.starts_with("ab"), "{s:?}");
+            let rest = &s[2..];
+            assert!(rest.chars().all(|c| c.is_ascii_digit() || c == 'c'), "{s:?}");
+            assert!(rest.len() >= 3);
+        }
+    }
+}
