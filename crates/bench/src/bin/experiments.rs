@@ -139,6 +139,11 @@ fn main() {
             title: "Extension: amortized check sessions (one-shot vs session vs parallel)",
             run: e24,
         },
+        Experiment {
+            id: "e25",
+            title: "Extension: budget-enforcement overhead on the PTIME fast path",
+            run: e25,
+        },
     ];
 
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -1125,5 +1130,101 @@ fn e24() -> ExpResult {
             parallel_speedup
         ),
         format!("measured: amortized throughput {:.2}M facts/sec; JSON written to {out_path}", facts_per_sec / 1e6),
+    ])
+}
+
+// ---------------------------------------------------------------- E25
+/// Budget-enforcement overhead on the PTIME fast path: the same
+/// sequential session batch with the legacy API vs the bounded API
+/// under an armed (but never-tripping) deadline + work budget. Rounds
+/// alternate the two modes and the overhead is the median of the
+/// per-round ratios, which shrugs off scheduler noise. The target is
+/// <3% (recorded in `target/budget_overhead.json`); the hard acceptance
+/// bound is 10% to keep the experiment robust on loaded machines.
+fn e25() -> ExpResult {
+    use rpr_core::{Budget, Outcome};
+    use std::time::Duration;
+
+    let n_facts = 10_000;
+    let n_candidates = 600;
+    let rounds = 7usize;
+    let w = single_fd_workload(n_facts, 6, 0.6, 42);
+    let pi =
+        PrioritizedInstance::conflict_restricted(&w.schema, w.instance.clone(), w.priority.clone())
+            .map_err(|e| e.to_string())?;
+    let cg = ConflictGraph::new(&w.schema, &w.instance);
+    let mut rng = StdRng::seed_from_u64(11);
+    let candidates: Vec<rpr_data::FactSet> =
+        (0..n_candidates).map(|_| rpr_gen::random_repair(&cg, &mut rng)).collect();
+    let session = CheckSession::new(&w.schema, &pi).with_jobs(1);
+
+    // Warm-up + reference verdicts (also primes caches for both modes).
+    let reference: Vec<_> = candidates
+        .iter()
+        .map(|j| session.check(j).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    // Bounded answers must be bit-identical to the legacy ones.
+    let check_budget =
+        Budget::unlimited().with_deadline(Duration::from_secs(600)).with_max_work(u64::MAX / 2);
+    for (j, want) in candidates.iter().zip(&reference) {
+        match session.check_bounded(j, &check_budget) {
+            Outcome::Done(got) => ensure(&got == want, "bounded ≠ legacy verdict")?,
+            other => return Err(format!("armed budget tripped unexpectedly: {other:?}")),
+        }
+    }
+
+    let mut ratios = Vec::with_capacity(rounds);
+    let mut legacy_total = 0.0f64;
+    let mut bounded_total = 0.0f64;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for j in &candidates {
+            let _ = session.check(j).map_err(|e| e.to_string())?;
+        }
+        let legacy = t.elapsed().as_secs_f64();
+
+        // A fresh armed budget per round: deadline + work allowance both
+        // live, so every charge takes the full enforcement path.
+        let budget =
+            Budget::unlimited().with_deadline(Duration::from_secs(600)).with_max_work(u64::MAX / 2);
+        let t = Instant::now();
+        for j in &candidates {
+            match session.check_bounded(j, &budget) {
+                Outcome::Done(_) => {}
+                other => return Err(format!("armed budget tripped unexpectedly: {other:?}")),
+            }
+        }
+        let bounded = t.elapsed().as_secs_f64();
+
+        legacy_total += legacy;
+        bounded_total += bounded;
+        ratios.push(bounded / legacy.max(1e-12));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ratio = ratios[rounds / 2];
+    let overhead_pct = (median_ratio - 1.0) * 100.0;
+    let legacy_per_check = legacy_total / (rounds * n_candidates) as f64;
+    let bounded_per_check = bounded_total / (rounds * n_candidates) as f64;
+    ensure(
+        overhead_pct < 10.0,
+        "budget enforcement must stay cheap on the PTIME fast path (<10% hard bound)",
+    )?;
+
+    let json = format!(
+        "{{\n  \"facts\": {n_facts},\n  \"candidates\": {n_candidates},\n  \"rounds\": {rounds},\n  \"legacy_s_per_check\": {legacy_per_check:.9},\n  \"bounded_s_per_check\": {bounded_per_check:.9},\n  \"median_overhead_pct\": {overhead_pct:.3},\n  \"target_pct\": 3.0\n}}\n"
+    );
+    let out_path = "target/budget_overhead.json";
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+
+    Ok(vec![
+        "extension: armed deadlines/work budgets must not tax the polynomial checkers".into(),
+        format!(
+            "measured: {n_candidates} candidates × {rounds} rounds on {n_facts} facts — legacy {:.3}ms/check, bounded {:.3}ms/check, median overhead {overhead_pct:.2}% (target <3%)",
+            legacy_per_check * 1e3,
+            bounded_per_check * 1e3,
+        ),
+        format!("measured: JSON written to {out_path}"),
     ])
 }

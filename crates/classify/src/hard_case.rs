@@ -22,7 +22,11 @@
 
 use crate::relation_class::HardCase;
 use rpr_data::AttrSet;
-use rpr_fd::{as_key_set, closure, hard_case_witnesses, Fd};
+use rpr_engine::{Budget, Outcome, Stop};
+use rpr_fd::{
+    as_key_set, closure, hard_case_witnesses, is_nonredundant_determiner, minimal_determiners,
+    relevant_attrs, Fd,
+};
 
 /// Determines which §5.2 case a hard relation falls into.
 ///
@@ -66,6 +70,111 @@ pub fn diagnose_hard_case(fds: &[Fd], arity: usize) -> Option<HardCase> {
     }
     // B⁺ ⊊ A⁺, hence A⁺ ⊄ B⁺: Case 7.
     Some(HardCase::Case7 { a, b })
+}
+
+/// [`diagnose_hard_case`] under a caller-supplied [`Budget`].
+///
+/// The case *decision* is polynomial, but the `B` witness search may
+/// enumerate attribute subsets; on wide schemas that enumeration is the
+/// one place the diagnosis can blow up. This variant charges one work
+/// unit per candidate subset examined and observes the budget's
+/// deadline and cancellation token, degrading to
+/// [`Outcome::Exceeded`]/[`Outcome::Cancelled`] instead of burning
+/// through the fixed internal step cap of the legacy path. Under an
+/// unlimited budget the result is identical to
+/// [`diagnose_hard_case`].
+pub fn diagnose_hard_case_bounded(
+    fds: &[Fd],
+    arity: usize,
+    budget: &Budget,
+) -> Outcome<Option<HardCase>> {
+    if let Some(keys) = as_key_set(fds, arity) {
+        if keys.len() >= 3 {
+            return Outcome::Done(Some(HardCase::ThreeOrMoreKeys(keys)));
+        }
+        return Outcome::Done(None);
+    }
+    let (a, b) = match hard_case_witnesses_bounded(fds, arity, budget) {
+        Ok(Some(pair)) => pair,
+        Ok(None) => return Outcome::Done(None),
+        Err(stop) => return Outcome::from_stop(stop, None),
+    };
+    let a_plus = closure(a, fds);
+    let b_plus = closure(b, fds);
+    let a_hat = a_plus.difference(a);
+    let b_hat = b_plus.difference(b);
+
+    Outcome::Done(Some(if a_plus == b_plus {
+        HardCase::Case2 { a, b }
+    } else if !b_plus.is_subset(a_plus) {
+        match (!a.is_disjoint(b_hat), !a_hat.is_disjoint(b)) {
+            (true, true) => HardCase::Case3 { a, b },
+            (true, false) => HardCase::Case4 { a, b },
+            (false, _) => {
+                if b_hat.is_subset(a_hat) {
+                    HardCase::Case5 { a, b }
+                } else {
+                    HardCase::Case6 { a, b }
+                }
+            }
+        }
+    } else {
+        HardCase::Case7 { a, b }
+    }))
+}
+
+/// The §5.2 witness search under an engine budget: a minimal non-key
+/// determiner `A`, then the size-ordered scan for the non-redundant
+/// `B ≠ A`, charging one unit per candidate subset. The scan order is
+/// exactly [`rpr_fd::hard_case_witnesses`]' (combinations of the sorted
+/// relevant attributes, smallest size first, lexicographic within a
+/// size), so both paths return the same witness pair.
+fn hard_case_witnesses_bounded(
+    fds: &[Fd],
+    arity: usize,
+    budget: &Budget,
+) -> Result<Option<(AttrSet, AttrSet)>, Stop> {
+    let full = AttrSet::full(arity);
+    let Some(a) = minimal_determiners(fds, arity).into_iter().find(|&a| closure(a, fds) != full)
+    else {
+        return Ok(None);
+    };
+    let universe: Vec<usize> = relevant_attrs(fds).iter().collect();
+    for size in 0..=universe.len() {
+        let mut chosen = vec![0usize; size];
+        if let Some(b) =
+            combos_find(&universe, size, 0, &mut chosen, 0, &mut |combo| -> Result<_, Stop> {
+                budget.step()?;
+                let b = AttrSet::from_attrs(combo.iter().copied());
+                Ok((b != a && is_nonredundant_determiner(b, fds)).then_some(b))
+            })?
+        {
+            return Ok(Some((a, b)));
+        }
+    }
+    Ok(None)
+}
+
+/// Lexicographic k-combinations of `pool`, stopping at the first
+/// combination `f` accepts (or the first budget stop `f` raises).
+fn combos_find(
+    pool: &[usize],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    depth: usize,
+    f: &mut impl FnMut(&[usize]) -> Result<Option<AttrSet>, Stop>,
+) -> Result<Option<AttrSet>, Stop> {
+    if depth == size {
+        return f(&chosen[..size]);
+    }
+    for i in start..pool.len() {
+        chosen[depth] = pool[i];
+        if let Some(found) = combos_find(pool, size, i + 1, chosen, depth + 1, f)? {
+            return Ok(Some(found));
+        }
+    }
+    Ok(None)
 }
 
 /// Convenience wrapper exposing the `(A, B, A⁺, Â, B⁺, B̂)` tuple for
@@ -147,6 +256,44 @@ mod tests {
         assert!(diagnose_hard_case(&two, 2).is_none());
         // Empty.
         assert!(diagnose_hard_case(&[], 3).is_none());
+    }
+
+    #[test]
+    fn bounded_diagnosis_matches_unbounded_on_every_case() {
+        let cases: Vec<(Vec<Fd>, usize)> = vec![
+            (vec![fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])], 3),
+            (vec![fd(&[1], &[2]), fd(&[2], &[1])], 3),
+            (vec![fd(&[1, 2], &[3]), fd(&[3], &[2])], 3),
+            (vec![fd(&[1], &[2]), fd(&[2], &[3])], 3),
+            (vec![fd(&[1], &[3]), fd(&[2], &[3])], 3),
+            (vec![fd(&[], &[1]), fd(&[2], &[3])], 3),
+            (vec![fd(&[1], &[2, 3]), fd(&[2], &[3])], 4),
+            (vec![fd(&[1], &[2])], 3),
+            (vec![], 3),
+        ];
+        for (fds, arity) in cases {
+            let unbounded = diagnose_hard_case(&fds, arity);
+            let bounded = diagnose_hard_case_bounded(&fds, arity, &Budget::unlimited())
+                .expect_done("unlimited budget");
+            assert_eq!(bounded, unbounded, "divergence on {fds:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_diagnosis_degrades_on_tight_budgets() {
+        // S4 needs the B subset scan; one work unit is not enough.
+        let s4 = [fd(&[1], &[2]), fd(&[2], &[3])];
+        let tight = Budget::unlimited().with_max_work(1);
+        assert!(matches!(diagnose_hard_case_bounded(&s4, 3, &tight), Outcome::Exceeded { .. }));
+        let cancelled = Budget::unlimited();
+        cancelled.cancel_token().cancel();
+        assert!(matches!(
+            diagnose_hard_case_bounded(&s4, 3, &cancelled),
+            Outcome::Cancelled { .. }
+        ));
+        // Case 1 decides without the subset scan: immune to the budget.
+        let s1 = [fd(&[1, 2], &[3]), fd(&[1, 3], &[2]), fd(&[2, 3], &[1])];
+        assert!(diagnose_hard_case_bounded(&s1, 3, &tight).is_done());
     }
 
     #[test]

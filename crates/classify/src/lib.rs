@@ -28,7 +28,7 @@ pub mod theorem71;
 pub mod two_keys;
 
 pub use explain::{explain_relation, explain_schema};
-pub use hard_case::{case_witness_detail, diagnose_hard_case};
+pub use hard_case::{case_witness_detail, diagnose_hard_case, diagnose_hard_case_bounded};
 pub use relation_class::{Complexity, HardCase, RelationClass};
 pub use single_fd::{equivalent_constant_attribute, equivalent_single_fd, equivalent_single_key};
 pub use theorem31::{classify_relation, classify_schema, SchemaClass};

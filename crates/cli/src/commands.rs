@@ -6,10 +6,13 @@ use crate::format::Workspace;
 use crate::query_parse::parse_query;
 use rpr_classify::{classify_relation, classify_schema, classify_schema_ccp, RelationClass};
 use rpr_core::{
-    construct_globally_optimal_repair, is_completion_optimal, is_pareto_optimal, CheckOutcome,
-    CheckSession,
+    construct_globally_optimal_repair, is_completion_optimal, is_pareto_optimal, Budget,
+    BudgetReport, CheckOutcome, CheckSession, Outcome, PanicReport,
 };
-use rpr_cqa::{answers_session, repairs_under_session, RepairSemantics};
+use rpr_cqa::{
+    answers_session, answers_session_bounded, repairs_under_session, repairs_under_session_bounded,
+    RepairSemantics,
+};
 use rpr_fd::{
     discover_fds_for, is_3nf, is_bcnf, merge_by_lhs, minimal_cover, ConflictGraph, DiscoveryOptions,
 };
@@ -141,6 +144,201 @@ pub fn check_with_jobs(
 
 fn semantics_from(name: &str) -> Result<RepairSemantics, CommandError> {
     name.parse().map_err(CommandError)
+}
+
+/// How a bounded command run ended — drives the binary's exit code
+/// (`0` done, `4` budget-exceeded-partial, `5` cancelled).
+#[derive(Clone, Debug)]
+pub enum RunStatus {
+    /// The command ran to completion.
+    Done,
+    /// A budget limit tripped; the report text holds whatever partial
+    /// result could be certified.
+    Exceeded(BudgetReport),
+    /// The cancel token fired.
+    Cancelled,
+    /// A worker panic was isolated into the result.
+    Panicked(PanicReport),
+}
+
+/// The result of a bounded command: the report text plus how the run
+/// ended.
+#[derive(Clone, Debug)]
+pub struct BoundedRun {
+    /// The human-readable report (a partial one on degraded runs).
+    pub report: String,
+    /// How the run ended.
+    pub status: RunStatus,
+}
+
+fn status_of<T>(outcome: &Outcome<T>) -> RunStatus {
+    match outcome {
+        Outcome::Done(_) => RunStatus::Done,
+        Outcome::Exceeded { report, .. } => RunStatus::Exceeded(report.clone()),
+        Outcome::Cancelled { .. } => RunStatus::Cancelled,
+        Outcome::Panicked { report, .. } => RunStatus::Panicked(report.clone()),
+    }
+}
+
+/// [`check_with_jobs`] under an engine [`Budget`]: all candidates run
+/// through the session's bounded batch checker, each with its own
+/// per-candidate verdict. One panicking or budget-tripping candidate
+/// degrades only its own line; completed verdicts are reported as
+/// usual.
+///
+/// # Errors
+/// On unknown repair names or validation failures (degradation is not
+/// an error — it is reported in the [`RunStatus`]).
+pub fn check_bounded_with_jobs(
+    ws: &Workspace,
+    name: Option<&str>,
+    jobs: usize,
+    budget: &Budget,
+) -> Result<BoundedRun, CommandError> {
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let targets: Vec<(String, rpr_data::FactSet)> = match name {
+        Some(n) => {
+            let j = ws.repair(n).ok_or_else(|| fail(format!("no repair named `{n}`")))?;
+            vec![(n.to_owned(), j.clone())]
+        }
+        None => {
+            if ws.repairs.is_empty() {
+                return Err(fail("no `repair` declarations in the workspace"));
+            }
+            ws.repairs.clone()
+        }
+    };
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let js: Vec<rpr_data::FactSet> = targets.iter().map(|(_, j)| j.clone()).collect();
+    let outcomes = session.check_batch_bounded(&js, budget);
+    let mut out = String::new();
+    let mut status = RunStatus::Done;
+    for ((n, _), outcome) in targets.iter().zip(&outcomes) {
+        let _ = write!(out, "{n}: ");
+        match outcome {
+            Outcome::Done(CheckOutcome::Optimal) => {
+                let _ = writeln!(out, "globally-optimal repair ✓");
+            }
+            Outcome::Done(CheckOutcome::Improvable(imp)) => {
+                let _ = writeln!(out, "NOT globally optimal");
+                let _ = writeln!(
+                    out,
+                    "  improvement: remove {} / add {}",
+                    ws.instance.render_set(&imp.removed),
+                    ws.instance.render_set(&imp.added)
+                );
+            }
+            Outcome::Done(CheckOutcome::Inconsistent(a, b)) => {
+                let _ = writeln!(
+                    out,
+                    "not even consistent: {} conflicts with {}",
+                    ws.instance.fact(*a).display(ws.schema.signature()),
+                    ws.instance.fact(*b).display(ws.schema.signature())
+                );
+            }
+            Outcome::Exceeded { report, .. } => {
+                let _ = writeln!(out, "undecided — budget exceeded ({report})");
+            }
+            Outcome::Cancelled { .. } => {
+                let _ = writeln!(out, "undecided — cancelled");
+            }
+            Outcome::Panicked { report, .. } => {
+                let _ = writeln!(out, "undecided — {report}");
+            }
+        }
+        // Cancellation dominates (the whole run was interrupted); a
+        // budget trip dominates a panic (the panic is per-candidate).
+        status = match (status, status_of(outcome)) {
+            (RunStatus::Cancelled, _) | (_, RunStatus::Cancelled) => RunStatus::Cancelled,
+            (s @ RunStatus::Exceeded(_), _) => s,
+            (_, s @ RunStatus::Exceeded(_)) => s,
+            (s @ RunStatus::Panicked(_), _) => s,
+            (_, s @ RunStatus::Panicked(_)) => s,
+            (RunStatus::Done, RunStatus::Done) => RunStatus::Done,
+        };
+    }
+    Ok(BoundedRun { report: out, status })
+}
+
+/// [`repairs_with_jobs`] under an engine [`Budget`]. On degradation the
+/// report lists the certified partial repair set (when the semantics
+/// admits one — see `rpr_cqa::repairs_under_bounded`).
+///
+/// # Errors
+/// On bad semantics names.
+pub fn repairs_bounded_with_jobs(
+    ws: &Workspace,
+    semantics: &str,
+    jobs: usize,
+    budget: &Budget,
+) -> Result<BoundedRun, CommandError> {
+    let sem = semantics_from(semantics)?;
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let outcome = repairs_under_session_bounded(sem, &session, budget);
+    let status = status_of(&outcome);
+    let mut out = String::new();
+    let partial = !matches!(status, RunStatus::Done);
+    match outcome.into_partial() {
+        Some(list) => {
+            let qualifier = if partial { " (partial)" } else { "" };
+            let _ = writeln!(out, "{} {semantics} repair(s){qualifier}:", list.len());
+            for j in &list {
+                let _ = writeln!(out, "  {}", ws.instance.render_set(j));
+            }
+        }
+        None => {
+            let _ = writeln!(out, "no certified {semantics} repairs before the stop");
+        }
+    }
+    Ok(BoundedRun { report: out, status })
+}
+
+/// [`cqa_with_jobs`] under an engine [`Budget`]. Partial answers
+/// quantify over the partial repair set: certain is an upper bound,
+/// possible a lower bound.
+///
+/// # Errors
+/// On query parse errors or bad semantics.
+pub fn cqa_bounded_with_jobs(
+    ws: &Workspace,
+    query: &str,
+    semantics: &str,
+    jobs: usize,
+    budget: &Budget,
+) -> Result<BoundedRun, CommandError> {
+    let sem = semantics_from(semantics)?;
+    let q = parse_query(&ws.instance, query).map_err(|e| fail(e.to_string()))?;
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let session = CheckSession::new(&ws.schema, &pi).with_jobs(jobs);
+    let outcome = answers_session_bounded(&session, &q, sem, budget);
+    let status = status_of(&outcome);
+    let mut out = String::new();
+    let partial = !matches!(status, RunStatus::Done);
+    match outcome.into_partial() {
+        Some(res) => {
+            let qualifier = if partial { " (partial)" } else { "" };
+            let _ = writeln!(
+                out,
+                "{} {semantics} repair(s) quantified over{qualifier}",
+                res.repair_count
+            );
+            let fmt = |s: &std::collections::BTreeSet<rpr_data::Tuple>| {
+                let items: Vec<String> = s.iter().map(|t| t.to_string()).collect();
+                items.join(", ")
+            };
+            let _ = writeln!(out, "certain : {}", fmt(&res.certain));
+            let _ = writeln!(out, "possible: {}", fmt(&res.possible));
+            if partial {
+                let _ =
+                    writeln!(out, "(partial: certain is an upper bound, possible a lower bound)");
+            }
+        }
+        None => {
+            let _ = writeln!(out, "no certified partial answers before the stop");
+        }
+    }
+    Ok(BoundedRun { report: out, status })
 }
 
 /// `rpr repairs FILE [--semantics S] [--budget N]` — enumerate the

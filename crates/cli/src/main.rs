@@ -9,12 +9,15 @@
 //! ```
 //!
 //! `FILE` is a `.rpr` workspace (see `rpr_cli::format`). Exit codes:
-//! 0 success, 1 usage error, 2 parse/command error.
+//! 0 success, 1 usage error, 2 parse/command error, 4 budget exceeded
+//! with a partial result (`--on-exceed partial`), 5 cancelled.
 
-use rpr_cli::commands;
+use rpr_cli::commands::{self, BoundedRun, RunStatus};
 use rpr_cli::format::parse_workspace;
 use rpr_cli::store;
+use rpr_core::Budget;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: rpr <command> <file.rpr> [args]
@@ -36,16 +39,25 @@ commands:
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
 
 options:
-  --jobs N   worker threads for check/repairs/cqa parallel fan-out
-             (default: available parallelism; 1 = sequential)
+  --jobs N            worker threads for check/repairs/cqa parallel fan-out
+                      (default: available parallelism; 1 = sequential)
+  --timeout-ms MS     wall-clock deadline for check/repairs/cqa
+  --max-work N        work-unit allowance for check/repairs/cqa
+  --cancel-after-ms MS  fire the cooperative cancel token after MS
+  --on-exceed MODE    fail (default): a tripped budget is an error (exit 2)
+                      partial: report the partial result, exit 4
+                      (cancellation always reports partial and exits 5)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(report) => {
+        Ok(CliResult { report, exit, note }) => {
             print!("{report}");
-            ExitCode::SUCCESS
+            if let Some(note) = note {
+                eprintln!("{note}");
+            }
+            ExitCode::from(exit)
         }
         Err(UsageOr::Usage(msg)) => {
             eprintln!("{msg}\n{USAGE}");
@@ -58,16 +70,64 @@ fn main() -> ExitCode {
     }
 }
 
+/// What the process prints and how it exits.
+struct CliResult {
+    report: String,
+    exit: u8,
+    /// An extra stderr line (the budget-report JSON on degraded runs).
+    note: Option<String>,
+}
+
+impl CliResult {
+    fn ok(report: String) -> Self {
+        CliResult { report, exit: 0, note: None }
+    }
+}
+
 enum UsageOr {
     Usage(String),
     Command(String),
+}
+
+enum OnExceed {
+    Fail,
+    Partial,
 }
 
 fn opt_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn run(args: &[String]) -> Result<String, UsageOr> {
+fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, UsageOr> {
+    match opt_value(args, flag) {
+        Some(v) => {
+            v.parse().map(Some).map_err(|_| UsageOr::Command(format!("bad {flag} value `{v}`")))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Folds a bounded command run into output + exit code under the
+/// `--on-exceed` policy.
+fn resolve_bounded(run: BoundedRun, on_exceed: &OnExceed) -> Result<CliResult, UsageOr> {
+    match run.status {
+        RunStatus::Done => Ok(CliResult::ok(run.report)),
+        RunStatus::Exceeded(report) => match on_exceed {
+            OnExceed::Fail => Err(UsageOr::Command(format!(
+                "budget exceeded ({report}) — raise --timeout-ms/--max-work or pass --on-exceed partial"
+            ))),
+            OnExceed::Partial => {
+                Ok(CliResult { report: run.report, exit: 4, note: Some(report.to_json()) })
+            }
+        },
+        RunStatus::Cancelled => {
+            Ok(CliResult { report: run.report, exit: 5, note: Some("cancelled".to_owned()) })
+        }
+        RunStatus::Panicked(report) => Err(UsageOr::Command(report.to_string())),
+    }
+}
+
+fn run(args: &[String]) -> Result<CliResult, UsageOr> {
     let command = args.first().ok_or_else(|| UsageOr::Usage("missing command".into()))?;
     let path = args.get(1).ok_or_else(|| UsageOr::Usage("missing workspace file".into()))?;
     let raw =
@@ -96,21 +156,72 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
         None => 1 << 22,
     };
 
+    // Engine execution control: any of these flags routes check/
+    // repairs/cqa through the bounded entry points.
+    let timeout_ms: Option<u64> = opt_parse(args, "--timeout-ms")?;
+    let max_work: Option<u64> = opt_parse(args, "--max-work")?;
+    let cancel_after_ms: Option<u64> = opt_parse(args, "--cancel-after-ms")?;
+    let on_exceed = match opt_value(args, "--on-exceed").as_deref() {
+        None | Some("fail") => OnExceed::Fail,
+        Some("partial") => OnExceed::Partial,
+        Some(other) => {
+            return Err(UsageOr::Command(format!(
+                "bad --on-exceed value `{other}` (use fail|partial)"
+            )))
+        }
+    };
+    let engine = if timeout_ms.is_some() || max_work.is_some() || cancel_after_ms.is_some() {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = timeout_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(w) = max_work {
+            b = b.with_max_work(w);
+        }
+        if let Some(ms) = cancel_after_ms {
+            let token = b.cancel_token();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                token.cancel();
+            });
+        }
+        Some(b)
+    } else {
+        None
+    };
+
     match command.as_str() {
         "classify" => {
             if args.iter().any(|a| a == "--explain") {
-                Ok(commands::classify_explain(&ws))
+                Ok(CliResult::ok(commands::classify_explain(&ws)))
             } else {
-                Ok(commands::classify(&ws))
+                Ok(CliResult::ok(commands::classify(&ws)))
             }
         }
         "check" => {
             let name = args.get(2).filter(|a| !a.starts_with("--")).map(|s| s.as_str());
-            commands::check_with_jobs(&ws, name, jobs).map_err(|e| UsageOr::Command(e.to_string()))
+            match &engine {
+                Some(b) => {
+                    let run = commands::check_bounded_with_jobs(&ws, name, jobs, b)
+                        .map_err(|e| UsageOr::Command(e.to_string()))?;
+                    resolve_bounded(run, &on_exceed)
+                }
+                None => commands::check_with_jobs(&ws, name, jobs)
+                    .map(CliResult::ok)
+                    .map_err(|e| UsageOr::Command(e.to_string())),
+            }
         }
-        "repairs" => commands::repairs_with_jobs(&ws, &semantics, budget, jobs)
-            .map_err(|e| UsageOr::Command(e.to_string())),
-        "construct" => Ok(commands::construct(&ws)),
+        "repairs" => match &engine {
+            Some(b) => {
+                let run = commands::repairs_bounded_with_jobs(&ws, &semantics, jobs, b)
+                    .map_err(|e| UsageOr::Command(e.to_string()))?;
+                resolve_bounded(run, &on_exceed)
+            }
+            None => commands::repairs_with_jobs(&ws, &semantics, budget, jobs)
+                .map(CliResult::ok)
+                .map_err(|e| UsageOr::Command(e.to_string())),
+        },
+        "construct" => Ok(CliResult::ok(commands::construct(&ws))),
         "discover" => {
             let max_lhs: usize = match opt_value(args, "--max-lhs") {
                 Some(m) => {
@@ -118,13 +229,15 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
                 }
                 None => 3,
             };
-            Ok(commands::discover(&ws, max_lhs))
+            Ok(CliResult::ok(commands::discover(&ws, max_lhs)))
         }
-        "lint" => Ok(commands::lint(&ws)),
+        "lint" => Ok(CliResult::ok(commands::lint(&ws))),
         "derive" => {
             let fd_text =
                 args.get(2).ok_or_else(|| UsageOr::Usage("derive needs an FD argument".into()))?;
-            commands::derive(&ws, fd_text).map_err(|e| UsageOr::Command(e.to_string()))
+            commands::derive(&ws, fd_text)
+                .map(CliResult::ok)
+                .map_err(|e| UsageOr::Command(e.to_string()))
         }
         "export" => {
             let out =
@@ -134,22 +247,30 @@ fn run(args: &[String]) -> Result<String, UsageOr> {
                 let bytes = store::encode(&ws);
                 std::fs::write(out, &bytes)
                     .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
-                Ok(format!("wrote {out} ({} bytes, binary)\n", bytes.len()))
+                Ok(CliResult::ok(format!("wrote {out} ({} bytes, binary)\n", bytes.len())))
             } else {
                 let text = rpr_cli::format::render_workspace(&ws);
                 std::fs::write(out, &text)
                     .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
-                Ok(format!("wrote {out} ({} bytes, text)\n", text.len()))
+                Ok(CliResult::ok(format!("wrote {out} ({} bytes, text)\n", text.len())))
             }
         }
-        "stats" => Ok(commands::stats(&ws)),
+        "stats" => Ok(CliResult::ok(commands::stats(&ws))),
         "cqa" => {
             let query = args
                 .get(2)
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| UsageOr::Usage("cqa needs a query argument".into()))?;
-            commands::cqa_with_jobs(&ws, query, &semantics, budget, jobs)
-                .map_err(|e| UsageOr::Command(e.to_string()))
+            match &engine {
+                Some(b) => {
+                    let run = commands::cqa_bounded_with_jobs(&ws, query, &semantics, jobs, b)
+                        .map_err(|e| UsageOr::Command(e.to_string()))?;
+                    resolve_bounded(run, &on_exceed)
+                }
+                None => commands::cqa_with_jobs(&ws, query, &semantics, budget, jobs)
+                    .map(CliResult::ok)
+                    .map_err(|e| UsageOr::Command(e.to_string())),
+            }
         }
         other => Err(UsageOr::Usage(format!("unknown command `{other}`"))),
     }

@@ -104,6 +104,99 @@ fn budget_flag_is_parsed_and_enforced() {
 }
 
 #[test]
+fn engine_budget_flags_and_exit_codes() {
+    // fail mode (default): a tripped budget is a command error (exit 2),
+    // same contract as the legacy --budget flag.
+    let out = rpr(&["repairs", &workload("hard_blowup.rpr"), "--max-work", "10000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("budget exceeded"));
+
+    // partial mode: exit 4, the partial repair list on stdout, and a
+    // machine-readable budget-report JSON line on stderr.
+    let out = rpr(&[
+        "repairs",
+        &workload("hard_blowup.rpr"),
+        "--max-work",
+        "10000",
+        "--on-exceed",
+        "partial",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("(partial)"));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("\"reason\":\"work-exhausted\""), "{stderr}");
+    assert!(stderr.contains("\"max_work\":10000"), "{stderr}");
+
+    // A wall-clock deadline trips the same way.
+    let out = rpr(&[
+        "repairs",
+        &workload("hard_blowup.rpr"),
+        "--timeout-ms",
+        "30",
+        "--on-exceed",
+        "partial",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("deadline-expired"));
+
+    // Confirming a true repair on the hard side (no witness to find)
+    // trips the deadline the same way under check.
+    let out = rpr(&[
+        "check",
+        &workload("hard_blowup.rpr"),
+        "J",
+        "--timeout-ms",
+        "30",
+        "--on-exceed",
+        "partial",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("undecided"));
+
+    // Cooperative cancellation always reports the partial and exits 5.
+    let out = rpr(&["repairs", &workload("hard_blowup.rpr"), "--cancel-after-ms", "20"]);
+    assert_eq!(out.status.code(), Some(5));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("cancelled"));
+
+    // Bad flag values are command errors.
+    let out = rpr(&["repairs", &workload("hard_blowup.rpr"), "--max-work", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = rpr(&["repairs", &workload("hard_blowup.rpr"), "--on-exceed", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bounded_runs_that_finish_exit_zero() {
+    // Generous budgets leave the answers (and exit codes) unchanged.
+    let out = rpr(&[
+        "repairs",
+        &workload("running_example.rpr"),
+        "--semantics",
+        "global",
+        "--max-work",
+        "1000000",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().starts_with("3 global repair(s)"));
+
+    let out = rpr(&["check", &workload("running_example.rpr"), "J2", "--timeout-ms", "60000"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("globally-optimal repair"));
+
+    let out = rpr(&[
+        "cqa",
+        &workload("running_example.rpr"),
+        "q(?loc) <- BookLoc(b1, ?g, ?l), LibLoc(?l, ?loc)",
+        "--semantics",
+        "global",
+        "--max-work",
+        "1000000",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("certain"));
+}
+
+#[test]
 fn stats_and_text_export_roundtrip() {
     let out = rpr(&["stats", &workload("running_example.rpr")]);
     assert!(out.status.success());

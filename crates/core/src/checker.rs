@@ -19,6 +19,7 @@ use rpr_classify::{
     classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
 };
 use rpr_data::FactSet;
+use rpr_engine::{Budget, Outcome};
 use rpr_fd::Schema;
 use rpr_priority::PrioritizedInstance;
 
@@ -96,6 +97,23 @@ impl GRepairChecker {
         self.session(pi).with_jobs(1).check(j)
     }
 
+    /// [`check`](GRepairChecker::check) under a caller-supplied
+    /// [`Budget`]: honours its deadline, work allowance, and
+    /// cancellation token, and degrades to a typed [`Outcome`] instead
+    /// of failing. PTIME schemas complete under any reasonable budget;
+    /// hard schemas surface `Exceeded` with a machine-readable report.
+    ///
+    /// # Panics
+    /// Panics if `pi` was validated in ccp mode (use [`CcpChecker`]).
+    pub fn check_bounded(
+        &self,
+        pi: &PrioritizedInstance,
+        j: &FactSet,
+        budget: &Budget,
+    ) -> Outcome<CheckOutcome> {
+        self.session(pi).with_jobs(1).check_bounded(j, budget)
+    }
+
     /// Builds an amortized [`CheckSession`] over `pi`, reusing this
     /// checker's classification and budget.
     ///
@@ -171,6 +189,17 @@ impl CcpChecker {
         j: &FactSet,
     ) -> Result<CheckOutcome, BudgetExceeded> {
         self.session(pi).with_jobs(1).check(j)
+    }
+
+    /// [`check`](CcpChecker::check) under a caller-supplied [`Budget`];
+    /// see [`GRepairChecker::check_bounded`].
+    pub fn check_bounded(
+        &self,
+        pi: &PrioritizedInstance,
+        j: &FactSet,
+        budget: &Budget,
+    ) -> Outcome<CheckOutcome> {
+        self.session(pi).with_jobs(1).check_bounded(j, budget)
     }
 
     /// Builds an amortized [`CheckSession`] over `pi`, reusing this

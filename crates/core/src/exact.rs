@@ -5,20 +5,25 @@
 //! unless P = NP, so the dispatching checker falls back to exhaustive
 //! search over repairs with early termination. Compared to the plain
 //! oracle in [`crate::brute`], this search prunes with the one cheap
-//! sound test available — the Pareto pre-check — and carries an
-//! explicit step budget so callers can bound worst-case behaviour.
-//! The benchmark `dichotomy_gap` measures exactly this fall-back
-//! against the polynomial algorithms.
+//! sound test available — the Pareto pre-check — and runs under an
+//! [`rpr_engine::Budget`], so callers can bound it by work units, by a
+//! wall-clock deadline, or cancel it cooperatively. The benchmark
+//! `dichotomy_gap` measures exactly this fall-back against the
+//! polynomial algorithms.
 
 use crate::improvement::{is_global_improvement, BudgetExceeded, CheckOutcome, Improvement};
 use crate::pareto::find_pareto_improvement;
 use rpr_data::FactSet;
+use rpr_engine::{Budget, Outcome, Stop};
 use rpr_fd::ConflictGraph;
 use rpr_priority::PriorityRelation;
 
 /// Exhaustively searches for a global improvement of `j` among the
 /// repairs contained in `domain` (pass the full set for whole-instance
 /// checking).
+///
+/// Legacy step-budget interface; [`check_global_exact_bounded`] is the
+/// same search under a full [`Budget`] (deadline + cancellation).
 ///
 /// # Errors
 /// [`BudgetExceeded`] if the enumeration exceeds `budget` steps.
@@ -29,6 +34,38 @@ pub fn check_global_exact(
     j: &FactSet,
     budget: usize,
 ) -> Result<CheckOutcome, BudgetExceeded> {
+    let b = Budget::unlimited().with_max_work(budget as u64);
+    check_global_exact_stop(cg, priority, domain, j, &b).map_err(|stop| match stop {
+        Stop::Exceeded(_) => BudgetExceeded { budget },
+        Stop::Cancelled => unreachable!("a private work-only budget is never cancelled"),
+    })
+}
+
+/// [`check_global_exact`] under a caller-supplied [`Budget`]: the
+/// search charges one work unit per recursion node and honours the
+/// budget's deadline and cancellation token.
+pub fn check_global_exact_bounded(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    domain: &FactSet,
+    j: &FactSet,
+    budget: &Budget,
+) -> Outcome<CheckOutcome> {
+    match check_global_exact_stop(cg, priority, domain, j, budget) {
+        Ok(o) => Outcome::Done(o),
+        Err(stop) => Outcome::from_stop(stop, None),
+    }
+}
+
+/// The search proper, with [`Stop`] as the control-flow error so the
+/// session dispatch can propagate it with `?`.
+pub(crate) fn check_global_exact_stop(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    domain: &FactSet,
+    j: &FactSet,
+    budget: &Budget,
+) -> Result<CheckOutcome, Stop> {
     // Repair pre-checks.
     for f in j.iter() {
         if let Some(g) = cg.conflicts_in(f, j).first() {
@@ -46,55 +83,53 @@ pub fn check_global_exact(
     // facts; each leaf is tested as a global improvement.
     let facts: Vec<_> = domain.iter().collect();
     let mut current = FactSet::empty(j.universe());
-    let mut steps = 0usize;
-    let mut found: Option<Improvement> = None;
 
-    #[allow(clippy::too_many_arguments)] // internal recursion carries the whole search state
-    fn recurse(
-        cg: &ConflictGraph,
-        priority: &PriorityRelation,
-        j: &FactSet,
-        facts: &[rpr_data::FactId],
-        idx: usize,
-        current: &mut FactSet,
-        steps: &mut usize,
-        budget: usize,
-        found: &mut Option<Improvement>,
-    ) -> Result<(), BudgetExceeded> {
-        if found.is_some() {
-            return Ok(());
-        }
-        *steps += 1;
-        if *steps > budget {
-            return Err(BudgetExceeded { budget });
-        }
-        if idx == facts.len() {
-            // Maximality within the domain.
-            let maximal =
-                facts.iter().all(|&f| current.contains(f) || cg.conflicts_with_set(f, current));
-            if maximal && is_global_improvement(priority, j, current) {
-                *found = Some(Improvement {
-                    removed: j.difference(current),
-                    added: current.difference(j),
-                });
-            }
-            return Ok(());
-        }
-        let f = facts[idx];
-        if cg.conflicts_with_set(f, current) {
-            return recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found);
-        }
-        current.insert(f);
-        recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found)?;
-        current.remove(f);
-        if !cg.conflicts_of(f).is_empty() {
-            recurse(cg, priority, j, facts, idx + 1, current, steps, budget, found)?;
-        }
-        Ok(())
+    struct Search<'a> {
+        cg: &'a ConflictGraph,
+        priority: &'a PriorityRelation,
+        j: &'a FactSet,
+        facts: &'a [rpr_data::FactId],
+        budget: &'a Budget,
+        found: Option<Improvement>,
     }
 
-    recurse(cg, priority, j, &facts, 0, &mut current, &mut steps, budget, &mut found)?;
-    Ok(match found {
+    impl Search<'_> {
+        fn recurse(&mut self, idx: usize, current: &mut FactSet) -> Result<(), Stop> {
+            if self.found.is_some() {
+                return Ok(());
+            }
+            self.budget.step()?;
+            if idx == self.facts.len() {
+                // Maximality within the domain.
+                let maximal = self
+                    .facts
+                    .iter()
+                    .all(|&f| current.contains(f) || self.cg.conflicts_with_set(f, current));
+                if maximal && is_global_improvement(self.priority, self.j, current) {
+                    self.found = Some(Improvement {
+                        removed: self.j.difference(current),
+                        added: current.difference(self.j),
+                    });
+                }
+                return Ok(());
+            }
+            let f = self.facts[idx];
+            if self.cg.conflicts_with_set(f, current) {
+                return self.recurse(idx + 1, current);
+            }
+            current.insert(f);
+            self.recurse(idx + 1, current)?;
+            current.remove(f);
+            if !self.cg.conflicts_of(f).is_empty() {
+                self.recurse(idx + 1, current)?;
+            }
+            Ok(())
+        }
+    }
+
+    let mut search = Search { cg, priority, j, facts: &facts, budget, found: None };
+    search.recurse(0, &mut current)?;
+    Ok(match search.found {
         Some(imp) => {
             debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
             CheckOutcome::Improvable(imp)
@@ -109,6 +144,7 @@ mod tests {
     use crate::brute::{enumerate_repairs, is_globally_optimal_brute};
     use rpr_data::{FactId, Instance, Signature, Value};
     use rpr_fd::Schema;
+    use std::time::Duration;
 
     fn v(s: &str) -> Value {
         Value::sym(s)
@@ -153,6 +189,42 @@ mod tests {
         // With an empty priority every repair is optimal, so the search
         // must run to exhaustion — and trip a tiny budget.
         assert!(check_global_exact(&cg, &p, &i.full_set(), &j, 2).is_err());
+    }
+
+    #[test]
+    fn bounded_variant_agrees_and_degrades() {
+        let (cg, i) = s4_instance();
+        let p = PriorityRelation::empty(i.len());
+        let j = enumerate_repairs(&cg, 1 << 22).unwrap()[0].clone();
+        let domain = i.full_set();
+        // Unlimited budget: identical verdict to the legacy interface.
+        let full = check_global_exact_bounded(&cg, &p, &domain, &j, &Budget::unlimited())
+            .expect_done("unlimited budget");
+        assert_eq!(Ok(full), check_global_exact(&cg, &p, &domain, &j, 1 << 22));
+        // Tiny work allowance: Exceeded with a work-exhausted report.
+        let tight = Budget::unlimited().with_max_work(2);
+        match check_global_exact_bounded(&cg, &p, &domain, &j, &tight) {
+            Outcome::Exceeded { report, .. } => {
+                assert_eq!(report.max_work, Some(2));
+            }
+            other => panic!("expected Exceeded, got {other:?}"),
+        }
+        // Pre-cancelled token: the search stops before exploring.
+        let cancelled = Budget::unlimited();
+        cancelled.cancel_token().cancel();
+        assert!(matches!(
+            check_global_exact_bounded(&cg, &p, &domain, &j, &cancelled),
+            Outcome::Cancelled { .. }
+        ));
+        // Expired deadline behaves like Exceeded(DeadlineExpired).
+        let expired = Budget::unlimited().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        match check_global_exact_bounded(&cg, &p, &domain, &j, &expired) {
+            Outcome::Exceeded { report, .. } => {
+                assert_eq!(report.reason, rpr_engine::ExceedReason::DeadlineExpired);
+            }
+            other => panic!("expected Exceeded(DeadlineExpired), got {other:?}"),
+        }
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub fn is_pareto_improvement(priority: &PriorityRelation, j: &FactSet, j2: &Fact
 }
 
 /// The outcome of a globally-optimal repair check.
+///
+/// `#[must_use]`: dropping a check verdict silently is almost always a
+/// bug — an `Improvable`/`Inconsistent` answer carries the witness the
+/// caller asked the checker to produce.
+#[must_use = "a check verdict carries the optimality answer and its witness — inspect it"]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CheckOutcome {
     /// `J` is a globally-optimal repair of `I`.

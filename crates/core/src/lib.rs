@@ -43,18 +43,24 @@ pub mod pareto;
 pub mod session;
 
 pub use brute::{
-    count_globally_optimal_repairs, count_globally_optimal_repairs_session, enumerate_repairs,
-    enumerate_repairs_session, find_global_improvement_brute, for_each_repair,
-    for_each_repair_session, globally_optimal_repairs, globally_optimal_repairs_session,
-    is_globally_optimal_brute,
+    count_globally_optimal_repairs, count_globally_optimal_repairs_bounded,
+    count_globally_optimal_repairs_session, count_globally_optimal_repairs_session_bounded,
+    enumerate_repairs, enumerate_repairs_bounded, enumerate_repairs_session,
+    find_global_improvement_brute, find_global_improvement_brute_bounded, for_each_repair,
+    for_each_repair_bounded, for_each_repair_session, globally_optimal_repairs,
+    globally_optimal_repairs_bounded, globally_optimal_repairs_session,
+    globally_optimal_repairs_session_bounded, is_globally_optimal_brute,
+    is_globally_optimal_brute_bounded,
 };
 pub use checker::{CcpChecker, GRepairChecker, Method, DEFAULT_EXACT_BUDGET};
+// The execution-control vocabulary of the bounded entry points, so
+// downstream crates need not depend on rpr-engine directly.
 pub use completion::{
     completion_optimal_repairs_brute, greedy_repair, greedy_repair_in_order, is_completion_optimal,
     is_completion_optimal_brute,
 };
 pub use construct::construct_globally_optimal_repair;
-pub use exact::check_global_exact;
+pub use exact::{check_global_exact, check_global_exact_bounded};
 pub use global_1fd::check_global_1fd;
 pub use global_2keys::check_global_2keys;
 pub use global_ccp_const::{
@@ -65,4 +71,5 @@ pub use improvement::{
     is_global_improvement, is_pareto_improvement, BudgetExceeded, CheckOutcome, Improvement,
 };
 pub use pareto::{find_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute};
+pub use rpr_engine::{Budget, BudgetReport, CancelToken, ExceedReason, Outcome, PanicReport, Stop};
 pub use session::{default_jobs, CheckSession};

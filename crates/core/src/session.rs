@@ -27,6 +27,18 @@
 //! per-relation dispatch, and across candidates in
 //! [`check_batch`](CheckSession::check_batch).
 //!
+//! **Bounded checking.** [`check_bounded`](CheckSession::check_bounded)
+//! and [`check_batch_bounded`](CheckSession::check_batch_bounded) run
+//! the same dispatch under an [`rpr_engine::Budget`]: work units are
+//! charged per candidate, per relation, and per exact-search node; the
+//! deadline and [`CancelToken`](rpr_engine::CancelToken) are observed
+//! between candidates and inside the exponential fall-back; and each
+//! batch candidate is panic-isolated with [`std::panic::catch_unwind`],
+//! so one poisoned candidate yields
+//! [`Outcome::Panicked`] for *that entry only* while its siblings'
+//! verdicts survive. A cancelled batch stops charging work at the next
+//! per-candidate checkpoint.
+//!
 //! **Bit-identity.** Every session result — outcome *and* witness — is
 //! identical to what the corresponding one-shot checker returns, at
 //! every `jobs` setting. This falls out of three invariants: CSR
@@ -35,9 +47,11 @@
 //! to the *minimal* inconsistent fact, which is exactly the sequential
 //! first hit; and the parallel per-relation fan-out scans its results
 //! in `per_relation()` order, reproducing the sequential early exit.
+//! The bounded paths share the implementation, so surviving candidates
+//! of a degraded batch are bit-identical to an unbounded run too.
 
 use crate::checker::DEFAULT_EXACT_BUDGET;
-use crate::exact::check_global_exact;
+use crate::exact::check_global_exact_stop;
 use crate::global_1fd::{check_global_1fd_with_blocks, FdBlocks};
 use crate::global_2keys::check_global_2keys;
 use crate::global_ccp_const::check_global_ccp_const;
@@ -47,13 +61,53 @@ use rpr_classify::{
     classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
 };
 use rpr_data::{FactId, FactSet, Instance};
+use rpr_engine::{Budget, Outcome, PanicReport, Stop};
 use rpr_fd::{ConflictGraph, CsrConflictGraph, Schema};
 use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Below this universe size a parallel consistency pre-pass costs more
 /// in thread startup than it saves.
 const PARALLEL_PREPASS_MIN_FACTS: usize = 4096;
+
+/// A fan-out task result: the task's value, or the panic payload the
+/// task unwound with. Captured per task so one panicking unit of work
+/// never poisons the scope join of its siblings.
+type TaskResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Runs `task` with panics captured as values.
+fn run_isolated<T>(task: impl FnOnce() -> T) -> TaskResult<T> {
+    catch_unwind(AssertUnwindSafe(task))
+}
+
+/// Unwraps fan-out results for the legacy (unbounded) entry points:
+/// every sibling has already finished, so resuming the first captured
+/// panic preserves the historical `check`/`check_batch` behaviour
+/// without ever aborting a scope join.
+fn rethrow<T>(results: Vec<TaskResult<T>>) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(t) => t,
+            Err(payload) => resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// How the exponential fall-back is bounded on this code path.
+#[derive(Clone, Copy)]
+enum ExactCtl<'b> {
+    /// Legacy semantics: each hard relation's exact search gets a fresh
+    /// private allowance of this many steps (what the step-budget API
+    /// always did).
+    Legacy(usize),
+    /// One shared engine budget meters the whole computation: work,
+    /// deadline, and cancellation are global across relations, batch
+    /// candidates, and workers.
+    Engine(&'b Budget),
+}
 
 /// The cached dispatch plan: which dichotomy the session runs under.
 enum Plan {
@@ -231,17 +285,92 @@ impl<'a> CheckSession<'a> {
     pub fn check_batch(&self, js: &[FactSet]) -> Vec<Result<CheckOutcome, BudgetExceeded>> {
         // Inner checks stay sequential: the candidates themselves are
         // the parallel unit.
-        self.fan_out(js.len(), |i| self.check_with_jobs(&js[i], 1))
+        rethrow(self.fan_out(js.len(), |i| self.check_with_jobs(&js[i], 1)))
+    }
+
+    /// [`check`](CheckSession::check) under a caller-supplied
+    /// [`Budget`]: the whole dispatch — consistency pre-pass,
+    /// per-relation algorithms, and the exponential fall-back — charges
+    /// work against `budget` and observes its deadline and cancellation
+    /// token. A panic anywhere inside the check is captured as
+    /// [`Outcome::Panicked`] instead of unwinding the caller.
+    pub fn check_bounded(&self, j: &FactSet, budget: &Budget) -> Outcome<CheckOutcome> {
+        match run_isolated(|| self.check_stop(j, self.jobs, budget)) {
+            Ok(Ok(outcome)) => Outcome::Done(outcome),
+            Ok(Err(stop)) => Outcome::from_stop(stop, None),
+            Err(payload) => Outcome::Panicked {
+                partial: None,
+                report: PanicReport::from_payload("bounded check", payload),
+            },
+        }
+    }
+
+    /// [`check_batch`](CheckSession::check_batch) under a shared
+    /// [`Budget`]: one allowance meters the whole batch (workers charge
+    /// into the same counter), the deadline/cancel token is
+    /// checkpointed before every candidate, and each candidate runs
+    /// panic-isolated — a poisoned candidate yields
+    /// [`Outcome::Panicked`] for its slot only, siblings keep their
+    /// verdicts. Results are in input order; candidates that complete
+    /// are bit-identical to [`check`](CheckSession::check).
+    pub fn check_batch_bounded(
+        &self,
+        js: &[FactSet],
+        budget: &Budget,
+    ) -> Vec<Outcome<CheckOutcome>> {
+        let results = self.fan_out(js.len(), |i| {
+            // Observe cancellation/deadline between candidates even if
+            // the candidate itself would charge no work.
+            budget.checkpoint()?;
+            #[cfg(feature = "faults")]
+            budget.fault_panic_point(i);
+            self.check_stop(&js[i], 1, budget)
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(Ok(outcome)) => Outcome::Done(outcome),
+                Ok(Err(stop)) => Outcome::from_stop(stop, None),
+                Err(payload) => Outcome::Panicked {
+                    partial: None,
+                    report: PanicReport::from_payload(format!("batch candidate {i}"), payload),
+                },
+            })
+            .collect()
     }
 
     fn check_with_jobs(&self, j: &FactSet, jobs: usize) -> Result<CheckOutcome, BudgetExceeded> {
+        self.check_dispatch(j, jobs, ExactCtl::Legacy(self.exact_budget)).map_err(|stop| match stop
+        {
+            Stop::Exceeded(_) => BudgetExceeded { budget: self.exact_budget },
+            Stop::Cancelled => unreachable!("legacy checks carry no cancellation token"),
+        })
+    }
+
+    /// Engine-budgeted check: one work unit per candidate plus the
+    /// per-relation and exact-search charges below.
+    fn check_stop(&self, j: &FactSet, jobs: usize, budget: &Budget) -> Result<CheckOutcome, Stop> {
+        budget.step()?;
+        self.check_dispatch(j, jobs, ExactCtl::Engine(budget))
+    }
+
+    /// The single dispatch implementation behind both the legacy and
+    /// the bounded entry points; `exact` decides how the exponential
+    /// fall-back is metered.
+    fn check_dispatch(
+        &self,
+        j: &FactSet,
+        jobs: usize,
+        exact: ExactCtl<'_>,
+    ) -> Result<CheckOutcome, Stop> {
         // Global consistency first (gives the cheapest witnesses).
         if let Some((f, g)) = self.consistency_witness(j, jobs) {
             return Ok(CheckOutcome::Inconsistent(f, g));
         }
         match &self.plan {
-            Plan::Classical(class) => self.check_classical(class, j, jobs),
-            Plan::Ccp(class) => self.check_ccp(class, j),
+            Plan::Classical(class) => self.check_classical(class, j, jobs, exact),
+            Plan::Ccp(class) => self.check_ccp(class, j, exact),
         }
     }
 
@@ -258,12 +387,12 @@ impl<'a> CheckSession<'a> {
         // Conflicts never leave a component, so each component can be
         // scanned independently; the global witness is the one with the
         // minimal inconsistent fact.
-        let per_component = self.fan_out_n(jobs, self.nontrivial_components.len(), |c| {
+        let per_component = rethrow(self.fan_out_n(jobs, self.nontrivial_components.len(), |c| {
             self.nontrivial_components[c]
                 .iter()
                 .filter(|f| j.contains(**f))
                 .find_map(|&f| self.csr.first_conflict_in(f, j).map(|g| (f, g)))
-        });
+        }));
         per_component.into_iter().flatten().min_by_key(|&(f, _)| f)
     }
 
@@ -272,14 +401,17 @@ impl<'a> CheckSession<'a> {
         class: &SchemaClass,
         j: &FactSet,
         jobs: usize,
-    ) -> Result<CheckOutcome, BudgetExceeded> {
+        exact: ExactCtl<'_>,
+    ) -> Result<CheckOutcome, Stop> {
         let rels = class.per_relation();
         if jobs > 1 && rels.len() > 1 {
             // Evaluate all relations concurrently, then scan in
             // `per_relation()` order: the first error or non-optimal
             // outcome is exactly what the sequential early exit
             // returns.
-            let outcomes = self.fan_out_n(jobs, rels.len(), |i| self.check_relation(&rels[i], j));
+            let outcomes = rethrow(
+                self.fan_out_n(jobs, rels.len(), |i| self.check_relation(&rels[i], j, exact)),
+            );
             for outcome in outcomes {
                 match outcome? {
                     o if !o.is_optimal() => return Ok(o),
@@ -288,7 +420,7 @@ impl<'a> CheckSession<'a> {
             }
         } else {
             for rc in rels {
-                let outcome = self.check_relation(rc, j)?;
+                let outcome = self.check_relation(rc, j, exact)?;
                 if !outcome.is_optimal() {
                     return Ok(outcome);
                 }
@@ -301,11 +433,17 @@ impl<'a> CheckSession<'a> {
         &self,
         (rel, class): &(rpr_data::RelId, RelationClass),
         j: &FactSet,
-    ) -> Result<CheckOutcome, BudgetExceeded> {
+        exact: ExactCtl<'_>,
+    ) -> Result<CheckOutcome, Stop> {
         let instance = self.pi.instance();
         let priority = self.pi.priority();
         let domain = &self.rel_domains[rel.index()];
         let j_rel = j.intersect(domain);
+        if let ExactCtl::Engine(budget) = exact {
+            // One unit per dispatched relation, so polynomial relations
+            // still make the work counter reflect progress.
+            budget.step()?;
+        }
         Ok(match class {
             RelationClass::SingleFd(_) => {
                 let blocks = self.rel_blocks[rel.index()]
@@ -316,29 +454,55 @@ impl<'a> CheckSession<'a> {
             RelationClass::TwoKeys(a1, a2) => {
                 check_global_2keys(instance, &self.cg, priority, *a1, *a2, domain, &j_rel)
             }
-            RelationClass::Hard(_) => {
-                check_global_exact(&self.cg, priority, domain, &j_rel, self.exact_budget)?
-            }
+            RelationClass::Hard(_) => self.check_exact(priority, domain, &j_rel, exact)?,
         })
     }
 
-    fn check_ccp(&self, class: &CcpClass, j: &FactSet) -> Result<CheckOutcome, BudgetExceeded> {
+    fn check_ccp(
+        &self,
+        class: &CcpClass,
+        j: &FactSet,
+        exact: ExactCtl<'_>,
+    ) -> Result<CheckOutcome, Stop> {
         let instance = self.pi.instance();
         let priority = self.pi.priority();
+        if let ExactCtl::Engine(budget) = exact {
+            budget.step()?;
+        }
         Ok(match class {
             CcpClass::PrimaryKeyAssignment(_) => check_global_ccp_pk(&self.cg, priority, j),
             CcpClass::ConstantAttributeAssignment(consts) => {
                 check_global_ccp_const(instance, &self.cg, priority, consts, j)
             }
-            CcpClass::Hard { .. } => {
-                check_global_exact(&self.cg, priority, &instance.full_set(), j, self.exact_budget)?
-            }
+            CcpClass::Hard { .. } => self.check_exact(priority, &instance.full_set(), j, exact)?,
         })
     }
 
+    /// The exponential fall-back, metered per `exact`. Legacy mode
+    /// arms a fresh private allowance per call — each hard relation
+    /// historically got its own `exact_budget` — while engine mode
+    /// charges the one shared budget.
+    fn check_exact(
+        &self,
+        priority: &PriorityRelation,
+        domain: &FactSet,
+        j_rel: &FactSet,
+        exact: ExactCtl<'_>,
+    ) -> Result<CheckOutcome, Stop> {
+        match exact {
+            ExactCtl::Legacy(steps) => {
+                let b = Budget::unlimited().with_max_work(steps as u64);
+                check_global_exact_stop(&self.cg, priority, domain, j_rel, &b)
+            }
+            ExactCtl::Engine(budget) => {
+                check_global_exact_stop(&self.cg, priority, domain, j_rel, budget)
+            }
+        }
+    }
+
     /// Runs `task(0..n_tasks)` on up to `self.jobs` scoped workers and
-    /// returns the results in task order.
-    fn fan_out<T, F>(&self, n_tasks: usize, task: F) -> Vec<T>
+    /// returns the results in task order, each panic-isolated.
+    fn fan_out<T, F>(&self, n_tasks: usize, task: F) -> Vec<TaskResult<T>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -346,17 +510,17 @@ impl<'a> CheckSession<'a> {
         self.fan_out_n(self.jobs, n_tasks, task)
     }
 
-    fn fan_out_n<T, F>(&self, jobs: usize, n_tasks: usize, task: F) -> Vec<T>
+    fn fan_out_n<T, F>(&self, jobs: usize, n_tasks: usize, task: F) -> Vec<TaskResult<T>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let workers = jobs.min(n_tasks);
         if workers <= 1 {
-            return (0..n_tasks).map(task).collect();
+            return (0..n_tasks).map(|i| run_isolated(|| task(i))).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        let mut slots: Vec<Option<TaskResult<T>>> = (0..n_tasks).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -367,14 +531,17 @@ impl<'a> CheckSession<'a> {
                             if i >= n_tasks {
                                 break;
                             }
-                            local.push((i, task(i)));
+                            local.push((i, run_isolated(|| task(i))));
                         }
                         local
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, t) in h.join().expect("session worker panicked") {
+                // Worker bodies only move captured task results around
+                // (the tasks themselves are caught above), so the join
+                // cannot observe a panic.
+                for (i, t) in h.join().expect("worker closures are panic-isolated") {
                     slots[i] = Some(t);
                 }
             }
@@ -483,6 +650,58 @@ mod tests {
         assert_eq!(batch.len(), js.len());
         for (j, outcome) in js.iter().zip(&batch) {
             assert_eq!(outcome, &session.check(j));
+        }
+    }
+
+    #[test]
+    fn bounded_batch_matches_legacy_under_an_unlimited_budget() {
+        let (schema, i, p) = running();
+        let cg = ConflictGraph::new(&schema, &i);
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i.clone(), p).unwrap();
+        let session = CheckSession::new(&schema, &pi).with_jobs(4);
+        let js = candidates(&i, &cg);
+        let budget = Budget::unlimited();
+        let bounded = session.check_batch_bounded(&js, &budget);
+        let legacy = session.check_batch(&js);
+        for ((b, l), j) in bounded.into_iter().zip(legacy).zip(&js) {
+            assert_eq!(b.expect_done("unlimited budget"), l.unwrap(), "on {j:?}");
+        }
+        // The batch charged work: at least one unit per candidate.
+        assert!(budget.work_done() >= js.len() as u64);
+    }
+
+    #[test]
+    fn bounded_batch_observes_cancellation_between_candidates() {
+        let (schema, i, p) = running();
+        let cg = ConflictGraph::new(&schema, &i);
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i.clone(), p).unwrap();
+        let session = CheckSession::new(&schema, &pi).with_jobs(2);
+        let js = candidates(&i, &cg);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let outcomes = session.check_batch_bounded(&js, &budget);
+        assert_eq!(outcomes.len(), js.len());
+        for o in outcomes {
+            assert!(matches!(o, Outcome::Cancelled { .. }));
+        }
+        // The pre-candidate checkpoint stopped every check before it
+        // charged anything.
+        assert_eq!(budget.work_done(), 0);
+    }
+
+    #[test]
+    fn bounded_check_exhausts_a_tiny_work_allowance() {
+        let (schema, i, p) = running();
+        let cg = ConflictGraph::new(&schema, &i);
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i.clone(), p).unwrap();
+        let session = CheckSession::new(&schema, &pi).with_jobs(1);
+        let repair = enumerate_repairs(&cg, 1 << 20).unwrap()[0].clone();
+        // 1 unit: the per-candidate charge consumes it, so the first
+        // per-relation dispatch trips.
+        let tight = Budget::unlimited().with_max_work(1);
+        match session.check_bounded(&repair, &tight) {
+            Outcome::Exceeded { report, .. } => assert_eq!(report.max_work, Some(1)),
+            other => panic!("expected Exceeded, got {other:?}"),
         }
     }
 

@@ -1,0 +1,166 @@
+//! Adversarial blowup corpus: instances engineered to trigger the
+//! worst-case exponential behaviour of the hard side (the Theorem 3.1
+//! schemas S1..S6 and the Theorem 7.1 ccp-hard schemas), run under
+//! tight budgets. The engine contract under attack: the run answers
+//! `Exceeded` — with the deadline observed promptly (within 2× the
+//! requested deadline) — instead of hanging.
+
+use rpr_core::{
+    construct_globally_optimal_repair, enumerate_repairs_bounded, Budget, CcpChecker, ExceedReason,
+    GRepairChecker, Outcome,
+};
+use rpr_data::{Instance, Value};
+use rpr_fd::{ConflictGraph, Schema};
+use rpr_gen::{ccp_hard_schema, hard_schema};
+use rpr_priority::{PrioritizedInstance, PriorityRelation};
+use std::time::{Duration, Instant};
+
+/// Fills a single ternary relation with the full value cube
+/// `g × b × {c0, c1}` — dense conflicts under every S1..S6 FD set, so
+/// the repair space (and with it the exact confirmation search) blows
+/// up exponentially.
+fn dense_ternary(schema: &Schema, groups: usize, members: usize) -> Instance {
+    let name = schema.signature().symbol(rpr_data::RelId(0)).name().to_owned();
+    let mut i = Instance::new(schema.signature().clone());
+    let v = |s: String| Value::sym(&s);
+    for g in 0..groups {
+        for b in 0..members {
+            i.insert_named(
+                &name,
+                [v(format!("g{g}")), v(format!("b{b}")), v(format!("c{}", g % 2))],
+            )
+            .unwrap();
+        }
+    }
+    i
+}
+
+/// Asserts that the outcome is a deadline trip and that the observed
+/// latency stayed within 2× the requested deadline.
+#[track_caller]
+fn assert_prompt_deadline_trip<T: std::fmt::Debug>(
+    outcome: &Outcome<T>,
+    elapsed: Duration,
+    deadline: Duration,
+    label: &str,
+) {
+    match outcome {
+        Outcome::Exceeded { report, .. } => {
+            assert_eq!(report.reason, ExceedReason::DeadlineExpired, "{label}: {report}");
+        }
+        other => panic!("{label}: expected a deadline trip, got {other:?}"),
+    }
+    assert!(
+        elapsed <= deadline * 2,
+        "{label}: deadline {deadline:?} observed only after {elapsed:?} (> 2x)"
+    );
+}
+
+/// A blowup instance for S6 = {∅→1, 2→3}: the first attribute is
+/// constant (so ∅→1 induces no conflicts) and every `b` group is a
+/// clique of `c` values under 2→3 — `members^groups` repairs.
+fn dense_const_first(schema: &Schema, groups: usize, members: usize) -> Instance {
+    let name = schema.signature().symbol(rpr_data::RelId(0)).name().to_owned();
+    let mut i = Instance::new(schema.signature().clone());
+    let v = |s: String| Value::sym(&s);
+    for b in 0..groups {
+        for c in 0..members {
+            i.insert_named(&name, [v("k".to_owned()), v(format!("b{b}")), v(format!("c{c}"))])
+                .unwrap();
+        }
+    }
+    i
+}
+
+#[test]
+fn hard_schemas_trip_the_deadline_promptly() {
+    let deadline = Duration::from_millis(60);
+    for i in 1..=6 {
+        let schema = hard_schema(i);
+        // Sized so even the release-mode exact search cannot finish
+        // inside the deadline (the search space grows as members^groups).
+        let instance =
+            if i == 6 { dense_const_first(&schema, 18, 6) } else { dense_ternary(&schema, 18, 6) };
+        let cg = ConflictGraph::new(&schema, &instance);
+        // An empty priority makes every repair globally optimal, so
+        // confirming the candidate forces the full exponential search.
+        let priority = PriorityRelation::empty(instance.len());
+        let j = construct_globally_optimal_repair(&cg, &priority);
+        let pi = PrioritizedInstance::conflict_restricted(&schema, instance, priority).unwrap();
+        let checker = GRepairChecker::new(schema.clone());
+        let budget = Budget::unlimited().with_deadline(deadline);
+        let start = Instant::now();
+        let outcome = checker.check_bounded(&pi, &j, &budget);
+        assert_prompt_deadline_trip(&outcome, start.elapsed(), deadline, &format!("S{i}"));
+    }
+}
+
+#[test]
+fn ccp_hard_schemas_trip_the_deadline_promptly() {
+    let deadline = Duration::from_millis(60);
+    for x in ['b', 'c'] {
+        let schema = ccp_hard_schema(x);
+        let instance = dense_ternary(&schema, 18, 6);
+        let cg = ConflictGraph::new(&schema, &instance);
+        let priority = PriorityRelation::empty(instance.len());
+        let j = construct_globally_optimal_repair(&cg, &priority);
+        let pi = PrioritizedInstance::cross_conflict(instance, priority);
+        let checker = CcpChecker::new(schema.clone());
+        let budget = Budget::unlimited().with_deadline(deadline);
+        let start = Instant::now();
+        let outcome = checker.check_bounded(&pi, &j, &budget);
+        assert_prompt_deadline_trip(&outcome, start.elapsed(), deadline, &format!("S{x}"));
+    }
+}
+
+#[test]
+fn blowup_enumeration_trips_the_deadline_with_a_partial_prefix() {
+    let schema = hard_schema(4);
+    let instance = dense_ternary(&schema, 14, 4);
+    let cg = ConflictGraph::new(&schema, &instance);
+    let deadline = Duration::from_millis(50);
+    let budget = Budget::unlimited().with_deadline(deadline);
+    let start = Instant::now();
+    let outcome = enumerate_repairs_bounded(&cg, &budget);
+    let elapsed = start.elapsed();
+    match &outcome {
+        Outcome::Exceeded { partial: Some(prefix), report } => {
+            assert_eq!(report.reason, ExceedReason::DeadlineExpired, "{report}");
+            assert!(!prefix.is_empty(), "the prefix gathered before the trip is a valid partial");
+            for j in prefix {
+                let consistent =
+                    j.iter().all(|f| j.iter().all(|g| f == g || !cg.conflicting(f, g)));
+                assert!(consistent, "every partial member must be a true repair");
+            }
+        }
+        other => panic!("expected Exceeded with a prefix, got {other:?}"),
+    }
+    assert!(elapsed <= deadline * 2, "deadline {deadline:?} observed only after {elapsed:?}");
+}
+
+#[test]
+fn work_budgets_trip_near_the_requested_allowance() {
+    let schema = hard_schema(4);
+    let instance = dense_ternary(&schema, 12, 4);
+    let cg = ConflictGraph::new(&schema, &instance);
+    let priority = PriorityRelation::empty(instance.len());
+    let j = construct_globally_optimal_repair(&cg, &priority);
+    let pi = PrioritizedInstance::conflict_restricted(&schema, instance, priority).unwrap();
+    let checker = GRepairChecker::new(schema);
+    for max_work in [100u64, 10_000, 1_000_000] {
+        let budget = Budget::unlimited().with_max_work(max_work);
+        match checker.check_bounded(&pi, &j, &budget) {
+            Outcome::Exceeded { report, .. } => {
+                assert_eq!(report.reason, ExceedReason::WorkExhausted);
+                // Sequential checking overshoots the allowance by at
+                // most the final charge.
+                assert!(
+                    report.work_done <= max_work + 2,
+                    "work_done {} far beyond allowance {max_work}",
+                    report.work_done
+                );
+            }
+            other => panic!("max_work={max_work}: expected Exceeded, got {other:?}"),
+        }
+    }
+}

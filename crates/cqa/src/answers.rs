@@ -10,8 +10,8 @@
 
 use crate::query::ConjunctiveQuery;
 use rpr_core::{
-    enumerate_repairs, is_completion_optimal, is_global_improvement, is_pareto_improvement,
-    BudgetExceeded, CheckSession,
+    enumerate_repairs, enumerate_repairs_bounded, is_completion_optimal, is_global_improvement,
+    is_pareto_improvement, Budget, BudgetExceeded, CheckSession, Outcome,
 };
 use rpr_data::{FactSet, Instance, Tuple};
 use rpr_fd::{ConflictGraph, Schema};
@@ -104,6 +104,102 @@ pub fn repairs_under(
     })
 }
 
+/// Enumerates the repairs of the chosen semantics under an engine
+/// [`Budget`] (deadline, shared work allowance, cooperative
+/// cancellation). Agrees with [`repairs_under`] when the budget does not
+/// trip.
+///
+/// Partial-result semantics on degradation:
+///
+/// * `All` — the partial is a prefix of the repair enumeration (every
+///   member is a true repair).
+/// * `Pareto` / `Global` — confirming optimality requires comparing
+///   against *every* repair, so a truncated enumeration cannot certify
+///   any candidate and the partial is `None`; when enumeration finishes
+///   but the pairwise filter trips mid-scan, the partial holds the
+///   candidates confirmed so far.
+/// * `Completion` — each repair is judged on its own, so the partial
+///   holds the completion-optimal repairs confirmed before the stop.
+pub fn repairs_under_bounded(
+    semantics: RepairSemantics,
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    budget: &Budget,
+) -> Outcome<Vec<FactSet>> {
+    let (all, enumeration_stop) = match enumerate_repairs_bounded(cg, budget) {
+        Outcome::Done(r) => (r, None),
+        Outcome::Exceeded { partial, report } => {
+            (partial.unwrap_or_default(), Some(rpr_core::Stop::Exceeded(report)))
+        }
+        Outcome::Cancelled { partial } => {
+            (partial.unwrap_or_default(), Some(rpr_core::Stop::Cancelled))
+        }
+        Outcome::Panicked { partial, report } => return Outcome::Panicked { partial, report },
+    };
+    if let Some(stop) = enumeration_stop {
+        // A prefix of the repairs is itself a valid partial only under
+        // `All`; the optimality filters need the complete set to
+        // certify anything, and completion checks on a prefix would
+        // silently narrow the answer to that prefix.
+        let partial = match semantics {
+            RepairSemantics::All => Some(all),
+            _ => None,
+        };
+        return Outcome::from_stop(stop, partial);
+    }
+    let filtered: Result<Vec<FactSet>, (Vec<FactSet>, rpr_core::Stop)> = match semantics {
+        RepairSemantics::All => Ok(all),
+        RepairSemantics::Pareto => filter_bounded(&all, budget, |j| {
+            !all.iter().any(|r| is_pareto_improvement(priority, j, r))
+        }),
+        RepairSemantics::Global => filter_bounded(&all, budget, |j| {
+            !all.iter().any(|r| is_global_improvement(priority, j, r))
+        }),
+        RepairSemantics::Completion => {
+            filter_bounded(&all, budget, |j| is_completion_optimal(cg, priority, j))
+        }
+    };
+    match filtered {
+        Ok(repairs) => Outcome::Done(repairs),
+        Err((kept, stop)) => Outcome::from_stop(stop, Some(kept)),
+    }
+}
+
+/// Retains the repairs passing `keep`, charging one budget unit per
+/// candidate; on a stop, returns the candidates confirmed so far.
+fn filter_bounded(
+    all: &[FactSet],
+    budget: &Budget,
+    keep: impl Fn(&FactSet) -> bool,
+) -> Result<Vec<FactSet>, (Vec<FactSet>, rpr_core::Stop)> {
+    let mut out = Vec::new();
+    for j in all {
+        if let Err(stop) = budget.step() {
+            return Err((out, stop));
+        }
+        if keep(j) {
+            out.push(j.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates the repairs of the chosen semantics against an amortized
+/// [`CheckSession`] under an engine [`Budget`]. The globally-optimal
+/// semantics routes through the session's bounded dispatched checker
+/// (its partial is a sound confirmed-optimal subset); the others share
+/// the plain bounded path of [`repairs_under_bounded`].
+pub fn repairs_under_session_bounded(
+    semantics: RepairSemantics,
+    session: &CheckSession<'_>,
+    budget: &Budget,
+) -> Outcome<Vec<FactSet>> {
+    if semantics == RepairSemantics::Global {
+        return rpr_core::globally_optimal_repairs_session_bounded(session, budget);
+    }
+    repairs_under_bounded(semantics, session.conflict_graph(), session.priority(), budget)
+}
+
 /// Enumerates the repairs of the chosen semantics against an amortized
 /// [`CheckSession`] — no per-call conflict-graph construction, and the
 /// globally-optimal filter runs through the session's dispatched
@@ -172,6 +268,39 @@ pub fn answers_session(
 ) -> Result<CqaAnswers, BudgetExceeded> {
     let repairs = repairs_under_session(semantics, session, budget)?;
     Ok(quantify(session.instance(), query, &repairs))
+}
+
+/// Computes certain and possible answers under an engine [`Budget`].
+///
+/// On degradation the partial answers quantify over the partial repair
+/// set: `certain` is then an *upper bound* (more repairs can only
+/// shrink the intersection) and `possible` a *lower bound* (more
+/// repairs can only grow the union) on the true answers. A degraded
+/// outcome with no partial repair set carries no partial answers.
+pub fn answers_bounded(
+    schema: &Schema,
+    instance: &Instance,
+    priority: &PriorityRelation,
+    query: &ConjunctiveQuery,
+    semantics: RepairSemantics,
+    budget: &Budget,
+) -> Outcome<CqaAnswers> {
+    let cg = ConflictGraph::new(schema, instance);
+    repairs_under_bounded(semantics, &cg, priority, budget)
+        .map(|repairs| quantify(instance, query, &repairs))
+}
+
+/// Computes certain and possible answers against an amortized
+/// [`CheckSession`] under an engine [`Budget`]. Same partial-answer
+/// bounds as [`answers_bounded`].
+pub fn answers_session_bounded(
+    session: &CheckSession<'_>,
+    query: &ConjunctiveQuery,
+    semantics: RepairSemantics,
+    budget: &Budget,
+) -> Outcome<CqaAnswers> {
+    repairs_under_session_bounded(semantics, session, budget)
+        .map(|repairs| quantify(session.instance(), query, &repairs))
 }
 
 fn quantify(instance: &Instance, query: &ConjunctiveQuery, repairs: &[FactSet]) -> CqaAnswers {
@@ -257,6 +386,81 @@ mod tests {
         assert!(!all.possible.is_empty());
         let global = answers(&schema, &i, &p, &q, RepairSemantics::Global, 1 << 20).unwrap();
         assert!(global.possible.is_empty());
+    }
+
+    #[test]
+    fn bounded_agrees_with_legacy_under_unlimited_budgets() {
+        let (schema, i, p) = setup();
+        let cg = ConflictGraph::new(&schema, &i);
+        let budget = Budget::unlimited();
+        for sem in RepairSemantics::ALL {
+            let legacy = repairs_under(sem, &cg, &p, 1 << 20).unwrap();
+            let bounded = repairs_under_bounded(sem, &cg, &p, &budget)
+                .expect_done("unlimited budget must finish");
+            assert_eq!(bounded, legacy, "semantics {sem}");
+        }
+        let q = ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "R", &["g1", "?0"])] };
+        let legacy = answers(&schema, &i, &p, &q, RepairSemantics::Global, 1 << 20).unwrap();
+        let bounded = answers_bounded(&schema, &i, &p, &q, RepairSemantics::Global, &budget)
+            .expect_done("unlimited budget must finish");
+        assert_eq!(bounded.certain, legacy.certain);
+        assert_eq!(bounded.possible, legacy.possible);
+        assert_eq!(bounded.repair_count, legacy.repair_count);
+    }
+
+    #[test]
+    fn bounded_session_agrees_with_plain_bounded() {
+        let (schema, i, p) = setup();
+        let pi =
+            rpr_priority::PrioritizedInstance::conflict_restricted(&schema, i, p.clone()).unwrap();
+        let checker = rpr_core::GRepairChecker::new(schema.clone());
+        let session = checker.session(&pi).with_jobs(1);
+        let budget = Budget::unlimited();
+        for sem in RepairSemantics::ALL {
+            let mut plain = repairs_under_bounded(sem, session.conflict_graph(), &p, &budget)
+                .expect_done("unlimited");
+            let mut via_session =
+                repairs_under_session_bounded(sem, &session, &budget).expect_done("unlimited");
+            plain.sort();
+            via_session.sort();
+            assert_eq!(plain, via_session, "semantics {sem}");
+        }
+    }
+
+    #[test]
+    fn bounded_degrades_per_semantics_on_truncated_enumeration() {
+        let (schema, i, p) = setup();
+        let cg = ConflictGraph::new(&schema, &i);
+        // Enumeration alone needs more than 2 units here, so every
+        // semantics sees a truncated repair enumeration.
+        let budget = Budget::unlimited().with_max_work(2);
+        match repairs_under_bounded(RepairSemantics::All, &cg, &p, &budget) {
+            Outcome::Exceeded { partial: Some(prefix), .. } => {
+                let full = repairs_under(RepairSemantics::All, &cg, &p, 1 << 20).unwrap();
+                assert!(prefix.len() < full.len());
+                for j in &prefix {
+                    assert!(full.contains(j), "partial members must be true repairs");
+                }
+            }
+            other => panic!("expected Exceeded with a prefix, got {other:?}"),
+        }
+        let budget = Budget::unlimited().with_max_work(2);
+        match repairs_under_bounded(RepairSemantics::Global, &cg, &p, &budget) {
+            Outcome::Exceeded { partial: None, .. } => {}
+            other => panic!("a truncated enumeration cannot certify optimality: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_answers_observe_cancellation() {
+        let (schema, i, p) = setup();
+        let q = ConjunctiveQuery::boolean(vec![atom(&i, "R", &["g1", "b"])]);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        match answers_bounded(&schema, &i, &p, &q, RepairSemantics::All, &budget) {
+            Outcome::Cancelled { .. } => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! questions by enumeration (with budgets), which is the best known
 //! general tool.
 
-use rpr_core::{globally_optimal_repairs, BudgetExceeded, CheckSession};
+use rpr_core::{globally_optimal_repairs, Budget, BudgetExceeded, CheckSession, Outcome};
 use rpr_data::FactSet;
 use rpr_fd::ConflictGraph;
 use rpr_priority::PriorityRelation;
@@ -47,6 +47,31 @@ impl RepairSpace {
         budget: usize,
     ) -> Result<Self, BudgetExceeded> {
         Ok(RepairSpace { optimal: rpr_core::globally_optimal_repairs_session(session, budget)? })
+    }
+
+    /// Computes the space under an engine [`Budget`] (deadline, shared
+    /// work allowance, cooperative cancellation).
+    ///
+    /// On degradation the partial space holds the repairs confirmed
+    /// optimal so far — see
+    /// [`globally_optimal_repairs_bounded`](rpr_core::globally_optimal_repairs_bounded)
+    /// for the exact partial-result semantics.
+    pub fn compute_bounded(
+        cg: &ConflictGraph,
+        priority: &PriorityRelation,
+        budget: &Budget,
+    ) -> Outcome<Self> {
+        rpr_core::globally_optimal_repairs_bounded(cg, priority, budget)
+            .map(|optimal| RepairSpace { optimal })
+    }
+
+    /// Computes the space against an amortized [`CheckSession`] under an
+    /// engine [`Budget`]. The session variant confirms candidates one by
+    /// one against the whole instance, so on degradation the partial
+    /// space is a sound subset of the optimal repairs.
+    pub fn compute_session_bounded(session: &CheckSession<'_>, budget: &Budget) -> Outcome<Self> {
+        rpr_core::globally_optimal_repairs_session_bounded(session, budget)
+            .map(|optimal| RepairSpace { optimal })
     }
 
     /// Number of globally-optimal repairs.
@@ -106,5 +131,25 @@ mod tests {
         let space = RepairSpace::compute(&cg, &p, 1 << 20).unwrap();
         assert_eq!(space.count(), 2); // {a} and {c}; {b} is improved by {a}
         assert!(space.unique().is_none());
+    }
+
+    #[test]
+    fn bounded_space_agrees_with_legacy_under_unlimited_budgets() {
+        let (cg, p) = setup(&[(0, 1)]);
+        let legacy = RepairSpace::compute(&cg, &p, 1 << 20).unwrap();
+        let budget = Budget::unlimited();
+        let bounded = RepairSpace::compute_bounded(&cg, &p, &budget)
+            .expect_done("unlimited budget must finish");
+        assert_eq!(bounded, legacy);
+    }
+
+    #[test]
+    fn bounded_space_degrades_on_a_tiny_work_allowance() {
+        let (cg, p) = setup(&[]);
+        let budget = Budget::unlimited().with_max_work(1);
+        match RepairSpace::compute_bounded(&cg, &p, &budget) {
+            Outcome::Exceeded { report, .. } => assert_eq!(report.max_work, Some(1)),
+            other => panic!("expected Exceeded, got {other:?}"),
+        }
     }
 }

@@ -9,10 +9,10 @@
 //! containment test (`⋃ᵢ qᵢ ⊑ ⋃ⱼ q′ⱼ` iff every `qᵢ` is contained in
 //! some `q′ⱼ`).
 
-use crate::answers::{repairs_under, RepairSemantics};
+use crate::answers::{repairs_under, repairs_under_bounded, RepairSemantics};
 use crate::homomorphism::is_contained_in;
 use crate::query::ConjunctiveQuery;
-use rpr_core::BudgetExceeded;
+use rpr_core::{Budget, BudgetExceeded, Outcome};
 use rpr_data::{Instance, Tuple};
 use rpr_fd::{ConflictGraph, Schema};
 use rpr_priority::PriorityRelation;
@@ -115,9 +115,34 @@ pub fn ucq_answers(
 ) -> Result<crate::answers::CqaAnswers, BudgetExceeded> {
     let cg = ConflictGraph::new(schema, instance);
     let repairs = repairs_under(semantics, &cg, priority, budget)?;
+    Ok(quantify_ucq(instance, query, &repairs))
+}
+
+/// σ-certain and σ-possible answers of a UCQ under an engine
+/// [`Budget`]. On degradation the partial answers quantify over the
+/// partial repair set — the same upper/lower-bound reading as
+/// [`answers_bounded`](crate::answers::answers_bounded).
+pub fn ucq_answers_bounded(
+    schema: &Schema,
+    instance: &Instance,
+    priority: &PriorityRelation,
+    query: &UnionQuery,
+    semantics: RepairSemantics,
+    budget: &Budget,
+) -> Outcome<crate::answers::CqaAnswers> {
+    let cg = ConflictGraph::new(schema, instance);
+    repairs_under_bounded(semantics, &cg, priority, budget)
+        .map(|repairs| quantify_ucq(instance, query, &repairs))
+}
+
+fn quantify_ucq(
+    instance: &Instance,
+    query: &UnionQuery,
+    repairs: &[rpr_data::FactSet],
+) -> crate::answers::CqaAnswers {
     let mut certain: Option<BTreeSet<Tuple>> = None;
     let mut possible: BTreeSet<Tuple> = BTreeSet::new();
-    for j in &repairs {
+    for j in repairs {
         let sub = instance.materialize(j);
         let ans = query.eval(&sub);
         possible.extend(ans.iter().cloned());
@@ -126,11 +151,11 @@ pub fn ucq_answers(
             Some(c) => c.intersection(&ans).cloned().collect(),
         });
     }
-    Ok(crate::answers::CqaAnswers {
+    crate::answers::CqaAnswers {
         certain: certain.unwrap_or_default(),
         possible,
         repair_count: repairs.len(),
-    })
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +257,31 @@ mod tests {
         let global = ucq_answers(&schema, &i, &p, &u, RepairSemantics::Global, 1 << 20).unwrap();
         // Under the global semantics a becomes certain too.
         assert_eq!(global.certain.len(), 2);
+    }
+
+    #[test]
+    fn bounded_ucq_answers_agree_with_legacy() {
+        let i = instance();
+        let schema = schema(&i);
+        let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
+        let u = UnionQuery::new(vec![
+            ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "R", &["g", "?0"])] },
+            ConjunctiveQuery { head: vec![0], atoms: vec![atom(&i, "S", &["h", "?0"])] },
+        ])
+        .unwrap();
+        let budget = Budget::unlimited();
+        for sem in RepairSemantics::ALL {
+            let legacy = ucq_answers(&schema, &i, &p, &u, sem, 1 << 20).unwrap();
+            let bounded = ucq_answers_bounded(&schema, &i, &p, &u, sem, &budget)
+                .expect_done("unlimited budget must finish");
+            assert_eq!(bounded.certain, legacy.certain, "semantics {sem}");
+            assert_eq!(bounded.possible, legacy.possible, "semantics {sem}");
+            assert_eq!(bounded.repair_count, legacy.repair_count, "semantics {sem}");
+        }
+        let tight = Budget::unlimited().with_max_work(1);
+        match ucq_answers_bounded(&schema, &i, &p, &u, RepairSemantics::All, &tight) {
+            Outcome::Exceeded { report, .. } => assert_eq!(report.max_work, Some(1)),
+            other => panic!("expected Exceeded, got {other:?}"),
+        }
     }
 }

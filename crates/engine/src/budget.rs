@@ -1,0 +1,387 @@
+//! Wall-clock deadlines and work-unit budgets.
+
+use crate::cancel::CancelToken;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a budget stopped the computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExceedReason {
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The work-unit allowance ran out.
+    WorkExhausted,
+}
+
+impl std::fmt::Display for ExceedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExceedReason::DeadlineExpired => write!(f, "deadline expired"),
+            ExceedReason::WorkExhausted => write!(f, "work budget exhausted"),
+        }
+    }
+}
+
+/// A machine-readable account of an exhausted budget, attached to every
+/// [`Outcome::Exceeded`](crate::Outcome::Exceeded) so callers (and the
+/// CLI) can tell *how far* the computation got and *which* limit it hit.
+#[must_use]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetReport {
+    /// Which limit stopped the computation.
+    pub reason: ExceedReason,
+    /// Work units charged before stopping.
+    pub work_done: u64,
+    /// The work allowance, if one was set.
+    pub max_work: Option<u64>,
+    /// Wall-clock time elapsed when the budget tripped.
+    pub elapsed: Duration,
+    /// The deadline, if one was set.
+    pub deadline: Option<Duration>,
+}
+
+impl BudgetReport {
+    /// Renders the report as a single JSON object (no external
+    /// dependencies; the fields are flat scalars).
+    pub fn to_json(&self) -> String {
+        let reason = match self.reason {
+            ExceedReason::DeadlineExpired => "deadline-expired",
+            ExceedReason::WorkExhausted => "work-exhausted",
+        };
+        let max_work = self.max_work.map_or_else(|| "null".to_owned(), |w| w.to_string());
+        let deadline_ms = self
+            .deadline
+            .map_or_else(|| "null".to_owned(), |d| format!("{:.3}", d.as_secs_f64() * 1e3));
+        format!(
+            "{{\"reason\":\"{reason}\",\"work_done\":{},\"max_work\":{max_work},\"elapsed_ms\":{:.3},\"deadline_ms\":{deadline_ms}}}",
+            self.work_done,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+impl std::fmt::Display for BudgetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} work unit(s) in {:.1?}", self.reason, self.work_done, self.elapsed)
+    }
+}
+
+/// Why a bounded computation stopped before producing a full answer.
+///
+/// This is the control-flow error of the engine: budgeted loops
+/// propagate it with `?` and the public entry points convert it into an
+/// [`Outcome`](crate::Outcome) carrying whatever partial result exists.
+#[must_use]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// A budget limit tripped.
+    Exceeded(BudgetReport),
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for Stop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stop::Exceeded(r) => write!(f, "budget exceeded: {r}"),
+            Stop::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for Stop {}
+
+/// How often [`Budget::step`] polls the wall clock: every
+/// `POLL_PERIOD` work units. Polling `Instant::now()` on every step
+/// would dominate cheap search steps; polling every 256 keeps the
+/// deadline-overshoot below a few microseconds of work while making the
+/// per-step cost a single relaxed `fetch_add` plus a relaxed load.
+const POLL_PERIOD: u64 = 256;
+
+/// An execution budget: wall-clock deadline + work-unit allowance +
+/// cooperative cancellation, shared across every worker of a bounded
+/// computation.
+///
+/// * **Work units** are algorithm steps: one recursion node in the
+///   exponential searches, one candidate in a batch, one pair in a
+///   pairwise filter. Charging is a relaxed atomic add, so one `Budget`
+///   can meter concurrent workers and the limit applies to their *sum*.
+/// * **Deadline** is polled every [`POLL_PERIOD`] charged units (and at
+///   every [`checkpoint`](Budget::checkpoint)), so a deadline is
+///   honoured within the time it takes to execute 256 cheap steps.
+/// * **Cancellation** is polled on every charge.
+///
+/// A default budget is unlimited — `Budget::unlimited().step()` never
+/// fails — which lets bounded entry points serve as the only
+/// implementation path without penalising unbounded callers.
+#[derive(Debug)]
+pub struct Budget {
+    started: Instant,
+    deadline_at: Option<Instant>,
+    deadline: Option<Duration>,
+    max_work: u64,
+    work: AtomicU64,
+    cancel: CancelToken,
+    #[cfg(feature = "faults")]
+    faults: Option<crate::faults::FaultPlan>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits (work is still counted, for reporting).
+    pub fn unlimited() -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline_at: None,
+            deadline: None,
+            max_work: u64::MAX,
+            work: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+            #[cfg(feature = "faults")]
+            faults: None,
+        }
+    }
+
+    /// Sets a wall-clock deadline, measured from *now*.
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.started = Instant::now();
+        self.deadline_at = Some(self.started + limit);
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Sets the work-unit allowance.
+    pub fn with_max_work(mut self, units: u64) -> Self {
+        self.max_work = units;
+        self
+    }
+
+    /// Attaches an external cancellation token (keep a clone to cancel
+    /// from outside).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches a deterministic fault plan (testing only).
+    #[cfg(feature = "faults")]
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// A clone of the budget's cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Work units charged so far (across all workers).
+    pub fn work_done(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the budget was armed.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Charges one work unit. See [`charge`](Budget::charge).
+    ///
+    /// # Errors
+    /// [`Stop`] when a limit trips or the token is cancelled.
+    #[inline]
+    pub fn step(&self) -> Result<(), Stop> {
+        self.charge(1)
+    }
+
+    /// Charges `n` work units, then enforces the limits: the work
+    /// allowance and cancellation on every call, the deadline whenever
+    /// the counter crosses a [`POLL_PERIOD`] boundary.
+    ///
+    /// # Errors
+    /// [`Stop::Exceeded`] when a limit trips, [`Stop::Cancelled`] when
+    /// the token is cancelled.
+    #[inline]
+    pub fn charge(&self, n: u64) -> Result<(), Stop> {
+        let w = self.work.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if w > self.max_work {
+            return Err(Stop::Exceeded(self.report(ExceedReason::WorkExhausted)));
+        }
+        if self.cancel.is_cancelled() {
+            return Err(Stop::Cancelled);
+        }
+        #[cfg(feature = "faults")]
+        self.fault_on_work(w);
+        // Poll the clock when the counter crosses a period boundary —
+        // and on the very first charge, so an already-expired deadline
+        // stops even a computation shorter than one period.
+        if w % POLL_PERIOD < n || w == n {
+            self.poll_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Polls cancellation and the deadline *without* charging work.
+    /// Call between coarse units of work (batch candidates, relations)
+    /// so bounds are observed even when no fine-grained steps run.
+    ///
+    /// # Errors
+    /// [`Stop`] when the deadline has passed or the token is cancelled.
+    pub fn checkpoint(&self) -> Result<(), Stop> {
+        if self.cancel.is_cancelled() {
+            return Err(Stop::Cancelled);
+        }
+        self.poll_deadline()
+    }
+
+    fn poll_deadline(&self) -> Result<(), Stop> {
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Err(Stop::Exceeded(self.report(ExceedReason::DeadlineExpired)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a [`BudgetReport`] snapshot for the given reason.
+    pub fn report(&self, reason: ExceedReason) -> BudgetReport {
+        BudgetReport {
+            reason,
+            work_done: self.work_done(),
+            max_work: (self.max_work != u64::MAX).then_some(self.max_work),
+            elapsed: self.elapsed(),
+            deadline: self.deadline,
+        }
+    }
+
+    /// Injected faults riding on the work counter: artificial slowdowns
+    /// and scheduled mid-run cancellations.
+    #[cfg(feature = "faults")]
+    #[inline]
+    fn fault_on_work(&self, w: u64) {
+        if let Some(plan) = &self.faults {
+            plan.on_work(w, &self.cancel);
+        }
+    }
+
+    /// Panic-injection point for batch workers: panics iff the fault
+    /// plan targets `candidate`. No-op without a plan.
+    #[cfg(feature = "faults")]
+    pub fn fault_panic_point(&self, candidate: usize) {
+        if let Some(plan) = &self.faults {
+            plan.panic_point(candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.step().unwrap();
+        }
+        assert_eq!(b.work_done(), 10_000);
+    }
+
+    #[test]
+    fn work_allowance_trips_exactly() {
+        let b = Budget::unlimited().with_max_work(3);
+        b.step().unwrap();
+        b.step().unwrap();
+        b.step().unwrap();
+        let stop = b.step().unwrap_err();
+        match stop {
+            Stop::Exceeded(r) => {
+                assert_eq!(r.reason, ExceedReason::WorkExhausted);
+                assert_eq!(r.max_work, Some(3));
+                assert_eq!(r.work_done, 4);
+            }
+            Stop::Cancelled => panic!("expected Exceeded"),
+        }
+    }
+
+    #[test]
+    fn deadline_trips_within_poll_granularity() {
+        let b = Budget::unlimited().with_deadline(Duration::from_millis(5));
+        let t = Instant::now();
+        let mut stopped = None;
+        for _ in 0..u64::MAX {
+            if let Err(s) = b.step() {
+                stopped = Some(s);
+                break;
+            }
+        }
+        let elapsed = t.elapsed();
+        assert!(matches!(
+            stopped,
+            Some(Stop::Exceeded(BudgetReport { reason: ExceedReason::DeadlineExpired, .. }))
+        ));
+        assert!(elapsed < Duration::from_millis(100), "deadline massively overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn cancellation_is_observed_on_the_next_step() {
+        let b = Budget::unlimited();
+        let token = b.cancel_token();
+        b.step().unwrap();
+        token.cancel();
+        assert_eq!(b.step().unwrap_err(), Stop::Cancelled);
+        assert_eq!(b.checkpoint().unwrap_err(), Stop::Cancelled);
+    }
+
+    #[test]
+    fn checkpoint_does_not_charge() {
+        let b = Budget::unlimited().with_max_work(1);
+        for _ in 0..100 {
+            b.checkpoint().unwrap();
+        }
+        assert_eq!(b.work_done(), 0);
+    }
+
+    #[test]
+    fn charges_are_shared_across_threads() {
+        let b = Budget::unlimited().with_max_work(1000);
+        let stops: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut tripped = false;
+                        for _ in 0..500 {
+                            if b.step().is_err() {
+                                tripped = true;
+                                break;
+                            }
+                        }
+                        tripped
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // 4×500 = 2000 > 1000: someone must trip, the sum is metered.
+        assert!(stops.iter().any(|&t| t));
+    }
+
+    #[test]
+    fn report_json_is_flat_and_complete() {
+        let b = Budget::unlimited().with_max_work(7).with_deadline(Duration::from_millis(250));
+        let _ = b.step();
+        let json = b.report(ExceedReason::WorkExhausted).to_json();
+        assert!(json.contains("\"reason\":\"work-exhausted\""), "{json}");
+        assert!(json.contains("\"max_work\":7"), "{json}");
+        assert!(json.contains("\"deadline_ms\":250.000"), "{json}");
+        assert!(json.contains("\"work_done\":1"), "{json}");
+        let unlimited = Budget::unlimited().report(ExceedReason::DeadlineExpired).to_json();
+        assert!(unlimited.contains("\"max_work\":null"), "{unlimited}");
+        assert!(unlimited.contains("\"deadline_ms\":null"), "{unlimited}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones share the flag: hand one clone to the worker (via
+/// [`Budget::with_cancel`](crate::Budget::with_cancel)) and keep the
+/// other to call [`cancel`](CancelToken::cancel) from a supervisor
+/// thread, a signal handler, or a timeout watchdog. Workers observe the
+/// token *cooperatively* — the engine polls it at loop granularity
+/// (every [`Budget::step`](crate::Budget::step)) and between batch
+/// candidates, so cancellation latency is bounded by the longest
+/// uninterrupted stretch of work between polls, never by the total
+/// remaining work.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        // Idempotent.
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn observed_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || u.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+}

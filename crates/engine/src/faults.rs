@@ -1,0 +1,113 @@
+//! Deterministic fault injection (cfg-gated behind the `faults`
+//! feature).
+//!
+//! The robustness suites need to *provoke* the failure modes the engine
+//! defends against — a worker panicking mid-batch, a computation
+//! crawling toward a deadline, a cancellation arriving halfway through
+//! — and they need to provoke them deterministically so differential
+//! assertions ("the surviving candidates are bit-identical to an
+//! unfaulted run") are meaningful. A [`FaultPlan`] rides inside a
+//! [`Budget`](crate::Budget) and fires at exact work counts or
+//! candidate indices; production builds compile none of this.
+
+use crate::cancel::CancelToken;
+use std::time::Duration;
+
+/// A deterministic fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    panic_on: Vec<usize>,
+    slow_every: Option<(u64, Duration)>,
+    cancel_after_work: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic inside the worker processing batch candidate `index`.
+    pub fn panic_on_candidate(mut self, index: usize) -> Self {
+        self.panic_on.push(index);
+        self
+    }
+
+    /// Sleep for `pause` every `every` charged work units (artificial
+    /// slowdown, for driving deadline paths deterministically).
+    pub fn slow_every(mut self, every: u64, pause: Duration) -> Self {
+        assert!(every > 0, "slowdown period must be positive");
+        self.slow_every = Some((every, pause));
+        self
+    }
+
+    /// Cancel the budget's token once `units` work units are charged
+    /// (mid-batch cancellation).
+    pub fn cancel_after_work(mut self, units: u64) -> Self {
+        self.cancel_after_work = Some(units);
+        self
+    }
+
+    /// Hook called by [`Budget::charge`](crate::Budget::charge) with
+    /// the post-charge work count.
+    pub(crate) fn on_work(&self, w: u64, cancel: &CancelToken) {
+        if let Some((every, pause)) = self.slow_every {
+            if w.is_multiple_of(every) {
+                std::thread::sleep(pause);
+            }
+        }
+        if let Some(units) = self.cancel_after_work {
+            if w >= units {
+                cancel.cancel();
+            }
+        }
+    }
+
+    /// Hook called by batch workers before checking a candidate.
+    pub(crate) fn panic_point(&self, candidate: usize) {
+        if self.panic_on.contains(&candidate) {
+            panic!("injected fault: worker panic on candidate {candidate}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, Stop};
+
+    #[test]
+    fn cancel_after_work_fires_through_the_budget() {
+        let b = Budget::unlimited().with_faults(FaultPlan::new().cancel_after_work(5));
+        let mut stop = None;
+        for _ in 0..100 {
+            if let Err(s) = b.step() {
+                stop = Some(s);
+                break;
+            }
+        }
+        assert_eq!(stop, Some(Stop::Cancelled));
+        // The cancellation is observed on the step AFTER the threshold
+        // charge (the charge itself checked the token first).
+        assert!(b.work_done() >= 5 && b.work_done() <= 7, "work={}", b.work_done());
+    }
+
+    #[test]
+    fn panic_point_targets_exact_candidates() {
+        let b = Budget::unlimited().with_faults(FaultPlan::new().panic_on_candidate(2));
+        b.fault_panic_point(0);
+        b.fault_panic_point(1);
+        let p = std::panic::catch_unwind(|| b.fault_panic_point(2));
+        assert!(p.is_err());
+    }
+
+    #[test]
+    fn slowdown_inflates_elapsed_time() {
+        let b = Budget::unlimited()
+            .with_faults(FaultPlan::new().slow_every(1, Duration::from_millis(2)));
+        for _ in 0..5 {
+            b.step().unwrap();
+        }
+        assert!(b.elapsed() >= Duration::from_millis(10));
+    }
+}

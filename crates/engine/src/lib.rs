@@ -1,0 +1,37 @@
+//! # rpr-engine — bounded execution for the dichotomy's hard side
+//!
+//! Half of this workspace is *intentionally* intractable: the paper's
+//! dichotomy puts globally-optimal repair checking on the coNP-complete
+//! side for most schemas, and the brute oracles, exact enumerators, and
+//! CQA counting inherit that blow-up by design. This crate is the
+//! execution-control layer that makes every such entry point fail
+//! predictably instead of hanging or crashing:
+//!
+//! * [`Budget`] — a wall-clock deadline plus a work-unit allowance,
+//!   shared (and summed) across concurrent workers, charged at loop
+//!   granularity by the searches.
+//! * [`CancelToken`] — cooperative cancellation, polled on every charge
+//!   and between batch candidates.
+//! * [`Outcome`] — the typed verdict `Done | Exceeded | Cancelled |
+//!   Panicked`, carrying partial results and a machine-readable
+//!   [`BudgetReport`] so callers degrade gracefully to a cheaper answer.
+//! * [`faults`] (cfg-gated) — deterministic injection of worker panics,
+//!   slowdowns, and mid-batch cancellations for the robustness suites.
+//!
+//! The crate is dependency-free and knows nothing about repairs; the
+//! checking/enumeration/counting crates thread these primitives through
+//! their exponential paths.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod cancel;
+#[cfg(feature = "faults")]
+pub mod faults;
+pub mod outcome;
+
+pub use budget::{Budget, BudgetReport, ExceedReason, Stop};
+pub use cancel::CancelToken;
+#[cfg(feature = "faults")]
+pub use faults::FaultPlan;
+pub use outcome::{describe_panic, Outcome, PanicReport};

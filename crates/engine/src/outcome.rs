@@ -1,0 +1,226 @@
+//! The typed result of a bounded computation.
+
+use crate::budget::{BudgetReport, Stop};
+use std::any::Any;
+
+/// A captured worker panic: the payload message plus where it happened.
+///
+/// Carried by [`Outcome::Panicked`] so one panicking candidate in a
+/// batch degrades to a per-candidate verdict instead of unwinding
+/// through the scope and taking the sibling results with it.
+#[must_use]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicReport {
+    /// The panic message (downcast from the payload when it is a
+    /// string; a placeholder otherwise).
+    pub message: String,
+    /// Where the panic was caught (e.g. `"batch candidate 3"`).
+    pub context: String,
+}
+
+impl PanicReport {
+    /// Builds a report from a payload returned by
+    /// [`std::panic::catch_unwind`].
+    pub fn from_payload(context: impl Into<String>, payload: Box<dyn Any + Send>) -> Self {
+        PanicReport { message: describe_panic(payload.as_ref()), context: context.into() }
+    }
+}
+
+impl std::fmt::Display for PanicReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked in {}: {}", self.context, self.message)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The outcome of a bounded computation: done, degraded, or isolated.
+///
+/// Every bounded entry point of the workspace returns one of these
+/// instead of hanging, aborting, or silently truncating:
+///
+/// * [`Done`](Outcome::Done) — the full answer.
+/// * [`Exceeded`](Outcome::Exceeded) — a budget limit tripped; carries
+///   whatever partial answer the computation had accumulated plus a
+///   machine-readable [`BudgetReport`].
+/// * [`Cancelled`](Outcome::Cancelled) — the
+///   [`CancelToken`](crate::CancelToken) fired; carries the partial
+///   answer.
+/// * [`Panicked`](Outcome::Panicked) — a worker panicked and the panic
+///   was isolated to this result instead of unwinding the caller.
+///
+/// The enum is `#[must_use]`: a dropped `Outcome` is almost always a
+/// bug (the degraded cases silently vanish).
+#[must_use = "an Outcome may be Exceeded/Cancelled/Panicked — inspect it, don't drop it"]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The computation completed with a full answer.
+    Done(T),
+    /// A budget limit tripped; `partial` holds what was computed so far
+    /// (when the computation accumulates results) and `report` says
+    /// which limit tripped and how far the work got.
+    Exceeded {
+        /// The partial answer, if the computation produces one.
+        partial: Option<T>,
+        /// Machine-readable account of the tripped budget.
+        report: BudgetReport,
+    },
+    /// Cooperative cancellation was observed.
+    Cancelled {
+        /// The partial answer, if the computation produces one.
+        partial: Option<T>,
+    },
+    /// A worker panicked; the panic was contained to this outcome.
+    Panicked {
+        /// The partial answer, if sibling work completed before or
+        /// despite the panic.
+        partial: Option<T>,
+        /// The captured panic.
+        report: PanicReport,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// Converts a [`Stop`] (the internal control-flow error of budgeted
+    /// loops) into the matching outcome, attaching a partial answer.
+    pub fn from_stop(stop: Stop, partial: Option<T>) -> Self {
+        match stop {
+            Stop::Exceeded(report) => Outcome::Exceeded { partial, report },
+            Stop::Cancelled => Outcome::Cancelled { partial },
+        }
+    }
+
+    /// Did the computation run to completion?
+    pub fn is_done(&self) -> bool {
+        matches!(self, Outcome::Done(_))
+    }
+
+    /// The full answer, if done.
+    pub fn done(self) -> Option<T> {
+        match self {
+            Outcome::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The full answer or the partial one, whichever exists.
+    pub fn into_partial(self) -> Option<T> {
+        match self {
+            Outcome::Done(t) => Some(t),
+            Outcome::Exceeded { partial, .. }
+            | Outcome::Cancelled { partial }
+            | Outcome::Panicked { partial, .. } => partial,
+        }
+    }
+
+    /// A reference to the full or partial answer.
+    pub fn partial(&self) -> Option<&T> {
+        match self {
+            Outcome::Done(t) => Some(t),
+            Outcome::Exceeded { partial, .. }
+            | Outcome::Cancelled { partial }
+            | Outcome::Panicked { partial, .. } => partial.as_ref(),
+        }
+    }
+
+    /// The budget report, when the outcome is `Exceeded`.
+    pub fn budget_report(&self) -> Option<&BudgetReport> {
+        match self {
+            Outcome::Exceeded { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Replaces the partial answer of a degraded outcome (`Done` keeps
+    /// its full answer). For callers that accumulate their own partial
+    /// state and need to attach it to a stop produced elsewhere.
+    pub fn with_partial(self, partial: T) -> Outcome<T> {
+        match self {
+            Outcome::Done(t) => Outcome::Done(t),
+            Outcome::Exceeded { report, .. } => {
+                Outcome::Exceeded { partial: Some(partial), report }
+            }
+            Outcome::Cancelled { .. } => Outcome::Cancelled { partial: Some(partial) },
+            Outcome::Panicked { report, .. } => {
+                Outcome::Panicked { partial: Some(partial), report }
+            }
+        }
+    }
+
+    /// Maps the answer (full and partial alike).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Done(t) => Outcome::Done(f(t)),
+            Outcome::Exceeded { partial, report } => {
+                Outcome::Exceeded { partial: partial.map(f), report }
+            }
+            Outcome::Cancelled { partial } => Outcome::Cancelled { partial: partial.map(f) },
+            Outcome::Panicked { partial, report } => {
+                Outcome::Panicked { partial: partial.map(f), report }
+            }
+        }
+    }
+
+    /// Unwraps `Done`, panicking with `msg` otherwise (tests and
+    /// call sites that establish completion by construction).
+    #[track_caller]
+    pub fn expect_done(self, msg: &str) -> T {
+        match self {
+            Outcome::Done(t) => t,
+            Outcome::Exceeded { report, .. } => panic!("{msg}: budget exceeded ({report})"),
+            Outcome::Cancelled { .. } => panic!("{msg}: cancelled"),
+            Outcome::Panicked { report, .. } => panic!("{msg}: {report}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, ExceedReason};
+
+    #[test]
+    fn accessors_and_map() {
+        let done: Outcome<u32> = Outcome::Done(7);
+        assert!(done.is_done());
+        assert_eq!(done.clone().done(), Some(7));
+        assert_eq!(done.clone().map(|x| x * 2).done(), Some(14));
+
+        let report = Budget::unlimited().report(ExceedReason::WorkExhausted);
+        let exceeded = Outcome::Exceeded { partial: Some(3u32), report: report.clone() };
+        assert!(!exceeded.is_done());
+        assert_eq!(exceeded.partial(), Some(&3));
+        assert_eq!(exceeded.clone().into_partial(), Some(3));
+        assert_eq!(exceeded.budget_report(), Some(&report));
+        assert_eq!(exceeded.map(|x| x + 1).into_partial(), Some(4));
+
+        let cancelled: Outcome<u32> = Outcome::from_stop(Stop::Cancelled, None);
+        assert_eq!(cancelled.partial(), None);
+    }
+
+    #[test]
+    fn panic_payload_description() {
+        let p = std::panic::catch_unwind(|| panic!("boom {}", 42)).unwrap_err();
+        let report = PanicReport::from_payload("candidate 3", p);
+        assert_eq!(report.message, "boom 42");
+        assert!(report.to_string().contains("candidate 3"));
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(17u8)).unwrap_err();
+        assert_eq!(PanicReport::from_payload("x", p).message, "non-string panic payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "wanted done: cancelled")]
+    fn expect_done_panics_on_degraded() {
+        let o: Outcome<()> = Outcome::Cancelled { partial: None };
+        o.expect_done("wanted done");
+    }
+}

@@ -40,6 +40,7 @@ pub use csr::{CsrConflictGraph, Row as CsrRow};
 pub use determiners::{
     hard_case_witnesses, is_minimal_determiner, is_nonredundant_determiner,
     is_nontrivial_determiner, minimal_determiners, minimal_nonredundant_determiners,
+    relevant_attrs,
 };
 pub use discovery::{discover_fds, discover_fds_for, fd_holds, DiscoveryOptions};
 pub use fd::Fd;

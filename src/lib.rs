@@ -53,6 +53,7 @@ pub use rpr_cli as cli;
 pub use rpr_core as core;
 pub use rpr_cqa as cqa;
 pub use rpr_data as data;
+pub use rpr_engine as engine;
 pub use rpr_fd as fd;
 pub use rpr_gen as gen;
 pub use rpr_policy as policy;
@@ -66,6 +67,7 @@ pub mod prelude {
     };
     pub use rpr_core::{CcpChecker, CheckOutcome, GRepairChecker, Improvement, Method};
     pub use rpr_data::{AttrSet, Fact, FactId, FactSet, Instance, Signature, Tuple, Value};
+    pub use rpr_engine::{Budget, BudgetReport, CancelToken, Outcome};
     pub use rpr_fd::{ConflictGraph, Fd, Schema};
     pub use rpr_priority::{PrioritizedInstance, PriorityBuilder, PriorityMode, PriorityRelation};
 }
