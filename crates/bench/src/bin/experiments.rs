@@ -144,6 +144,11 @@ fn main() {
             title: "Extension: budget-enforcement overhead on the PTIME fast path",
             run: e25,
         },
+        Experiment {
+            id: "e26",
+            title: "Extension: rpr-serve under mixed PTIME/coNP load (zero lost requests)",
+            run: e26,
+        },
     ];
 
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -1226,5 +1231,127 @@ fn e25() -> ExpResult {
             bounded_per_check * 1e3,
         ),
         format!("measured: JSON written to {out_path}"),
+    ])
+}
+
+// ---------------------------------------------------------------- E26
+/// The serving layer under mixed load: an in-process `rpr-serve` takes
+/// closed-loop traffic alternating the PTIME running example with the
+/// coNP-side blowup workload under a tiny work budget. The serving
+/// contract under test: every request ends in an HTTP status (200 done
+/// or 422 exceeded-with-partial here; no transport errors, nothing
+/// hangs), the session cache absorbs the repeated instances, the
+/// `/metrics` totals reconcile exactly with the client-side counts,
+/// and the drain is clean. Results go to `target/serve_bench.json`.
+fn e26() -> ExpResult {
+    use rpr_bench::load::{check_body, run_load, LoadBody, LoadSpec};
+    use rpr_serve::{client_call, ServeConfig, Server};
+    use std::time::Duration;
+
+    let clients = 6usize;
+    let duration = Duration::from_secs(3);
+    let easy = std::fs::read_to_string("workloads/running_example.rpr")
+        .map_err(|e| format!("workloads/running_example.rpr: {e}"))?;
+    let hard = std::fs::read_to_string("workloads/hard_blowup.rpr")
+        .map_err(|e| format!("workloads/hard_blowup.rpr: {e}"))?;
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+    let drain = server.drain_token();
+    let running = std::thread::spawn(move || server.run());
+
+    let spec = LoadSpec {
+        addr: addr.clone(),
+        bodies: vec![
+            LoadBody {
+                label: "running_example".into(),
+                path: "/check".into(),
+                body: check_body(&easy, None, None),
+            },
+            LoadBody {
+                label: "hard_blowup".into(),
+                path: "/check".into(),
+                body: check_body(&hard, Some(10_000), None),
+            },
+        ],
+        clients,
+        duration,
+    };
+    let stats = run_load(&spec);
+
+    // One scrape; its own GET is the only request beyond the load.
+    let (code, metrics) = client_call(&addr, "GET", "/metrics", b"").map_err(|e| e.to_string())?;
+    ensure(code == 200, "metrics endpoint answers 200")?;
+    let metrics = String::from_utf8(metrics).map_err(|e| e.to_string())?;
+    let counter = |name: &str| -> Result<u64, String> {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("{name} missing from /metrics"))
+    };
+
+    drain.cancel();
+    let admitted = running.join().expect("server thread").map_err(|e| e.to_string())?;
+
+    // The serving contract: nothing lost, nothing hung, only done or
+    // exceeded-with-partial in this mix.
+    ensure(stats.lost == 0, "every request must come back with an HTTP status")?;
+    ensure(stats.completed > 0, "the load loop must complete requests")?;
+    let accounted = stats.status(200) + stats.status(422);
+    ensure(accounted == stats.completed, "only 200/422 may appear in this mix")?;
+    ensure(stats.status(200) > 0, "PTIME traffic must succeed")?;
+    ensure(stats.status(422) > 0, "budgeted coNP traffic must trip to 422")?;
+
+    // Metrics reconcile exactly with what the clients observed.
+    ensure(counter("rpr_requests_total")? == stats.completed + 1, "requests_total reconciles")?;
+    ensure(counter("rpr_done_total")? == stats.status(200) + 1, "done_total reconciles")?;
+    ensure(counter("rpr_exceeded_total")? == stats.status(422), "exceeded_total reconciles")?;
+    let hits = counter("rpr_cache_hits_total")?;
+    let misses = counter("rpr_cache_misses_total")?;
+    ensure(hits + misses == stats.completed, "every /check touched the session cache")?;
+    ensure(hits > 0, "repeated-instance traffic must hit the session cache")?;
+    ensure(misses >= 2, "two distinct workspaces imply at least two cold builds")?;
+    ensure(admitted >= stats.completed, "admitted connections cover all completed requests")?;
+
+    let hit_rate = hits as f64 / stats.completed as f64;
+    let json = format!(
+        "{{\n  \"clients\": {clients},\n  \"duration_s\": {},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"done\": {},\n  \"exceeded\": {},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"cache_hit_rate\": {hit_rate:.4}\n}}\n",
+        duration.as_secs(),
+        stats.completed,
+        stats.lost,
+        stats.throughput(),
+        stats.quantile(0.50).as_secs_f64() * 1e3,
+        stats.quantile(0.95).as_secs_f64() * 1e3,
+        stats.quantile(0.99).as_secs_f64() * 1e3,
+        stats.status(200),
+        stats.status(422),
+    );
+    let out_path = "target/serve_bench.json";
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+
+    Ok(vec![
+        "extension: the dichotomy as a serving policy — PTIME answers, coNP degrades to 422 partials".into(),
+        format!(
+            "measured: {} req in {:.1}s ({:.0} req/s, {clients} clients) — {} done, {} exceeded, 0 lost",
+            stats.completed,
+            stats.elapsed.as_secs_f64(),
+            stats.throughput(),
+            stats.status(200),
+            stats.status(422),
+        ),
+        format!(
+            "measured: p50 {:.2?} p95 {:.2?} p99 {:.2?}; cache {hits} hits / {misses} misses ({:.0}% hit rate); JSON written to {out_path}",
+            stats.quantile(0.50),
+            stats.quantile(0.95),
+            stats.quantile(0.99),
+            hit_rate * 100.0,
+        ),
     ])
 }

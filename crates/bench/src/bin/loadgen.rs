@@ -1,0 +1,131 @@
+//! `loadgen` — closed-loop load generator for a running `rpr serve`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7171 [--clients N] [--duration-s S]
+//!         [--max-work N] [--timeout-ms MS] [--json PATH]
+//!         [--require-cache-hits] FILE.rpr [FILE.rpr …]
+//! ```
+//!
+//! Each client POSTs the given workspace files to `/check` round-robin
+//! and waits for the full response before sending the next. At the end
+//! the tool prints throughput, latency quantiles and the per-status
+//! breakdown, scrapes the server's `/metrics` to report the session
+//! cache hit rate, and exits non-zero if any request was *lost* (a
+//! transport error instead of an HTTP status — the serving contract
+//! says that never happens) or, with `--require-cache-hits`, if the
+//! repeated-workspace traffic somehow missed the session cache.
+
+use rpr_bench::load::{check_body, run_load, scrape_counter, LoadBody, LoadSpec};
+use std::time::Duration;
+
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    opt_value(args, flag).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = opt_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_owned());
+    let addr = addr.strip_prefix("http://").unwrap_or(&addr).trim_end_matches('/').to_owned();
+    let clients: usize = opt_parse(&args, "--clients").unwrap_or(8);
+    let duration_s: u64 = opt_parse(&args, "--duration-s").unwrap_or(10);
+    let max_work: Option<u64> = opt_parse(&args, "--max-work");
+    let timeout_ms: Option<u64> = opt_parse(&args, "--timeout-ms");
+    let json_path = opt_value(&args, "--json");
+    let require_cache_hits = args.iter().any(|a| a == "--require-cache-hits");
+
+    // Positional arguments (not values of the flags above) are files.
+    let mut files = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = a != "--require-cache-hits"
+                && matches!(args.get(i + 1), Some(v) if !v.starts_with("--"));
+            continue;
+        }
+        files.push(a.clone());
+    }
+    if files.is_empty() {
+        eprintln!("loadgen: no workspace files given");
+        std::process::exit(1);
+    }
+
+    let bodies: Vec<LoadBody> = files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot read {f}: {e}");
+                std::process::exit(1);
+            });
+            LoadBody {
+                label: f.rsplit('/').next().unwrap_or(f).to_owned(),
+                path: "/check".to_owned(),
+                body: check_body(&text, max_work, timeout_ms),
+            }
+        })
+        .collect();
+
+    let hits_before = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0);
+    let spec =
+        LoadSpec { addr: addr.clone(), bodies, clients, duration: Duration::from_secs(duration_s) };
+    println!(
+        "loadgen: {clients} client(s) × {duration_s}s against {addr} ({} workload(s))",
+        files.len()
+    );
+    let stats = run_load(&spec);
+
+    let hits = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0) - hits_before;
+    let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
+    println!(
+        "loadgen: {} completed, {} lost, {:.1} req/s; p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+        stats.completed,
+        stats.lost,
+        stats.throughput(),
+        stats.quantile(0.50),
+        stats.quantile(0.95),
+        stats.quantile(0.99),
+    );
+    for (code, n) in &stats.statuses {
+        println!("loadgen:   status {code}: {n}");
+    }
+    println!("loadgen: cache hits {hits} ({:.1}% of completed)", hit_rate * 100.0);
+
+    if let Some(path) = json_path {
+        let statuses = stats
+            .statuses
+            .iter()
+            .map(|(c, n)| format!("\"{c}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4}\n}}\n",
+            stats.completed,
+            stats.lost,
+            stats.throughput(),
+            stats.quantile(0.50).as_secs_f64() * 1e3,
+            stats.quantile(0.95).as_secs_f64() * 1e3,
+            stats.quantile(0.99).as_secs_f64() * 1e3,
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("loadgen: wrote {path}");
+    }
+
+    if stats.lost > 0 {
+        eprintln!("loadgen: FAIL — {} request(s) lost to transport errors", stats.lost);
+        std::process::exit(1);
+    }
+    if require_cache_hits && hits == 0 && stats.completed > files.len() as u64 {
+        eprintln!("loadgen: FAIL — repeated traffic produced zero session-cache hits");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod load;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpr_data::{FactSet, Instance};

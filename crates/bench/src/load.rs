@@ -1,0 +1,166 @@
+//! Closed-loop HTTP load generation against a running `rpr serve`.
+//!
+//! Shared by the `loadgen` binary and experiment e26: `clients`
+//! threads each send one request, wait for the full response, and
+//! immediately send the next (closed loop — offered load adapts to
+//! service rate, so the server is saturated but never flooded). Every
+//! response is accounted for: the serving contract is that each
+//! request ends in an HTTP status (200 done, 422 budget-exceeded with
+//! partial, 503 drain/saturation, 4xx/5xx otherwise) — a transport
+//! error is a *lost* request and callers treat any of those as
+//! failure.
+
+use rpr_serve::client_call;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One request the generator cycles through.
+#[derive(Clone, Debug)]
+pub struct LoadBody {
+    /// A short tag used in reports (e.g. the workload file stem).
+    pub label: String,
+    /// Endpoint path (`/check`, `/classify`, `/cqa`).
+    pub path: String,
+    /// The JSON body to POST.
+    pub body: String,
+}
+
+/// What to run: where, with how many clients, for how long.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// The request mix, cycled round-robin per client.
+    pub bodies: Vec<LoadBody>,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// How long to keep offering load.
+    pub duration: Duration,
+}
+
+/// Aggregated results of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadStats {
+    /// Completed requests (an HTTP status came back).
+    pub completed: u64,
+    /// Requests lost to transport errors (connect/read/write failed).
+    pub lost: u64,
+    /// Completed requests per HTTP status.
+    pub statuses: BTreeMap<u16, u64>,
+    /// Wall-clock time actually spent offering load.
+    pub elapsed: Duration,
+    /// End-to-end request latencies, sorted ascending.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadStats {
+    /// Completed requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `q`-quantile latency (`0.5` = p50), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.latencies.len() as f64) * q).ceil() as usize;
+        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    }
+
+    /// Count for one status code.
+    pub fn status(&self, code: u16) -> u64 {
+        self.statuses.get(&code).copied().unwrap_or(0)
+    }
+}
+
+/// Per-client tallies before aggregation: completed, lost, statuses,
+/// latencies.
+type ClientTally = (u64, u64, BTreeMap<u16, u64>, Vec<Duration>);
+
+/// Runs the closed loop and aggregates every client's observations.
+pub fn run_load(spec: &LoadSpec) -> LoadStats {
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let mut per_client: Vec<ClientTally> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_id in 0..spec.clients.max(1) {
+            let stop = &stop;
+            let spec = &spec;
+            handles.push(scope.spawn(move || {
+                let mut completed = 0u64;
+                let mut lost = 0u64;
+                let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+                let mut latencies = Vec::new();
+                // Stagger starting positions so clients don't sweep the
+                // mix in lockstep.
+                let mut next = client_id % spec.bodies.len().max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    let body = &spec.bodies[next];
+                    next = (next + 1) % spec.bodies.len();
+                    let t = Instant::now();
+                    match client_call(&spec.addr, "POST", &body.path, body.body.as_bytes()) {
+                        Ok((status, _)) => {
+                            completed += 1;
+                            *statuses.entry(status).or_insert(0) += 1;
+                            latencies.push(t.elapsed());
+                        }
+                        Err(_) => lost += 1,
+                    }
+                }
+                (completed, lost, statuses, latencies)
+            }));
+        }
+        std::thread::sleep(spec.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            per_client.push(h.join().expect("load client panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut stats = LoadStats {
+        completed: 0,
+        lost: 0,
+        statuses: BTreeMap::new(),
+        elapsed,
+        latencies: Vec::new(),
+    };
+    for (completed, lost, statuses, latencies) in per_client {
+        stats.completed += completed;
+        stats.lost += lost;
+        for (code, n) in statuses {
+            *stats.statuses.entry(code).or_insert(0) += n;
+        }
+        stats.latencies.extend(latencies);
+    }
+    stats.latencies.sort();
+    stats
+}
+
+/// Reads a Prometheus counter out of a `/metrics` exposition.
+pub fn scrape_counter(addr: &str, name: &str) -> Option<u64> {
+    let (status, body) = client_call(addr, "GET", "/metrics", b"").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let text = String::from_utf8(body).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Builds a `/check` body from workspace text plus optional budget
+/// overrides (the JSON escaping lives in `rpr_serve::Json`).
+pub fn check_body(workspace_text: &str, max_work: Option<u64>, timeout_ms: Option<u64>) -> String {
+    let mut fields = vec![("workspace".to_owned(), rpr_serve::Json::str(workspace_text))];
+    if let Some(w) = max_work {
+        fields.push(("max_work".to_owned(), rpr_serve::Json::Int(w as i64)));
+    }
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms".to_owned(), rpr_serve::Json::Int(ms as i64)));
+    }
+    rpr_serve::Json::Obj(fields.into_iter().collect()).render()
+}

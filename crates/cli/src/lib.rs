@@ -2,22 +2,18 @@
 //!
 //! A small, file-driven interface to the preferred-repairs system:
 //!
-//! * [`format`] — the `.rpr` workspace format (schema + instance +
-//!   priority + named candidate repairs in one text file);
-//! * [`query_parse`] — `q(?x) <- R(?x, c), S(c, ?y)` conjunctive-query
-//!   syntax;
 //! * [`commands`] — `classify`, `check`, `repairs`, `construct`,
 //!   `cqa`, `discover`, `lint` as report-returning library functions
 //!   (the binary is a thin wrapper, which keeps every command
 //!   unit-testable);
-//! * [`store`] — the compact binary `.rprb` encoding (`rpr export`);
-//!   every command accepts both formats.
+//! * [`format`], [`query_parse`], [`store`] — re-exported from
+//!   `rpr-format` (the `.rpr` grammar, conjunctive-query syntax and
+//!   the `.rprb` binary codec now live there so the `rpr-serve` HTTP
+//!   service can parse workspaces without this crate).
 //!
 //! Sample workspaces live in the repository's `workloads/` directory.
 
 #![warn(missing_docs)]
 
 pub mod commands;
-pub mod format;
-pub mod query_parse;
-pub mod store;
+pub use rpr_format::{format, query_parse, store};

@@ -37,6 +37,14 @@ commands:
                                       (all commands read both forms)
   stats     FILE                      conflict statistics of the instance
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
+  serve     [--addr HOST:PORT] [--jobs N] [--queue N] [--cache N]
+            [--timeout-ms MS] [--max-work N]
+                                      run the repair-checking HTTP service
+                                      (POST /check /classify /cqa, GET /healthz /metrics)
+  request   URL [FILE] [--repairs A,B] [--query Q] [--semantics S]
+            [--timeout-ms MS] [--max-work N]
+                                      send one request to a running server, e.g.
+                                      rpr request http://127.0.0.1:7171/check db.rpr
 
 options:
   --jobs N            worker threads for check/repairs/cqa parallel fan-out
@@ -129,6 +137,12 @@ fn resolve_bounded(run: BoundedRun, on_exceed: &OnExceed) -> Result<CliResult, U
 
 fn run(args: &[String]) -> Result<CliResult, UsageOr> {
     let command = args.first().ok_or_else(|| UsageOr::Usage("missing command".into()))?;
+    // Network commands take no workspace file argument up front.
+    match command.as_str() {
+        "serve" => return run_serve(args),
+        "request" => return run_request(args),
+        _ => {}
+    }
     let path = args.get(1).ok_or_else(|| UsageOr::Usage("missing workspace file".into()))?;
     let raw =
         std::fs::read(path).map_err(|e| UsageOr::Command(format!("cannot read {path}: {e}")))?;
@@ -141,16 +155,9 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
     };
 
     let semantics = opt_value(args, "--semantics").unwrap_or_else(|| "global".to_owned());
-    // Worker threads for the check session's parallel fan-out; the
-    // default is the machine's available parallelism.
-    let jobs: usize = match opt_value(args, "--jobs") {
-        Some(j) => j
-            .parse()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| UsageOr::Command(format!("bad --jobs value `{j}`")))?,
-        None => rpr_core::default_jobs(),
-    };
+    // Worker threads for the check session's parallel fan-out
+    // (`0`/absent → available parallelism, shared with `rpr serve`).
+    let jobs: usize = rpr_core::resolve_jobs(opt_parse(args, "--jobs")?);
     let budget: usize = match opt_value(args, "--budget") {
         Some(b) => b.parse().map_err(|_| UsageOr::Command(format!("bad --budget value `{b}`")))?,
         None => 1 << 22,
@@ -179,11 +186,7 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
             b = b.with_max_work(w);
         }
         if let Some(ms) = cancel_after_ms {
-            let token = b.cancel_token();
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(ms));
-                token.cancel();
-            });
+            b.cancel_token().cancel_after(Duration::from_millis(ms));
         }
         Some(b)
     } else {
@@ -274,4 +277,99 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
         }
         other => Err(UsageOr::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// `rpr serve` — run the repair-checking HTTP service until drained
+/// (SIGINT/SIGTERM or `POST /shutdown`).
+fn run_serve(args: &[String]) -> Result<CliResult, UsageOr> {
+    use rpr_serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: opt_value(args, "--addr").unwrap_or(defaults.addr),
+        jobs: opt_parse(args, "--jobs")?,
+        queue_capacity: opt_parse(args, "--queue")?.unwrap_or(defaults.queue_capacity),
+        cache_capacity: opt_parse(args, "--cache")?.unwrap_or(defaults.cache_capacity),
+        default_timeout_ms: opt_parse(args, "--timeout-ms")?.or(defaults.default_timeout_ms),
+        default_max_work: opt_parse(args, "--max-work")?,
+        install_signal_handlers: true,
+    };
+    let server = Server::bind(config).map_err(|e| UsageOr::Command(format!("cannot bind: {e}")))?;
+    let addr = server.local_addr().map_err(|e| UsageOr::Command(e.to_string()))?;
+    // Announced on stdout, flushed, so scripts (and the integration
+    // test) can pick up an ephemeral port from the first line.
+    println!("rpr-serve listening on http://{addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let admitted = server.run().map_err(|e| UsageOr::Command(format!("serve: {e}")))?;
+    Ok(CliResult::ok(format!("drained after {admitted} connection(s)\n")))
+}
+
+/// `rpr request` — a one-shot client for a running `rpr serve`,
+/// packaging a workspace file into the JSON body the service expects.
+fn run_request(args: &[String]) -> Result<CliResult, UsageOr> {
+    use rpr_serve::{client_call, Json};
+    let url = args
+        .get(1)
+        .ok_or_else(|| UsageOr::Usage("request needs a URL (http://HOST:PORT/ENDPOINT)".into()))?;
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (addr, path) = match rest.split_once('/') {
+        Some((addr, path)) => (addr, format!("/{path}")),
+        None => return Err(UsageOr::Usage(format!("URL `{url}` names no endpoint path"))),
+    };
+
+    let (method, body) = if matches!(path.as_str(), "/healthz" | "/metrics") {
+        ("GET", Vec::new())
+    } else if path == "/shutdown" {
+        ("POST", Vec::new())
+    } else {
+        // POST endpoints ship the workspace text (binary stores are
+        // re-rendered: the wire format is always .rpr text).
+        let file = args
+            .get(2)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| UsageOr::Usage(format!("request to {path} needs a workspace file")))?;
+        let raw = std::fs::read(file)
+            .map_err(|e| UsageOr::Command(format!("cannot read {file}: {e}")))?;
+        let text = if store::is_binary(&raw) {
+            let ws = store::decode(&raw).map_err(|e| UsageOr::Command(e.to_string()))?;
+            rpr_cli::format::render_workspace(&ws)
+        } else {
+            String::from_utf8(raw)
+                .map_err(|_| UsageOr::Command(format!("{file} is neither UTF-8 text nor .rprb")))?
+        };
+        let mut fields = vec![("workspace".to_owned(), Json::str(text))];
+        if let Some(names) = opt_value(args, "--repairs") {
+            fields
+                .push(("repairs".to_owned(), Json::Arr(names.split(',').map(Json::str).collect())));
+        }
+        if let Some(query) = opt_value(args, "--query") {
+            fields.push(("query".to_owned(), Json::str(query)));
+        }
+        if let Some(semantics) = opt_value(args, "--semantics") {
+            fields.push(("semantics".to_owned(), Json::str(semantics)));
+        }
+        if let Some(ms) = opt_parse::<u64>(args, "--timeout-ms")? {
+            fields.push(("timeout_ms".to_owned(), Json::Int(ms as i64)));
+        }
+        if let Some(work) = opt_parse::<u64>(args, "--max-work")? {
+            fields.push(("max_work".to_owned(), Json::Int(work as i64)));
+        }
+        ("POST", Json::Obj(fields.into_iter().collect()).render().into_bytes())
+    };
+
+    let (status, response) = client_call(addr, method, &path, &body)
+        .map_err(|e| UsageOr::Command(format!("request to {addr}: {e}")))?;
+    let mut report = String::from_utf8_lossy(&response).into_owned();
+    if !report.ends_with('\n') {
+        report.push('\n');
+    }
+    // Exit codes mirror the local commands: 200 → 0, budget-exceeded
+    // partial → 4, drain/saturation → 5, anything else → 2.
+    let exit = match status {
+        200 => 0,
+        422 => 4,
+        503 => 5,
+        _ => 2,
+    };
+    Ok(CliResult { report, exit, note: Some(format!("http status {status}")) })
 }

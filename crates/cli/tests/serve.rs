@@ -1,0 +1,258 @@
+//! End-to-end tests of `rpr serve`: a real spawned server process on
+//! an ephemeral port, driven over real sockets by `rpr request` and
+//! the `client_call` helper. Covers the serving contract: cold vs
+//! cached checks, classification, metrics reconciliation,
+//! budget-exceeded partials (422), admission control (503), and
+//! graceful drain.
+
+use rpr_serve::{client_call, parse_json, Json};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn workload(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../workloads");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+/// A spawned `rpr serve` process bound to an ephemeral port. Killed on
+/// drop so a failing test never leaks a listener.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServerProc {
+    fn spawn(extra_args: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rpr"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("server announces its address");
+        let addr = line
+            .trim()
+            .rsplit("http://")
+            .next()
+            .expect("announcement names the address")
+            .to_owned();
+        assert!(addr.contains(':'), "unexpected announcement: {line}");
+        ServerProc { child, addr, stdout }
+    }
+
+    fn call(&self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let (status, raw) =
+            client_call(&self.addr, method, path, body.as_bytes()).expect("request round-trips");
+        let text = String::from_utf8(raw).expect("response is UTF-8");
+        let json = if path == "/metrics" {
+            Json::str(text)
+        } else {
+            parse_json(&text).unwrap_or_else(|e| panic!("bad JSON ({e}): {text}"))
+        };
+        (status, json)
+    }
+
+    /// Drains via `POST /shutdown` and waits for a clean exit.
+    fn shutdown(mut self) -> String {
+        let (status, _) = self.call("POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        let exit = self.child.wait().expect("server exits");
+        assert!(exit.success(), "server exited with {exit}");
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut self.stdout, &mut rest).expect("drains stdout");
+        // Drop's kill is a no-op: the child already exited.
+        rest
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn body_with_workspace(name: &str, extra: &str) -> String {
+    let text = std::fs::read_to_string(workload(name)).expect("workload exists");
+    let ws = Json::str(text).render();
+    format!("{{\"workspace\":{ws}{extra}}}")
+}
+
+fn counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} not exposed:\n{metrics}"))
+        .trim()
+        .parse()
+        .expect("counter is integral")
+}
+
+#[test]
+fn check_classify_cache_and_metrics_reconcile() {
+    let server = ServerProc::spawn(&["--jobs", "2"]);
+
+    // Cold check: all three declared repairs, J2 the optimal one.
+    let (status, json) =
+        server.call("POST", "/check", &body_with_workspace("running_example.rpr", ""));
+    assert_eq!(status, 200, "{json}");
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(json.get("cached").and_then(Json::as_bool), Some(false));
+    let results = json.get("results").and_then(Json::as_arr).expect("results array");
+    assert_eq!(results.len(), 3);
+    let verdict = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.get("repair").and_then(Json::as_str) == Some(name))
+            .and_then(|r| r.get("verdict"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    assert_eq!(verdict("J2").as_deref(), Some("optimal"));
+    assert_eq!(verdict("J1").as_deref(), Some("improvable"));
+
+    // Same workspace again: the session cache must hit.
+    let (status, json) = server.call(
+        "POST",
+        "/check",
+        &body_with_workspace("running_example.rpr", ",\"repairs\":[\"J2\"]"),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(json.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(json.get("results").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+
+    // Classification rides the same cached session.
+    let (status, json) =
+        server.call("POST", "/classify", &body_with_workspace("running_example.rpr", ""));
+    assert_eq!(status, 200);
+    assert_eq!(json.get("complexity").and_then(Json::as_str), Some("ptime"));
+    assert_eq!(json.get("mode").and_then(Json::as_str), Some("conflict"));
+    assert_eq!(json.get("cached").and_then(Json::as_bool), Some(true));
+
+    // CQA through the service.
+    let (status, json) = server.call(
+        "POST",
+        "/cqa",
+        &body_with_workspace(
+            "running_example.rpr",
+            ",\"query\":\"q(?loc) <- BookLoc(b1, ?g, ?l), LibLoc(?l, ?loc)\",\"semantics\":\"global\"",
+        ),
+    );
+    assert_eq!(status, 200, "{json}");
+    assert!(json.get("certain").and_then(Json::as_arr).is_some());
+
+    // Malformed bodies are 400, unknown routes 404.
+    let (status, _) = server.call("POST", "/check", "{not json");
+    assert_eq!(status, 400);
+    let (status, _) = server.call("POST", "/check", "{}");
+    assert_eq!(status, 400);
+    let (status, _) = server.call("GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Metrics reconcile with what we sent: 4 successful POSTs + the
+    // three failures above (the /metrics GET itself is counted too).
+    let (status, metrics) = server.call("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = metrics.as_str().unwrap().to_owned();
+    assert_eq!(counter(&metrics, "rpr_cache_hits_total"), 3);
+    assert_eq!(counter(&metrics, "rpr_cache_misses_total"), 1);
+    assert!(counter(&metrics, "rpr_requests_total") >= 8);
+    assert!(counter(&metrics, "rpr_done_total") >= 4);
+    assert_eq!(counter(&metrics, "rpr_bad_request_total"), 3);
+    assert!(metrics.contains("rpr_check_latency_seconds_bucket"));
+
+    let tail = server.shutdown();
+    assert!(tail.contains("drained after"), "got: {tail}");
+}
+
+#[test]
+fn budget_exceeded_returns_422_with_partial() {
+    let server = ServerProc::spawn(&["--jobs", "1"]);
+    // hard_blowup's candidate J needs the coNP-side confirmation sweep;
+    // one unit of work cannot finish it.
+    let (status, json) =
+        server.call("POST", "/check", &body_with_workspace("hard_blowup.rpr", ",\"max_work\":1"));
+    assert_eq!(status, 422, "{json}");
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("exceeded"));
+    let report = json.get("budget_report").expect("budget report attached");
+    assert!(report.get("work_done").is_some(), "{report}");
+    let results = json.get("results").and_then(Json::as_arr).expect("partial results present");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].get("status").and_then(Json::as_str), Some("exceeded"));
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_returns_503_with_retry_after() {
+    // `--queue 0` makes every connection arrive over capacity: pure
+    // admission-control rejection before any request byte is read.
+    let server = ServerProc::spawn(&["--queue", "0"]);
+    let (status, raw) = client_call(&server.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 503);
+    assert!(String::from_utf8_lossy(&raw).contains("saturated"));
+    let (status, _) = client_call(&server.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 503);
+    // `/shutdown` is itself turned away at capacity 0, so this server
+    // ends by the Drop kill rather than a graceful drain.
+}
+
+#[test]
+fn rpr_request_round_trip_and_exit_codes() {
+    let server = ServerProc::spawn(&[]);
+    let url = |path: &str| format!("http://{}{path}", server.addr);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["request", &url("/check"), &workload("running_example.rpr"), "--repairs", "J2"])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"verdict\":\"optimal\""), "got: {stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["request", &url("/check"), &workload("hard_blowup.rpr"), "--max-work", "1"])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["request", &url("/healthz")])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("ok"));
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_mid_stream_drains_queued_work() {
+    let server = ServerProc::spawn(&["--jobs", "1"]);
+    // Long-running request in flight…
+    let addr = server.addr.clone();
+    let body = body_with_workspace("running_example.rpr", "");
+    let worker = std::thread::spawn(move || {
+        client_call(&addr, "POST", "/check", body.as_bytes()).expect("in-flight request answered")
+    });
+    // Let the connection land (backlog or queue) before draining.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // …drain while it may still be queued or mid-check: the request
+    // must still receive a complete response (done or cancelled), never
+    // a dropped connection.
+    let tail = server.shutdown();
+    let (status, raw) = worker.join().unwrap();
+    assert!(
+        status == 200 || status == 503,
+        "expected done-or-cancelled, got {status}: {}",
+        String::from_utf8_lossy(&raw)
+    );
+    assert!(tail.contains("drained after"), "got: {tail}");
+}

@@ -39,6 +39,7 @@ pub mod global_2keys;
 pub mod global_ccp_const;
 pub mod global_ccp_pk;
 pub mod improvement;
+pub mod owned;
 pub mod pareto;
 pub mod session;
 
@@ -70,6 +71,7 @@ pub use global_ccp_pk::check_global_ccp_pk;
 pub use improvement::{
     is_global_improvement, is_pareto_improvement, BudgetExceeded, CheckOutcome, Improvement,
 };
+pub use owned::OwnedCheckSession;
 pub use pareto::{find_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute};
 pub use rpr_engine::{Budget, BudgetReport, CancelToken, ExceedReason, Outcome, PanicReport, Stop};
-pub use session::{default_jobs, CheckSession};
+pub use session::{default_jobs, resolve_jobs, CheckSession, SessionArtifacts};

@@ -117,11 +117,15 @@ enum Plan {
     Ccp(CcpClass),
 }
 
-/// An amortized checker for many `check(J)` calls against one
-/// `(schema, instance, priority)` triple. See the module docs.
-pub struct CheckSession<'a> {
-    schema: &'a Schema,
-    pi: &'a PrioritizedInstance,
+/// The candidate-independent artifacts a session amortizes: the
+/// conflict graph (bitset + CSR), the dichotomy classification, the
+/// per-relation fact partitions and Lemma 4.2 block structures, and the
+/// nontrivial connected components. Everything here is owned, so
+/// artifacts can be built once and cached (e.g. keyed by workspace
+/// fingerprint in the serving layer) independently of the borrowing
+/// [`CheckSession`] views created from them.
+#[must_use = "building session artifacts is the expensive step — use them in a CheckSession"]
+pub struct SessionArtifacts {
     cg: ConflictGraph,
     csr: CsrConflictGraph,
     plan: Plan,
@@ -136,6 +140,73 @@ pub struct CheckSession<'a> {
     /// Connected components with ≥ 2 members, ordered by minimal
     /// member; singletons can never witness an inconsistency.
     nontrivial_components: Vec<Vec<FactId>>,
+}
+
+impl SessionArtifacts {
+    /// Builds the artifacts, classifying the schema under the dichotomy
+    /// matching `pi.mode()`.
+    pub fn build(schema: &Schema, pi: &PrioritizedInstance) -> Self {
+        let plan = match pi.mode() {
+            PriorityMode::ConflictRestricted => Plan::Classical(classify_schema(schema)),
+            PriorityMode::CrossConflict => Plan::Ccp(classify_schema_ccp(schema)),
+        };
+        Self::build_with_plan(schema, pi, plan)
+    }
+
+    fn build_with_plan(schema: &Schema, pi: &PrioritizedInstance, plan: Plan) -> Self {
+        let instance = pi.instance();
+        let cg = ConflictGraph::new(schema, instance);
+        let csr = CsrConflictGraph::from_graph(&cg);
+        let rel_domains: Vec<FactSet> =
+            schema.signature().rel_ids().map(|rel| instance.rel_set(rel)).collect();
+        let nontrivial_components = csr.components().into_iter().filter(|c| c.len() > 1).collect();
+        let mut rel_blocks: Vec<Option<FdBlocks>> =
+            schema.signature().rel_ids().map(|_| None).collect();
+        if let Plan::Classical(class) = &plan {
+            for (rel, rc) in class.per_relation() {
+                if let RelationClass::SingleFd(fd) = rc {
+                    rel_blocks[rel.index()] =
+                        Some(FdBlocks::build(instance, *fd, &rel_domains[rel.index()]));
+                }
+            }
+        }
+        SessionArtifacts { cg, csr, plan, rel_domains, rel_blocks, nontrivial_components }
+    }
+
+    /// The complexity of checking under the cached classification.
+    pub fn complexity(&self) -> Complexity {
+        match &self.plan {
+            Plan::Classical(c) => c.complexity(),
+            Plan::Ccp(c) => c.complexity(),
+        }
+    }
+}
+
+/// Owned or borrowed artifacts: sessions built directly own theirs;
+/// views vended by [`OwnedCheckSession`] (or over externally cached
+/// artifacts) borrow.
+enum ArtRef<'a> {
+    Owned(Box<SessionArtifacts>),
+    Borrowed(&'a SessionArtifacts),
+}
+
+impl std::ops::Deref for ArtRef<'_> {
+    type Target = SessionArtifacts;
+
+    fn deref(&self) -> &SessionArtifacts {
+        match self {
+            ArtRef::Owned(a) => a,
+            ArtRef::Borrowed(a) => a,
+        }
+    }
+}
+
+/// An amortized checker for many `check(J)` calls against one
+/// `(schema, instance, priority)` triple. See the module docs.
+pub struct CheckSession<'a> {
+    schema: &'a Schema,
+    pi: &'a PrioritizedInstance,
+    art: ArtRef<'a>,
     jobs: usize,
     exact_budget: usize,
 }
@@ -144,11 +215,30 @@ impl<'a> CheckSession<'a> {
     /// Builds a session, classifying the schema under the dichotomy
     /// matching `pi.mode()`.
     pub fn new(schema: &'a Schema, pi: &'a PrioritizedInstance) -> Self {
-        let plan = match pi.mode() {
-            PriorityMode::ConflictRestricted => Plan::Classical(classify_schema(schema)),
-            PriorityMode::CrossConflict => Plan::Ccp(classify_schema_ccp(schema)),
-        };
-        Self::with_plan(schema, pi, plan)
+        Self::from_artifacts_ref(
+            schema,
+            pi,
+            ArtRef::Owned(Box::new(SessionArtifacts::build(schema, pi))),
+        )
+    }
+
+    /// Builds a session over artifacts the caller prepared (and may be
+    /// sharing — e.g. a serving-layer cache entry). The artifacts must
+    /// have been built from the same `(schema, pi)` pair.
+    pub fn from_artifacts(
+        schema: &'a Schema,
+        pi: &'a PrioritizedInstance,
+        artifacts: &'a SessionArtifacts,
+    ) -> Self {
+        Self::from_artifacts_ref(schema, pi, ArtRef::Borrowed(artifacts))
+    }
+
+    fn from_artifacts_ref(
+        schema: &'a Schema,
+        pi: &'a PrioritizedInstance,
+        art: ArtRef<'a>,
+    ) -> Self {
+        CheckSession { schema, pi, art, jobs: default_jobs(), exact_budget: DEFAULT_EXACT_BUDGET }
     }
 
     /// Builds a classical session from a precomputed classification
@@ -167,7 +257,8 @@ impl<'a> CheckSession<'a> {
             PriorityMode::ConflictRestricted,
             "ccp instances must use CcpChecker / a ccp session"
         );
-        Self::with_plan(schema, pi, Plan::Classical(class))
+        let art = SessionArtifacts::build_with_plan(schema, pi, Plan::Classical(class));
+        Self::from_artifacts_ref(schema, pi, ArtRef::Owned(Box::new(art)))
     }
 
     /// Builds a ccp session from a precomputed classification.
@@ -178,38 +269,8 @@ impl<'a> CheckSession<'a> {
         pi: &'a PrioritizedInstance,
         class: CcpClass,
     ) -> Self {
-        Self::with_plan(schema, pi, Plan::Ccp(class))
-    }
-
-    fn with_plan(schema: &'a Schema, pi: &'a PrioritizedInstance, plan: Plan) -> Self {
-        let instance = pi.instance();
-        let cg = ConflictGraph::new(schema, instance);
-        let csr = CsrConflictGraph::from_graph(&cg);
-        let rel_domains: Vec<FactSet> =
-            schema.signature().rel_ids().map(|rel| instance.rel_set(rel)).collect();
-        let nontrivial_components = csr.components().into_iter().filter(|c| c.len() > 1).collect();
-        let mut rel_blocks: Vec<Option<FdBlocks>> =
-            schema.signature().rel_ids().map(|_| None).collect();
-        if let Plan::Classical(class) = &plan {
-            for (rel, rc) in class.per_relation() {
-                if let RelationClass::SingleFd(fd) = rc {
-                    rel_blocks[rel.index()] =
-                        Some(FdBlocks::build(instance, *fd, &rel_domains[rel.index()]));
-                }
-            }
-        }
-        CheckSession {
-            schema,
-            pi,
-            cg,
-            csr,
-            plan,
-            rel_domains,
-            rel_blocks,
-            nontrivial_components,
-            jobs: default_jobs(),
-            exact_budget: DEFAULT_EXACT_BUDGET,
-        }
+        let art = SessionArtifacts::build_with_plan(schema, pi, Plan::Ccp(class));
+        Self::from_artifacts_ref(schema, pi, ArtRef::Owned(Box::new(art)))
     }
 
     /// Sets the worker count for parallel fan-out. `0` restores the
@@ -233,12 +294,12 @@ impl<'a> CheckSession<'a> {
 
     /// The cached bitset conflict graph.
     pub fn conflict_graph(&self) -> &ConflictGraph {
-        &self.cg
+        &self.art.cg
     }
 
     /// The cached CSR packing of the conflict graph.
     pub fn csr(&self) -> &CsrConflictGraph {
-        &self.csr
+        &self.art.csr
     }
 
     /// The schema the session was classified under.
@@ -263,10 +324,7 @@ impl<'a> CheckSession<'a> {
 
     /// The complexity of checking under the session's dichotomy.
     pub fn complexity(&self) -> Complexity {
-        match &self.plan {
-            Plan::Classical(c) => c.complexity(),
-            Plan::Ccp(c) => c.complexity(),
-        }
+        self.art.complexity()
     }
 
     /// Checks whether `j` is a globally-optimal repair, with the
@@ -368,7 +426,7 @@ impl<'a> CheckSession<'a> {
         if let Some((f, g)) = self.consistency_witness(j, jobs) {
             return Ok(CheckOutcome::Inconsistent(f, g));
         }
-        match &self.plan {
+        match &self.art.plan {
             Plan::Classical(class) => self.check_classical(class, j, jobs, exact),
             Plan::Ccp(class) => self.check_ccp(class, j, exact),
         }
@@ -380,19 +438,20 @@ impl<'a> CheckSession<'a> {
     fn consistency_witness(&self, j: &FactSet, jobs: usize) -> Option<(FactId, FactId)> {
         let parallel = jobs > 1
             && j.universe() >= PARALLEL_PREPASS_MIN_FACTS
-            && self.nontrivial_components.len() > 1;
+            && self.art.nontrivial_components.len() > 1;
         if !parallel {
-            return j.iter().find_map(|f| self.csr.first_conflict_in(f, j).map(|g| (f, g)));
+            return j.iter().find_map(|f| self.art.csr.first_conflict_in(f, j).map(|g| (f, g)));
         }
         // Conflicts never leave a component, so each component can be
         // scanned independently; the global witness is the one with the
         // minimal inconsistent fact.
-        let per_component = rethrow(self.fan_out_n(jobs, self.nontrivial_components.len(), |c| {
-            self.nontrivial_components[c]
-                .iter()
-                .filter(|f| j.contains(**f))
-                .find_map(|&f| self.csr.first_conflict_in(f, j).map(|g| (f, g)))
-        }));
+        let per_component =
+            rethrow(self.fan_out_n(jobs, self.art.nontrivial_components.len(), |c| {
+                self.art.nontrivial_components[c]
+                    .iter()
+                    .filter(|f| j.contains(**f))
+                    .find_map(|&f| self.art.csr.first_conflict_in(f, j).map(|g| (f, g)))
+            }));
         per_component.into_iter().flatten().min_by_key(|&(f, _)| f)
     }
 
@@ -437,7 +496,7 @@ impl<'a> CheckSession<'a> {
     ) -> Result<CheckOutcome, Stop> {
         let instance = self.pi.instance();
         let priority = self.pi.priority();
-        let domain = &self.rel_domains[rel.index()];
+        let domain = &self.art.rel_domains[rel.index()];
         let j_rel = j.intersect(domain);
         if let ExactCtl::Engine(budget) = exact {
             // One unit per dispatched relation, so polynomial relations
@@ -446,13 +505,13 @@ impl<'a> CheckSession<'a> {
         }
         Ok(match class {
             RelationClass::SingleFd(_) => {
-                let blocks = self.rel_blocks[rel.index()]
+                let blocks = self.art.rel_blocks[rel.index()]
                     .as_ref()
                     .expect("blocks cached for every single-FD relation");
-                check_global_1fd_with_blocks(&self.cg, priority, blocks, &j_rel)
+                check_global_1fd_with_blocks(&self.art.cg, priority, blocks, &j_rel)
             }
             RelationClass::TwoKeys(a1, a2) => {
-                check_global_2keys(instance, &self.cg, priority, *a1, *a2, domain, &j_rel)
+                check_global_2keys(instance, &self.art.cg, priority, *a1, *a2, domain, &j_rel)
             }
             RelationClass::Hard(_) => self.check_exact(priority, domain, &j_rel, exact)?,
         })
@@ -470,9 +529,9 @@ impl<'a> CheckSession<'a> {
             budget.step()?;
         }
         Ok(match class {
-            CcpClass::PrimaryKeyAssignment(_) => check_global_ccp_pk(&self.cg, priority, j),
+            CcpClass::PrimaryKeyAssignment(_) => check_global_ccp_pk(&self.art.cg, priority, j),
             CcpClass::ConstantAttributeAssignment(consts) => {
-                check_global_ccp_const(instance, &self.cg, priority, consts, j)
+                check_global_ccp_const(instance, &self.art.cg, priority, consts, j)
             }
             CcpClass::Hard { .. } => self.check_exact(priority, &instance.full_set(), j, exact)?,
         })
@@ -492,10 +551,10 @@ impl<'a> CheckSession<'a> {
         match exact {
             ExactCtl::Legacy(steps) => {
                 let b = Budget::unlimited().with_max_work(steps as u64);
-                check_global_exact_stop(&self.cg, priority, domain, j_rel, &b)
+                check_global_exact_stop(&self.art.cg, priority, domain, j_rel, &b)
             }
             ExactCtl::Engine(budget) => {
-                check_global_exact_stop(&self.cg, priority, domain, j_rel, budget)
+                check_global_exact_stop(&self.art.cg, priority, domain, j_rel, budget)
             }
         }
     }
@@ -553,6 +612,17 @@ impl<'a> CheckSession<'a> {
 /// The default `jobs` value: the machine's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The one shared `--jobs` resolution rule: an explicit setting wins,
+/// absent or `0` means [`default_jobs`]. Every front end (CLI flags,
+/// server knobs, bench harnesses) resolves through here so the
+/// convention cannot drift.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => default_jobs(),
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 pub mod attrset;
 pub mod error;
 pub mod fact;
+pub mod fingerprint;
 pub mod hash;
 pub mod instance;
 pub mod parse;
@@ -29,6 +30,10 @@ pub mod value;
 pub use attrset::{AttrSet, MAX_ARITY};
 pub use error::DataError;
 pub use fact::{Fact, SigRef, Tuple};
+pub use fingerprint::{
+    combine_unordered, fingerprint_fact, fingerprint_instance, fingerprint_signature,
+    fingerprint_value, Fingerprint, FingerprintBuilder,
+};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use instance::{tuple, FactId, FactSet, Instance};
 pub use parse::{parse_instance, render_instance};

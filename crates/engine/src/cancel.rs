@@ -34,6 +34,18 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
     }
+
+    /// Arms a detached watchdog that fires [`cancel`](CancelToken::cancel)
+    /// after `delay`. The thread holds only a clone of the flag, so it
+    /// never keeps live work alive; if the token is dropped (or already
+    /// cancelled) the watchdog's store is a harmless no-op.
+    pub fn cancel_after(&self, delay: std::time::Duration) {
+        let token = self.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            token.cancel();
+        });
+    }
 }
 
 #[cfg(test)]
@@ -50,6 +62,17 @@ mod tests {
         // Idempotent.
         t.cancel();
         assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_after_fires() {
+        let t = CancelToken::new();
+        t.cancel_after(std::time::Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !t.is_cancelled() {
+            assert!(std::time::Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Canonical whole-workspace fingerprints.
+//!
+//! The serving layer caches prepared check sessions keyed by the
+//! *content* of `(schema, FDs, priority, instance)`. This module
+//! composes the `rpr-data` fingerprint primitives into that key:
+//! every component is hashed by content (relation names, tuple values,
+//! endpoint facts of priority edges) and set-valued components are
+//! combined order-insensitively, so two workspaces that declare the
+//! same data in different orders — and therefore assign different
+//! `FactId`s — produce the same fingerprint.
+//!
+//! Candidate repairs are deliberately **excluded**: they vary per
+//! request while the cached session artifacts depend only on the
+//! prioritized instance.
+
+use crate::format::Workspace;
+use rpr_data::fingerprint::{combine_unordered, fingerprint_fact, Fingerprint, FingerprintBuilder};
+use rpr_data::{Instance, Signature};
+use rpr_fd::Schema;
+use rpr_priority::{PriorityMode, PriorityRelation};
+
+/// Fingerprint of a schema: its signature plus the *set* of FDs
+/// (each hashed by relation name and attribute bitmasks).
+pub fn schema_fingerprint(schema: &Schema) -> Fingerprint {
+    let sig = schema.signature();
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(rpr_data::fingerprint_signature(sig));
+    b.fingerprint(combine_unordered(schema.fds().iter().map(|fd| {
+        let mut f = FingerprintBuilder::new();
+        f.str(sig.symbol(fd.rel).name()).word(fd.lhs.bits()).word(fd.rhs.bits());
+        f.finish()
+    })));
+    b.finish()
+}
+
+/// Fingerprint of a priority relation over a fixed instance: the *set*
+/// of edges, each hashed as the ordered pair of its endpoint facts'
+/// content digests (so renumbering facts does not change the result).
+pub fn priority_fingerprint(instance: &Instance, priority: &PriorityRelation) -> Fingerprint {
+    let sig: &Signature = instance.signature();
+    combine_unordered(priority.edges().iter().map(|&(hi, lo)| {
+        let mut b = FingerprintBuilder::new();
+        b.fingerprint(fingerprint_fact(sig, instance.fact(hi)));
+        b.fingerprint(fingerprint_fact(sig, instance.fact(lo)));
+        b.finish()
+    }))
+}
+
+/// The canonical 128-bit fingerprint of a workspace's prioritized
+/// instance: schema (signature + FDs), instance facts, priority edges,
+/// and priority mode. Declaration order of relations, FDs, facts and
+/// preferences does not affect the result; candidate repairs are not
+/// part of the key.
+pub fn workspace_fingerprint(ws: &Workspace) -> Fingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(schema_fingerprint(&ws.schema));
+    b.fingerprint(rpr_data::fingerprint_instance(&ws.instance));
+    b.fingerprint(priority_fingerprint(&ws.instance, &ws.priority));
+    b.word(match ws.mode {
+        PriorityMode::ConflictRestricted => 1,
+        PriorityMode::CrossConflict => 2,
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_workspace;
+
+    const BASE: &str = "\
+relation R/2
+fd R: 1 -> 2
+relation S/1
+fact R(a, x)
+fact R(a, y)
+fact S(z)
+prefer R(a, x) > R(a, y)
+mode conflict
+";
+
+    /// Same content, every declaration order permuted.
+    const SHUFFLED: &str = "\
+relation R/2
+relation S/1
+fd R: 1 -> 2
+fact S(z)
+fact R(a, y)
+fact R(a, x)
+prefer R(a, x) > R(a, y)
+mode conflict
+";
+
+    #[test]
+    fn declaration_order_does_not_matter() {
+        let a = parse_workspace(BASE).unwrap();
+        let b = parse_workspace(SHUFFLED).unwrap();
+        assert_eq!(workspace_fingerprint(&a), workspace_fingerprint(&b));
+    }
+
+    #[test]
+    fn content_changes_change_the_fingerprint() {
+        let base = workspace_fingerprint(&parse_workspace(BASE).unwrap());
+        // Extra fact.
+        let more = BASE.replace("fact S(z)", "fact S(z)\nfact S(w)");
+        assert_ne!(base, workspace_fingerprint(&parse_workspace(&more).unwrap()));
+        // Reversed preference edge.
+        let flipped = BASE.replace("prefer R(a, x) > R(a, y)", "prefer R(a, y) > R(a, x)");
+        assert_ne!(base, workspace_fingerprint(&parse_workspace(&flipped).unwrap()));
+        // Dropped FD.
+        let nofd = BASE.replace("fd R: 1 -> 2\n", "");
+        assert_ne!(base, workspace_fingerprint(&parse_workspace(&nofd).unwrap()));
+    }
+
+    #[test]
+    fn repairs_are_not_part_of_the_key() {
+        let with_repair = format!("{BASE}repair J: R(a, x); S(z)\n");
+        let a = parse_workspace(BASE).unwrap();
+        let b = parse_workspace(&with_repair).unwrap();
+        assert_eq!(workspace_fingerprint(&a), workspace_fingerprint(&b));
+    }
+}

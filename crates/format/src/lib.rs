@@ -1,0 +1,29 @@
+//! # rpr-format — workspace file formats and canonical fingerprints
+//!
+//! The serialization layer of the preferred-repairs system, extracted
+//! from `rpr-cli` so that non-CLI front ends (notably the `rpr-serve`
+//! HTTP service) can parse workspaces without depending on the binary
+//! crate:
+//!
+//! * [`format`] — the textual `.rpr` workspace grammar
+//!   (`relation`/`fd`/`fact`/`prefer`/`mode`/`repair` directives) and
+//!   its renderer;
+//! * [`store`] — the `.rprb` binary codec;
+//! * [`query_parse`] — conjunctive-query parsing for the CQA commands;
+//! * [`fingerprint`] — the canonical 128-bit content fingerprint of a
+//!   whole workspace, used as the serving layer's session-cache key.
+//!
+//! `rpr-cli` re-exports these modules under their old paths, so
+//! `rpr_cli::format::Workspace` keeps working for existing callers.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod format;
+pub mod query_parse;
+pub mod store;
+
+pub use fingerprint::{schema_fingerprint, workspace_fingerprint};
+pub use format::{parse_workspace, render_workspace, FormatError, Workspace};
+pub use query_parse::{parse_query, QueryError};
+pub use store::{decode, encode, is_binary, StoreError};

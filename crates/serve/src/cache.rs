@@ -1,0 +1,184 @@
+//! The LRU session cache.
+//!
+//! Keyed by the canonical workspace fingerprint
+//! (`rpr_format::workspace_fingerprint`), each entry is an
+//! [`OwnedCheckSession`] — the expensive, candidate-independent
+//! artifacts of one `(schema, FDs, priority, instance)` content class.
+//! Entries are shared out as `Arc`s, so an eviction never invalidates a
+//! request that is mid-check on the evicted session; the artifacts are
+//! freed when the last in-flight user drops its handle.
+//!
+//! Recency is tracked with a monotone touch counter instead of a linked
+//! list: lookups bump the entry's stamp under the same mutex, and
+//! eviction scans for the minimum. The scan is `O(capacity)`, which is
+//! fine for the tens-to-hundreds of instances a repair service
+//! realistically keeps warm.
+
+use rpr_core::OwnedCheckSession;
+use rpr_data::{fingerprint::Fingerprint, FxHashMap};
+use std::sync::{Arc, Mutex};
+
+/// Whether a lookup was served from the cache or had to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheOutcome {
+    /// The session was already prepared.
+    Hit,
+    /// The session was built (and inserted) by this lookup.
+    Miss,
+}
+
+struct Entry {
+    session: Arc<OwnedCheckSession>,
+    stamp: u64,
+}
+
+/// An LRU cache of prepared check sessions keyed by workspace
+/// fingerprint.
+#[must_use = "a session cache does nothing unless lookups go through it"]
+pub struct SessionCache {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    entries: FxHashMap<u128, Entry>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl SessionCache {
+    /// Creates a cache holding at most `capacity` sessions
+    /// (`capacity == 0` disables caching: every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        SessionCache {
+            inner: Mutex::new(Inner {
+                entries: FxHashMap::default(),
+                capacity,
+                tick: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up the session for `key`, building it with `build` on a
+    /// miss. The build runs *outside* the cache lock, so a slow
+    /// preparation never blocks hits on other keys; if two requests
+    /// race on the same cold key, both build and the second insert
+    /// wins (they are content-identical, so either result is correct).
+    pub fn get_or_build(
+        &self,
+        key: Fingerprint,
+        build: impl FnOnce() -> Arc<OwnedCheckSession>,
+    ) -> (Arc<OwnedCheckSession>, CacheOutcome) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key.0) {
+                entry.stamp = tick;
+                return (Arc::clone(&entry.session), CacheOutcome::Hit);
+            }
+        }
+        let session = build();
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.capacity > 0 {
+            while inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key.0) {
+                let lru = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty map has a minimum");
+                inner.entries.remove(&lru);
+                inner.evictions += 1;
+            }
+            inner.entries.insert(key.0, Entry { session: Arc::clone(&session), stamp: tick });
+        }
+        (session, CacheOutcome::Miss)
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("cache lock poisoned").evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::{Instance, Signature, Value};
+    use rpr_fd::Schema;
+    use rpr_priority::{PrioritizedInstance, PriorityRelation};
+
+    fn dummy_session(tag: i64) -> Arc<OwnedCheckSession> {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut instance = Instance::new(sig);
+        instance.insert_named("R", [Value::int(tag), Value::sym("x")]).unwrap();
+        let priority = PriorityRelation::empty(instance.len());
+        let pi = PrioritizedInstance::conflict_restricted(&schema, instance, priority).unwrap();
+        Arc::new(OwnedCheckSession::prepare(Arc::new(schema), Arc::new(pi)))
+    }
+
+    fn key(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = SessionCache::new(4);
+        let (_, o1) = cache.get_or_build(key(1), || dummy_session(1));
+        let (_, o2) = cache.get_or_build(key(1), || panic!("must not rebuild"));
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = SessionCache::new(2);
+        let _ = cache.get_or_build(key(1), || dummy_session(1));
+        let _ = cache.get_or_build(key(2), || dummy_session(2));
+        // Touch 1 so 2 becomes the LRU.
+        let _ = cache.get_or_build(key(1), || panic!("hit expected"));
+        let _ = cache.get_or_build(key(3), || dummy_session(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let (_, o) = cache.get_or_build(key(1), || dummy_session(1));
+        assert_eq!(o, CacheOutcome::Hit, "1 survived");
+        let (_, o) = cache.get_or_build(key(2), || dummy_session(2));
+        assert_eq!(o, CacheOutcome::Miss, "2 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SessionCache::new(0);
+        let (_, o1) = cache.get_or_build(key(1), || dummy_session(1));
+        let (_, o2) = cache.get_or_build(key(1), || dummy_session(1));
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Miss);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn evicted_sessions_stay_usable_through_their_arc() {
+        let cache = SessionCache::new(1);
+        let (held, _) = cache.get_or_build(key(1), || dummy_session(1));
+        let _ = cache.get_or_build(key(2), || dummy_session(2));
+        // `held` was evicted but its Arc keeps the artifacts alive.
+        let j = held.prioritized().instance().full_set();
+        assert!(held.session().check(&j).unwrap().is_optimal());
+    }
+}

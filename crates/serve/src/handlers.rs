@@ -1,0 +1,373 @@
+//! Endpoint logic: request body → budgeted computation → JSON response.
+//!
+//! Every handler is a pure function of `(state, request)`; the server
+//! module owns sockets, admission, and threads. Outcome → status
+//! mapping (mirroring the CLI's exit codes):
+//!
+//! | outcome                    | status                          |
+//! |----------------------------|---------------------------------|
+//! | full answer                | 200                             |
+//! | budget tripped             | 422 + partial + budget report   |
+//! | cancelled (server drain)   | 503 + `Retry-After`             |
+//! | handler/worker panic       | 500 (isolated, server survives) |
+//! | malformed request          | 400                             |
+//! | unknown route / bad method | 404 / 405                       |
+
+use crate::cache::{CacheOutcome, SessionCache};
+use crate::http::{Request, Response};
+use crate::json::{parse_json, Json};
+use crate::metrics::Metrics;
+use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, Outcome, OwnedCheckSession};
+use rpr_cqa::RepairSemantics;
+use rpr_data::{fingerprint::Fingerprint, FactSet};
+use rpr_format::{parse_workspace, workspace_fingerprint, Workspace};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Budget knobs every request runs under; the server supplies defaults
+/// and request bodies may override per call.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetDefaults {
+    /// Wall-clock deadline applied when the request names none.
+    pub timeout: Option<Duration>,
+    /// Work allowance applied when the request names none.
+    pub max_work: Option<u64>,
+}
+
+/// Shared, immutable server state handed to every handler.
+pub struct ServerState {
+    /// The fingerprint-keyed LRU of prepared sessions.
+    pub cache: SessionCache,
+    /// The metrics registry.
+    pub metrics: Metrics,
+    /// Server-level budget defaults.
+    pub defaults: BudgetDefaults,
+    /// Worker threads used inside one check (the `--jobs` convention).
+    pub jobs: usize,
+    /// Fires when the server starts draining; attached to every budget.
+    pub drain: CancelToken,
+}
+
+/// Routes one parsed request. Never panics outward: the server wraps
+/// this in `catch_unwind`, but handlers themselves also isolate
+/// per-candidate panics via the bounded session API.
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, r#"{"status":"ok"}"#)
+        }
+        ("GET", "/metrics") => {
+            state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
+            Response::text(200, state.metrics.render_prometheus())
+        }
+        ("POST", "/check") => timed(state, &state.metrics.check_latency, req, check),
+        ("POST", "/classify") => timed(state, &state.metrics.classify_latency, req, classify),
+        ("POST", "/cqa") => timed(state, &state.metrics.cqa_latency, req, cqa),
+        (_, "/healthz" | "/metrics") | (_, "/check" | "/classify" | "/cqa") => {
+            state.metrics.bad_request_total.fetch_add(1, Ordering::Relaxed);
+            error_response(405, "method not allowed for this path")
+        }
+        _ => {
+            state.metrics.bad_request_total.fetch_add(1, Ordering::Relaxed);
+            error_response(404, "unknown path")
+        }
+    }
+}
+
+fn timed(
+    state: &ServerState,
+    histogram: &crate::metrics::Histogram,
+    req: &Request,
+    f: impl Fn(&ServerState, &Request) -> Result<Response, Response>,
+) -> Response {
+    let start = Instant::now();
+    let response = match f(state, req) {
+        Ok(r) | Err(r) => r,
+    };
+    histogram.observe(start.elapsed());
+    count_status(&state.metrics, response.status);
+    response
+}
+
+fn count_status(metrics: &Metrics, status: u16) {
+    let counter = match status {
+        200 => &metrics.done_total,
+        422 => &metrics.exceeded_total,
+        503 => &metrics.cancelled_total,
+        500 => &metrics.panicked_total,
+        _ => &metrics.bad_request_total,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, Json::obj([("error", Json::str(message))]).render())
+}
+
+/// The parsed, validated common part of a POST body.
+struct Prepared {
+    workspace: Workspace,
+    fingerprint: Fingerprint,
+    session: Arc<OwnedCheckSession>,
+    cached: bool,
+    budget: Budget,
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| error_response(400, "body is not UTF-8"))?;
+    parse_json(text).map_err(|e| error_response(400, &e.to_string()))
+}
+
+fn prepare(state: &ServerState, body: &Json) -> Result<Prepared, Response> {
+    let ws_text = body
+        .get("workspace")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing string field `workspace`"))?;
+    let workspace =
+        parse_workspace(ws_text).map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+    let fingerprint = workspace_fingerprint(&workspace);
+    // Validate before touching the cache so a broken workspace can
+    // never leave a placeholder entry behind.
+    let pi =
+        workspace.prioritized().map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+
+    // Budget: request override, else server default; drain always attached.
+    let timeout =
+        match body.get("timeout_ms") {
+            Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+                error_response(400, "`timeout_ms` must be a non-negative integer")
+            })?)),
+            None => state.defaults.timeout,
+        };
+    let max_work = match body.get("max_work") {
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| error_response(400, "`max_work` must be a non-negative integer"))?,
+        ),
+        None => state.defaults.max_work,
+    };
+    let mut budget = Budget::unlimited().with_cancel(state.drain.clone());
+    if let Some(t) = timeout {
+        budget = budget.with_deadline(t);
+    }
+    if let Some(w) = max_work {
+        budget = budget.with_max_work(w);
+    }
+
+    // Session: LRU by fingerprint (the fingerprint is content-based,
+    // so a hit is guaranteed to be the same prioritized instance).
+    let (session, outcome) = state.cache.get_or_build(fingerprint, || {
+        Arc::new(OwnedCheckSession::prepare(Arc::new(workspace.schema.clone()), Arc::new(pi)))
+    });
+    let cached = outcome == CacheOutcome::Hit;
+    if cached {
+        state.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+    } else {
+        state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(Prepared { workspace, fingerprint, session, cached, budget })
+}
+
+fn base_response(p: &Prepared) -> Vec<(&'static str, Json)> {
+    vec![
+        ("fingerprint", Json::str(p.fingerprint.to_hex())),
+        ("cached", Json::Bool(p.cached)),
+        ("complexity", Json::str(complexity_str(p.session.complexity()))),
+    ]
+}
+
+fn complexity_str(c: rpr_classify::Complexity) -> &'static str {
+    match c {
+        rpr_classify::Complexity::PolynomialTime => "ptime",
+        rpr_classify::Complexity::ConpComplete => "conp-complete",
+    }
+}
+
+/// `POST /classify` — schema classification under the workspace's
+/// dichotomy, plus cache/fingerprint info.
+fn classify(state: &ServerState, req: &Request) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let p = prepare(state, &body)?;
+    let mut fields = base_response(&p);
+    fields.push(("status", Json::str("done")));
+    fields.push((
+        "mode",
+        Json::str(match p.workspace.mode {
+            rpr_priority::PriorityMode::ConflictRestricted => "conflict",
+            rpr_priority::PriorityMode::CrossConflict => "ccp",
+        }),
+    ));
+    Ok(Response::json(
+        200,
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render(),
+    ))
+}
+
+/// Resolves which named candidate repairs the request asks about.
+fn requested_repairs(
+    body_repairs: Option<&[Json]>,
+    ws: &Workspace,
+) -> Result<Vec<(String, FactSet)>, Response> {
+    match body_repairs {
+        None => Ok(ws.repairs.clone()),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                let name = n
+                    .as_str()
+                    .ok_or_else(|| error_response(400, "`repairs` must be an array of names"))?;
+                ws.repairs
+                    .iter()
+                    .find(|(declared, _)| declared == name)
+                    .cloned()
+                    .ok_or_else(|| error_response(400, &format!("unknown repair `{name}`")))
+            })
+            .collect(),
+    }
+}
+
+/// `POST /check` — batch repair checking through the cached session.
+fn check(state: &ServerState, req: &Request) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let p = prepare(state, &body)?;
+    let candidates = requested_repairs(body.get("repairs").and_then(Json::as_arr), &p.workspace)?;
+    if candidates.is_empty() {
+        return Err(error_response(400, "workspace declares no candidate repairs (add `repair NAME: ...` lines or pass `repairs`)"));
+    }
+    let sets: Vec<FactSet> = candidates.iter().map(|(_, s)| s.clone()).collect();
+
+    let session: CheckSession<'_> = p.session.session().with_jobs(state.jobs);
+    let outcomes = session.check_batch_bounded(&sets, &p.budget);
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut exceeded_report: Option<String> = None;
+    let mut any_cancelled = false;
+    let mut any_panicked = false;
+    for ((name, _), outcome) in candidates.iter().zip(&outcomes) {
+        let mut entry = vec![("repair".to_owned(), Json::str(name.clone()))];
+        match outcome {
+            Outcome::Done(check_outcome) => {
+                entry.push(("status".to_owned(), Json::str("done")));
+                entry.push(("optimal".to_owned(), Json::Bool(check_outcome.is_optimal())));
+                entry.push(("verdict".to_owned(), Json::str(verdict_str(check_outcome))));
+            }
+            Outcome::Exceeded { report, .. } => {
+                entry.push(("status".to_owned(), Json::str("exceeded")));
+                exceeded_report.get_or_insert_with(|| report.to_json());
+            }
+            Outcome::Cancelled { .. } => {
+                entry.push(("status".to_owned(), Json::str("cancelled")));
+                any_cancelled = true;
+            }
+            Outcome::Panicked { report, .. } => {
+                entry.push(("status".to_owned(), Json::str("panicked")));
+                entry.push(("panic".to_owned(), Json::str(report.to_string())));
+                any_panicked = true;
+            }
+        }
+        results.push(Json::Obj(entry.into_iter().collect()));
+    }
+
+    let mut fields = base_response(&p);
+    fields.push(("results", Json::Arr(results)));
+    let status = if any_cancelled {
+        fields.push(("status", Json::str("cancelled")));
+        503
+    } else if let Some(report) = exceeded_report {
+        fields.push(("status", Json::str("exceeded")));
+        fields.push(("budget_report", parse_json(&report).unwrap_or(Json::Null)));
+        422
+    } else if any_panicked {
+        fields.push(("status", Json::str("panicked")));
+        500
+    } else {
+        fields.push(("status", Json::str("done")));
+        200
+    };
+    let body = Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render();
+    let mut response = Response::json(status, body);
+    if status == 503 {
+        response = response.with_header("retry-after", "1");
+    }
+    Ok(response)
+}
+
+fn verdict_str(outcome: &CheckOutcome) -> &'static str {
+    match outcome {
+        CheckOutcome::Optimal => "optimal",
+        CheckOutcome::Improvable(_) => "improvable",
+        CheckOutcome::Inconsistent(_, _) => "inconsistent",
+    }
+}
+
+/// `POST /cqa` — consistent query answering over the cached session.
+fn cqa(state: &ServerState, req: &Request) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let p = prepare(state, &body)?;
+    let query_text = body
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing string field `query`"))?;
+    let semantics: RepairSemantics =
+        body.get("semantics").and_then(Json::as_str).unwrap_or("global").parse().map_err(|_| {
+            error_response(400, "unknown `semantics` (use all|pareto|global|completion)")
+        })?;
+    let query = rpr_format::parse_query(p.session.prioritized().instance(), query_text)
+        .map_err(|e| error_response(400, &format!("query: {e}")))?;
+
+    let session: CheckSession<'_> = p.session.session().with_jobs(state.jobs);
+    let outcome = rpr_cqa::answers_session_bounded(&session, &query, semantics, &p.budget);
+
+    let mut fields = base_response(&p);
+    let render_answers = |answers: &rpr_cqa::CqaAnswers| {
+        [
+            (
+                "certain",
+                Json::Arr(answers.certain.iter().map(|t| Json::str(t.to_string())).collect()),
+            ),
+            (
+                "possible",
+                Json::Arr(answers.possible.iter().map(|t| Json::str(t.to_string())).collect()),
+            ),
+            ("repair_count", Json::Int(answers.repair_count as i64)),
+        ]
+    };
+    let (status, retry) = match &outcome {
+        Outcome::Done(answers) => {
+            fields.push(("status", Json::str("done")));
+            for (k, v) in render_answers(answers) {
+                fields.push((k, v));
+            }
+            (200, false)
+        }
+        Outcome::Exceeded { partial, report } => {
+            fields.push(("status", Json::str("exceeded")));
+            fields.push(("budget_report", parse_json(&report.to_json()).unwrap_or(Json::Null)));
+            if let Some(answers) = partial {
+                for (k, v) in render_answers(answers) {
+                    fields.push((k, v));
+                }
+            }
+            (422, false)
+        }
+        Outcome::Cancelled { .. } => {
+            fields.push(("status", Json::str("cancelled")));
+            (503, true)
+        }
+        Outcome::Panicked { report, .. } => {
+            fields.push(("status", Json::str("panicked")));
+            fields.push(("panic", Json::str(report.to_string())));
+            (500, false)
+        }
+    };
+    let body = Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render();
+    let mut response = Response::json(status, body);
+    if retry {
+        response = response.with_header("retry-after", "1");
+    }
+    Ok(response)
+}

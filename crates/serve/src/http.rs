@@ -1,0 +1,310 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! The service speaks just enough HTTP for JSON request/response
+//! traffic: request line + headers + `Content-Length`-framed body in,
+//! status + headers + body out, `Connection: close` on every response
+//! (one request per connection keeps the worker pool's accounting
+//! trivial — admission control is per request anyway).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (workspaces are text files; 16 MiB is
+/// far above any realistic instance and bounds a hostile upload).
+pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// How long a connection may dribble its request before we give up.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are not used by this service and
+    /// are kept attached).
+    pub path: String,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+/// A framing/IO error while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed request.
+    Malformed(&'static str),
+    /// The request exceeded a size limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+    reader.read_line(&mut line)?;
+    header_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_owned();
+    let path = parts.next().ok_or(HttpError::Malformed("missing path"))?.to_owned();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers"));
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// An HTTP response ready to be written.
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set, as `(name, value)`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Writes the response (`Connection: close` framing).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Writes the response, then drains any unread request bytes until the
+/// peer's FIN before the caller closes the socket. Closing with unread
+/// data in the receive buffer makes the kernel send `RST`, which can
+/// discard the just-written response in flight — notably on the
+/// admission-control path, where the service answers 503 *without*
+/// reading the request. The drain is bounded (64 × 4 KiB reads, 250 ms
+/// timeout each) so a hostile dribbler cannot pin the thread.
+pub fn finish(stream: &mut TcpStream, response: &Response) {
+    if response.write_to(stream).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// A minimal one-shot HTTP client matching the server's framing: one
+/// request per connection, response read to EOF (`Connection: close`).
+/// Returns `(status, body)`. Used by `rpr request` and the load
+/// generator — the build environment vendors no HTTP client crates.
+pub fn client_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_end(&mut raw)?;
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").ok_or_else(bad)? + 4;
+    let head_text = std::str::from_utf8(&raw[..header_end]).map_err(|_| bad())?;
+    let status: u16 =
+        head_text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    Ok((status, raw[header_end..].to_vec()))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(b"POST /check HTTP/1.1\r\ncontent-length: 5\r\nhost: x\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/check");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
+            Err(HttpError::TooLarge)
+        ));
+        assert!(matches!(roundtrip(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(roundtrip(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn client_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.body, br#"{"a":1}"#);
+            Response::json(200, r#"{"ok":true}"#).write_to(&mut s).unwrap();
+        });
+        let (status, body) = client_call(&addr, "POST", "/check", br#"{"a":1}"#).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"ok":true}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn response_framing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::json(422, "{\"x\":1}")
+            .with_header("retry-after", "1")
+            .write_to(&mut server_side)
+            .unwrap();
+        drop(server_side);
+        let mut got = String::new();
+        let mut client = client;
+        client.read_to_string(&mut got).unwrap();
+        assert!(got.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
+        assert!(got.contains("content-length: 7\r\n"));
+        assert!(got.contains("retry-after: 1\r\n"));
+        assert!(got.ends_with("{\"x\":1}"));
+    }
+}

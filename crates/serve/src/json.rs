@@ -1,0 +1,438 @@
+//! A minimal JSON value, parser, and writer.
+//!
+//! The workspace builds without registry access, so the service
+//! hand-rolls the subset of JSON it needs: UTF-8 text, objects with
+//! string keys, arrays, strings with standard escapes, `i64`/`f64`
+//! numbers, booleans and null. Parsing is recursive-descent with a
+//! depth limit; writing always produces valid, minimally-escaped JSON.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser (request bodies are
+/// flat; anything deeper is hostile or broken).
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that parsed as an integer.
+    Int(i64),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps rendering deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_json(&mut out, self);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn write_json(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_json(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses a JSON document (exactly one value, trailing whitespace
+/// allowed).
+pub fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            members.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // self.pos is at the `u`.
+        let hex4 = |p: &Self, at: usize| -> Result<u32, JsonError> {
+            let s = p
+                .bytes
+                .get(at..at + 4)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| p.err("truncated \\u escape"))?;
+            u32::from_str_radix(s, 16).map_err(|_| p.err("bad \\u escape"))
+        };
+        let hi = hex4(self, self.pos + 1)?;
+        self.pos += 5;
+        if (0xd800..0xdc00).contains(&hi) {
+            // Surrogate pair: expect `\uXXXX` low half.
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                let lo = hex4(self, self.pos + 2)?;
+                self.pos += 6;
+                if !(0xdc00..0xe000).contains(&lo) {
+                    return Err(self.err("bad surrogate pair"));
+                }
+                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                return char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"));
+            }
+            return Err(self.err("lone surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basics() {
+        let v = parse_json(r#"{"a": [1, -2.5, "x\ny", true, null], "b": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_i64(), Some(1));
+        let text = v.render();
+        assert_eq!(parse_json(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::str("quote\" slash\\ newline\n tab\t ctrl\u{1} unicode\u{20ac}");
+        assert_eq!(parse_json(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse_json(r#""€""#).unwrap(), Json::str("\u{20ac}"));
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Json::str("\u{1f600}"));
+        assert!(parse_json(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1} x").is_err());
+        assert!(parse_json(&("[".repeat(100) + &"]".repeat(100))).is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_json("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse_json("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse_json("2.0").unwrap().as_i64(), Some(2));
+        assert_eq!(parse_json("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+    }
+}

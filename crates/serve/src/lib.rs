@@ -1,0 +1,49 @@
+//! # rpr-serve — the concurrent repair-checking service
+//!
+//! A dependency-light HTTP/1.1 JSON service over the preferred-repairs
+//! stack, built on [`std::net::TcpListener`] plus a fixed worker pool
+//! (the `--jobs` convention). The paper's dichotomy shapes the serving
+//! story: PTIME-side schemas (Theorems 3.1/7.1) answer at interactive
+//! latency, while coNP-side requests are only admitted under strict
+//! [`Budget`](rpr_core::Budget)s and degrade to
+//! 422-with-partial-results instead of hanging a worker.
+//!
+//! ## Endpoints
+//!
+//! | route             | body                                            | answer |
+//! |-------------------|--------------------------------------------------|--------|
+//! | `POST /check`     | `{workspace, repairs?, timeout_ms?, max_work?}`  | per-candidate verdicts |
+//! | `POST /classify`  | `{workspace}`                                    | dichotomy side + mode |
+//! | `POST /cqa`       | `{workspace, query, semantics?, …}`              | certain/possible answers |
+//! | `GET /healthz`    | —                                                | liveness |
+//! | `GET /metrics`    | —                                                | Prometheus text |
+//! | `POST /shutdown`  | —                                                | initiates graceful drain |
+//!
+//! ## Architecture
+//!
+//! * [`cache`] — LRU of [`OwnedCheckSession`](rpr_core::OwnedCheckSession)s
+//!   keyed by the canonical workspace fingerprint, so repeated traffic
+//!   against one database hits the amortized path;
+//! * [`server`] — accept thread + bounded admission queue (503 +
+//!   `Retry-After` on saturation) + worker pool + graceful drain via
+//!   [`CancelToken`](rpr_core::CancelToken);
+//! * [`handlers`] — budgeted endpoint logic (outcome → status mapping);
+//! * [`metrics`] — atomic counters and fixed-bucket latency histograms;
+//! * [`http`] / [`json`] — hand-rolled minimal framing (the build
+//!   environment vendors no HTTP or JSON crates).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{CacheOutcome, SessionCache};
+pub use handlers::{BudgetDefaults, ServerState};
+pub use http::client_call;
+pub use json::{parse_json, Json, JsonError};
+pub use metrics::Metrics;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,185 @@
+//! The service's metrics registry: atomic counters, gauges, and
+//! fixed-bucket latency histograms, exported in Prometheus text
+//! exposition format from `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering —
+//! metrics tolerate torn cross-counter reads) and allocation-free on
+//! the hot path; rendering allocates, but only the scrape pays for it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; the
+/// implicit last bucket is `+Inf`.
+pub const LATENCY_BUCKETS_MS: [u64; 11] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000];
+
+/// A fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, latency: Duration) {
+        let ms = latency.as_millis() as u64;
+        let idx =
+            LATENCY_BUCKETS_MS.iter().position(|&b| ms <= b).unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Renders the histogram in Prometheus exposition format.
+    fn render(&self, name: &str, out: &mut String) {
+        writeln_type(out, name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {:.6}\n{name}_count {}\n",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            self.count.load(Ordering::Relaxed),
+        ));
+    }
+}
+
+fn writeln_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+macro_rules! counters {
+    ($(#[$doc:meta] $field:ident => $metric:literal,)+) => {
+        /// The service-wide metrics registry. One instance lives in the
+        /// server and is shared (by reference) with every worker.
+        #[derive(Default)]
+        pub struct Metrics {
+            $(#[$doc] pub $field: AtomicU64,)+
+            /// Requests currently queued for admission (gauge).
+            pub queue_depth: AtomicU64,
+            /// Requests currently being handled by workers (gauge).
+            pub in_flight: AtomicU64,
+            /// Latency of completed `/check` requests.
+            pub check_latency: Histogram,
+            /// Latency of completed `/classify` requests.
+            pub classify_latency: Histogram,
+            /// Latency of completed `/cqa` requests.
+            pub cqa_latency: Histogram,
+        }
+
+        impl Metrics {
+            fn render_counters(&self, out: &mut String) {
+                $(
+                    writeln_type(out, $metric, "counter");
+                    out.push_str(&format!(
+                        concat!($metric, " {}\n"),
+                        self.$field.load(Ordering::Relaxed)
+                    ));
+                )+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Total requests received (any endpoint, any outcome).
+    requests_total => "rpr_requests_total",
+    /// Requests that completed with a full answer (HTTP 200).
+    done_total => "rpr_done_total",
+    /// Requests rejected as malformed (HTTP 400/404/405).
+    bad_request_total => "rpr_bad_request_total",
+    /// Requests whose budget tripped; partial results returned (HTTP 422).
+    exceeded_total => "rpr_exceeded_total",
+    /// Requests cancelled by drain (HTTP 503).
+    cancelled_total => "rpr_cancelled_total",
+    /// Requests whose handler panicked (HTTP 500, panic isolated).
+    panicked_total => "rpr_panicked_total",
+    /// Requests rejected at admission because the queue was full (HTTP 503).
+    rejected_total => "rpr_rejected_total",
+    /// Session-cache hits.
+    cache_hits_total => "rpr_cache_hits_total",
+    /// Session-cache misses (artifact builds).
+    cache_misses_total => "rpr_cache_misses_total",
+    /// Sessions evicted from the cache.
+    cache_evictions_total => "rpr_cache_evictions_total",
+}
+
+impl Metrics {
+    /// Increments a gauge.
+    pub fn gauge_inc(gauge: &AtomicU64) {
+        gauge.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge (saturating: a scrape between paired inc/dec
+    /// calls must never see a wrapped value).
+    pub fn gauge_dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.render_counters(&mut out);
+        for (name, gauge) in
+            [("rpr_queue_depth", &self.queue_depth), ("rpr_in_flight", &self.in_flight)]
+        {
+            writeln_type(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {}\n", gauge.load(Ordering::Relaxed)));
+        }
+        self.check_latency.render("rpr_check_latency_seconds", &mut out);
+        self.classify_latency.render("rpr_classify_latency_seconds", &mut out);
+        self.cqa_latency.render("rpr_cqa_latency_seconds", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_millis(1));
+        h.observe(Duration::from_millis(3));
+        h.observe(Duration::from_secs(60));
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"1\"} 1\n"));
+        assert!(out.contains("t_bucket{le=\"5\"} 2\n"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("t_count 3\n"));
+    }
+
+    #[test]
+    fn registry_renders_all_families() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+        Metrics::gauge_inc(&m.queue_depth);
+        let text = m.render_prometheus();
+        assert!(text.contains("rpr_requests_total 2"));
+        assert!(text.contains("rpr_cache_hits_total 1"));
+        assert!(text.contains("rpr_queue_depth 1"));
+        assert!(text.contains("# TYPE rpr_check_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn gauge_dec_saturates() {
+        let m = Metrics::default();
+        Metrics::gauge_dec(&m.queue_depth);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

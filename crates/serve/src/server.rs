@@ -1,0 +1,347 @@
+//! The server: listener, bounded admission queue, worker pool, drain.
+//!
+//! Threading model (one line per moving part):
+//!
+//! * **accept thread** (the caller of [`Server::run`]) — nonblocking
+//!   `accept` polled every ~25 ms so it observes the drain flag
+//!   promptly; a full queue is answered `503 + Retry-After` *here*,
+//!   before any worker is involved (admission control);
+//! * **N workers** (`jobs` convention) — pop connections from the
+//!   queue, read + route + respond, each request wrapped in
+//!   `catch_unwind` so a handler panic downs one response, not the
+//!   pool;
+//! * **drain** — a [`CancelToken`] shared with every request budget.
+//!   `SIGTERM`/`SIGINT` (opt-in) or `POST /shutdown` fires it: the
+//!   accept loop stops admitting, queued requests still run (their
+//!   budgets observe the token, so long checks come back `cancelled`
+//!   → 503 quickly), workers join, [`Server::run`] returns.
+
+use crate::handlers::{handle, BudgetDefaults, ServerState};
+use crate::http::{finish, read_request, HttpError, Response};
+use crate::metrics::Metrics;
+use rpr_core::CancelToken;
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop wakes to poll the drain flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Global drain flag written by the (async-signal-safe) signal handler
+/// and polled by the accept loop.
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Server configuration. All knobs have serving-sane defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (port `0` for ephemeral).
+    pub addr: String,
+    /// Worker threads (the `--jobs` convention: `None`/`0` → available
+    /// parallelism).
+    pub jobs: Option<usize>,
+    /// Admission queue bound; connections beyond it get `503`.
+    pub queue_capacity: usize,
+    /// LRU session-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Default per-request deadline (ms); requests may override.
+    pub default_timeout_ms: Option<u64>,
+    /// Default per-request work allowance; requests may override.
+    pub default_max_work: Option<u64>,
+    /// Install `SIGINT`/`SIGTERM` handlers that trigger drain.
+    pub install_signal_handlers: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            jobs: None,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            default_timeout_ms: Some(10_000),
+            default_max_work: None,
+            install_signal_handlers: false,
+        }
+    }
+}
+
+/// The bounded connection queue plus its condvar.
+struct Queue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    /// Pushes if below capacity; a saturated queue hands the stream
+    /// back so the caller can turn the connection away.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut deque = self.deque.lock().expect("queue lock poisoned");
+        if deque.len() >= self.capacity {
+            return Err(stream);
+        }
+        deque.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops, blocking until a connection arrives or `closed` turns
+    /// true; `None` means the pool is shutting down and the queue has
+    /// fully drained.
+    fn pop(&self, closed: &AtomicBool) -> Option<TcpStream> {
+        let mut deque = self.deque.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(stream) = deque.pop_front() {
+                return Some(stream);
+            }
+            if closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(deque, Duration::from_millis(50))
+                .expect("queue lock poisoned");
+            deque = guard;
+        }
+    }
+}
+
+/// A bound, running repair-checking service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    queue: Arc<Queue>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. The service does
+    /// not accept connections until [`run`](Server::run).
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState {
+            cache: crate::cache::SessionCache::new(config.cache_capacity),
+            metrics: Metrics::default(),
+            defaults: BudgetDefaults {
+                timeout: config.default_timeout_ms.map(Duration::from_millis),
+                max_work: config.default_max_work,
+            },
+            jobs: rpr_core::resolve_jobs(config.jobs),
+            drain: CancelToken::new(),
+        });
+        let queue = Arc::new(Queue {
+            deque: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: config.queue_capacity,
+        });
+        Ok(Server { listener, state, queue, config })
+    }
+
+    /// The bound address (for ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain token: cancel it to initiate graceful shutdown from
+    /// another thread.
+    pub fn drain_token(&self) -> CancelToken {
+        self.state.drain.clone()
+    }
+
+    /// Shared metrics (e.g. for in-process load tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Runs the accept loop until drain, then joins the workers.
+    /// Returns the number of requests admitted over the lifetime.
+    pub fn run(self) -> std::io::Result<u64> {
+        if self.config.install_signal_handlers {
+            install_signal_handlers();
+        }
+        self.listener.set_nonblocking(true)?;
+        let closed = Arc::new(AtomicBool::new(false));
+        let mut admitted: u64 = 0;
+
+        std::thread::scope(|scope| -> std::io::Result<u64> {
+            // Workers: pool size = jobs, but each check itself also
+            // fans out with `jobs` — a deliberate 2-level model where
+            // light traffic lets single requests use the whole machine
+            // and heavy traffic degrades to ~1 thread per request.
+            for worker_id in 0..self.state.jobs {
+                let queue = Arc::clone(&self.queue);
+                let state = Arc::clone(&self.state);
+                let closed = Arc::clone(&closed);
+                std::thread::Builder::new()
+                    .name(format!("rpr-serve-{worker_id}"))
+                    .spawn_scoped(scope, move || worker_loop(&queue, &state, &closed))
+                    .expect("spawn worker");
+            }
+
+            loop {
+                // Drain is observed *before* the accept so the backlog
+                // is swept dry first: clients that completed their TCP
+                // handshake before the drain still get a real response
+                // instead of the reset a closed listener would send.
+                let draining =
+                    self.state.drain.is_cancelled() || SIGNAL_DRAIN.load(Ordering::Relaxed);
+                if draining {
+                    self.state.drain.cancel();
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        admitted += 1;
+                        Metrics::gauge_inc(&self.state.metrics.queue_depth);
+                        if let Err(mut stream) = self.queue.try_push(stream_nodelay(stream)) {
+                            // Admission control: saturated queue — turn
+                            // the connection away without reading the
+                            // request (no worker time spent). The write
+                            // + drain runs on a short helper thread so
+                            // a slow peer cannot stall the accept loop.
+                            Metrics::gauge_dec(&self.state.metrics.queue_depth);
+                            self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                            scope.spawn(move || {
+                                let response =
+                                    Response::json(503, r#"{"error":"server saturated"}"#)
+                                        .with_header("retry-after", "1");
+                                finish(&mut stream, &response);
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if draining {
+                            break;
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Drain: stop admitting, let workers finish the queue.
+            closed.store(true, Ordering::Release);
+            Ok(admitted)
+        })
+    }
+}
+
+/// Disables Nagle so small JSON responses flush immediately.
+fn stream_nodelay(stream: TcpStream) -> TcpStream {
+    let _ = stream.set_nodelay(true);
+    stream
+}
+
+fn worker_loop(queue: &Queue, state: &ServerState, closed: &AtomicBool) {
+    while let Some(mut stream) = queue.pop(closed) {
+        Metrics::gauge_dec(&state.metrics.queue_depth);
+        Metrics::gauge_inc(&state.metrics.in_flight);
+        serve_connection(&mut stream, state);
+        Metrics::gauge_dec(&state.metrics.in_flight);
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, state: &ServerState) {
+    let response = match read_request(stream) {
+        Ok(request) => {
+            if request.method == "POST" && request.path == "/shutdown" {
+                state.drain.cancel();
+                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, r#"{"status":"draining"}"#)
+            } else {
+                // Panic isolation: a handler bug downs this response,
+                // not the worker (and therefore not the pool).
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle(state, &request)
+                })) {
+                    Ok(response) => response,
+                    Err(payload) => {
+                        state.metrics.panicked_total.fetch_add(1, Ordering::Relaxed);
+                        let message =
+                            rpr_core::PanicReport::from_payload("request handler", payload);
+                        Response::json(
+                            500,
+                            crate::json::Json::obj([(
+                                "error",
+                                crate::json::Json::str(message.to_string()),
+                            )])
+                            .render(),
+                        )
+                    }
+                }
+            }
+        }
+        Err(HttpError::TooLarge) => Response::json(400, r#"{"error":"request too large"}"#),
+        Err(HttpError::Malformed(what)) => {
+            Response::json(400, format!(r#"{{"error":"malformed request: {what}"}}"#))
+        }
+        // Socket-level failures (peer vanished, read timeout): nothing
+        // useful to say, and often nobody to say it to.
+        Err(HttpError::Io(_)) => return,
+    };
+    finish(stream, &response);
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that set the drain flag. The
+/// handler body is a single atomic store — async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNAL_DRAIN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn healthz_metrics_and_drain() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: Some(2),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.contains("200 OK"), "got: {health}");
+        assert!(health.contains(r#"{"status":"ok"}"#));
+
+        let metrics = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(metrics.contains("rpr_requests_total"), "got: {metrics}");
+
+        let nf = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(nf.contains("404"), "got: {nf}");
+
+        let shutdown = request(addr, "POST /shutdown HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+        assert!(shutdown.contains("draining"), "got: {shutdown}");
+        let admitted = handle.join().unwrap();
+        assert!(admitted >= 4);
+    }
+}

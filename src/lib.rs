@@ -20,6 +20,8 @@
 //! | [`reductions`] | `rpr-reductions` | the Lemma 5.2 gadget and the Π framework |
 //! | [`cqa`] | `rpr-cqa` | preferred consistent query answering |
 //! | [`gen`] | `rpr-gen` | the running example and synthetic workloads |
+//! | [`format`] | `rpr-format` | the `.rpr` text / `.rprb` binary formats, queries, fingerprints |
+//! | [`serve`] | `rpr-serve` | the concurrent HTTP repair-checking service |
 //!
 //! ## Quickstart
 //!
@@ -55,10 +57,12 @@ pub use rpr_cqa as cqa;
 pub use rpr_data as data;
 pub use rpr_engine as engine;
 pub use rpr_fd as fd;
+pub use rpr_format as format;
 pub use rpr_gen as gen;
 pub use rpr_policy as policy;
 pub use rpr_priority as priority;
 pub use rpr_reductions as reductions;
+pub use rpr_serve as serve;
 
 /// The most common imports, for `use preferred_repairs::prelude::*`.
 pub mod prelude {
