@@ -23,7 +23,12 @@
 //! Upper layers compose these into whole-workspace fingerprints (see
 //! `rpr-format::workspace_fingerprint`); the digests are **not**
 //! cryptographic — they resist accidents, not adversaries, exactly like
-//! every other hash in this workspace.
+//! every other hash in this workspace. Consumers for whom a *crafted*
+//! collision would be a correctness problem (the serving session cache,
+//! which keys across an HTTP trust boundary) must therefore verify
+//! content equality on lookup hits rather than trust the digest alone —
+//! `rpr-serve::identity` does exactly that, so a collision there
+//! degrades to a cache miss, never to a wrong answer.
 
 use crate::fact::Fact;
 use crate::instance::Instance;

@@ -61,6 +61,9 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
         }
         ("GET", "/metrics") => {
             state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
+            // The cache counts evictions under its own lock; sync the
+            // counter at scrape time so the rendered value is exact.
+            state.metrics.cache_evictions_total.store(state.cache.evictions(), Ordering::Relaxed);
             Response::text(200, state.metrics.render_prometheus())
         }
         ("POST", "/check") => timed(state, &state.metrics.check_latency, req, check),
@@ -158,12 +161,38 @@ fn prepare(state: &ServerState, body: &Json) -> Result<Prepared, Response> {
         budget = budget.with_max_work(w);
     }
 
-    // Session: LRU by fingerprint (the fingerprint is content-based,
-    // so a hit is guaranteed to be the same prioritized instance).
-    let (session, outcome) = state.cache.get_or_build(fingerprint, || {
-        Arc::new(OwnedCheckSession::prepare(Arc::new(workspace.schema.clone()), Arc::new(pi)))
+    // Session: LRU by fingerprint. The fingerprint is content-based
+    // but not collision-resistant against adversaries, and the cache
+    // crosses the HTTP trust boundary — so a hit is only reused after
+    // verifying it really is the same content.
+    let mut pi = Some(pi);
+    let (mut session, outcome) = state.cache.get_or_build(fingerprint, || {
+        Arc::new(OwnedCheckSession::prepare(
+            Arc::new(workspace.schema.clone()),
+            Arc::new(pi.take().expect("build closure runs at most once")),
+        ))
     });
-    let cached = outcome == CacheOutcome::Hit;
+    let mut cached = outcome == CacheOutcome::Hit;
+    if cached {
+        let fresh = pi.take().expect("a hit leaves the parsed instance untouched");
+        if !crate::identity::content_equal(
+            session.schema(),
+            session.prioritized(),
+            &workspace.schema,
+            &fresh,
+        ) {
+            // Fingerprint collision: serving the cached session would
+            // return another workspace's verdicts. Build fresh and
+            // leave the cache alone (caching the collider would only
+            // make the two keys thrash one slot).
+            state.metrics.cache_collisions_total.fetch_add(1, Ordering::Relaxed);
+            session = Arc::new(OwnedCheckSession::prepare(
+                Arc::new(workspace.schema.clone()),
+                Arc::new(fresh),
+            ));
+            cached = false;
+        }
+    }
     if cached {
         state.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
     } else {
@@ -370,4 +399,91 @@ fn cqa(state: &ServerState, req: &Request) -> Result<Response, Response> {
         response = response.with_header("retry-after", "1");
     }
     Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// R(k,x) preferred over R(k,y); repair J = {R(k,x)} is optimal.
+    const WS_A: &str = "relation R/2\nfd R: 1 -> 2\nfact R(k, x)\nfact R(k, y)\n\
+                        prefer R(k, x) > R(k, y)\nrepair J: R(k, x)\n";
+    /// Same shape but z preferred over x — under this session the fact
+    /// set {id 0} = {R(k,x)} would be *improvable*, so serving it for a
+    /// WS_A request would return a wrong verdict.
+    const WS_B: &str = "relation R/2\nfd R: 1 -> 2\nfact R(k, x)\nfact R(k, z)\n\
+                        prefer R(k, z) > R(k, x)\nrepair J: R(k, z)\n";
+
+    fn state(cache_capacity: usize) -> ServerState {
+        ServerState {
+            cache: SessionCache::new(cache_capacity),
+            metrics: Metrics::default(),
+            defaults: BudgetDefaults { timeout: None, max_work: None },
+            jobs: 1,
+            drain: CancelToken::new(),
+        }
+    }
+
+    fn post_check(ws: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            path: "/check".to_owned(),
+            body: format!("{{\"workspace\":{}}}", Json::str(ws).render()).into_bytes(),
+        }
+    }
+
+    fn body_json(response: &Response) -> Json {
+        parse_json(std::str::from_utf8(&response.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn metrics_scrape_syncs_cache_evictions() {
+        let state = state(1);
+        assert_eq!(handle(&state, &post_check(WS_A)).status, 200);
+        assert_eq!(handle(&state, &post_check(WS_B)).status, 200);
+        let scrape = handle(
+            &state,
+            &Request { method: "GET".to_owned(), path: "/metrics".to_owned(), body: Vec::new() },
+        );
+        let text = String::from_utf8(scrape.body).unwrap();
+        assert!(text.contains("rpr_cache_evictions_total 1\n"), "got:\n{text}");
+    }
+
+    #[test]
+    fn colliding_cache_entry_is_rejected_not_served() {
+        let state = state(2);
+        // Plant WS_B's session under WS_A's fingerprint, simulating a
+        // crafted collision.
+        let ws_a = rpr_format::parse_workspace(WS_A).unwrap();
+        let ws_b = rpr_format::parse_workspace(WS_B).unwrap();
+        let pi_b = ws_b.prioritized().unwrap();
+        let (_, outcome) = state.cache.get_or_build(workspace_fingerprint(&ws_a), || {
+            Arc::new(OwnedCheckSession::prepare(Arc::new(ws_b.schema.clone()), Arc::new(pi_b)))
+        });
+        assert_eq!(outcome, CacheOutcome::Miss);
+
+        // The WS_A request hits the planted key, must detect the
+        // mismatch, rebuild, and answer with WS_A's verdict.
+        let response = handle(&state, &post_check(WS_A));
+        assert_eq!(response.status, 200);
+        let json = body_json(&response);
+        assert_eq!(json.get("cached").and_then(Json::as_bool), Some(false));
+        let results = json.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("optimal"));
+        assert_eq!(state.metrics.cache_collisions_total.load(Ordering::Relaxed), 1);
+        // The planted entry stays; the collider is served uncached
+        // every time rather than thrashing the slot.
+        assert_eq!(state.cache.len(), 1);
+    }
+
+    #[test]
+    fn genuine_hits_still_verify_and_serve_cached() {
+        let state = state(2);
+        let cold = handle(&state, &post_check(WS_A));
+        assert_eq!(body_json(&cold).get("cached").and_then(Json::as_bool), Some(false));
+        let warm = handle(&state, &post_check(WS_A));
+        assert_eq!(body_json(&warm).get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(state.metrics.cache_collisions_total.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+    }
 }

@@ -59,14 +59,33 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// Reads one CRLF-terminated line, charging it against the shared
+/// header budget *as it is buffered*: the read is capped at the budget
+/// remainder, so a peer streaming an endless line with no `\n` fails
+/// with [`HttpError::TooLarge`] instead of growing the string without
+/// bound (the per-read timeout alone does not protect against a fast
+/// sender).
+fn read_header_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    header_bytes: &mut usize,
+) -> Result<usize, HttpError> {
+    let budget = MAX_HEADER_BYTES - *header_bytes;
+    let n = (&mut *reader).take(budget as u64 + 1).read_line(line)?;
+    *header_bytes += n;
+    if *header_bytes > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(n)
+}
+
 /// Reads one request from the stream.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     let mut header_bytes = 0usize;
-    reader.read_line(&mut line)?;
-    header_bytes += line.len();
+    read_header_line(&mut reader, &mut line, &mut header_bytes)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_owned();
     let path = parts.next().ok_or(HttpError::Malformed("missing path"))?.to_owned();
@@ -78,13 +97,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut content_length: u64 = 0;
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header)?;
+        let n = read_header_line(&mut reader, &mut header, &mut header_bytes)?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-headers"));
-        }
-        header_bytes += n;
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(HttpError::TooLarge);
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -239,11 +254,20 @@ mod tests {
     fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(raw).unwrap();
-        client.flush().unwrap();
+        let raw = raw.to_vec();
+        // Write from a helper thread: payloads larger than the socket
+        // buffer would otherwise deadlock against the unread server side.
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let _ = client.write_all(&raw);
+            let _ = client.flush();
+            client
+        });
         let (mut server_side, _) = listener.accept().unwrap();
-        read_request(&mut server_side)
+        let result = read_request(&mut server_side);
+        drop(server_side);
+        let _ = writer.join();
+        result
     }
 
     #[test]
@@ -270,6 +294,41 @@ mod tests {
         ));
         assert!(matches!(roundtrip(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
         assert!(matches!(roundtrip(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_unterminated_header_flood() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A "request" whose first line never ends: the reader must fail
+        // with TooLarge once the header budget is consumed instead of
+        // buffering the line without bound.
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let chunk = [b'a'; 4096];
+            for _ in 0..64 {
+                if client.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        assert!(matches!(read_request(&mut server_side), Err(HttpError::TooLarge)));
+        drop(server_side);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn header_budget_spans_all_lines() {
+        // Many individually-small header lines must still trip the
+        // shared budget.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        let line = format!("x-filler: {}\r\n", "b".repeat(1000));
+        for _ in 0..80 {
+            raw.extend_from_slice(line.as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(roundtrip(&raw), Err(HttpError::TooLarge)));
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * [`cache`] — LRU of [`OwnedCheckSession`](rpr_core::OwnedCheckSession)s
 //!   keyed by the canonical workspace fingerprint, so repeated traffic
 //!   against one database hits the amortized path;
+//! * [`identity`] — content-equality verification of cache hits: the
+//!   fingerprint is not collision-resistant against adversaries, so a
+//!   hit is only reused after proving it is the same content (a crafted
+//!   collision degrades to a miss, never to another workspace's
+//!   verdicts);
 //! * [`server`] — accept thread + bounded admission queue (503 +
 //!   `Retry-After` on saturation) + worker pool + graceful drain via
 //!   [`CancelToken`](rpr_core::CancelToken);
@@ -37,6 +42,7 @@
 pub mod cache;
 pub mod handlers;
 pub mod http;
+pub mod identity;
 pub mod json;
 pub mod metrics;
 pub mod server;

@@ -113,6 +113,8 @@ counters! {
     cache_misses_total => "rpr_cache_misses_total",
     /// Sessions evicted from the cache.
     cache_evictions_total => "rpr_cache_evictions_total",
+    /// Cache hits rejected as fingerprint collisions (content mismatch; rebuilt fresh).
+    cache_collisions_total => "rpr_cache_collisions_total",
 }
 
 impl Metrics {

@@ -12,9 +12,16 @@
 //!   pool;
 //! * **drain** — a [`CancelToken`] shared with every request budget.
 //!   `SIGTERM`/`SIGINT` (opt-in) or `POST /shutdown` fires it: the
-//!   accept loop stops admitting, queued requests still run (their
-//!   budgets observe the token, so long checks come back `cancelled`
-//!   → 503 quickly), workers join, [`Server::run`] returns.
+//!   accept loop stops admitting after a *bounded* backlog sweep
+//!   (connections whose handshake completed before the drain get a
+//!   `503 + Retry-After` instead of a reset; the sweep is count-limited
+//!   so sustained traffic cannot keep the drain alive forever), queued
+//!   requests still run (their budgets observe the token, so long
+//!   checks come back `cancelled` → 503 quickly), workers join,
+//!   [`Server::run`] returns. Transient `accept` failures (aborted
+//!   handshakes, `EINTR`, fd exhaustion) are retried; a truly fatal
+//!   listener error closes the queue first so workers exit and the
+//!   error surfaces instead of deadlocking the join.
 
 use crate::handlers::{handle, BudgetDefaults, ServerState};
 use crate::http::{finish, read_request, HttpError, Response};
@@ -181,14 +188,12 @@ impl Server {
             }
 
             loop {
-                // Drain is observed *before* the accept so the backlog
-                // is swept dry first: clients that completed their TCP
-                // handshake before the drain still get a real response
-                // instead of the reset a closed listener would send.
-                let draining =
-                    self.state.drain.is_cancelled() || SIGNAL_DRAIN.load(Ordering::Relaxed);
-                if draining {
+                // Drain is observed at the top of every iteration so a
+                // token fired by a worker (`POST /shutdown`) or by a
+                // signal takes effect within one accept/poll cycle.
+                if self.state.drain.is_cancelled() || SIGNAL_DRAIN.load(Ordering::Relaxed) {
                     self.state.drain.cancel();
+                    break;
                 }
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
@@ -210,18 +215,56 @@ impl Server {
                             });
                         }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        if draining {
-                            break;
-                        }
+                    // WouldBlock is the idle poll; the other kinds are
+                    // failures conventional accept loops retry rather
+                    // than treat as fatal (a single aborted handshake
+                    // or a burst of fd exhaustion must not take the
+                    // whole service down).
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || is_transient_accept_error(&e) =>
+                    {
                         std::thread::sleep(ACCEPT_POLL);
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        // Fatal listener error: close the queue *before*
+                        // returning — bailing out of the scope with the
+                        // queue open would leave workers blocked in
+                        // `pop` and the scope's implicit join would
+                        // hang the process instead of surfacing `e`.
+                        closed.store(true, Ordering::Release);
+                        self.queue.ready.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+
+            // Bounded drain sweep: connections whose TCP handshake
+            // completed before the drain deserve an answer rather than
+            // the reset a closed listener would send — but "accept
+            // until WouldBlock" never terminates under sustained
+            // closed-loop traffic, so the sweep is count-limited and
+            // answers `503 + Retry-After` (the service is going away;
+            // retry-elsewhere is the only honest response).
+            for _ in 0..self.config.queue_capacity.max(1) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        admitted += 1;
+                        self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream_nodelay(stream);
+                        scope.spawn(move || {
+                            let response = Response::json(503, r#"{"error":"server draining"}"#)
+                                .with_header("retry-after", "1");
+                            finish(&mut stream, &response);
+                        });
+                    }
+                    Err(_) => break,
                 }
             }
 
             // Drain: stop admitting, let workers finish the queue.
             closed.store(true, Ordering::Release);
+            self.queue.ready.notify_all();
             Ok(admitted)
         })
     }
@@ -231,6 +274,22 @@ impl Server {
 fn stream_nodelay(stream: TcpStream) -> TcpStream {
     let _ = stream.set_nodelay(true);
     stream
+}
+
+/// Accept errors a server retries rather than dies on: handshakes the
+/// peer aborted (`ECONNABORTED`/`ECONNRESET`), signal interruption
+/// (`EINTR`), and fd exhaustion (`EMFILE`/`ENFILE`, which clears as
+/// in-flight connections close — the retry sleep doubles as backoff).
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(ENFILE | EMFILE))
 }
 
 fn worker_loop(queue: &Queue, state: &ServerState, closed: &AtomicBool) {
@@ -343,5 +402,65 @@ mod tests {
         assert!(shutdown.contains("draining"), "got: {shutdown}");
         let admitted = handle.join().unwrap();
         assert!(admitted >= 4);
+    }
+
+    #[test]
+    fn transient_accept_errors_are_not_fatal() {
+        let aborted = std::io::Error::from(std::io::ErrorKind::ConnectionAborted);
+        let interrupted = std::io::Error::from(std::io::ErrorKind::Interrupted);
+        let emfile = std::io::Error::from_raw_os_error(24);
+        let addr_in_use = std::io::Error::from(std::io::ErrorKind::AddrInUse);
+        assert!(is_transient_accept_error(&aborted));
+        assert!(is_transient_accept_error(&interrupted));
+        assert!(is_transient_accept_error(&emfile));
+        assert!(!is_transient_accept_error(&addr_in_use));
+    }
+
+    #[test]
+    fn drain_terminates_under_sustained_traffic() {
+        use std::sync::mpsc;
+
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: Some(2),
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let token = server.drain_token();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.contains("200 OK"), "got: {health}");
+
+        // Closed-loop hammers keep a connection pending at all times;
+        // they stop once the listener is gone (connect starts failing).
+        let hammers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    while let Ok(mut stream) = TcpStream::connect(addr) {
+                        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                        let mut out = String::new();
+                        let _ = stream.read_to_string(&mut out);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        token.cancel();
+
+        // The bounded sweep guarantees the drain completes even though
+        // the hammers never let the backlog run dry.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(handle.join().unwrap());
+        });
+        let admitted = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("drain must terminate under sustained traffic");
+        assert!(admitted >= 1);
+        for hammer in hammers {
+            hammer.join().unwrap();
+        }
     }
 }
