@@ -3,17 +3,24 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--clients N] [--duration-s S]
 //!         [--max-work N] [--timeout-ms MS] [--json PATH]
-//!         [--require-cache-hits] FILE.rpr [FILE.rpr …]
+//!         [--no-keepalive] [--require-cache-hits] [--require-reconcile]
+//!         FILE.rpr [FILE.rpr …]
 //! ```
 //!
 //! Each client POSTs the given workspace files to `/check` round-robin
-//! and waits for the full response before sending the next. At the end
-//! the tool prints throughput, latency quantiles and the per-status
-//! breakdown, scrapes the server's `/metrics` to report the session
-//! cache hit rate, and exits non-zero if any request was *lost* (a
-//! transport error instead of an HTTP status — the serving contract
-//! says that never happens) or, with `--require-cache-hits`, if the
-//! repeated-workspace traffic somehow missed the session cache.
+//! over one persistent keep-alive connection, waiting for the full
+//! response before sending the next; `--no-keepalive` opens a fresh
+//! connection per request (the pre-keep-alive baseline). At the end
+//! the tool prints throughput, the latency histogram (p50/p90/p99/max)
+//! and the per-status breakdown, scrapes the server's `/metrics` to
+//! report the session cache hit rate and to reconcile the server's
+//! `rpr_requests_total` delta against what was sent, and exits
+//! non-zero if any request was *lost* (a transport error instead of an
+//! HTTP status — the serving contract says that never happens), if
+//! `--require-cache-hits` is set and the repeated-workspace traffic
+//! missed the session cache, or if `--require-reconcile` is set and
+//! the counter delta disagrees with the client-side count (only
+//! meaningful when loadgen is the server's sole client).
 
 use rpr_bench::load::{check_body, run_load, scrape_counter, LoadBody, LoadSpec};
 use std::time::Duration;
@@ -26,6 +33,10 @@ fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     opt_value(args, flag).and_then(|v| v.parse().ok())
 }
 
+/// Flags that take no value (everything after any other `--flag` is
+/// that flag's value, not a positional file).
+const BARE_FLAGS: [&str; 3] = ["--no-keepalive", "--require-cache-hits", "--require-reconcile"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = opt_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_owned());
@@ -35,7 +46,9 @@ fn main() {
     let max_work: Option<u64> = opt_parse(&args, "--max-work");
     let timeout_ms: Option<u64> = opt_parse(&args, "--timeout-ms");
     let json_path = opt_value(&args, "--json");
+    let keepalive = !args.iter().any(|a| a == "--no-keepalive");
     let require_cache_hits = args.iter().any(|a| a == "--require-cache-hits");
+    let require_reconcile = args.iter().any(|a| a == "--require-reconcile");
 
     // Positional arguments (not values of the flags above) are files.
     let mut files = Vec::new();
@@ -46,7 +59,7 @@ fn main() {
             continue;
         }
         if a.starts_with("--") {
-            skip = a != "--require-cache-hits"
+            skip = !BARE_FLAGS.contains(&a.as_str())
                 && matches!(args.get(i + 1), Some(v) if !v.starts_with("--"));
             continue;
         }
@@ -72,30 +85,63 @@ fn main() {
         })
         .collect();
 
+    // Each `/metrics` scrape is itself a request and counts itself in
+    // the value it returns (the counter bumps before rendering), so
+    // the reconciliation below must account for the scrapes loadgen
+    // issues between the two `requests_total` readings.
+    let requests_before = scrape_counter(&addr, "rpr_requests_total");
     let hits_before = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0);
-    let spec =
-        LoadSpec { addr: addr.clone(), bodies, clients, duration: Duration::from_secs(duration_s) };
+    let spec = LoadSpec {
+        addr: addr.clone(),
+        bodies,
+        clients,
+        duration: Duration::from_secs(duration_s),
+        keepalive,
+    };
     println!(
-        "loadgen: {clients} client(s) × {duration_s}s against {addr} ({} workload(s))",
-        files.len()
+        "loadgen: {clients} client(s) × {duration_s}s against {addr} ({} workload(s), {})",
+        files.len(),
+        if keepalive { "keep-alive" } else { "connection-per-request" },
     );
     let stats = run_load(&spec);
 
     let hits = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0) - hits_before;
+    let requests_after = scrape_counter(&addr, "rpr_requests_total");
     let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
     println!(
-        "loadgen: {} completed, {} lost, {:.1} req/s; p50 {:.2?} p95 {:.2?} p99 {:.2?}",
+        "loadgen: {} completed, {} lost, {:.1} req/s; p50 {:.2?} p90 {:.2?} p99 {:.2?} max {:.2?}",
         stats.completed,
         stats.lost,
         stats.throughput(),
         stats.quantile(0.50),
-        stats.quantile(0.95),
+        stats.quantile(0.90),
         stats.quantile(0.99),
+        stats.max(),
     );
     for (code, n) in &stats.statuses {
         println!("loadgen:   status {code}: {n}");
     }
     println!("loadgen: cache hits {hits} ({:.1}% of completed)", hit_rate * 100.0);
+
+    // Three scrapes land between the two readings: the cache-hits
+    // scrape before the run, and the cache-hits + requests_total
+    // scrapes after it.
+    let expected_delta = stats.completed + 3;
+    let reconciled = match (requests_before, requests_after) {
+        (Some(before), Some(after)) => {
+            let delta = after - before;
+            println!(
+                "loadgen: server counted {delta} request(s); expected {expected_delta} \
+                 (completed + 3 scrapes){}",
+                if delta == expected_delta { " — reconciled" } else { " — MISMATCH" },
+            );
+            delta == expected_delta
+        }
+        _ => {
+            println!("loadgen: rpr_requests_total not scrapeable; reconciliation skipped");
+            false
+        }
+    };
 
     if let Some(path) = json_path {
         let statuses = stats
@@ -105,13 +151,14 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4}\n}}\n",
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"reconciled\": {reconciled}\n}}\n",
             stats.completed,
             stats.lost,
             stats.throughput(),
             stats.quantile(0.50).as_secs_f64() * 1e3,
-            stats.quantile(0.95).as_secs_f64() * 1e3,
+            stats.quantile(0.90).as_secs_f64() * 1e3,
             stats.quantile(0.99).as_secs_f64() * 1e3,
+            stats.max().as_secs_f64() * 1e3,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("loadgen: cannot write {path}: {e}");
@@ -126,6 +173,10 @@ fn main() {
     }
     if require_cache_hits && hits == 0 && stats.completed > files.len() as u64 {
         eprintln!("loadgen: FAIL — repeated traffic produced zero session-cache hits");
+        std::process::exit(1);
+    }
+    if require_reconcile && !reconciled {
+        eprintln!("loadgen: FAIL — rpr_requests_total does not reconcile with requests sent");
         std::process::exit(1);
     }
 }

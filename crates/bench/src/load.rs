@@ -1,16 +1,18 @@
 //! Closed-loop HTTP load generation against a running `rpr serve`.
 //!
-//! Shared by the `loadgen` binary and experiment e26: `clients`
+//! Shared by the `loadgen` binary and experiments e26/e28: `clients`
 //! threads each send one request, wait for the full response, and
 //! immediately send the next (closed loop — offered load adapts to
-//! service rate, so the server is saturated but never flooded). Every
-//! response is accounted for: the serving contract is that each
-//! request ends in an HTTP status (200 done, 422 budget-exceeded with
-//! partial, 503 drain/saturation, 4xx/5xx otherwise) — a transport
-//! error is a *lost* request and callers treat any of those as
-//! failure.
+//! service rate, so the server is saturated but never flooded). By
+//! default each client holds one **keep-alive** connection for the
+//! whole run; `keepalive: false` reproduces the old
+//! connection-per-request baseline. Every response is accounted for:
+//! the serving contract is that each request ends in an HTTP status
+//! (200 done, 422 budget-exceeded with partial, 503 drain/saturation,
+//! 4xx/5xx otherwise) — a transport error is a *lost* request and
+//! callers treat any of those as failure.
 
-use rpr_serve::client_call;
+use rpr_serve::{client_call, HttpClient};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -37,6 +39,10 @@ pub struct LoadSpec {
     pub clients: usize,
     /// How long to keep offering load.
     pub duration: Duration,
+    /// Reuse one connection per client (HTTP/1.1 keep-alive); `false`
+    /// opens a fresh connection per request, reproducing the pre-
+    /// keep-alive baseline.
+    pub keepalive: bool,
 }
 
 /// Aggregated results of one load run.
@@ -69,6 +75,11 @@ impl LoadStats {
         self.latencies[rank.clamp(1, self.latencies.len()) - 1]
     }
 
+    /// The slowest observed request.
+    pub fn max(&self) -> Duration {
+        self.latencies.last().copied().unwrap_or(Duration::ZERO)
+    }
+
     /// Count for one status code.
     pub fn status(&self, code: u16) -> u64 {
         self.statuses.get(&code).copied().unwrap_or(0)
@@ -97,11 +108,20 @@ pub fn run_load(spec: &LoadSpec) -> LoadStats {
                 // Stagger starting positions so clients don't sweep the
                 // mix in lockstep.
                 let mut next = client_id % spec.bodies.len().max(1);
+                // One persistent connection per client in keep-alive
+                // mode (re-established transparently if the server
+                // closes it: idle timeout, request cap, drain).
+                let mut session = HttpClient::new(spec.addr.clone());
                 while !stop.load(Ordering::Relaxed) {
                     let body = &spec.bodies[next];
                     next = (next + 1) % spec.bodies.len();
                     let t = Instant::now();
-                    match client_call(&spec.addr, "POST", &body.path, body.body.as_bytes()) {
+                    let result = if spec.keepalive {
+                        session.call("POST", &body.path, body.body.as_bytes())
+                    } else {
+                        client_call(&spec.addr, "POST", &body.path, body.body.as_bytes())
+                    };
+                    match result {
                         Ok((status, _)) => {
                             completed += 1;
                             *statuses.entry(status).or_insert(0) += 1;

@@ -38,9 +38,11 @@ commands:
   stats     FILE                      conflict statistics of the instance
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
   serve     [--addr HOST:PORT] [--jobs N] [--queue N] [--cache N]
-            [--timeout-ms MS] [--max-work N]
+            [--timeout-ms MS] [--max-work N] [--idle-timeout-ms MS]
+            [--requests-per-conn N] [--max-connections N]
                                       run the repair-checking HTTP service
-                                      (POST /check /classify /cqa, GET /healthz /metrics)
+                                      (keep-alive; POST /check /classify /cqa,
+                                      GET /healthz /metrics)
   request   URL [FILE] [--repairs A,B] [--query Q] [--semantics S]
             [--timeout-ms MS] [--max-work N]
                                       send one request to a running server, e.g.
@@ -292,6 +294,10 @@ fn run_serve(args: &[String]) -> Result<CliResult, UsageOr> {
         default_timeout_ms: opt_parse(args, "--timeout-ms")?.or(defaults.default_timeout_ms),
         default_max_work: opt_parse(args, "--max-work")?,
         install_signal_handlers: true,
+        idle_timeout_ms: opt_parse(args, "--idle-timeout-ms")?.unwrap_or(defaults.idle_timeout_ms),
+        max_requests_per_conn: opt_parse(args, "--requests-per-conn")?
+            .unwrap_or(defaults.max_requests_per_conn),
+        max_connections: opt_parse(args, "--max-connections")?.unwrap_or(defaults.max_connections),
     };
     let server = Server::bind(config).map_err(|e| UsageOr::Command(format!("cannot bind: {e}")))?;
     let addr = server.local_addr().map_err(|e| UsageOr::Command(e.to_string()))?;

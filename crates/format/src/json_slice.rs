@@ -1,0 +1,521 @@
+//! A from-slice JSON scanner: shallow, zero-copy field extraction.
+//!
+//! The serving hot path receives JSON bodies of the shape
+//! `{"workspace": "...", "timeout_ms": 100, "repairs": ["J"]}` and
+//! needs a handful of top-level fields — building a full document tree
+//! (maps, per-key `String`s, boxed values) per request is pure
+//! allocation overhead. [`scan_object`] walks the document **once**,
+//! in place over the input slice, handing each top-level field to a
+//! callback as a [`SliceValue`]:
+//!
+//! * strings stay **escaped spans** ([`RawStr`]) borrowing the input —
+//!   decoding ([`RawStr::cow`]) is deferred until a field is actually
+//!   wanted, and borrows when the span contains no escapes;
+//! * numbers/booleans are decoded in place;
+//! * nested objects are *validated and skipped*, never materialized;
+//! * arrays are scanned shallowly (their elements follow these same
+//!   rules).
+//!
+//! The scanner validates the entire document (including unused fields
+//! and trailing input), so accepting a body via this path is exactly as
+//! strict as the tree parser. [`parse_workspace_raw`] then feeds a
+//! scanned `workspace` field straight into the workspace parser — and
+//! therefore into `rpr-data`'s interners — with at most one transient
+//! `String` (zero when the span is escape-free).
+
+use crate::format::{parse_workspace, FormatError, Workspace};
+use std::borrow::Cow;
+
+/// Maximum nesting depth (matches the serving layer's tree parser).
+const MAX_DEPTH: u32 = 64;
+
+/// A syntax error, with the byte offset it was detected at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceError {
+    /// Byte offset into the scanned text.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for SliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// A JSON string as an **escaped span** of the input: the bytes between
+/// the quotes, backslash sequences intact. Scanning validated the
+/// escapes, so decoding cannot fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawStr<'a> {
+    raw: &'a str,
+}
+
+impl<'a> RawStr<'a> {
+    /// Decodes the span. Borrows the input unchanged when it contains
+    /// no escapes (the common case for short identifiers); allocates
+    /// exactly one `String` otherwise.
+    pub fn cow(&self) -> Cow<'a, str> {
+        if !self.raw.contains('\\') {
+            return Cow::Borrowed(self.raw);
+        }
+        let mut out = String::with_capacity(self.raw.len());
+        let mut chars = self.raw.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hi = hex4(&mut chars);
+                    let code = if (0xD800..0xDC00).contains(&hi) {
+                        // Surrogate pair: the low half must follow as
+                        // another \u escape.
+                        let mut probe = chars.clone();
+                        if probe.next() == Some('\\') && probe.next() == Some('u') {
+                            let lo = hex4(&mut probe);
+                            if (0xDC00..0xE000).contains(&lo) {
+                                chars = probe;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            }
+                        } else {
+                            hi
+                        }
+                    } else {
+                        hi
+                    };
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                // Unreachable: the scanner rejected unknown escapes.
+                Some(other) => out.push(other),
+                None => break,
+            }
+        }
+        Cow::Owned(out)
+    }
+
+    /// Does the decoded string equal `s`? Escape-free spans compare
+    /// without decoding.
+    pub fn is(&self, s: &str) -> bool {
+        if !self.raw.contains('\\') {
+            return self.raw == s;
+        }
+        self.cow() == s
+    }
+}
+
+fn hex4(chars: &mut std::str::Chars<'_>) -> u32 {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        code = code * 16 + chars.next().and_then(|c| c.to_digit(16)).unwrap_or(0);
+    }
+    code
+}
+
+/// A shallowly-scanned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceValue<'a> {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string, as an undecoded span of the input.
+    Str(RawStr<'a>),
+    /// An array; elements are themselves shallow.
+    Arr(Vec<SliceValue<'a>>),
+    /// A nested object — validated and skipped, not materialized.
+    Obj,
+}
+
+impl<'a> SliceValue<'a> {
+    /// The value as a non-negative integer, accepting integral floats
+    /// (mirrors the tree parser's `as_u64` coercion so `1e3` and
+    /// `1000` behave identically).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            SliceValue::Int(i) => u64::try_from(*i).ok(),
+            SliceValue::Float(f) if f.fract() == 0.0 && f.is_finite() && *f >= 0.0 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string span, if this is a string.
+    pub fn as_raw_str(&self) -> Option<RawStr<'a>> {
+        match self {
+            SliceValue::Str(raw) => Some(*raw),
+            _ => None,
+        }
+    }
+}
+
+/// Scans `text` as one JSON document. If the top level is an object,
+/// every field is handed to `field` (duplicate keys: every occurrence
+/// is reported, so last-wins falls out of overwriting) and the scan
+/// returns `Ok(true)`; any other well-formed top level returns
+/// `Ok(false)` with no callbacks. The whole document is validated
+/// either way, trailing garbage included.
+pub fn scan_object<'a>(
+    text: &'a str,
+    mut field: impl FnMut(RawStr<'a>, SliceValue<'a>),
+) -> Result<bool, SliceError> {
+    let mut s = Scanner { bytes: text.as_bytes(), text, pos: 0 };
+    s.skip_ws();
+    let is_object = s.peek() == Some(b'{');
+    if is_object {
+        s.object(1, Some(&mut field))?;
+    } else {
+        s.value(1)?;
+    }
+    s.skip_ws();
+    if s.pos < s.bytes.len() {
+        return Err(s.err("trailing characters after value"));
+    }
+    Ok(is_object)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+type FieldSink<'s, 'a> = &'s mut dyn FnMut(RawStr<'a>, SliceValue<'a>);
+
+impl<'a> Scanner<'a> {
+    fn err(&self, message: &'static str) -> SliceError {
+        SliceError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), SliceError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    /// Scans one value shallowly. `depth` counts containers entered.
+    fn value(&mut self, depth: u32) -> Result<SliceValue<'a>, SliceError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.object(depth + 1, None)?;
+                Ok(SliceValue::Obj)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(SliceValue::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(SliceValue::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(SliceValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", SliceValue::Bool(true)),
+            Some(b'f') => self.literal("false", SliceValue::Bool(false)),
+            Some(b'n') => self.literal("null", SliceValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    /// Scans `{...}`; fields go to `sink` when provided (the top-level
+    /// object), otherwise the contents are validated and discarded.
+    fn object(
+        &mut self,
+        depth: u32,
+        mut sink: Option<FieldSink<'_, 'a>>,
+    ) -> Result<(), SliceError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.expect(b'{', "expected `{`")?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            let value = self.value(depth)?;
+            if let Some(sink) = sink.as_mut() {
+                sink(key, value);
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn literal(
+        &mut self,
+        word: &'static str,
+        value: SliceValue<'a>,
+    ) -> Result<SliceValue<'a>, SliceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("expected a value"))
+        }
+    }
+
+    /// Scans a string, validating escapes; returns the raw span.
+    fn string(&mut self) -> Result<RawStr<'a>, SliceError> {
+        self.expect(b'"', "expected `\"`")?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let raw = &self.text[start..self.pos];
+                    self.pos += 1;
+                    return Ok(RawStr { raw });
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                                    return Err(self.err("bad \\u escape"));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Skip over one UTF-8 scalar (input is &str, so
+                    // continuation bytes are well-formed).
+                    self.pos += 1;
+                    while matches!(self.peek(), Some(c) if c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<SliceValue<'a>, SliceError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.pos - digits_start > 1 && self.bytes[digits_start] == b'0' {
+            return Err(SliceError { offset: digits_start, message: "leading zero in number" });
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac {
+                return Err(self.err("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let span = &self.text[start..self.pos];
+        if integral {
+            if let Ok(i) = span.parse::<i64>() {
+                return Ok(SliceValue::Int(i));
+            }
+        }
+        span.parse::<f64>()
+            .map(SliceValue::Float)
+            .map_err(|_| SliceError { offset: start, message: "malformed number" })
+    }
+}
+
+/// Parses a scanned `workspace` string field straight into a
+/// [`Workspace`] (and thus into `rpr-data`'s interners): unescape is a
+/// borrow when possible, one transient `String` otherwise — never a
+/// JSON tree.
+pub fn parse_workspace_raw(raw: &RawStr<'_>) -> Result<Workspace, FormatError> {
+    parse_workspace(&raw.cow())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(text: &str) -> Vec<(String, SliceValue<'_>)> {
+        let mut out = Vec::new();
+        let is_obj = scan_object(text, |k, v| out.push((k.cow().into_owned(), v))).unwrap();
+        assert!(is_obj);
+        out
+    }
+
+    #[test]
+    fn scans_shallow_fields() {
+        let got = fields(r#"{"a": 1, "b": "x", "c": true, "d": null, "e": 2.5}"#);
+        assert_eq!(got[0].1, SliceValue::Int(1));
+        assert_eq!(got[1].1.as_raw_str().unwrap().cow(), "x");
+        assert_eq!(got[2].1, SliceValue::Bool(true));
+        assert_eq!(got[3].1, SliceValue::Null);
+        assert_eq!(got[4].1, SliceValue::Float(2.5));
+    }
+
+    #[test]
+    fn strings_borrow_when_escape_free() {
+        let text = r#"{"plain": "hello", "escaped": "a\nb\u0041"}"#;
+        let got = fields(text);
+        match got[0].1.as_raw_str().unwrap().cow() {
+            Cow::Borrowed(s) => assert_eq!(s, "hello"),
+            Cow::Owned(_) => panic!("escape-free string must borrow"),
+        }
+        assert_eq!(got[1].1.as_raw_str().unwrap().cow(), "a\nbA");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let got = fields(r#"{"emoji": "\ud83d\ude00"}"#);
+        assert_eq!(got[0].1.as_raw_str().unwrap().cow(), "😀");
+    }
+
+    #[test]
+    fn arrays_scan_shallowly_and_objects_skip() {
+        let got = fields(r#"{"repairs": ["J", "K"], "nested": {"deep": [1, {"x": 2}]}}"#);
+        let SliceValue::Arr(items) = &got[0].1 else { panic!("array expected") };
+        assert!(items[0].as_raw_str().unwrap().is("J"));
+        assert!(items[1].as_raw_str().unwrap().is("K"));
+        assert_eq!(got[1].1, SliceValue::Obj);
+    }
+
+    #[test]
+    fn non_object_top_level_validates_without_callbacks() {
+        let mut called = false;
+        assert!(!scan_object("[1, 2, 3]", |_, _| called = true).unwrap());
+        assert!(!called);
+        assert!(scan_object("[1, 2", |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn u64_coercion_matches_tree_parser() {
+        assert_eq!(SliceValue::Int(7).as_u64(), Some(7));
+        assert_eq!(SliceValue::Int(-1).as_u64(), None);
+        assert_eq!(SliceValue::Float(1e3).as_u64(), Some(1000));
+        assert_eq!(SliceValue::Float(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "{\"bad\": \"\\q\"}",
+            "{\"bad\": \"\\u00zz\"}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+        ] {
+            assert!(scan_object(bad, |_, _| ()).is_err(), "must reject: {bad}");
+        }
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(scan_object(&deep, |_, _| ()).is_err(), "must reject deep nesting");
+    }
+
+    #[test]
+    fn workspace_field_round_trips_into_interners() {
+        let body = r#"{"workspace": "relation R/2\nfact R(a, b)\n"}"#;
+        let mut ws = None;
+        scan_object(body, |k, v| {
+            if k.is("workspace") {
+                ws = v.as_raw_str();
+            }
+        })
+        .unwrap();
+        let workspace = parse_workspace_raw(&ws.unwrap()).unwrap();
+        assert_eq!(workspace.instance.len(), 1);
+    }
+}

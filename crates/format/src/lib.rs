@@ -9,6 +9,9 @@
 //!   (`relation`/`fd`/`fact`/`prefer`/`mode`/`repair` directives) and
 //!   its renderer;
 //! * [`store`] — the `.rprb` binary codec;
+//! * [`json_slice`] — a shallow, zero-copy JSON scanner used by the
+//!   serving layer to pull workspace bodies out of request JSON
+//!   without building a document tree;
 //! * [`query_parse`] — conjunctive-query parsing for the CQA commands;
 //! * [`fingerprint`] — the canonical 128-bit content fingerprint of a
 //!   whole workspace, used as the serving layer's session-cache key.
@@ -20,10 +23,12 @@
 
 pub mod fingerprint;
 pub mod format;
+pub mod json_slice;
 pub mod query_parse;
 pub mod store;
 
 pub use fingerprint::{schema_fingerprint, workspace_fingerprint};
 pub use format::{parse_workspace, render_workspace, FormatError, Workspace};
+pub use json_slice::{parse_workspace_raw, scan_object, RawStr, SliceError, SliceValue};
 pub use query_parse::{parse_query, QueryError};
 pub use store::{decode, encode, is_binary, StoreError};

@@ -1,7 +1,10 @@
 //! Endpoint logic: request body → budgeted computation → JSON response.
 //!
 //! Every handler is a pure function of `(state, request)`; the server
-//! module owns sockets, admission, and threads. Outcome → status
+//! module owns sockets, admission, and threads. Request bodies are
+//! pulled apart with `rpr_format`'s from-slice scanner — top-level
+//! fields come out as borrowed spans of the request buffer, so the hot
+//! cache-hit path never materializes a JSON tree. Outcome → status
 //! mapping (mirroring the CLI's exit codes):
 //!
 //! | outcome                    | status                          |
@@ -20,7 +23,9 @@ use crate::metrics::Metrics;
 use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, Outcome, OwnedCheckSession};
 use rpr_cqa::RepairSemantics;
 use rpr_data::{fingerprint::Fingerprint, FactSet};
-use rpr_format::{parse_workspace, workspace_fingerprint, Workspace};
+use rpr_format::{
+    parse_workspace_raw, scan_object, workspace_fingerprint, RawStr, SliceValue, Workspace,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,9 +57,9 @@ pub struct ServerState {
 /// Routes one parsed request. Never panics outward: the server wraps
 /// this in `catch_unwind`, but handlers themselves also isolate
 /// per-candidate panics via the bounded session API.
-pub fn handle(state: &ServerState, req: &Request) -> Response {
+pub fn handle(state: &ServerState, req: &Request<'_>) -> Response {
     state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    match (req.method.as_str(), req.path.as_str()) {
+    match (req.method, req.path) {
         ("GET", "/healthz") => {
             state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
             Response::json(200, r#"{"status":"ok"}"#)
@@ -83,8 +88,8 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
 fn timed(
     state: &ServerState,
     histogram: &crate::metrics::Histogram,
-    req: &Request,
-    f: impl Fn(&ServerState, &Request) -> Result<Response, Response>,
+    req: &Request<'_>,
+    f: impl Fn(&ServerState, &Request<'_>) -> Result<Response, Response>,
 ) -> Response {
     let start = Instant::now();
     let response = match f(state, req) {
@@ -110,6 +115,50 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, Json::obj([("error", Json::str(message))]).render())
 }
 
+/// The top-level fields a POST body may carry, as borrowed spans of
+/// the request buffer (unknown fields are validated and ignored;
+/// duplicate keys: last wins, matching the old tree parser).
+#[derive(Default)]
+struct Body<'a> {
+    workspace: Option<RawStr<'a>>,
+    query: Option<RawStr<'a>>,
+    /// Only set when the field is a string (a non-string `semantics`
+    /// silently meant "default" under the tree parser too).
+    semantics: Option<RawStr<'a>>,
+    timeout_ms: Option<SliceValue<'a>>,
+    max_work: Option<SliceValue<'a>>,
+    /// Only set when the field is an array (a non-array `repairs`
+    /// silently fell back to the workspace's declared repairs before).
+    repairs: Option<Vec<SliceValue<'a>>>,
+}
+
+/// Scans the body once, in place. No JSON tree is built: strings stay
+/// escaped spans, nested objects are validated and skipped.
+fn parse_body<'a>(req: &Request<'a>) -> Result<Body<'a>, Response> {
+    let text =
+        std::str::from_utf8(req.body).map_err(|_| error_response(400, "body is not UTF-8"))?;
+    let mut body = Body::default();
+    scan_object(text, |key, value| {
+        if key.is("workspace") {
+            body.workspace = value.as_raw_str();
+        } else if key.is("query") {
+            body.query = value.as_raw_str();
+        } else if key.is("semantics") {
+            body.semantics = value.as_raw_str();
+        } else if key.is("timeout_ms") {
+            body.timeout_ms = Some(value);
+        } else if key.is("max_work") {
+            body.max_work = Some(value);
+        } else if key.is("repairs") {
+            if let SliceValue::Arr(items) = value {
+                body.repairs = Some(items);
+            }
+        }
+    })
+    .map_err(|e| error_response(400, &e.to_string()))?;
+    Ok(body)
+}
+
 /// The parsed, validated common part of a POST body.
 struct Prepared {
     workspace: Workspace,
@@ -119,19 +168,11 @@ struct Prepared {
     budget: Budget,
 }
 
-fn parse_body(req: &Request) -> Result<Json, Response> {
-    let text =
-        std::str::from_utf8(&req.body).map_err(|_| error_response(400, "body is not UTF-8"))?;
-    parse_json(text).map_err(|e| error_response(400, &e.to_string()))
-}
-
-fn prepare(state: &ServerState, body: &Json) -> Result<Prepared, Response> {
-    let ws_text = body
-        .get("workspace")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_response(400, "missing string field `workspace`"))?;
-    let workspace =
-        parse_workspace(ws_text).map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
+    let ws_raw =
+        body.workspace.ok_or_else(|| error_response(400, "missing string field `workspace`"))?;
+    let workspace = parse_workspace_raw(&ws_raw)
+        .map_err(|e| error_response(400, &format!("workspace: {e}")))?;
     let fingerprint = workspace_fingerprint(&workspace);
     // Validate before touching the cache so a broken workspace can
     // never leave a placeholder entry behind.
@@ -140,13 +181,13 @@ fn prepare(state: &ServerState, body: &Json) -> Result<Prepared, Response> {
 
     // Budget: request override, else server default; drain always attached.
     let timeout =
-        match body.get("timeout_ms") {
+        match &body.timeout_ms {
             Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
                 error_response(400, "`timeout_ms` must be a non-negative integer")
             })?)),
             None => state.defaults.timeout,
         };
-    let max_work = match body.get("max_work") {
+    let max_work = match &body.max_work {
         Some(v) => Some(
             v.as_u64()
                 .ok_or_else(|| error_response(400, "`max_work` must be a non-negative integer"))?,
@@ -218,7 +259,7 @@ fn complexity_str(c: rpr_classify::Complexity) -> &'static str {
 
 /// `POST /classify` — schema classification under the workspace's
 /// dichotomy, plus cache/fingerprint info.
-fn classify(state: &ServerState, req: &Request) -> Result<Response, Response> {
+fn classify(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
     let p = prepare(state, &body)?;
     let mut fields = base_response(&p);
@@ -238,32 +279,32 @@ fn classify(state: &ServerState, req: &Request) -> Result<Response, Response> {
 
 /// Resolves which named candidate repairs the request asks about.
 fn requested_repairs(
-    body_repairs: Option<&[Json]>,
+    body_repairs: Option<&[SliceValue<'_>]>,
     ws: &Workspace,
 ) -> Result<Vec<(String, FactSet)>, Response> {
     match body_repairs {
         None => Ok(ws.repairs.clone()),
-        Some(names) => names
-            .iter()
-            .map(|n| {
-                let name = n
-                    .as_str()
-                    .ok_or_else(|| error_response(400, "`repairs` must be an array of names"))?;
-                ws.repairs
-                    .iter()
-                    .find(|(declared, _)| declared == name)
-                    .cloned()
-                    .ok_or_else(|| error_response(400, &format!("unknown repair `{name}`")))
-            })
-            .collect(),
+        Some(names) => {
+            names
+                .iter()
+                .map(|n| {
+                    let name = n.as_raw_str().ok_or_else(|| {
+                        error_response(400, "`repairs` must be an array of names")
+                    })?;
+                    ws.repairs.iter().find(|(declared, _)| name.is(declared)).cloned().ok_or_else(
+                        || error_response(400, &format!("unknown repair `{}`", name.cow())),
+                    )
+                })
+                .collect()
+        }
     }
 }
 
 /// `POST /check` — batch repair checking through the cached session.
-fn check(state: &ServerState, req: &Request) -> Result<Response, Response> {
+fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
     let p = prepare(state, &body)?;
-    let candidates = requested_repairs(body.get("repairs").and_then(Json::as_arr), &p.workspace)?;
+    let candidates = requested_repairs(body.repairs.as_deref(), &p.workspace)?;
     if candidates.is_empty() {
         return Err(error_response(400, "workspace declares no candidate repairs (add `repair NAME: ...` lines or pass `repairs`)"));
     }
@@ -334,18 +375,20 @@ fn verdict_str(outcome: &CheckOutcome) -> &'static str {
 }
 
 /// `POST /cqa` — consistent query answering over the cached session.
-fn cqa(state: &ServerState, req: &Request) -> Result<Response, Response> {
+fn cqa(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
     let p = prepare(state, &body)?;
-    let query_text = body
-        .get("query")
-        .and_then(Json::as_str)
-        .ok_or_else(|| error_response(400, "missing string field `query`"))?;
-    let semantics: RepairSemantics =
-        body.get("semantics").and_then(Json::as_str).unwrap_or("global").parse().map_err(|_| {
+    let query_raw =
+        body.query.ok_or_else(|| error_response(400, "missing string field `query`"))?;
+    let semantics: RepairSemantics = body
+        .semantics
+        .map(|s| s.cow().into_owned())
+        .unwrap_or_else(|| "global".to_owned())
+        .parse()
+        .map_err(|_| {
             error_response(400, "unknown `semantics` (use all|pareto|global|completion)")
         })?;
-    let query = rpr_format::parse_query(p.session.prioritized().instance(), query_text)
+    let query = rpr_format::parse_query(p.session.prioritized().instance(), &query_raw.cow())
         .map_err(|e| error_response(400, &format!("query: {e}")))?;
 
     let session: CheckSession<'_> = p.session.session().with_jobs(state.jobs);
@@ -424,12 +467,13 @@ mod tests {
         }
     }
 
-    fn post_check(ws: &str) -> Request {
-        Request {
-            method: "POST".to_owned(),
-            path: "/check".to_owned(),
-            body: format!("{{\"workspace\":{}}}", Json::str(ws).render()).into_bytes(),
-        }
+    fn check_body(ws: &str) -> Vec<u8> {
+        format!("{{\"workspace\":{}}}", Json::str(ws).render()).into_bytes()
+    }
+
+    fn post_check(state: &ServerState, ws: &str) -> Response {
+        let body = check_body(ws);
+        handle(state, &Request { method: "POST", path: "/check", body: &body, close: false })
     }
 
     fn body_json(response: &Response) -> Json {
@@ -439,14 +483,43 @@ mod tests {
     #[test]
     fn metrics_scrape_syncs_cache_evictions() {
         let state = state(1);
-        assert_eq!(handle(&state, &post_check(WS_A)).status, 200);
-        assert_eq!(handle(&state, &post_check(WS_B)).status, 200);
-        let scrape = handle(
-            &state,
-            &Request { method: "GET".to_owned(), path: "/metrics".to_owned(), body: Vec::new() },
-        );
+        assert_eq!(post_check(&state, WS_A).status, 200);
+        assert_eq!(post_check(&state, WS_B).status, 200);
+        let scrape =
+            handle(&state, &Request { method: "GET", path: "/metrics", body: b"", close: false });
         let text = String::from_utf8(scrape.body).unwrap();
         assert!(text.contains("rpr_cache_evictions_total 1\n"), "got:\n{text}");
+    }
+
+    #[test]
+    fn malformed_bodies_keep_their_diagnostics() {
+        let state = state(2);
+        for (body, expect) in [
+            (&b"\xff\xfe"[..], "body is not UTF-8"),
+            (b"{\"workspace\": }", "invalid JSON at byte"),
+            (b"{}", "missing string field `workspace`"),
+            (b"{\"workspace\": 7}", "missing string field `workspace`"),
+        ] {
+            let response =
+                handle(&state, &Request { method: "POST", path: "/check", body, close: false });
+            assert_eq!(response.status, 400);
+            let text = String::from_utf8(response.body).unwrap();
+            assert!(text.contains(expect), "body {body:?}: got {text}");
+        }
+    }
+
+    #[test]
+    fn budget_overrides_reject_non_integers() {
+        let state = state(2);
+        let body =
+            format!("{{\"workspace\":{},\"timeout_ms\":\"fast\"}}", Json::str(WS_A).render())
+                .into_bytes();
+        let response =
+            handle(&state, &Request { method: "POST", path: "/check", body: &body, close: false });
+        assert_eq!(response.status, 400);
+        assert!(String::from_utf8(response.body)
+            .unwrap()
+            .contains("`timeout_ms` must be a non-negative integer"));
     }
 
     #[test]
@@ -464,7 +537,7 @@ mod tests {
 
         // The WS_A request hits the planted key, must detect the
         // mismatch, rebuild, and answer with WS_A's verdict.
-        let response = handle(&state, &post_check(WS_A));
+        let response = post_check(&state, WS_A);
         assert_eq!(response.status, 200);
         let json = body_json(&response);
         assert_eq!(json.get("cached").and_then(Json::as_bool), Some(false));
@@ -479,9 +552,9 @@ mod tests {
     #[test]
     fn genuine_hits_still_verify_and_serve_cached() {
         let state = state(2);
-        let cold = handle(&state, &post_check(WS_A));
+        let cold = post_check(&state, WS_A);
         assert_eq!(body_json(&cold).get("cached").and_then(Json::as_bool), Some(false));
-        let warm = handle(&state, &post_check(WS_A));
+        let warm = post_check(&state, WS_A);
         assert_eq!(body_json(&warm).get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(state.metrics.cache_collisions_total.load(Ordering::Relaxed), 0);
         assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);

@@ -1,10 +1,21 @@
-//! Minimal HTTP/1.1 framing over a [`TcpStream`].
+//! HTTP/1.1 framing: zero-copy request parsing and keep-alive clients.
 //!
 //! The service speaks just enough HTTP for JSON request/response
-//! traffic: request line + headers + `Content-Length`-framed body in,
-//! status + headers + body out, `Connection: close` on every response
-//! (one request per connection keeps the worker pool's accounting
-//! trivial — admission control is per request anyway).
+//! traffic, but speaks it fast: requests are parsed **in place** over
+//! the connection's read buffer — the request line and every header
+//! are examined as byte slices of the buffer, with no intermediate
+//! `String`/`Vec` per line — and connections are **persistent** by
+//! default (HTTP/1.1 keep-alive with pipelining). A request opts out
+//! with `Connection: close`; the server additionally closes on its
+//! per-connection request cap and idle timeout (see `event_loop`).
+//!
+//! [`parse_request`] is incremental: handed the unconsumed prefix of a
+//! read buffer it either frames one complete request (returning how
+//! many bytes it spans, so pipelined successors can be framed next),
+//! reports that more bytes are needed, or rejects the prefix as
+//! malformed/oversized. The same parser serves the event loop (for
+//! framing) and the workers (for routing) — parsing a framed request
+//! twice costs two allocation-free scans of a ~hundred-byte header.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -17,19 +28,39 @@ pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
 /// Largest accepted header section.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
 
-/// How long a connection may dribble its request before we give up.
-pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long a client waits for a response.
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// A parsed HTTP request.
+/// A parsed HTTP request, borrowing from the connection's read buffer
+/// (zero-copy: method, path and body are slices of the framed bytes).
 #[derive(Debug)]
-pub struct Request {
-    /// The method verb, uppercased by the client (`GET`, `POST`, …).
-    pub method: String,
+pub struct Request<'a> {
+    /// The method verb (`GET`, `POST`, …).
+    pub method: &'a str,
     /// The request path (query strings are not used by this service and
     /// are kept attached).
-    pub path: String,
+    pub path: &'a str,
     /// The request body.
-    pub body: Vec<u8>,
+    pub body: &'a [u8],
+    /// The request carried `Connection: close` — the server must answer
+    /// and then close instead of keeping the connection alive.
+    pub close: bool,
+}
+
+/// The outcome of an incremental parse over a read-buffer prefix.
+#[derive(Debug)]
+pub enum Parsed<'a> {
+    /// One complete request, spanning `consumed` bytes of the buffer;
+    /// bytes beyond it belong to the next pipelined request.
+    Complete {
+        /// The framed request, borrowing from the buffer.
+        request: Request<'a>,
+        /// Total bytes this request occupies (headers + body).
+        consumed: usize,
+    },
+    /// The buffer holds a syntactically-fine prefix of a request; read
+    /// more bytes and try again.
+    Partial,
 }
 
 /// A framing/IO error while reading a request.
@@ -59,65 +90,86 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one CRLF-terminated line, charging it against the shared
-/// header budget *as it is buffered*: the read is capped at the budget
-/// remainder, so a peer streaming an endless line with no `\n` fails
-/// with [`HttpError::TooLarge`] instead of growing the string without
-/// bound (the per-read timeout alone does not protect against a fast
-/// sender).
-fn read_header_line(
-    reader: &mut BufReader<&mut TcpStream>,
-    line: &mut String,
-    header_bytes: &mut usize,
-) -> Result<usize, HttpError> {
-    let budget = MAX_HEADER_BYTES - *header_bytes;
-    let n = (&mut *reader).take(budget as u64 + 1).read_line(line)?;
-    *header_bytes += n;
-    if *header_bytes > MAX_HEADER_BYTES {
-        return Err(HttpError::TooLarge);
-    }
-    Ok(n)
+/// Splits the next CRLF- (or bare-LF-) terminated line off `buf`,
+/// returning `(line_without_terminator, rest)`; `None` when no
+/// terminator has arrived yet.
+fn split_line(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    let nl = buf.iter().position(|&b| b == b'\n')?;
+    let line = if nl > 0 && buf[nl - 1] == b'\r' { &buf[..nl - 1] } else { &buf[..nl] };
+    Some((line, &buf[nl + 1..]))
 }
 
-/// Reads one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut header_bytes = 0usize;
-    read_header_line(&mut reader, &mut line, &mut header_bytes)?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_owned();
-    let path = parts.next().ok_or(HttpError::Malformed("missing path"))?.to_owned();
+/// Frames one request out of `buf` without copying: header lines are
+/// parsed as slices of the buffer, the body is the in-place remainder.
+/// See [`Parsed`] for the incremental contract.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed<'_>, HttpError> {
+    // Request line.
+    let Some((request_line, mut rest)) = split_line(buf) else {
+        return if buf.len() > MAX_HEADER_BYTES {
+            Err(HttpError::TooLarge)
+        } else {
+            Ok(Parsed::Partial)
+        };
+    };
+    let request_line =
+        std::str::from_utf8(request_line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().filter(|m| !m.is_empty());
+    let Some(method) = method else {
+        return Err(HttpError::Malformed("empty request line"));
+    };
+    let path = parts.next().ok_or(HttpError::Malformed("missing path"))?;
     let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
 
+    // Header lines, scanned in place.
     let mut content_length: u64 = 0;
+    let mut close = false;
     loop {
-        let mut header = String::new();
-        let n = read_header_line(&mut reader, &mut header, &mut header_bytes)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-headers"));
+        // The whole header section (request line included) shares one
+        // size budget; a terminator-free flood fails fast instead of
+        // buffering without bound.
+        let consumed_so_far = buf.len() - rest.len();
+        if consumed_so_far > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
         }
-        let header = header.trim_end();
-        if header.is_empty() {
+        let Some((line, after)) = split_line(rest) else {
+            return if buf.len() > MAX_HEADER_BYTES {
+                Err(HttpError::TooLarge)
+            } else {
+                Ok(Parsed::Partial)
+            };
+        };
+        rest = after;
+        if line.is_empty() {
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
+        let line =
+            std::str::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header"))?;
+        if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length =
                     value.trim().parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close |= value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
-    let mut body = vec![0u8; content_length as usize];
-    reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+
+    let head_len = buf.len() - rest.len();
+    let total = head_len + content_length as usize;
+    if buf.len() < total {
+        return Ok(Parsed::Partial);
+    }
+    Ok(Parsed::Complete {
+        request: Request { method, path, body: &buf[head_len..total], close },
+        consumed: total,
+    })
 }
 
 /// An HTTP response ready to be written.
@@ -160,21 +212,34 @@ impl Response {
         self
     }
 
-    /// Writes the response (`Connection: close` framing).
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+    /// Serializes the response into `out` with `Content-Length` framing
+    /// and an explicit `Connection:` header — `keep-alive` keeps the
+    /// socket open for the next pipelined request, `close` announces
+    /// the server will close after this response.
+    pub fn render_into(&self, out: &mut Vec<u8>, close: bool) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
+            if close { "close" } else { "keep-alive" },
         );
         for (name, value) in &self.headers {
-            head.push_str(&format!("{name}: {value}\r\n"));
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Writes the response with `Connection: close` framing (the
+    /// one-shot path: admission rejections, drain sweeps, tests).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut raw = Vec::with_capacity(128 + self.body.len());
+        self.render_into(&mut raw, true);
+        stream.write_all(&raw)?;
         stream.flush()
     }
 }
@@ -183,9 +248,9 @@ impl Response {
 /// peer's FIN before the caller closes the socket. Closing with unread
 /// data in the receive buffer makes the kernel send `RST`, which can
 /// discard the just-written response in flight — notably on the
-/// admission-control path, where the service answers 503 *without*
-/// reading the request. The drain is bounded (64 × 4 KiB reads, 250 ms
-/// timeout each) so a hostile dribbler cannot pin the thread.
+/// drain-sweep path, where the service answers 503 *without* reading
+/// the request. The drain is bounded (64 × 4 KiB reads, 250 ms timeout
+/// each) so a hostile dribbler cannot pin the thread.
 pub fn finish(stream: &mut TcpStream, response: &Response) {
     if response.write_to(stream).is_err() {
         return;
@@ -201,36 +266,161 @@ pub fn finish(stream: &mut TcpStream, response: &Response) {
     }
 }
 
-/// A minimal one-shot HTTP client matching the server's framing: one
-/// request per connection, response read to EOF (`Connection: close`).
-/// Returns `(status, body)`. Used by `rpr request` and the load
-/// generator — the build environment vendors no HTTP client crates.
+/// A persistent HTTP/1.1 client: one TCP connection reused across
+/// calls (keep-alive), responses framed by `Content-Length`. On a
+/// reused connection that turns out dead (the server idle-closed it, or
+/// its request cap struck between calls) the call transparently
+/// reconnects once — the retry is safe because nothing of the request
+/// reached a handler on a connection that died before responding.
+pub struct HttpClient {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `host:port`; connects lazily on the first call.
+    pub fn new(addr: impl Into<String>) -> Self {
+        HttpClient { addr: addr.into(), stream: None }
+    }
+
+    /// Sends one request and reads the full response. Returns
+    /// `(status, body)`; the connection stays open for the next call
+    /// unless the server answered `Connection: close`.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let reused = self.stream.is_some();
+        match self.try_call(method, path, body, false) {
+            Ok(done) => Ok(done),
+            Err(e) if reused => {
+                // Stale keep-alive connection: reconnect and retry once.
+                let _ = e;
+                self.stream = None;
+                self.try_call(method, path, body, false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`call`](HttpClient::call) but asks the server to close
+    /// afterwards (`Connection: close`) — the one-shot framing.
+    pub fn call_close(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        self.try_call(method, path, body, true)
+    }
+
+    fn try_call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        close: bool,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            let _ = stream.set_nodelay(true);
+            stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {len}\r\nconnection: {conn}\r\n\r\n",
+            addr = self.addr,
+            len = body.len(),
+            conn = if close { "close" } else { "keep-alive" },
+        );
+        let stream = reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let result = read_response(reader);
+        match &result {
+            Ok((_, _, server_close)) if !server_close && !close => {}
+            _ => self.stream = None,
+        }
+        result.map(|(status, body, _)| (status, body))
+    }
+}
+
+/// Reads one `Content-Length`-framed response; returns
+/// `(status, body, server_asked_close)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<u8>, bool)> {
+    let bad = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed HTTP response: {what}"),
+        )
+    };
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("status line"))?;
+
+    let mut content_length: Option<u64> = None;
+    let mut close = false;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated headers"));
+        }
+        let l = line.trim_end();
+        if l.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = l.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| bad("content-length"))?);
+            } else if name.eq_ignore_ascii_case("connection") {
+                close |= value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            if n > MAX_BODY_BYTES {
+                return Err(bad("content-length"));
+            }
+            let mut body = vec![0u8; n as usize];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        // No Content-Length: legacy close-framed response.
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            close = true;
+            body
+        }
+    };
+    Ok((status, body, close))
+}
+
+/// A minimal one-shot HTTP client: one request per connection
+/// (`Connection: close`), response read fully. Returns
+/// `(status, body)`. Used by `rpr request`, tests, and the load
+/// generator's `--no-keepalive` baseline mode — the build environment
+/// vendors no HTTP client crates.
 pub fn client_call(
     addr: &str,
     method: &str,
     path: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, Vec<u8>)> {
-    let mut stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    let mut reader = BufReader::new(stream);
-    reader.read_to_end(&mut raw)?;
-    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
-    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").ok_or_else(bad)? + 4;
-    let head_text = std::str::from_utf8(&raw[..header_end]).map_err(|_| bad())?;
-    let status: u16 =
-        head_text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-    Ok((status, raw[header_end..].to_vec()))
+    HttpClient::new(addr).call_close(method, path, body)
 }
 
 fn reason(status: u16) -> &'static str {
@@ -239,6 +429,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -249,121 +440,106 @@ fn reason(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
 
-    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        // Write from a helper thread: payloads larger than the socket
-        // buffer would otherwise deadlock against the unread server side.
-        let writer = std::thread::spawn(move || {
-            let mut client = TcpStream::connect(addr).unwrap();
-            let _ = client.write_all(&raw);
-            let _ = client.flush();
-            client
-        });
-        let (mut server_side, _) = listener.accept().unwrap();
-        let result = read_request(&mut server_side);
-        drop(server_side);
-        let _ = writer.join();
-        result
+    fn complete(raw: &[u8]) -> Result<(String, String, Vec<u8>, bool, usize), HttpError> {
+        match parse_request(raw)? {
+            Parsed::Complete { request, consumed } => Ok((
+                request.method.to_owned(),
+                request.path.to_owned(),
+                request.body.to_vec(),
+                request.close,
+                consumed,
+            )),
+            Parsed::Partial => panic!("expected a complete request"),
+        }
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req = roundtrip(b"POST /check HTTP/1.1\r\ncontent-length: 5\r\nhost: x\r\n\r\nhello")
-            .unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/check");
-        assert_eq!(req.body, b"hello");
+        let raw = b"POST /check HTTP/1.1\r\ncontent-length: 5\r\nhost: x\r\n\r\nhello";
+        let (method, path, body, close, consumed) = complete(raw).unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/check");
+        assert_eq!(body, b"hello");
+        assert!(!close);
+        assert_eq!(consumed, raw.len());
     }
 
     #[test]
-    fn parses_get_without_body() {
-        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
-        assert_eq!(req.method, "GET");
-        assert!(req.body.is_empty());
+    fn parses_get_without_body_and_connection_close() {
+        let (method, _, body, close, _) =
+            complete(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(method, "GET");
+        assert!(body.is_empty());
+        assert!(close);
+    }
+
+    #[test]
+    fn pipelined_requests_frame_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let (_, path, _, _, consumed) = complete(raw).unwrap();
+        assert_eq!(path, "/a");
+        let (_, path, body, _, consumed2) = complete(&raw[consumed..]).unwrap();
+        assert_eq!(path, "/b");
+        assert_eq!(body, b"hi");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn partial_prefixes_ask_for_more() {
+        for cut in [0, 3, 17, 20, 40, 44, 47] {
+            let raw = &b"POST /check HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"[..cut];
+            assert!(
+                matches!(parse_request(raw), Ok(Parsed::Partial)),
+                "cut at {cut} must be partial"
+            );
+        }
     }
 
     #[test]
     fn rejects_oversized_and_malformed() {
         assert!(matches!(
-            roundtrip(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
             Err(HttpError::TooLarge)
         ));
-        assert!(matches!(roundtrip(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
-        assert!(matches!(roundtrip(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_request(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_request(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
     }
 
     #[test]
     fn rejects_unterminated_header_flood() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        // A "request" whose first line never ends: the reader must fail
-        // with TooLarge once the header budget is consumed instead of
-        // buffering the line without bound.
-        let writer = std::thread::spawn(move || {
-            let mut client = TcpStream::connect(addr).unwrap();
-            let chunk = [b'a'; 4096];
-            for _ in 0..64 {
-                if client.write_all(&chunk).is_err() {
-                    break;
-                }
-            }
-        });
-        let (mut server_side, _) = listener.accept().unwrap();
-        assert!(matches!(read_request(&mut server_side), Err(HttpError::TooLarge)));
-        drop(server_side);
-        writer.join().unwrap();
+        // A "request" whose first line never ends must fail once the
+        // header budget is consumed instead of asking for more forever.
+        let flood = vec![b'a'; MAX_HEADER_BYTES + 2];
+        assert!(matches!(parse_request(&flood), Err(HttpError::TooLarge)));
     }
 
     #[test]
     fn header_budget_spans_all_lines() {
-        // Many individually-small header lines must still trip the
-        // shared budget.
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
         let line = format!("x-filler: {}\r\n", "b".repeat(1000));
         for _ in 0..80 {
             raw.extend_from_slice(line.as_bytes());
         }
         raw.extend_from_slice(b"\r\n");
-        assert!(matches!(roundtrip(&raw), Err(HttpError::TooLarge)));
-    }
-
-    #[test]
-    fn client_roundtrip() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let server = std::thread::spawn(move || {
-            let (mut s, _) = listener.accept().unwrap();
-            let req = read_request(&mut s).unwrap();
-            assert_eq!(req.body, br#"{"a":1}"#);
-            Response::json(200, r#"{"ok":true}"#).write_to(&mut s).unwrap();
-        });
-        let (status, body) = client_call(&addr, "POST", "/check", br#"{"a":1}"#).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, br#"{"ok":true}"#);
-        server.join().unwrap();
+        assert!(matches!(parse_request(&raw), Err(HttpError::TooLarge)));
     }
 
     #[test]
     fn response_framing() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let client = TcpStream::connect(addr).unwrap();
-        let (mut server_side, _) = listener.accept().unwrap();
+        let mut out = Vec::new();
         Response::json(422, "{\"x\":1}")
             .with_header("retry-after", "1")
-            .write_to(&mut server_side)
-            .unwrap();
-        drop(server_side);
-        let mut got = String::new();
-        let mut client = client;
-        client.read_to_string(&mut got).unwrap();
+            .render_into(&mut out, false);
+        let got = String::from_utf8(out).unwrap();
         assert!(got.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
         assert!(got.contains("content-length: 7\r\n"));
+        assert!(got.contains("connection: keep-alive\r\n"));
         assert!(got.contains("retry-after: 1\r\n"));
         assert!(got.ends_with("{\"x\":1}"));
+
+        let mut out = Vec::new();
+        Response::json(200, "{}").render_into(&mut out, true);
+        assert!(String::from_utf8(out).unwrap().contains("connection: close\r\n"));
     }
 }

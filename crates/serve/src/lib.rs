@@ -29,27 +29,37 @@
 //!   hit is only reused after proving it is the same content (a crafted
 //!   collision degrades to a miss, never to another workspace's
 //!   verdicts);
-//! * [`server`] — accept thread + bounded admission queue (503 +
-//!   `Retry-After` on saturation) + worker pool + graceful drain via
+//! * [`event_loop`] — the readiness-driven I/O core: one thread owns
+//!   every socket (nonblocking accept + `poll(2)`), frames pipelined
+//!   keep-alive requests in place, and applies admission control (a
+//!   full job queue → `503 + Retry-After` without a worker);
+//! * [`poll`] — `poll(2)` via a libc-free raw-syscall shim on Linux,
+//!   with a portable everything-ready fallback;
+//! * [`server`] — configuration, worker pool, graceful drain via
 //!   [`CancelToken`](rpr_core::CancelToken);
-//! * [`handlers`] — budgeted endpoint logic (outcome → status mapping);
-//! * [`metrics`] — atomic counters and fixed-bucket latency histograms;
-//! * [`http`] / [`json`] — hand-rolled minimal framing (the build
-//!   environment vendors no HTTP or JSON crates).
+//! * [`handlers`] — budgeted endpoint logic (outcome → status
+//!   mapping), over `rpr_format`'s from-slice JSON scanner (no
+//!   document tree on the hot path);
+//! * [`metrics`] — atomic counters and fixed-bucket histograms;
+//! * [`http`] / [`json`] — hand-rolled framing (the build environment
+//!   vendors no HTTP or JSON crates): zero-copy request parsing over
+//!   the connection buffer, keep-alive and one-shot clients.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod event_loop;
 pub mod handlers;
 pub mod http;
 pub mod identity;
 pub mod json;
 pub mod metrics;
+pub mod poll;
 pub mod server;
 
 pub use cache::{CacheOutcome, SessionCache};
 pub use handlers::{BudgetDefaults, ServerState};
-pub use http::client_call;
+pub use http::{client_call, HttpClient};
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::Metrics;
 pub use server::{ServeConfig, Server};

@@ -59,6 +59,59 @@ fn writeln_type(out: &mut String, name: &str, kind: &str) {
     out.push_str(&format!("# TYPE {name} {kind}\n"));
 }
 
+/// Upper bounds of the requests-per-connection histogram buckets; the
+/// implicit last bucket is `+Inf`. A connection landing in the `1`
+/// bucket got no keep-alive benefit; healthy keep-alive traffic lands
+/// far to the right.
+pub const PER_CONN_BUCKETS: [u64; 9] = [1, 2, 5, 10, 25, 50, 100, 250, 1000];
+
+/// A fixed-bucket histogram over dimensionless counts (requests served
+/// per connection), as opposed to [`Histogram`]'s latencies.
+#[derive(Default)]
+pub struct CountHistogram {
+    buckets: [AtomicU64; PER_CONN_BUCKETS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl CountHistogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx =
+            PER_CONN_BUCKETS.iter().position(|&b| value <= b).unwrap_or(PER_CONN_BUCKETS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Renders the histogram in Prometheus exposition format.
+    fn render(&self, name: &str, out: &mut String) {
+        writeln_type(out, name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in PER_CONN_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[PER_CONN_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n{name}_count {}\n",
+            self.sum.load(Ordering::Relaxed),
+            self.count.load(Ordering::Relaxed),
+        ));
+    }
+}
+
 macro_rules! counters {
     ($(#[$doc:meta] $field:ident => $metric:literal,)+) => {
         /// The service-wide metrics registry. One instance lives in the
@@ -76,6 +129,9 @@ macro_rules! counters {
             pub classify_latency: Histogram,
             /// Latency of completed `/cqa` requests.
             pub cqa_latency: Histogram,
+            /// Requests served per connection, observed at connection
+            /// close (histogram; keep-alive efficacy).
+            pub requests_per_connection: CountHistogram,
         }
 
         impl Metrics {
@@ -115,6 +171,10 @@ counters! {
     cache_evictions_total => "rpr_cache_evictions_total",
     /// Cache hits rejected as fingerprint collisions (content mismatch; rebuilt fresh).
     cache_collisions_total => "rpr_cache_collisions_total",
+    /// TCP connections accepted over the server's lifetime.
+    http_connections_total => "rpr_http_connections_total",
+    /// Keep-alive connections closed by the idle timeout (slow-loris defense included).
+    http_idle_closed_total => "rpr_http_idle_closed_total",
 }
 
 impl Metrics {
@@ -142,6 +202,7 @@ impl Metrics {
         self.check_latency.render("rpr_check_latency_seconds", &mut out);
         self.classify_latency.render("rpr_classify_latency_seconds", &mut out);
         self.cqa_latency.render("rpr_cqa_latency_seconds", &mut out);
+        self.requests_per_connection.render("rpr_http_requests_per_connection", &mut out);
         out
     }
 }
@@ -176,6 +237,21 @@ mod tests {
         assert!(text.contains("rpr_cache_hits_total 1"));
         assert!(text.contains("rpr_queue_depth 1"));
         assert!(text.contains("# TYPE rpr_check_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn per_connection_histogram_renders() {
+        let m = Metrics::default();
+        m.requests_per_connection.observe(1);
+        m.requests_per_connection.observe(7);
+        m.requests_per_connection.observe(5000);
+        let text = m.render_prometheus();
+        assert!(text.contains("rpr_http_requests_per_connection_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("rpr_http_requests_per_connection_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("rpr_http_requests_per_connection_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("rpr_http_requests_per_connection_sum 5008\n"));
+        assert!(text.contains("rpr_http_connections_total 0\n"));
+        assert!(text.contains("rpr_http_idle_closed_total 0\n"));
     }
 
     #[test]

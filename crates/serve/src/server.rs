@@ -1,43 +1,44 @@
-//! The server: listener, bounded admission queue, worker pool, drain.
+//! The server: event loop, bounded job queue, worker pool, drain.
 //!
 //! Threading model (one line per moving part):
 //!
-//! * **accept thread** (the caller of [`Server::run`]) — nonblocking
-//!   `accept` polled every ~25 ms so it observes the drain flag
-//!   promptly; a full queue is answered `503 + Retry-After` *here*,
-//!   before any worker is involved (admission control);
-//! * **N workers** (`jobs` convention) — pop connections from the
-//!   queue, read + route + respond, each request wrapped in
-//!   `catch_unwind` so a handler panic downs one response, not the
-//!   pool;
+//! * **event loop** (the caller of [`Server::run`]) — owns the
+//!   listener and every connection socket; nonblocking accept, poll(2)
+//!   readiness, in-place framing of pipelined keep-alive requests (see
+//!   [`event_loop`](crate::event_loop)). Admission control lives at
+//!   dispatch: a full job queue answers `503 + Retry-After` from the
+//!   loop, before any worker is involved;
+//! * **N workers** (`jobs` convention) — pop fully-framed requests
+//!   from the bounded queue, route + compute + respond, each request
+//!   wrapped in `catch_unwind` so a handler panic downs one response,
+//!   not the pool; finished responses travel back over an mpsc channel
+//!   and a one-byte write to a loopback wake-up socket;
 //! * **drain** — a [`CancelToken`] shared with every request budget.
 //!   `SIGTERM`/`SIGINT` (opt-in) or `POST /shutdown` fires it: the
-//!   accept loop stops admitting after a *bounded* backlog sweep
-//!   (connections whose handshake completed before the drain get a
-//!   `503 + Retry-After` instead of a reset; the sweep is count-limited
-//!   so sustained traffic cannot keep the drain alive forever), queued
-//!   requests still run (their budgets observe the token, so long
-//!   checks come back `cancelled` → 503 quickly), workers join,
-//!   [`Server::run`] returns. Transient `accept` failures (aborted
-//!   handshakes, `EINTR`, fd exhaustion) are retried; a truly fatal
-//!   listener error closes the queue first so workers exit and the
-//!   error surfaces instead of deadlocking the join.
+//!   loop stops accepting, closes idle keep-alive connections, answers
+//!   everything already framed (their budgets observe the token, so
+//!   long checks come back `cancelled` → 503 quickly) with
+//!   `Connection: close`, and exits once no connection remains; a
+//!   *bounded* backlog sweep then answers handshakes that completed
+//!   before the drain with `503 + Retry-After` instead of a reset.
+//!   Transient `accept` failures (aborted handshakes, `EINTR`, fd
+//!   exhaustion) are retried; a truly fatal listener error closes the
+//!   queue first so workers exit and the error surfaces instead of
+//!   deadlocking the join.
 
+use crate::event_loop::{Completion, EventLoop, JobQueue};
 use crate::handlers::{handle, BudgetDefaults, ServerState};
-use crate::http::{finish, read_request, HttpError, Response};
+use crate::http::{finish, parse_request, HttpError, Parsed, Response};
 use crate::metrics::Metrics;
 use rpr_core::CancelToken;
-use std::collections::VecDeque;
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-/// How often the accept loop wakes to poll the drain flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
-
 /// Global drain flag written by the (async-signal-safe) signal handler
-/// and polled by the accept loop.
+/// and polled by the event loop.
 static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
 
 /// Server configuration. All knobs have serving-sane defaults.
@@ -48,7 +49,7 @@ pub struct ServeConfig {
     /// Worker threads (the `--jobs` convention: `None`/`0` → available
     /// parallelism).
     pub jobs: Option<usize>,
-    /// Admission queue bound; connections beyond it get `503`.
+    /// Admission queue bound; requests beyond it get `503`.
     pub queue_capacity: usize,
     /// LRU session-cache capacity (entries).
     pub cache_capacity: usize,
@@ -58,6 +59,15 @@ pub struct ServeConfig {
     pub default_max_work: Option<u64>,
     /// Install `SIGINT`/`SIGTERM` handlers that trigger drain.
     pub install_signal_handlers: bool,
+    /// Close keep-alive connections idle longer than this (also the
+    /// slow-loris bound for half-sent requests).
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before the server closes it
+    /// (bounds how long one client can monopolize a poll slot).
+    pub max_requests_per_conn: u64,
+    /// Concurrent connection bound; past it the listener stops
+    /// accepting (backlog queues in the kernel) until a slot frees.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,47 +80,9 @@ impl Default for ServeConfig {
             default_timeout_ms: Some(10_000),
             default_max_work: None,
             install_signal_handlers: false,
-        }
-    }
-}
-
-/// The bounded connection queue plus its condvar.
-struct Queue {
-    deque: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-    capacity: usize,
-}
-
-impl Queue {
-    /// Pushes if below capacity; a saturated queue hands the stream
-    /// back so the caller can turn the connection away.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut deque = self.deque.lock().expect("queue lock poisoned");
-        if deque.len() >= self.capacity {
-            return Err(stream);
-        }
-        deque.push_back(stream);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Pops, blocking until a connection arrives or `closed` turns
-    /// true; `None` means the pool is shutting down and the queue has
-    /// fully drained.
-    fn pop(&self, closed: &AtomicBool) -> Option<TcpStream> {
-        let mut deque = self.deque.lock().expect("queue lock poisoned");
-        loop {
-            if let Some(stream) = deque.pop_front() {
-                return Some(stream);
-            }
-            if closed.load(Ordering::Acquire) {
-                return None;
-            }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(deque, Duration::from_millis(50))
-                .expect("queue lock poisoned");
-            deque = guard;
+            idle_timeout_ms: 5_000,
+            max_requests_per_conn: 1024,
+            max_connections: 4096,
         }
     }
 }
@@ -119,7 +91,6 @@ impl Queue {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    queue: Arc<Queue>,
     config: ServeConfig,
 }
 
@@ -138,12 +109,7 @@ impl Server {
             jobs: rpr_core::resolve_jobs(config.jobs),
             drain: CancelToken::new(),
         });
-        let queue = Arc::new(Queue {
-            deque: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            capacity: config.queue_capacity,
-        });
-        Ok(Server { listener, state, queue, config })
+        Ok(Server { listener, state, config })
     }
 
     /// The bound address (for ephemeral ports).
@@ -162,15 +128,17 @@ impl Server {
         &self.state
     }
 
-    /// Runs the accept loop until drain, then joins the workers.
-    /// Returns the number of requests admitted over the lifetime.
+    /// Runs the event loop until drain, then joins the workers.
+    /// Returns the number of connections accepted over the lifetime.
     pub fn run(self) -> std::io::Result<u64> {
         if self.config.install_signal_handlers {
             install_signal_handlers();
         }
         self.listener.set_nonblocking(true)?;
-        let closed = Arc::new(AtomicBool::new(false));
-        let mut admitted: u64 = 0;
+        let jobs = Arc::new(JobQueue::new(self.config.queue_capacity));
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+        let (wake_rx, wake_tx) = wake_pair()?;
+        let wake_tx = Arc::new(wake_tx);
 
         std::thread::scope(|scope| -> std::io::Result<u64> {
             // Workers: pool size = jobs, but each check itself also
@@ -178,66 +146,39 @@ impl Server {
             // light traffic lets single requests use the whole machine
             // and heavy traffic degrades to ~1 thread per request.
             for worker_id in 0..self.state.jobs {
-                let queue = Arc::clone(&self.queue);
+                let jobs = Arc::clone(&jobs);
                 let state = Arc::clone(&self.state);
-                let closed = Arc::clone(&closed);
+                let tx = completion_tx.clone();
+                let wake = Arc::clone(&wake_tx);
                 std::thread::Builder::new()
                     .name(format!("rpr-serve-{worker_id}"))
-                    .spawn_scoped(scope, move || worker_loop(&queue, &state, &closed))
+                    .spawn_scoped(scope, move || worker_loop(&jobs, &state, &tx, &wake))
                     .expect("spawn worker");
             }
 
-            loop {
-                // Drain is observed at the top of every iteration so a
-                // token fired by a worker (`POST /shutdown`) or by a
-                // signal takes effect within one accept/poll cycle.
-                if self.state.drain.is_cancelled() || SIGNAL_DRAIN.load(Ordering::Relaxed) {
-                    self.state.drain.cancel();
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        admitted += 1;
-                        Metrics::gauge_inc(&self.state.metrics.queue_depth);
-                        if let Err(mut stream) = self.queue.try_push(stream_nodelay(stream)) {
-                            // Admission control: saturated queue — turn
-                            // the connection away without reading the
-                            // request (no worker time spent). The write
-                            // + drain runs on a short helper thread so
-                            // a slow peer cannot stall the accept loop.
-                            Metrics::gauge_dec(&self.state.metrics.queue_depth);
-                            self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
-                            scope.spawn(move || {
-                                let response =
-                                    Response::json(503, r#"{"error":"server saturated"}"#)
-                                        .with_header("retry-after", "1");
-                                finish(&mut stream, &response);
-                            });
-                        }
-                    }
-                    // WouldBlock is the idle poll; the other kinds are
-                    // failures conventional accept loops retry rather
-                    // than treat as fatal (a single aborted handshake
-                    // or a burst of fd exhaustion must not take the
-                    // whole service down).
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || is_transient_accept_error(&e) =>
-                    {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(e) => {
-                        // Fatal listener error: close the queue *before*
-                        // returning — bailing out of the scope with the
-                        // queue open would leave workers blocked in
-                        // `pop` and the scope's implicit join would
-                        // hang the process instead of surfacing `e`.
-                        closed.store(true, Ordering::Release);
-                        self.queue.ready.notify_all();
-                        return Err(e);
-                    }
-                }
+            let result = EventLoop {
+                listener: &self.listener,
+                state: &self.state,
+                config: &self.config,
+                jobs: &jobs,
+                completions: &completion_rx,
+                wake_rx: &wake_rx,
+                signal_drain: &SIGNAL_DRAIN,
             }
+            .run();
+
+            let mut accepted = match result {
+                Ok(accepted) => accepted,
+                Err(e) => {
+                    // Fatal loop error: close the queue *before*
+                    // returning — bailing out of the scope with the
+                    // queue open would leave workers blocked in `pop`
+                    // and the scope's implicit join would hang the
+                    // process instead of surfacing `e`.
+                    jobs.close();
+                    return Err(e);
+                }
+            };
 
             // Bounded drain sweep: connections whose TCP handshake
             // completed before the drain deserve an answer rather than
@@ -249,8 +190,9 @@ impl Server {
             for _ in 0..self.config.queue_capacity.max(1) {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        admitted += 1;
+                        accepted += 1;
                         self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                        self.state.metrics.http_connections_total.fetch_add(1, Ordering::Relaxed);
                         let mut stream = stream_nodelay(stream);
                         scope.spawn(move || {
                             let response = Response::json(503, r#"{"error":"server draining"}"#)
@@ -263,11 +205,25 @@ impl Server {
             }
 
             // Drain: stop admitting, let workers finish the queue.
-            closed.store(true, Ordering::Release);
-            self.queue.ready.notify_all();
-            Ok(admitted)
+            jobs.close();
+            Ok(accepted)
         })
     }
+}
+
+/// A loopback socket pair used to wake the event loop from workers
+/// (std exposes no `pipe(2)`; a localhost TCP pair is the portable
+/// equivalent). Both ends are nonblocking: the reader drains on wake,
+/// and a writer whose byte hits a full buffer can skip the write — a
+/// full buffer already guarantees a pending wake-up.
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    let _ = tx.set_nodelay(true);
+    Ok((rx, tx))
 }
 
 /// Disables Nagle so small JSON responses flush immediately.
@@ -279,8 +235,8 @@ fn stream_nodelay(stream: TcpStream) -> TcpStream {
 /// Accept errors a server retries rather than dies on: handshakes the
 /// peer aborted (`ECONNABORTED`/`ECONNRESET`), signal interruption
 /// (`EINTR`), and fd exhaustion (`EMFILE`/`ENFILE`, which clears as
-/// in-flight connections close — the retry sleep doubles as backoff).
-fn is_transient_accept_error(e: &std::io::Error) -> bool {
+/// in-flight connections close).
+pub(crate) fn is_transient_accept_error(e: &std::io::Error) -> bool {
     const ENFILE: i32 = 23;
     const EMFILE: i32 = 24;
     matches!(
@@ -292,55 +248,77 @@ fn is_transient_accept_error(e: &std::io::Error) -> bool {
     ) || matches!(e.raw_os_error(), Some(ENFILE | EMFILE))
 }
 
-fn worker_loop(queue: &Queue, state: &ServerState, closed: &AtomicBool) {
-    while let Some(mut stream) = queue.pop(closed) {
+fn worker_loop(
+    jobs: &JobQueue,
+    state: &ServerState,
+    completions: &mpsc::Sender<Completion>,
+    wake: &TcpStream,
+) {
+    while let Some(job) = jobs.pop() {
         Metrics::gauge_dec(&state.metrics.queue_depth);
         Metrics::gauge_inc(&state.metrics.in_flight);
-        serve_connection(&mut stream, state);
+        let (response, close) = serve_request(&job.raw, state);
         Metrics::gauge_dec(&state.metrics.in_flight);
+        let conn_id = job.conn_id;
+        drop(job); // the request bytes die here, not after the send
+        if completions.send(Completion { conn_id, response, close }).is_err() {
+            return; // event loop is gone; nothing left to serve
+        }
+        // One byte wakes the loop. `WouldBlock` means the buffer is
+        // full, which already guarantees a pending wake-up.
+        let _ = (&*wake).write(&[1u8]);
     }
 }
 
-fn serve_connection(stream: &mut TcpStream, state: &ServerState) {
-    let response = match read_request(stream) {
-        Ok(request) => {
-            if request.method == "POST" && request.path == "/shutdown" {
-                state.drain.cancel();
-                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
-                Response::json(200, r#"{"status":"draining"}"#)
-            } else {
-                // Panic isolation: a handler bug downs this response,
-                // not the worker (and therefore not the pool).
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle(state, &request)
-                })) {
-                    Ok(response) => response,
-                    Err(payload) => {
-                        state.metrics.panicked_total.fetch_add(1, Ordering::Relaxed);
-                        let message =
-                            rpr_core::PanicReport::from_payload("request handler", payload);
-                        Response::json(
-                            500,
-                            crate::json::Json::obj([(
-                                "error",
-                                crate::json::Json::str(message.to_string()),
-                            )])
-                            .render(),
-                        )
-                    }
-                }
-            }
+/// Routes one framed request (workers re-parse the raw bytes — two
+/// allocation-free header scans per request, one in the loop for
+/// framing and one here for routing). Returns the response plus the
+/// request's `Connection: close` wish.
+fn serve_request(raw: &[u8], state: &ServerState) -> (Response, bool) {
+    let request = match parse_request(raw) {
+        Ok(Parsed::Complete { request, .. }) => request,
+        // The event loop only dispatches fully-framed requests, so
+        // these are defensive:
+        Ok(Parsed::Partial) => {
+            return (Response::json(400, r#"{"error":"malformed request: truncated"}"#), true)
         }
-        Err(HttpError::TooLarge) => Response::json(400, r#"{"error":"request too large"}"#),
+        Err(HttpError::TooLarge) => {
+            return (Response::json(400, r#"{"error":"request too large"}"#), true)
+        }
         Err(HttpError::Malformed(what)) => {
-            Response::json(400, format!(r#"{{"error":"malformed request: {what}"}}"#))
+            return (
+                Response::json(400, format!(r#"{{"error":"malformed request: {what}"}}"#)),
+                true,
+            )
         }
-        // Socket-level failures (peer vanished, read timeout): nothing
-        // useful to say, and often nobody to say it to.
-        Err(HttpError::Io(_)) => return,
+        Err(HttpError::Io(_)) => {
+            return (Response::json(400, r#"{"error":"malformed request"}"#), true)
+        }
     };
-    finish(stream, &response);
+    let close = request.close;
+    if request.method == "POST" && request.path == "/shutdown" {
+        state.drain.cancel();
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
+        return (Response::json(200, r#"{"status":"draining"}"#), close);
+    }
+    // Panic isolation: a handler bug downs this response, not the
+    // worker (and therefore not the pool).
+    let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle(state, &request)
+    })) {
+        Ok(response) => response,
+        Err(payload) => {
+            state.metrics.panicked_total.fetch_add(1, Ordering::Relaxed);
+            let message = rpr_core::PanicReport::from_payload("request handler", payload);
+            Response::json(
+                500,
+                crate::json::Json::obj([("error", crate::json::Json::str(message.to_string()))])
+                    .render(),
+            )
+        }
+    };
+    (response, close)
 }
 
 /// Installs `SIGINT`/`SIGTERM` handlers that set the drain flag. The
@@ -388,20 +366,53 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().unwrap());
 
-        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(health.contains("200 OK"), "got: {health}");
         assert!(health.contains(r#"{"status":"ok"}"#));
 
-        let metrics = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        let metrics = request(addr, "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(metrics.contains("rpr_requests_total"), "got: {metrics}");
+        assert!(metrics.contains("rpr_http_connections_total"), "got: {metrics}");
 
-        let nf = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        let nf = request(addr, "GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(nf.contains("404"), "got: {nf}");
 
-        let shutdown = request(addr, "POST /shutdown HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+        let shutdown = request(
+            addr,
+            "POST /shutdown HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+        );
         assert!(shutdown.contains("draining"), "got: {shutdown}");
         let admitted = handle.join().unwrap();
         assert!(admitted >= 4);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_socket() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: Some(2),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let token = server.drain_token();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = crate::http::HttpClient::new(addr.to_string());
+        for _ in 0..5 {
+            let (status, body) = client.call("GET", "/healthz", b"").unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, br#"{"status":"ok"}"#);
+        }
+        let (status, body) = client.call("GET", "/metrics", b"").unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        // Six requests, one TCP connection.
+        assert!(text.contains("rpr_requests_total 6\n"), "got:\n{text}");
+        assert!(text.contains("rpr_http_connections_total 1\n"), "got:\n{text}");
+
+        token.cancel();
+        handle.join().unwrap();
     }
 
     #[test]
@@ -430,7 +441,7 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let token = server.drain_token();
         let handle = std::thread::spawn(move || server.run().unwrap());
-        let health = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(health.contains("200 OK"), "got: {health}");
 
         // Closed-loop hammers keep a connection pending at all times;
@@ -439,7 +450,8 @@ mod tests {
             .map(|_| {
                 std::thread::spawn(move || {
                     while let Ok(mut stream) = TcpStream::connect(addr) {
-                        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                        let _ =
+                            stream.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
                         let mut out = String::new();
                         let _ = stream.read_to_string(&mut out);
                     }
@@ -449,8 +461,8 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         token.cancel();
 
-        // The bounded sweep guarantees the drain completes even though
-        // the hammers never let the backlog run dry.
+        // The loop's drain plus the bounded sweep guarantee completion
+        // even though the hammers never let the backlog run dry.
         let (tx, rx) = mpsc::channel();
         std::thread::spawn(move || {
             let _ = tx.send(handle.join().unwrap());
