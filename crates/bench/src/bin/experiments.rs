@@ -1276,12 +1276,12 @@ fn e26() -> ExpResult {
             LoadBody {
                 label: "running_example".into(),
                 path: "/check".into(),
-                body: check_body(&easy, None, None),
+                body: check_body(&easy, None, None, false),
             },
             LoadBody {
                 label: "hard_blowup".into(),
                 path: "/check".into(),
-                body: check_body(&hard, Some(10_000), None),
+                body: check_body(&hard, Some(10_000), None, false),
             },
         ],
         clients,
@@ -1412,7 +1412,7 @@ fn e28() -> ExpResult {
     let drain = server.drain_token();
     let running = std::thread::spawn(move || server.run());
 
-    let body = check_body(&easy, None, None);
+    let body = check_body(&easy, None, None, false);
     // Warm the session cache: this is the one and only cold build —
     // everything after it is the cache-hit fast path.
     let (code, _) =

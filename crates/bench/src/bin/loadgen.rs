@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--clients N] [--duration-s S]
 //!         [--max-work N] [--timeout-ms MS] [--json PATH]
-//!         [--no-keepalive] [--require-cache-hits] [--require-reconcile]
+//!         [--no-keepalive] [--certify]
+//!         [--require-cache-hits] [--require-reconcile]
 //!         FILE.rpr [FILE.rpr …]
 //! ```
 //!
@@ -35,7 +36,8 @@ fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 
 /// Flags that take no value (everything after any other `--flag` is
 /// that flag's value, not a positional file).
-const BARE_FLAGS: [&str; 3] = ["--no-keepalive", "--require-cache-hits", "--require-reconcile"];
+const BARE_FLAGS: [&str; 4] =
+    ["--no-keepalive", "--certify", "--require-cache-hits", "--require-reconcile"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +49,7 @@ fn main() {
     let timeout_ms: Option<u64> = opt_parse(&args, "--timeout-ms");
     let json_path = opt_value(&args, "--json");
     let keepalive = !args.iter().any(|a| a == "--no-keepalive");
+    let certify = args.iter().any(|a| a == "--certify");
     let require_cache_hits = args.iter().any(|a| a == "--require-cache-hits");
     let require_reconcile = args.iter().any(|a| a == "--require-reconcile");
 
@@ -80,7 +83,7 @@ fn main() {
             LoadBody {
                 label: f.rsplit('/').next().unwrap_or(f).to_owned(),
                 path: "/check".to_owned(),
-                body: check_body(&text, max_work, timeout_ms),
+                body: check_body(&text, max_work, timeout_ms, certify),
             }
         })
         .collect();
@@ -91,6 +94,8 @@ fn main() {
     // issues between the two `requests_total` readings.
     let requests_before = scrape_counter(&addr, "rpr_requests_total");
     let hits_before = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0);
+    let issued_before = scrape_counter(&addr, "rpr_certificates_issued_total").unwrap_or(0);
+    let audit_failures_before = scrape_counter(&addr, "rpr_audit_failures_total").unwrap_or(0);
     let spec = LoadSpec {
         addr: addr.clone(),
         bodies,
@@ -106,6 +111,10 @@ fn main() {
     let stats = run_load(&spec);
 
     let hits = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0) - hits_before;
+    let issued =
+        scrape_counter(&addr, "rpr_certificates_issued_total").unwrap_or(0) - issued_before;
+    let audit_failures =
+        scrape_counter(&addr, "rpr_audit_failures_total").unwrap_or(0) - audit_failures_before;
     let requests_after = scrape_counter(&addr, "rpr_requests_total");
     let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
     println!(
@@ -122,17 +131,23 @@ fn main() {
         println!("loadgen:   status {code}: {n}");
     }
     println!("loadgen: cache hits {hits} ({:.1}% of completed)", hit_rate * 100.0);
+    if certify {
+        println!(
+            "loadgen: certificates received {} (server issued {issued}, audit failures {audit_failures})",
+            stats.certificates
+        );
+    }
 
-    // Three scrapes land between the two readings: the cache-hits
-    // scrape before the run, and the cache-hits + requests_total
-    // scrapes after it.
-    let expected_delta = stats.completed + 3;
+    // Seven scrapes land between the two readings: the cache-hits /
+    // certificates / audit-failures scrapes before the run, and the
+    // same three plus the requests_total scrape after it.
+    let expected_delta = stats.completed + 7;
     let reconciled = match (requests_before, requests_after) {
         (Some(before), Some(after)) => {
             let delta = after - before;
             println!(
                 "loadgen: server counted {delta} request(s); expected {expected_delta} \
-                 (completed + 3 scrapes){}",
+                 (completed + 7 scrapes){}",
                 if delta == expected_delta { " — reconciled" } else { " — MISMATCH" },
             );
             delta == expected_delta
@@ -142,6 +157,16 @@ fn main() {
             false
         }
     };
+    // Certificate accounting must be exact in both directions: every
+    // certificate the server says it issued reached a client, and no
+    // audit failure went uncounted (when loadgen is the sole client).
+    let certs_reconciled = issued == stats.certificates;
+    if certify && !certs_reconciled {
+        println!(
+            "loadgen: certificate MISMATCH — server issued {issued}, clients saw {}",
+            stats.certificates
+        );
+    }
 
     if let Some(path) = json_path {
         let statuses = stats
@@ -151,7 +176,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"reconciled\": {reconciled}\n}}\n",
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"reconciled\": {reconciled}\n}}\n",
+            stats.certificates,
             stats.completed,
             stats.lost,
             stats.throughput(),
@@ -177,6 +203,13 @@ fn main() {
     }
     if require_reconcile && !reconciled {
         eprintln!("loadgen: FAIL — rpr_requests_total does not reconcile with requests sent");
+        std::process::exit(1);
+    }
+    if require_reconcile && certify && !certs_reconciled {
+        eprintln!(
+            "loadgen: FAIL — rpr_certificates_issued_total does not reconcile with \
+             certificates received"
+        );
         std::process::exit(1);
     }
 }

@@ -54,6 +54,9 @@ pub struct LoadStats {
     pub lost: u64,
     /// Completed requests per HTTP status.
     pub statuses: BTreeMap<u16, u64>,
+    /// Certificates observed in response bodies (`certify` traffic);
+    /// reconciles against the server's `rpr_certificates_issued_total`.
+    pub certificates: u64,
     /// Wall-clock time actually spent offering load.
     pub elapsed: Duration,
     /// End-to-end request latencies, sorted ascending.
@@ -87,8 +90,16 @@ impl LoadStats {
 }
 
 /// Per-client tallies before aggregation: completed, lost, statuses,
-/// latencies.
-type ClientTally = (u64, u64, BTreeMap<u16, u64>, Vec<Duration>);
+/// certificates, latencies.
+type ClientTally = (u64, u64, BTreeMap<u16, u64>, u64, Vec<Duration>);
+
+/// Counts the `certificate` fields in a `/check` response body. The
+/// field value is an escaped JSON string, so the raw pattern cannot
+/// appear inside a certificate itself — a plain byte scan is exact.
+fn count_certificates(body: &[u8]) -> u64 {
+    const PATTERN: &[u8] = b"\"certificate\":";
+    body.windows(PATTERN.len()).filter(|w| *w == PATTERN).count() as u64
+}
 
 /// Runs the closed loop and aggregates every client's observations.
 pub fn run_load(spec: &LoadSpec) -> LoadStats {
@@ -104,6 +115,7 @@ pub fn run_load(spec: &LoadSpec) -> LoadStats {
                 let mut completed = 0u64;
                 let mut lost = 0u64;
                 let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+                let mut certificates = 0u64;
                 let mut latencies = Vec::new();
                 // Stagger starting positions so clients don't sweep the
                 // mix in lockstep.
@@ -122,15 +134,16 @@ pub fn run_load(spec: &LoadSpec) -> LoadStats {
                         client_call(&spec.addr, "POST", &body.path, body.body.as_bytes())
                     };
                     match result {
-                        Ok((status, _)) => {
+                        Ok((status, response)) => {
                             completed += 1;
                             *statuses.entry(status).or_insert(0) += 1;
+                            certificates += count_certificates(&response);
                             latencies.push(t.elapsed());
                         }
                         Err(_) => lost += 1,
                     }
                 }
-                (completed, lost, statuses, latencies)
+                (completed, lost, statuses, certificates, latencies)
             }));
         }
         std::thread::sleep(spec.duration);
@@ -145,15 +158,17 @@ pub fn run_load(spec: &LoadSpec) -> LoadStats {
         completed: 0,
         lost: 0,
         statuses: BTreeMap::new(),
+        certificates: 0,
         elapsed,
         latencies: Vec::new(),
     };
-    for (completed, lost, statuses, latencies) in per_client {
+    for (completed, lost, statuses, certificates, latencies) in per_client {
         stats.completed += completed;
         stats.lost += lost;
         for (code, n) in statuses {
             *stats.statuses.entry(code).or_insert(0) += n;
         }
+        stats.certificates += certificates;
         stats.latencies.extend(latencies);
     }
     stats.latencies.sort();
@@ -173,14 +188,23 @@ pub fn scrape_counter(addr: &str, name: &str) -> Option<u64> {
 }
 
 /// Builds a `/check` body from workspace text plus optional budget
-/// overrides (the JSON escaping lives in `rpr_serve::Json`).
-pub fn check_body(workspace_text: &str, max_work: Option<u64>, timeout_ms: Option<u64>) -> String {
+/// overrides (the JSON escaping lives in `rpr_serve::Json`); `certify`
+/// asks the server to attach a verdict certificate per candidate.
+pub fn check_body(
+    workspace_text: &str,
+    max_work: Option<u64>,
+    timeout_ms: Option<u64>,
+    certify: bool,
+) -> String {
     let mut fields = vec![("workspace".to_owned(), rpr_serve::Json::str(workspace_text))];
     if let Some(w) = max_work {
         fields.push(("max_work".to_owned(), rpr_serve::Json::Int(w as i64)));
     }
     if let Some(ms) = timeout_ms {
         fields.push(("timeout_ms".to_owned(), rpr_serve::Json::Int(ms as i64)));
+    }
+    if certify {
+        fields.push(("certify".to_owned(), rpr_serve::Json::Bool(true)));
     }
     rpr_serve::Json::Obj(fields.into_iter().collect()).render()
 }

@@ -142,6 +142,101 @@ pub fn check_with_jobs(
     Ok(out)
 }
 
+/// `rpr certify FILE [NAME]` — canonical verdict certificates, one
+/// JSON document per line, each independently re-checkable with
+/// `rpr audit` (or any other implementation of the certificate
+/// format). `--classify` certifies the dichotomy classification
+/// instead of candidate repairs.
+pub fn certify(
+    ws: &Workspace,
+    name: Option<&str>,
+    classify_only: bool,
+) -> Result<String, CommandError> {
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let session = CheckSession::new(&ws.schema, &pi);
+    let mut out = String::new();
+    if classify_only {
+        let cert = session.certify_classification();
+        out.push_str(&rpr_format::render_certificate(
+            &ws.schema,
+            &ws.instance,
+            &ws.priority,
+            &cert,
+        ));
+        out.push('\n');
+        return Ok(out);
+    }
+    let targets: Vec<(String, rpr_data::FactSet)> = match name {
+        Some(n) => {
+            let j = ws.repair(n).ok_or_else(|| fail(format!("no repair named `{n}`")))?;
+            vec![(n.to_owned(), j.clone())]
+        }
+        None => {
+            if ws.repairs.is_empty() {
+                return Err(fail("no `repair` declarations in the workspace"));
+            }
+            ws.repairs.clone()
+        }
+    };
+    for (n, j) in targets {
+        let outcome = session.check(&j).map_err(|e| fail(format!("`{n}`: {e}")))?;
+        let cert = session.certify(&j, &outcome);
+        out.push_str(&rpr_format::render_certificate(
+            &ws.schema,
+            &ws.instance,
+            &ws.priority,
+            &cert,
+        ));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `rpr audit FILE` — re-validates certificates (one JSON document per
+/// non-empty line, as `rpr certify` emits them) with the independent
+/// `rpr-audit` checker. Returns the per-line report and whether every
+/// certificate passed.
+pub fn audit(text: &str) -> (String, bool) {
+    let mut out = String::new();
+    let mut all_ok = true;
+    let mut total = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        total += 1;
+        match rpr_audit::audit(line) {
+            Ok(report) => {
+                let what = match &report.verdict {
+                    Some(v) => format!("check verdict `{v}`"),
+                    None => report.kind.clone(),
+                };
+                let _ = writeln!(
+                    out,
+                    "line {}: OK — {what} ({} facts, {} relations)",
+                    i + 1,
+                    report.facts,
+                    report.relations
+                );
+            }
+            Err(e) => {
+                all_ok = false;
+                let _ = writeln!(out, "line {}: FAILED — {e}", i + 1);
+            }
+        }
+    }
+    if total == 0 {
+        return ("no certificates found (expected one JSON document per line)\n".to_owned(), false);
+    }
+    let _ = writeln!(
+        out,
+        "{total} certificate(s): {}",
+        if all_ok { "all valid" } else { "AUDIT FAILED" }
+    );
+    (out, all_ok)
+}
+
 fn semantics_from(name: &str) -> Result<RepairSemantics, CommandError> {
     name.parse().map_err(CommandError)
 }

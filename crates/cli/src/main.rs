@@ -37,12 +37,18 @@ commands:
                                       (all commands read both forms)
   stats     FILE                      conflict statistics of the instance
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
+  certify   FILE [NAME] [--classify]  emit verdict certificates (one canonical JSON
+                                      document per line; --classify certifies the
+                                      dichotomy classification instead)
+  audit     FILE                      independently re-validate certificates with
+                                      rpr-audit (exit 0 all valid, 2 otherwise)
   serve     [--addr HOST:PORT] [--jobs N] [--queue N] [--cache N]
             [--timeout-ms MS] [--max-work N] [--idle-timeout-ms MS]
-            [--requests-per-conn N] [--max-connections N]
+            [--requests-per-conn N] [--max-connections N] [--self-audit]
                                       run the repair-checking HTTP service
                                       (keep-alive; POST /check /classify /cqa,
-                                      GET /healthz /metrics)
+                                      GET /healthz /metrics; --self-audit re-checks
+                                      every issued certificate before responding)
   request   URL [FILE] [--repairs A,B] [--query Q] [--semantics S]
             [--timeout-ms MS] [--max-work N]
                                       send one request to a running server, e.g.
@@ -139,10 +145,12 @@ fn resolve_bounded(run: BoundedRun, on_exceed: &OnExceed) -> Result<CliResult, U
 
 fn run(args: &[String]) -> Result<CliResult, UsageOr> {
     let command = args.first().ok_or_else(|| UsageOr::Usage("missing command".into()))?;
-    // Network commands take no workspace file argument up front.
+    // Network commands take no workspace file argument up front, and
+    // `audit` reads certificate lines rather than a workspace.
     match command.as_str() {
         "serve" => return run_serve(args),
         "request" => return run_request(args),
+        "audit" => return run_audit(args),
         _ => {}
     }
     let path = args.get(1).ok_or_else(|| UsageOr::Usage("missing workspace file".into()))?;
@@ -260,6 +268,13 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
                 Ok(CliResult::ok(format!("wrote {out} ({} bytes, text)\n", text.len())))
             }
         }
+        "certify" => {
+            let name = args.get(2).filter(|a| !a.starts_with("--")).map(|s| s.as_str());
+            let classify_only = args.iter().any(|a| a == "--classify");
+            commands::certify(&ws, name, classify_only)
+                .map(CliResult::ok)
+                .map_err(|e| UsageOr::Command(e.to_string()))
+        }
         "stats" => Ok(CliResult::ok(commands::stats(&ws))),
         "cqa" => {
             let query = args
@@ -281,11 +296,26 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
     }
 }
 
+/// `rpr audit FILE` — independently re-validate certificates (one
+/// JSON document per line, as `rpr certify` and the serve `certify`
+/// flag emit them). Exit 0 when every certificate passes, 2 otherwise.
+fn run_audit(args: &[String]) -> Result<CliResult, UsageOr> {
+    let path =
+        args.get(1).ok_or_else(|| UsageOr::Usage("audit needs a certificate file".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageOr::Command(format!("cannot read {path}: {e}")))?;
+    let (report, all_ok) = commands::audit(&text);
+    Ok(CliResult { report, exit: if all_ok { 0 } else { 2 }, note: None })
+}
+
 /// `rpr serve` — run the repair-checking HTTP service until drained
 /// (SIGINT/SIGTERM or `POST /shutdown`).
 fn run_serve(args: &[String]) -> Result<CliResult, UsageOr> {
     use rpr_serve::{ServeConfig, Server};
     let defaults = ServeConfig::default();
+    // The spread covers `corrupt_certificates`, which only exists when
+    // rpr-serve is built with `--features faults`.
+    #[allow(clippy::needless_update)]
     let config = ServeConfig {
         addr: opt_value(args, "--addr").unwrap_or(defaults.addr),
         jobs: opt_parse(args, "--jobs")?,
@@ -298,6 +328,8 @@ fn run_serve(args: &[String]) -> Result<CliResult, UsageOr> {
         max_requests_per_conn: opt_parse(args, "--requests-per-conn")?
             .unwrap_or(defaults.max_requests_per_conn),
         max_connections: opt_parse(args, "--max-connections")?.unwrap_or(defaults.max_connections),
+        self_audit: args.iter().any(|a| a == "--self-audit"),
+        ..ServeConfig::default()
     };
     let server = Server::bind(config).map_err(|e| UsageOr::Command(format!("cannot bind: {e}")))?;
     let addr = server.local_addr().map_err(|e| UsageOr::Command(e.to_string()))?;

@@ -230,7 +230,90 @@ fn rpr_request_round_trip_and_exit_codes() {
     assert_eq!(out.status.code(), Some(0));
     assert!(String::from_utf8(out.stdout).unwrap().contains("ok"));
 
+    // Any status outside {200, 422, 503} — here a 404 for an unknown
+    // endpoint — exits 2, exactly as the README's mapping documents.
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["request", &url("/nope"), &workload("running_example.rpr")])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("http status 404"));
+
     server.shutdown();
+}
+
+#[test]
+fn certify_requests_attach_auditable_certificates() {
+    // `--self-audit`: the server re-validates every certificate with
+    // rpr-audit before responding; genuine traffic must be unaffected.
+    let server = ServerProc::spawn(&["--self-audit"]);
+    let (status, json) = server.call(
+        "POST",
+        "/check",
+        &body_with_workspace("running_example.rpr", ",\"certify\":true"),
+    );
+    assert_eq!(status, 200);
+    let results = json.get("results").and_then(Json::as_arr).expect("results array");
+    assert!(!results.is_empty());
+    for entry in results {
+        let cert = entry
+            .get("certificate")
+            .and_then(Json::as_str)
+            .expect("each completed candidate carries a certificate");
+        let report = rpr_audit::audit(cert).expect("issued certificates re-validate");
+        assert_eq!(
+            Some(report.verdict.expect("check certificates carry a verdict").as_str()),
+            entry.get("verdict").and_then(Json::as_str)
+        );
+    }
+    // Without the flag, no certificates are attached (and none are
+    // counted as issued beyond the certify request's).
+    let (status, json) =
+        server.call("POST", "/check", &body_with_workspace("running_example.rpr", ""));
+    assert_eq!(status, 200);
+    for entry in json.get("results").and_then(Json::as_arr).unwrap() {
+        assert!(entry.get("certificate").is_none());
+    }
+    let (_, metrics) = server.call("GET", "/metrics", "");
+    let metrics = metrics.as_str().unwrap().to_owned();
+    assert_eq!(counter(&metrics, "rpr_certificates_issued_total"), results.len() as u64);
+    assert_eq!(counter(&metrics, "rpr_audit_failures_total"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn certify_then_audit_round_trips_through_files() {
+    let dir = std::env::temp_dir().join(format!("rpr-certify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cert_path = dir.join("certs.jsonl");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["certify", &workload("running_example.rpr")])
+        .output()
+        .expect("certify runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(&cert_path, &out.stdout).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["audit", cert_path.to_str().unwrap()])
+        .output()
+        .expect("audit runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("all valid"));
+
+    // Tamper with one byte of evidence: the audit must fail with exit 2.
+    let text = std::fs::read_to_string(&cert_path).unwrap();
+    let tampered = text.replacen("\"optimal\"", "\"improvable\"", 1);
+    assert_ne!(tampered, text, "corpus has an optimal verdict to tamper with");
+    std::fs::write(&cert_path, tampered).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rpr"))
+        .args(["audit", cert_path.to_str().unwrap()])
+        .output()
+        .expect("audit runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAILED"));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

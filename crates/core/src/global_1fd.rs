@@ -41,6 +41,13 @@ pub struct FdBlocks {
 }
 
 impl FdBlocks {
+    /// The group/block structure: `groups()[g]` lists the blocks of
+    /// group `g`, each a list of fact ids (certificate emission walks
+    /// this to package per-block evidence).
+    pub(crate) fn groups(&self) -> &[Vec<Vec<FactId>>] {
+        &self.groups
+    }
+
     /// Groups `domain`'s facts by `A`- then `B`-projection.
     pub fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> FdBlocks {
         let mut map: FxHashMap<Tuple, FxHashMap<Tuple, Vec<FactId>>> = FxHashMap::default();

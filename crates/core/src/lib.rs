@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod certificate;
 pub mod checker;
 pub mod completion;
 pub mod construct;
@@ -52,6 +53,10 @@ pub use brute::{
     globally_optimal_repairs_bounded, globally_optimal_repairs_session,
     globally_optimal_repairs_session_bounded, is_globally_optimal_brute,
     is_globally_optimal_brute_bounded,
+};
+pub use certificate::{
+    BlockEvidence, CertVerdict, Certificate, CheckCert, ClassificationCert, ImprovementWitness,
+    OptimalScope,
 };
 pub use checker::{CcpChecker, GRepairChecker, Method, DEFAULT_EXACT_BUDGET};
 // The execution-control vocabulary of the bounded entry points, so

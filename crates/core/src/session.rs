@@ -110,7 +110,7 @@ enum ExactCtl<'b> {
 }
 
 /// The cached dispatch plan: which dichotomy the session runs under.
-enum Plan {
+pub(crate) enum Plan {
     /// Conflict-restricted priorities: Prop 3.5 per-relation dispatch.
     Classical(SchemaClass),
     /// Cross-conflict priorities: whole-instance dispatch (§7).
@@ -179,6 +179,22 @@ impl SessionArtifacts {
             Plan::Classical(c) => c.complexity(),
             Plan::Ccp(c) => c.complexity(),
         }
+    }
+
+    /// The cached dispatch plan (certificate emission re-states it as
+    /// classification evidence).
+    pub(crate) fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The cached Lemma 4.2 block structures, indexed by relation.
+    pub(crate) fn rel_blocks(&self) -> &[Option<FdBlocks>] {
+        &self.rel_blocks
+    }
+
+    /// The CSR conflict graph (maximality-cover emission).
+    pub(crate) fn csr_graph(&self) -> &CsrConflictGraph {
+        &self.csr
     }
 }
 
@@ -325,6 +341,11 @@ impl<'a> CheckSession<'a> {
     /// The complexity of checking under the session's dichotomy.
     pub fn complexity(&self) -> Complexity {
         self.art.complexity()
+    }
+
+    /// The session's cached artifacts (certificate emission).
+    pub(crate) fn artifacts(&self) -> &SessionArtifacts {
+        &self.art
     }
 
     /// Checks whether `j` is a globally-optimal repair, with the

@@ -1,0 +1,663 @@
+//! Canonical JSON serialization of verdict certificates (`cert_v` 1).
+//!
+//! A serialized certificate is **self-contained**: besides the verdict
+//! evidence it embeds the schema (relation names/arities and the FD
+//! list), the flat fact table (index = fact id), and the full priority
+//! edge list — everything the dependency-free `rpr-audit` crate needs
+//! to re-validate the verdict without consulting any other input.
+//!
+//! The encoding is *canonical*: one line, no whitespace, objects with
+//! a fixed field order (documented in DESIGN.md §"Certificates &
+//! audit"), integers in decimal without leading zeros, and strings
+//! escaped as `\"`, `\\`, and `\u00XX` for control characters only.
+//! [`parse_certificate`] + [`render_value`] round-trip byte-identically
+//! with [`render_certificate`]'s output, which makes certificates safe
+//! to cache, diff, and hash.
+//!
+//! Tuple values use a tagged, injective string encoding ([`encode_value`]):
+//! `i<decimal>` for integers, `s<byte-len>:<bytes>` for symbols, and
+//! `p(<enc>,<enc>)` for pairs. `Display` is *not* injective
+//! (`Sym("12")` and `Int(12)` both print `12`), and certificate
+//! soundness needs value equality to coincide with encoding equality.
+
+use crate::format::FormatError;
+use rpr_classify::{CcpClass, HardCase, RelationClass};
+use rpr_core::certificate::{
+    BlockEvidence, CertVerdict, Certificate, ClassificationCert, OptimalScope,
+};
+use rpr_data::{AttrSet, FactId, Instance, Value};
+use rpr_fd::Schema;
+use rpr_priority::{PriorityMode, PriorityRelation};
+
+/// The current certificate format version.
+pub const CERT_V: u64 = 1;
+
+/// Appends the tagged injective encoding of one tuple value.
+///
+/// `i<decimal>` (ints), `s<len>:<bytes>` (symbols, length-prefixed so
+/// arbitrary content cannot collide), `p(<enc>,<enc>)` (pairs).
+pub fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Sym(s) => {
+            out.push('s');
+            out.push_str(&s.len().to_string());
+            out.push(':');
+            out.push_str(s);
+        }
+        Value::Pair(p) => {
+            out.push_str("p(");
+            encode_value(&p.0, out);
+            out.push(',');
+            encode_value(&p.1, out);
+            out.push(')');
+        }
+    }
+}
+
+fn push_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_attrs(attrs: AttrSet, out: &mut String) {
+    out.push('[');
+    for (i, a) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&a.to_string());
+    }
+    out.push(']');
+}
+
+fn push_ids(ids: &[FactId], out: &mut String) {
+    out.push('[');
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.0.to_string());
+    }
+    out.push(']');
+}
+
+fn push_pairs(pairs: &[(FactId, FactId)], out: &mut String) {
+    out.push('[');
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&a.0.to_string());
+        out.push(',');
+        out.push_str(&b.0.to_string());
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn push_relation_class(class: &RelationClass, out: &mut String) {
+    match class {
+        RelationClass::SingleFd(fd) => {
+            out.push_str("{\"kind\":\"single_fd\",\"lhs\":");
+            push_attrs(fd.lhs, out);
+            out.push_str(",\"rhs\":");
+            push_attrs(fd.rhs, out);
+            out.push('}');
+        }
+        RelationClass::TwoKeys(k1, k2) => {
+            out.push_str("{\"kind\":\"two_keys\",\"k1\":");
+            push_attrs(*k1, out);
+            out.push_str(",\"k2\":");
+            push_attrs(*k2, out);
+            out.push('}');
+        }
+        RelationClass::Hard(case) => {
+            out.push_str("{\"kind\":\"hard\",\"case\":");
+            out.push_str(&case.number().to_string());
+            match case {
+                HardCase::ThreeOrMoreKeys(keys) => {
+                    out.push_str(",\"keys\":[");
+                    for (i, k) in keys.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_attrs(*k, out);
+                    }
+                    out.push(']');
+                }
+                HardCase::Case2 { a, b }
+                | HardCase::Case3 { a, b }
+                | HardCase::Case4 { a, b }
+                | HardCase::Case5 { a, b }
+                | HardCase::Case6 { a, b }
+                | HardCase::Case7 { a, b } => {
+                    out.push_str(",\"a\":");
+                    push_attrs(*a, out);
+                    out.push_str(",\"b\":");
+                    push_attrs(*b, out);
+                }
+                HardCase::Unresolved => {}
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_classification(classification: &ClassificationCert, out: &mut String) {
+    match classification {
+        ClassificationCert::Classical(per_rel) => {
+            out.push_str("{\"scope\":\"classical\",\"relations\":[");
+            for (i, (rel, class)) in per_rel.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&rel.0.to_string());
+                out.push(',');
+                push_relation_class(class, out);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        ClassificationCert::Ccp(CcpClass::PrimaryKeyAssignment(keys)) => {
+            out.push_str("{\"scope\":\"ccp\",\"kind\":\"primary_key\",\"keys\":[");
+            for (i, k) in keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_attrs(*k, out);
+            }
+            out.push_str("]}");
+        }
+        ClassificationCert::Ccp(CcpClass::ConstantAttributeAssignment(consts)) => {
+            out.push_str("{\"scope\":\"ccp\",\"kind\":\"constant_attribute\",\"consts\":[");
+            for (i, c) in consts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_attrs(*c, out);
+            }
+            out.push_str("]}");
+        }
+        ClassificationCert::Ccp(CcpClass::Hard { not_primary_key, not_constant_attribute }) => {
+            out.push_str("{\"scope\":\"ccp\",\"kind\":\"hard\",\"not_primary_key\":");
+            out.push_str(&not_primary_key.0.to_string());
+            out.push_str(",\"not_constant_attribute\":");
+            out.push_str(&not_constant_attribute.0.to_string());
+            out.push('}');
+        }
+    }
+}
+
+fn push_block(block: &BlockEvidence, out: &mut String) {
+    out.push_str("{\"rel\":");
+    out.push_str(&block.rel.0.to_string());
+    out.push_str(",\"lhs\":");
+    push_attrs(block.fd.lhs, out);
+    out.push_str(",\"rhs\":");
+    push_attrs(block.fd.rhs, out);
+    out.push_str(",\"group\":");
+    out.push_str(&block.group.0.to_string());
+    out.push_str(",\"consistency\":");
+    push_ids(&block.consistency, out);
+    out.push_str(",\"maximality\":");
+    push_pairs(&block.maximality, out);
+    out.push('}');
+}
+
+fn push_verdict(verdict: &CertVerdict, out: &mut String) {
+    match verdict {
+        CertVerdict::Inconsistent { f, g } => {
+            out.push_str("{\"kind\":\"inconsistent\",\"f\":");
+            out.push_str(&f.0.to_string());
+            out.push_str(",\"g\":");
+            out.push_str(&g.0.to_string());
+            out.push('}');
+        }
+        CertVerdict::Improvable(w) => {
+            out.push_str("{\"kind\":\"improvable\",\"from\":");
+            push_ids(&w.from, out);
+            out.push_str(",\"to\":");
+            push_ids(&w.to, out);
+            out.push_str(",\"justification\":");
+            push_pairs(&w.justification, out);
+            out.push('}');
+        }
+        CertVerdict::Optimal { scope, maximality, blocks } => {
+            out.push_str("{\"kind\":\"optimal\",\"scope\":\"");
+            out.push_str(match scope {
+                OptimalScope::Complete => "complete",
+                OptimalScope::RepairOnly => "repair_only",
+            });
+            out.push_str("\",\"maximality\":");
+            push_pairs(maximality, out);
+            out.push_str(",\"blocks\":[");
+            for (i, b) in blocks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_block(b, out);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Renders a certificate in the canonical `cert_v` 1 encoding: one
+/// line, fixed field order, self-contained (schema + facts + priority
+/// embedded).
+pub fn render_certificate(
+    schema: &Schema,
+    instance: &Instance,
+    priority: &PriorityRelation,
+    cert: &Certificate,
+) -> String {
+    let sig = schema.signature();
+    let mut out = String::with_capacity(256 + instance.len() * 32);
+    out.push_str("{\"cert_v\":");
+    out.push_str(&CERT_V.to_string());
+    out.push_str(",\"kind\":\"");
+    out.push_str(if cert.check.is_some() { "check" } else { "classification" });
+    out.push_str("\",\"mode\":\"");
+    out.push_str(match cert.mode {
+        PriorityMode::ConflictRestricted => "conflict",
+        PriorityMode::CrossConflict => "ccp",
+    });
+    out.push_str("\",\"schema\":{\"relations\":[");
+    for (i, rel) in sig.rel_ids().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_json_str(sig.symbol(rel).name(), &mut out);
+        out.push(',');
+        out.push_str(&sig.arity(rel).to_string());
+        out.push(']');
+    }
+    out.push_str("],\"fds\":[");
+    for (i, fd) in schema.fds().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&fd.rel.0.to_string());
+        out.push(',');
+        push_attrs(fd.lhs, &mut out);
+        out.push(',');
+        push_attrs(fd.rhs, &mut out);
+        out.push(']');
+    }
+    out.push_str("]},\"facts\":[");
+    for (i, (_, fact)) in instance.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&fact.rel().0.to_string());
+        out.push_str(",[");
+        for (k, v) in fact.tuple().values().iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let mut enc = String::new();
+            encode_value(v, &mut enc);
+            push_json_str(&enc, &mut out);
+        }
+        out.push_str("]]");
+    }
+    out.push_str("],\"priority\":");
+    push_pairs(priority.edges(), &mut out);
+    out.push_str(",\"classification\":");
+    push_classification(&cert.classification, &mut out);
+    if let Some(check) = &cert.check {
+        out.push_str(",\"candidate\":");
+        push_ids(&check.candidate, &mut out);
+        out.push_str(",\"verdict\":");
+        push_verdict(&check.verdict, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// A parsed certificate document. Object fields keep their textual
+/// order, so [`render_value`] reproduces a canonical input
+/// byte-for-byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertValue {
+    /// An integer (certificates contain no floats).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<CertValue>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, CertValue)>),
+}
+
+impl CertValue {
+    /// Field lookup on an object; `None` on other shapes.
+    pub fn get(&self, key: &str) -> Option<&CertValue> {
+        match self {
+            CertValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable field lookup on an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut CertValue> {
+        match self {
+            CertValue::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[CertValue]> {
+        match self {
+            CertValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CertValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            CertValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a certificate document (strict JSON, integers only).
+///
+/// # Errors
+/// [`FormatError`] (line 1) describing the first malformed byte.
+pub fn parse_certificate(text: &str) -> Result<CertValue, FormatError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after certificate"));
+    }
+    Ok(v)
+}
+
+/// Renders a parsed document back to canonical bytes (compact, field
+/// order preserved, canonical string escapes).
+pub fn render_value(v: &CertValue) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &CertValue, out: &mut String) {
+    match v {
+        CertValue::Int(i) => out.push_str(&i.to_string()),
+        CertValue::Str(s) => push_json_str(s, out),
+        CertValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        CertValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(k, out);
+                out.push(':');
+                render_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> FormatError {
+        FormatError { line: 1, message: format!("byte {}: {}", self.pos, message.into()) }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), FormatError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<CertValue, FormatError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(CertValue::Str(self.string()?)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err(
+                "unexpected byte (certificates hold objects, arrays, strings, and integers only)",
+            )),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<CertValue, FormatError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(CertValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate field {key:?}")));
+            }
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(CertValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<CertValue, FormatError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(CertValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(CertValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, FormatError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            let c = char::from_u32(cp).ok_or_else(|| {
+                                self.err("surrogate escapes are not used by certificates")
+                            })?;
+                            out.push(c);
+                            // hex4 leaves pos on its last digit.
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by match");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u`; leaves `pos` on the last
+    /// digit (the caller advances past it).
+    fn hex4(&mut self) -> Result<u32, FormatError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            self.pos += 1;
+            let d = match self.bytes.get(self.pos) {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("bad \\u escape")),
+            };
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<CertValue, FormatError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("certificates contain integers only"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<i64>()
+            .map(CertValue::Int)
+            .map_err(|_| self.err(format!("bad integer {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips_hand_written_docs() {
+        for text in [
+            r#"{"cert_v":1,"kind":"check"}"#,
+            r#"{"a":[1,2,[3]],"b":{"c":"x\"y\\z","d":-7}}"#,
+            r#"[]"#,
+            r#"{"s":"i12","t":"s3:a,b","u":"p(i1,s1:x)"}"#,
+        ] {
+            let doc = parse_certificate(text).unwrap();
+            assert_eq!(render_value(&doc), text);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_docs() {
+        for text in [
+            "",
+            "{",
+            r#"{"a":1,}"#,
+            r#"{"a":1.5}"#,
+            r#"{"a":true}"#,
+            r#"{"a":1}{"#,
+            r#"{"a":1,"a":2}"#,
+            "\"\u{1}\"",
+        ] {
+            assert!(parse_certificate(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn value_encoding_is_injective_on_display_collisions() {
+        let mut a = String::new();
+        encode_value(&Value::sym("12"), &mut a);
+        let mut b = String::new();
+        encode_value(&Value::int(12), &mut b);
+        assert_ne!(a, b);
+        assert_eq!(a, "s2:12");
+        assert_eq!(b, "i12");
+        let mut p = String::new();
+        encode_value(&Value::pair(Value::sym("a,b"), Value::int(3)), &mut p);
+        assert_eq!(p, "p(s3:a,b,i3)");
+    }
+}

@@ -1,0 +1,231 @@
+//! Certificate-corruption plans for fault-injection testing
+//! (`--features faults` only).
+//!
+//! Each operation takes a serialized certificate, applies one targeted
+//! lie at the [`CertValue`] level, and re-renders. Every operation is
+//! *guaranteed-invalidating*: applied to a genuine certificate it
+//! always produces one that `rpr-audit` must reject — the differential
+//! suite in `tests/certificates.rs` treats a single accepted corruption
+//! as a failure. Operations return `None` when they do not apply to the
+//! certificate's shape (e.g. dropping a priority edge from an
+//! `inconsistent` verdict, whose evidence never cites edges).
+
+use crate::certificate_json::{parse_certificate, render_value, CertValue};
+
+/// One corruption operation: canonical text in, corrupted text out
+/// (`None` if the operation does not apply to this certificate).
+pub type Corruption = fn(&str) -> Option<String>;
+
+/// The full corruption plan, with stable names for test reporting.
+pub const CORRUPTIONS: &[(&str, Corruption)] = &[
+    ("flip_witness_fact", flip_witness_fact),
+    ("swap_block_evidence", swap_block_evidence),
+    ("truncate_mapping", truncate_mapping),
+    ("flip_verdict_kind", flip_verdict_kind),
+    ("drop_priority_edge", drop_priority_edge),
+    ("drop_candidate_fact", drop_candidate_fact),
+];
+
+fn parse(text: &str) -> Option<CertValue> {
+    parse_certificate(text).ok()
+}
+
+fn verdict_kind(doc: &CertValue) -> Option<&str> {
+    doc.get("verdict")?.get("kind")?.as_str()
+}
+
+/// Replaces one fact id inside a witness with a wrong one: the
+/// `inconsistent` partner becomes the fact itself, an improvement
+/// justification claims the lost fact beats itself, a maximality
+/// blocker becomes the excluded fact (which is outside the repair).
+pub fn flip_witness_fact(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    match verdict_kind(&doc)? {
+        "inconsistent" => {
+            let f = doc.get("verdict")?.get("f")?.clone();
+            *doc.get_mut("verdict")?.get_mut("g")? = f;
+        }
+        "improvable" => {
+            let verdict = doc.get_mut("verdict")?;
+            let has_justification = !verdict.get("justification")?.as_arr()?.is_empty();
+            if has_justification {
+                // (lost, by) → (lost, lost): the "beating" fact is no
+                // longer gained, so the cover is bogus.
+                let CertValue::Arr(pairs) = verdict.get_mut("justification")? else {
+                    return None;
+                };
+                let CertValue::Arr(pair) = &mut pairs[0] else { return None };
+                pair[1] = pair[0].clone();
+            } else {
+                // Nothing was lost; lie by claiming the improvement
+                // changes nothing.
+                let from = verdict.get("from")?.clone();
+                *verdict.get_mut("to")? = from;
+            }
+        }
+        "optimal" => {
+            let verdict = doc.get_mut("verdict")?;
+            if !verdict.get("maximality")?.as_arr()?.is_empty() {
+                let CertValue::Arr(pairs) = verdict.get_mut("maximality")? else {
+                    return None;
+                };
+                let CertValue::Arr(pair) = &mut pairs[0] else { return None };
+                pair[1] = pair[0].clone(); // blocker := excluded (∉ J)
+            } else {
+                // No excluded facts; corrupt a block's no-swap evidence
+                // instead: the "unbeaten selected fact" becomes the
+                // alternative block's own representative.
+                let CertValue::Arr(blocks) = verdict.get_mut("blocks")? else {
+                    return None;
+                };
+                let pairs = blocks.iter_mut().find_map(|b| match b.get_mut("maximality") {
+                    Some(CertValue::Arr(p)) if !p.is_empty() => Some(p),
+                    _ => None,
+                })?;
+                let CertValue::Arr(pair) = &mut pairs[0] else { return None };
+                pair[1] = pair[0].clone();
+            }
+        }
+        _ => return None,
+    }
+    Some(render_value(&doc))
+}
+
+/// Swaps the `consistency` lists of two block-evidence entries. Groups
+/// are disjoint, so each swapped list stops being `J ∩ group`.
+pub fn swap_block_evidence(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    if verdict_kind(&doc)? != "optimal" {
+        return None;
+    }
+    let CertValue::Arr(blocks) = doc.get_mut("verdict")?.get_mut("blocks")? else {
+        return None;
+    };
+    if blocks.len() < 2 {
+        return None;
+    }
+    let last = blocks.len() - 1;
+    let (head, tail) = blocks.split_at_mut(last);
+    std::mem::swap(head[0].get_mut("consistency")?, tail[0].get_mut("consistency")?);
+    Some(render_value(&doc))
+}
+
+fn pop_arr(v: &mut CertValue) -> bool {
+    match v {
+        CertValue::Arr(items) if !items.is_empty() => {
+            items.pop();
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Truncates an evidence mapping so its cover is incomplete: the last
+/// maximality entry, block entry, or justification entry disappears —
+/// or, for classification certificates, the last per-relation entry.
+pub fn truncate_mapping(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    if doc.get("kind")?.as_str()? == "classification" {
+        let class = doc.get_mut("classification")?;
+        for key in ["relations", "keys", "consts"] {
+            if let Some(v) = class.get_mut(key) {
+                if pop_arr(v) {
+                    return Some(render_value(&doc));
+                }
+            }
+        }
+        return None;
+    }
+    match verdict_kind(&doc)? {
+        "optimal" => {
+            let verdict = doc.get_mut("verdict")?;
+            if pop_arr(verdict.get_mut("maximality")?) {
+                return Some(render_value(&doc));
+            }
+            if pop_arr(verdict.get_mut("blocks")?) {
+                return Some(render_value(&doc));
+            }
+            None
+        }
+        "improvable" => {
+            let verdict = doc.get_mut("verdict")?;
+            if pop_arr(verdict.get_mut("justification")?) {
+                return Some(render_value(&doc));
+            }
+            // No justification means nothing was lost; truncating `to`
+            // is only guaranteed-invalidating when the dropped fact is
+            // also in `from` (it becomes an unjustified loss).
+            let from: Vec<i64> =
+                verdict.get("from")?.as_arr()?.iter().filter_map(CertValue::as_int).collect();
+            let CertValue::Arr(to) = verdict.get_mut("to")? else { return None };
+            let last = to.last()?.as_int()?;
+            if from.contains(&last) {
+                to.pop();
+                return Some(render_value(&doc));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Relabels the verdict (or a classification certificate) as a
+/// different kind while keeping its fields — a structural lie.
+pub fn flip_verdict_kind(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    if doc.get("kind")?.as_str()? == "classification" {
+        *doc.get_mut("kind")? = CertValue::Str("check".to_string());
+        return Some(render_value(&doc));
+    }
+    let next = match verdict_kind(&doc)? {
+        "inconsistent" => "improvable",
+        "improvable" => "optimal",
+        "optimal" => "inconsistent",
+        _ => return None,
+    };
+    *doc.get_mut("verdict")?.get_mut("kind")? = CertValue::Str(next.to_string());
+    Some(render_value(&doc))
+}
+
+/// Removes the priority edge cited by the first justification entry,
+/// so the witness claims a preference the relation never had.
+pub fn drop_priority_edge(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    if verdict_kind(&doc)? != "improvable" {
+        return None;
+    }
+    let justification = doc.get("verdict")?.get("justification")?.as_arr()?;
+    let first = justification.first()?.as_arr()?;
+    let (lost, by) = (first[0].as_int()?, first[1].as_int()?);
+    let CertValue::Arr(edges) = doc.get_mut("priority")? else { return None };
+    let before = edges.len();
+    edges.retain(|e| {
+        e.as_arr().is_none_or(|p| {
+            !(p.len() == 2 && p[0].as_int() == Some(by) && p[1].as_int() == Some(lost))
+        })
+    });
+    (edges.len() < before).then(|| render_value(&doc))
+}
+
+/// Deletes a candidate member the evidence depends on: the
+/// inconsistent pair's first fact, or the last listed member (whose
+/// exclusion the maximality cover cannot account for).
+pub fn drop_candidate_fact(text: &str) -> Option<String> {
+    let mut doc = parse(text)?;
+    let kind = verdict_kind(&doc)?;
+    let target = match kind {
+        "inconsistent" => doc.get("verdict")?.get("f")?.as_int()?,
+        "improvable" | "optimal" => doc.get("candidate")?.as_arr()?.last()?.as_int()?,
+        _ => return None,
+    };
+    let CertValue::Arr(candidate) = doc.get_mut("candidate")? else { return None };
+    let before = candidate.len();
+    candidate.retain(|c| c.as_int() != Some(target));
+    if candidate.len() == before {
+        return None;
+    }
+    // An improvable witness must keep `from == candidate` *looking*
+    // plausible as a certificate while actually lying about the
+    // candidate the session checked — so `from` stays untouched.
+    Some(render_value(&doc))
+}

@@ -21,12 +21,16 @@
 
 #![warn(missing_docs)]
 
+pub mod certificate_json;
+#[cfg(feature = "faults")]
+pub mod corrupt;
 pub mod fingerprint;
 pub mod format;
 pub mod json_slice;
 pub mod query_parse;
 pub mod store;
 
+pub use certificate_json::{parse_certificate, render_certificate, render_value, CertValue};
 pub use fingerprint::{schema_fingerprint, workspace_fingerprint};
 pub use format::{parse_workspace, render_workspace, FormatError, Workspace};
 pub use json_slice::{parse_workspace_raw, scan_object, RawStr, SliceError, SliceValue};

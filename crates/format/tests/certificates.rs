@@ -1,0 +1,194 @@
+//! Differential certificate suite (`--features faults`): every genuine
+//! certificate must round-trip byte-identically and pass `rpr-audit`;
+//! every injected corruption from the fault plan must be rejected.
+//!
+//! The corpus is the checked-in workloads (PTIME and coNP-hard cases
+//! alike) plus synthetic workspaces covering the classification shapes
+//! the workloads miss: two incomparable keys, the three-keys hard case,
+//! and all three ccp classes of Theorem 7.1.
+
+#![cfg(feature = "faults")]
+
+use rpr_core::{Budget, CheckSession, Outcome};
+use rpr_format::corrupt::CORRUPTIONS;
+use rpr_format::{parse_certificate, parse_workspace, render_certificate, render_value, Workspace};
+use std::collections::HashMap;
+
+const WORKLOADS: &[(&str, &str)] = &[
+    ("running_example", include_str!("../../../workloads/running_example.rpr")),
+    ("hard_s4", include_str!("../../../workloads/hard_s4.rpr")),
+    ("hard_blowup", include_str!("../../../workloads/hard_blowup.rpr")),
+    ("source_trust", include_str!("../../../workloads/source_trust.rpr")),
+    (
+        "two_keys",
+        "relation R/2\n\
+         fd R: 1 -> 2\n\
+         fd R: 2 -> 1\n\
+         fact R(a, x)\n\
+         fact R(a, y)\n\
+         fact R(b, y)\n\
+         fact R(c, z)\n\
+         prefer R(a, x) > R(a, y)\n\
+         prefer R(b, y) > R(a, y)\n\
+         repair J: R(a, x); R(c, z)\n",
+    ),
+    (
+        "three_keys_hard",
+        "relation T/3\n\
+         fd T: 1 2 -> 3\n\
+         fd T: 2 3 -> 1\n\
+         fd T: 1 3 -> 2\n\
+         fact T(a, b, c)\n\
+         fact T(a, b, d)\n\
+         fact T(e, b, d)\n\
+         prefer T(a, b, c) > T(a, b, d)\n\
+         repair J: T(a, b, c); T(e, b, d)\n",
+    ),
+    (
+        "two_groups",
+        "relation G/2\n\
+         fd G: 1 -> 2\n\
+         fact G(a, x)\n\
+         fact G(a, y)\n\
+         fact G(b, u)\n\
+         fact G(b, v)\n\
+         prefer G(a, x) > G(a, y)\n\
+         prefer G(b, u) > G(b, v)\n\
+         repair J: G(a, x); G(b, u)\n",
+    ),
+    (
+        "ccp_primary_key",
+        "mode ccp\n\
+         relation S/2\n\
+         fd S: 1 -> 2\n\
+         fact S(a, x)\n\
+         fact S(a, y)\n\
+         fact S(b, x)\n\
+         prefer S(a, x) > S(b, x)\n\
+         prefer S(a, x) > S(a, y)\n\
+         repair J: S(a, x); S(b, x)\n",
+    ),
+    (
+        "ccp_constant_attribute",
+        "mode ccp\n\
+         relation C/2\n\
+         fd C: - -> 2\n\
+         fact C(a, x)\n\
+         fact C(b, x)\n\
+         fact C(b, y)\n\
+         prefer C(a, x) > C(b, y)\n\
+         repair J: C(a, x); C(b, x)\n",
+    ),
+    (
+        "ccp_hard",
+        "mode ccp\n\
+         relation R4/3\n\
+         fd R4: 1 -> 2\n\
+         fd R4: 2 -> 3\n\
+         fact R4(a, x, 1)\n\
+         fact R4(a, y, 1)\n\
+         fact R4(b, x, 1)\n\
+         fact R4(b, x, 2)\n\
+         prefer R4(a, x, 1) > R4(b, x, 1)\n\
+         prefer R4(b, x, 2) > R4(a, y, 1)\n\
+         repair J: R4(a, x, 1); R4(b, x, 2)\n",
+    ),
+];
+
+/// Candidate repairs worth certifying: every declared repair plus
+/// mutations that push the checker into all three verdicts.
+fn candidates(ws: &Workspace) -> Vec<rpr_data::FactSet> {
+    let mut out = vec![ws.instance.full_set(), ws.instance.empty_set()];
+    for (_, j) in &ws.repairs {
+        out.push(j.clone());
+        if let Some(first) = j.first() {
+            let mut smaller = j.clone();
+            smaller.remove(first);
+            out.push(smaller);
+        }
+        if let Some(missing) = ws.instance.fact_ids().find(|id| !j.contains(*id)) {
+            let mut larger = j.clone();
+            larger.insert(missing);
+            out.push(larger);
+        }
+    }
+    out
+}
+
+struct Tally {
+    genuine: usize,
+    verdicts: HashMap<String, usize>,
+    applied: HashMap<&'static str, usize>,
+}
+
+/// One genuine certificate: audit must accept, serialization must
+/// round-trip byte-identically, and every applicable corruption must
+/// be rejected.
+fn exercise(name: &str, text: &str, tally: &mut Tally) {
+    let report = match rpr_audit::audit(text) {
+        Ok(r) => r,
+        Err(e) => panic!("{name}: audit rejected a genuine certificate: {e}\n{text}"),
+    };
+    tally.genuine += 1;
+    if let Some(v) = &report.verdict {
+        *tally.verdicts.entry(v.clone()).or_default() += 1;
+    }
+
+    let doc = parse_certificate(text).expect("genuine certificates parse");
+    assert_eq!(render_value(&doc), text, "{name}: round-trip is not byte-identical");
+
+    for (op, corrupt) in CORRUPTIONS {
+        let Some(corrupted) = corrupt(text) else { continue };
+        assert_ne!(corrupted, text, "{name}/{op}: corruption was a no-op");
+        *tally.applied.entry(op).or_default() += 1;
+        if let Ok(report) = rpr_audit::audit(&corrupted) {
+            panic!(
+                "{name}/{op}: audit ACCEPTED a corrupted certificate ({report:?})\n\
+                 genuine:   {text}\ncorrupted: {corrupted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn audit_accepts_every_genuine_and_rejects_every_corrupted_certificate() {
+    let mut tally = Tally { genuine: 0, verdicts: HashMap::new(), applied: HashMap::new() };
+    // Enough for the tiny hard workloads' exact search while keeping
+    // hard_blowup's deliberately exponential candidates bounded.
+    let budget = || Budget::unlimited().with_max_work(2_000_000);
+
+    for (name, source) in WORKLOADS {
+        let ws = parse_workspace(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let pi = ws.prioritized().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let session = CheckSession::new(&ws.schema, &pi);
+
+        let class_cert = session.certify_classification();
+        let text = render_certificate(&ws.schema, &ws.instance, &ws.priority, &class_cert);
+        exercise(&format!("{name}/classification"), &text, &mut tally);
+
+        for (i, j) in candidates(&ws).into_iter().enumerate() {
+            let Outcome::Done(outcome) = session.check_bounded(&j, &budget()) else {
+                continue; // budget-tripped hard candidates have no verdict to certify
+            };
+            let cert = session.certify(&j, &outcome);
+            let text = render_certificate(&ws.schema, &ws.instance, &ws.priority, &cert);
+            exercise(&format!("{name}/candidate{i}"), &text, &mut tally);
+        }
+    }
+
+    assert!(tally.genuine >= 30, "corpus too small: {} certificates", tally.genuine);
+    for verdict in ["optimal", "improvable", "inconsistent"] {
+        assert!(
+            tally.verdicts.get(verdict).copied().unwrap_or(0) > 0,
+            "corpus never produced an {verdict} verdict: {:?}",
+            tally.verdicts
+        );
+    }
+    for (op, _) in CORRUPTIONS {
+        assert!(
+            tally.applied.get(op).copied().unwrap_or(0) > 0,
+            "corruption {op} never applied: {:?}",
+            tally.applied
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Differential property test: `json_slice::parse_workspace_raw` (the
+//! zero-copy serve path, fed a JSON-escaped `workspace` field) must
+//! agree with the plain text parser `parse_workspace` on every input —
+//! identical interned workspaces on valid texts, byte-identical
+//! diagnostics on malformed ones. The JSON wrapper is built with
+//! deliberately varied escapes (`\n`, `\t`, `\uXXXX`…) so the
+//! owned-unescape path is exercised, not just the borrowed fast path.
+
+use proptest::prelude::*;
+use rpr_format::{
+    parse_workspace, parse_workspace_raw, render_workspace, scan_object, workspace_fingerprint,
+    SliceValue,
+};
+
+/// JSON-escapes `text`, escaping more aggressively as `style` grows:
+/// style 0 uses the shortest escapes, style 1 escapes tabs/newlines as
+/// `\uXXXX`, style 2 additionally `\uXXXX`-escapes ASCII letters ending
+/// in an odd nibble — all decode to the same bytes, through different
+/// unescape paths.
+fn json_escape(text: &str, style: u8) -> String {
+    let mut out = String::with_capacity(text.len() + 16);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' if style == 0 => out.push_str("\\n"),
+            '\t' if style == 0 => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c if style == 2 && c.is_ascii_alphabetic() && (c as u32) % 2 == 1 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs both parsers on the same text (one via the JSON-escaped raw
+/// path) and asserts equivalence of results or of diagnostics.
+fn assert_parsers_agree(text: &str, style: u8) {
+    let body = format!("{{\"workspace\":{}}}", json_escape(text, style));
+    let mut raw_result = None;
+    let is_obj = scan_object(&body, |key, value| {
+        if key.is("workspace") {
+            if let SliceValue::Str(raw) = value {
+                raw_result = Some(parse_workspace_raw(&raw));
+            }
+        }
+    })
+    .expect("wrapper JSON is well-formed");
+    assert!(is_obj);
+    let raw_result = raw_result.expect("workspace field was scanned");
+    let dom_result = parse_workspace(text);
+
+    match (raw_result, dom_result) {
+        (Ok(raw_ws), Ok(dom_ws)) => {
+            assert_eq!(render_workspace(&raw_ws), render_workspace(&dom_ws));
+            assert_eq!(workspace_fingerprint(&raw_ws), workspace_fingerprint(&dom_ws));
+            assert_eq!(raw_ws.mode, dom_ws.mode);
+            assert_eq!(raw_ws.repairs, dom_ws.repairs);
+        }
+        (Err(raw_err), Err(dom_err)) => {
+            assert_eq!(raw_err.to_string(), dom_err.to_string());
+        }
+        (raw, dom) => {
+            panic!("parsers disagree on validity: raw={raw:?} dom={dom:?}\ntext: {text}");
+        }
+    }
+}
+
+/// A generated workspace text: mostly valid lines with occasional junk
+/// so both the success and the diagnostic paths are covered.
+fn workspace_text() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec((0i64..3, 0i64..3, 0i64..3), 1..8),
+        proptest::collection::vec(any::<bool>(), 8),
+        any::<u64>(),
+        0usize..12,
+    )
+        .prop_map(|(rows, in_repair, bits, twist)| {
+            let mut text = String::from(
+                "# generated: tabs\tand unicode … exercise escapes\nrelation R/3\nfd R: 1 -> 2\n",
+            );
+            if bits & 1 == 1 {
+                text.push_str("fd R: 2 -> 3\n");
+            }
+            for (a, b, c) in &rows {
+                text.push_str(&format!("fact R({a}, {b}, {c})\n"));
+            }
+            // Prefer edges between facts sharing the first column (FD
+            // 1→2 conflicts when the second differs).
+            for pair in rows.windows(2) {
+                let ((a1, b1, c1), (a2, b2, c2)) = (pair[0], pair[1]);
+                if a1 == a2 && b1 != b2 && bits & 2 == 2 {
+                    text.push_str(&format!("prefer R({a1}, {b1}, {c1}) > R({a2}, {b2}, {c2})\n"));
+                    break;
+                }
+            }
+            let members: Vec<String> = rows
+                .iter()
+                .zip(&in_repair)
+                .filter(|(_, keep)| **keep)
+                .map(|((a, b, c), _)| format!("R({a}, {b}, {c})"))
+                .collect();
+            if !members.is_empty() {
+                text.push_str(&format!("repair J: {}\n", members.join("; ")));
+            }
+            // A twist makes some cases malformed, with the error
+            // surfaced at different line numbers.
+            match twist {
+                0 => text.push_str("relation R/3\n"),      // duplicate relation
+                1 => text.push_str("fd Q: 1 -> 2\n"),      // unknown relation
+                2 => text.push_str("fact R(a, b)\n"),      // arity mismatch
+                3 => text.push_str("prefer R(0, 0, 0)\n"), // missing `>`
+                4 => text.push_str("fd R: 9 -> 2\n"),      // attribute out of range
+                5 => text.push_str("repair K: R(9, 9, 9)\n"), // undeclared fact
+                6 => text.push_str("nonsense line\n"),
+                _ => {}
+            }
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn raw_and_dom_parsers_agree(text in workspace_text(), style in 0u8..3) {
+        assert_parsers_agree(&text, style);
+    }
+
+    #[test]
+    fn truncations_yield_identical_diagnostics(text in workspace_text(), cut in any::<u16>()) {
+        // Truncate at an arbitrary char boundary: both parsers must
+        // fail (or succeed) identically on the prefix.
+        let mut cut = (cut as usize) % (text.len() + 1);
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        assert_parsers_agree(&text[..cut], 0);
+    }
+}

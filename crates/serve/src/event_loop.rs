@@ -62,6 +62,11 @@ const LINGER: Duration = Duration::from_millis(500);
 /// Read chunk size (one scratch buffer shared across connections).
 const READ_CHUNK: usize = 16 * 1024;
 
+/// Outbox capacity retained across responses on a keep-alive
+/// connection; larger allocations shrink back to this bound after a
+/// complete flush.
+const OUTBOX_RETAIN_MAX: usize = 64 * 1024;
+
 /// One framed request travelling to the worker pool.
 pub(crate) struct Job {
     /// Which connection the response must return to.
@@ -563,6 +568,12 @@ impl EventLoop<'_> {
             }
         }
         conn.outbox.clear();
+        // Keep the allocation for the next response, but do not let one
+        // outsized answer (a certificate-laden batch, say) pin its peak
+        // capacity for the connection's whole keep-alive lifetime.
+        if conn.outbox.capacity() > OUTBOX_RETAIN_MAX {
+            conn.outbox.shrink_to(OUTBOX_RETAIN_MAX);
+        }
         conn.out_pos = 0;
         if conn.close_after_flush && conn.lingering.is_none() {
             // Half-close and wait briefly for the peer's FIN; closing

@@ -24,7 +24,8 @@ use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, Outcome, OwnedCh
 use rpr_cqa::RepairSemantics;
 use rpr_data::{fingerprint::Fingerprint, FactSet};
 use rpr_format::{
-    parse_workspace_raw, scan_object, workspace_fingerprint, RawStr, SliceValue, Workspace,
+    parse_workspace_raw, render_certificate, scan_object, workspace_fingerprint, RawStr,
+    SliceValue, Workspace,
 };
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -52,6 +53,13 @@ pub struct ServerState {
     pub jobs: usize,
     /// Fires when the server starts draining; attached to every budget.
     pub drain: CancelToken,
+    /// Re-audit every issued certificate before responding; an audit
+    /// failure answers 500 rather than risking a wrong 200.
+    pub self_audit: bool,
+    /// Fault injection: corrupt every issued certificate (differential
+    /// testing of the audit path only).
+    #[cfg(feature = "faults")]
+    pub corrupt_certificates: bool,
 }
 
 /// Routes one parsed request. Never panics outward: the server wraps
@@ -130,6 +138,9 @@ struct Body<'a> {
     /// Only set when the field is an array (a non-array `repairs`
     /// silently fell back to the workspace's declared repairs before).
     repairs: Option<Vec<SliceValue<'a>>>,
+    /// `"certify": true` asks `/check` to attach a verdict certificate
+    /// to every completed result.
+    certify: bool,
 }
 
 /// Scans the body once, in place. No JSON tree is built: strings stay
@@ -152,6 +163,10 @@ fn parse_body<'a>(req: &Request<'a>) -> Result<Body<'a>, Response> {
         } else if key.is("repairs") {
             if let SliceValue::Arr(items) = value {
                 body.repairs = Some(items);
+            }
+        } else if key.is("certify") {
+            if let SliceValue::Bool(b) = value {
+                body.certify = b;
             }
         }
     })
@@ -300,6 +315,57 @@ fn requested_repairs(
     }
 }
 
+/// One pass of the batch checker, with certificates rendered for every
+/// completed verdict when asked. `certs[i]` is aligned with
+/// `outcomes[i]` (None for candidates without a final verdict).
+struct CheckRun {
+    outcomes: Vec<Outcome<CheckOutcome>>,
+    certs: Vec<Option<String>>,
+}
+
+fn run_check(
+    state: &ServerState,
+    owned: &OwnedCheckSession,
+    sets: &[FactSet],
+    budget: &Budget,
+    certify: bool,
+) -> CheckRun {
+    let session: CheckSession<'_> = owned.session().with_jobs(state.jobs);
+    let outcomes = session.check_batch_bounded(sets, budget);
+    let mut certs = vec![None; outcomes.len()];
+    if certify {
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if let Outcome::Done(check_outcome) = outcome {
+                let cert = session.certify(&sets[i], check_outcome);
+                let pi = owned.prioritized();
+                #[allow(unused_mut)]
+                let mut text =
+                    render_certificate(owned.schema(), pi.instance(), pi.priority(), &cert);
+                #[cfg(feature = "faults")]
+                if state.corrupt_certificates {
+                    if let Some(bad) =
+                        rpr_format::corrupt::CORRUPTIONS.iter().find_map(|(_, f)| f(&text))
+                    {
+                        text = bad;
+                    }
+                }
+                certs[i] = Some(text);
+            }
+        }
+    }
+    CheckRun { outcomes, certs }
+}
+
+/// Audits every rendered certificate; returns the number that failed
+/// (and counts them in `rpr_audit_failures_total`).
+fn audit_certs(state: &ServerState, certs: &[Option<String>]) -> usize {
+    let failures = certs.iter().flatten().filter(|text| rpr_audit::audit(text).is_err()).count();
+    if failures > 0 {
+        state.metrics.audit_failures_total.fetch_add(failures as u64, Ordering::Relaxed);
+    }
+    failures
+}
+
 /// `POST /check` — batch repair checking through the cached session.
 fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
@@ -310,20 +376,44 @@ fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     }
     let sets: Vec<FactSet> = candidates.iter().map(|(_, s)| s.clone()).collect();
 
-    let session: CheckSession<'_> = p.session.session().with_jobs(state.jobs);
-    let outcomes = session.check_batch_bounded(&sets, &p.budget);
+    let mut run = run_check(state, &p.session, &sets, &p.budget, body.certify);
 
-    let mut results = Vec::with_capacity(outcomes.len());
+    // Cache-hit audit: a stale or colliding cached session surfaces as
+    // certificates whose evidence does not re-validate. Such a hit
+    // degrades to a counted miss — rebuild from the request's own
+    // workspace and recompute — instead of serving the cached lie.
+    if body.certify && p.cached && audit_certs(state, &run.certs) > 0 {
+        state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+        let pi = p
+            .workspace
+            .prioritized()
+            .map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+        let fresh = OwnedCheckSession::prepare(Arc::new(p.workspace.schema.clone()), Arc::new(pi));
+        run = run_check(state, &fresh, &sets, &p.budget, true);
+    }
+
+    // Self-audit: never send a certificate this server cannot itself
+    // re-validate — a failed audit is a 500, not a wrong 200.
+    if body.certify && state.self_audit && audit_certs(state, &run.certs) > 0 {
+        return Err(error_response(500, "certificate audit failed"));
+    }
+
+    let mut results = Vec::with_capacity(run.outcomes.len());
     let mut exceeded_report: Option<String> = None;
     let mut any_cancelled = false;
     let mut any_panicked = false;
-    for ((name, _), outcome) in candidates.iter().zip(&outcomes) {
+    let mut issued = 0u64;
+    for (((name, _), outcome), cert) in candidates.iter().zip(&run.outcomes).zip(&run.certs) {
         let mut entry = vec![("repair".to_owned(), Json::str(name.clone()))];
         match outcome {
             Outcome::Done(check_outcome) => {
                 entry.push(("status".to_owned(), Json::str("done")));
                 entry.push(("optimal".to_owned(), Json::Bool(check_outcome.is_optimal())));
                 entry.push(("verdict".to_owned(), Json::str(verdict_str(check_outcome))));
+                if let Some(text) = cert {
+                    entry.push(("certificate".to_owned(), Json::str(text.clone())));
+                    issued += 1;
+                }
             }
             Outcome::Exceeded { report, .. } => {
                 entry.push(("status".to_owned(), Json::str("exceeded")));
@@ -340,6 +430,9 @@ fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
             }
         }
         results.push(Json::Obj(entry.into_iter().collect()));
+    }
+    if issued > 0 {
+        state.metrics.certificates_issued_total.fetch_add(issued, Ordering::Relaxed);
     }
 
     let mut fields = base_response(&p);
@@ -464,6 +557,9 @@ mod tests {
             defaults: BudgetDefaults { timeout: None, max_work: None },
             jobs: 1,
             drain: CancelToken::new(),
+            self_audit: false,
+            #[cfg(feature = "faults")]
+            corrupt_certificates: false,
         }
     }
 

@@ -92,8 +92,16 @@ impl Json {
     /// Serializes to compact JSON text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        write_json(&mut out, self);
+        self.render_into(&mut out);
         out
+    }
+
+    /// Serializes into a caller-supplied buffer. Appends without
+    /// clearing, so responses can assemble into a reused allocation
+    /// (the event loop's per-connection outbox) instead of a fresh
+    /// `String` per request.
+    pub fn render_into(&self, out: &mut String) {
+        write_json(out, self);
     }
 }
 

@@ -175,6 +175,10 @@ counters! {
     http_connections_total => "rpr_http_connections_total",
     /// Keep-alive connections closed by the idle timeout (slow-loris defense included).
     http_idle_closed_total => "rpr_http_idle_closed_total",
+    /// Verdict certificates attached to responses (`"certify": true`).
+    certificates_issued_total => "rpr_certificates_issued_total",
+    /// Certificates failing `rpr-audit` re-validation (cache-hit and `--self-audit` checks).
+    audit_failures_total => "rpr_audit_failures_total",
 }
 
 impl Metrics {

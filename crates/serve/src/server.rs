@@ -68,6 +68,13 @@ pub struct ServeConfig {
     /// Concurrent connection bound; past it the listener stops
     /// accepting (backlog queues in the kernel) until a slot frees.
     pub max_connections: usize,
+    /// Re-audit every issued certificate with `rpr-audit` before
+    /// responding; a failed audit answers `500`, never a wrong `200`.
+    pub self_audit: bool,
+    /// Fault injection: corrupt every issued certificate before the
+    /// audit/response path sees it (differential testing only).
+    #[cfg(feature = "faults")]
+    pub corrupt_certificates: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +90,9 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             max_requests_per_conn: 1024,
             max_connections: 4096,
+            self_audit: false,
+            #[cfg(feature = "faults")]
+            corrupt_certificates: false,
         }
     }
 }
@@ -108,6 +118,9 @@ impl Server {
             },
             jobs: rpr_core::resolve_jobs(config.jobs),
             drain: CancelToken::new(),
+            self_audit: config.self_audit,
+            #[cfg(feature = "faults")]
+            corrupt_certificates: config.corrupt_certificates,
         });
         Ok(Server { listener, state, config })
     }
