@@ -154,6 +154,11 @@ fn main() {
             title: "Extension: keep-alive transport vs the connection-per-request baseline",
             run: e28,
         },
+        Experiment {
+            id: "e29",
+            title: "Extension: incremental delta patching vs cold session rebuild",
+            run: e29,
+        },
     ];
 
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -1541,6 +1546,134 @@ fn e28() -> ExpResult {
         format!(
             "measured: no-keepalive comparison {:.0} req/s; committed baseline {base_rps:.0} req/s -> {speedup:.1}x; counters reconcile exactly; {out_path} rewritten",
             nka.throughput(),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------- E29
+/// Extension experiment: the incremental-mutation subsystem. A
+/// persistent [`DeltaSession`] takes randomized low-churn delta batches
+/// (inserts + deletes, ≤10% of the workspace per batch) on the patched
+/// in-place path, and every batch is raced against a cold rebuild of
+/// the mutated workspace — the exact work a server does on a session
+/// cache miss. Correctness is asserted in-run (the patched fingerprint
+/// must equal both the cold session's and the canonical workspace
+/// fingerprint after every batch) and the per-delta speedup is gated at
+/// ≥2x. Fresh numbers are committed to `BENCH_delta.json` so the perf
+/// trajectory lives in the repo, not in stale `target/` artifacts.
+fn e29() -> ExpResult {
+    use rpr_core::{DeltaOp, DeltaSession};
+    use rpr_data::Fact;
+    use rpr_format::{apply_ops_to_workspace, workspace_fingerprint, Workspace};
+    use rpr_priority::PriorityMode;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const N: usize = 600;
+    const BATCHES: usize = 30;
+    const INSERTS_PER_BATCH: usize = 4;
+    const DELETES_PER_BATCH: usize = 4;
+
+    let wl = single_fd_workload(N, 4, 0.3, 0x2915);
+    let mut ws = Workspace {
+        schema: wl.schema,
+        instance: wl.instance,
+        priority: wl.priority,
+        mode: PriorityMode::ConflictRestricted,
+        repairs: Vec::new(),
+    };
+    let schema = Arc::new(ws.schema.clone());
+    let mut ds =
+        DeltaSession::prepare(schema.clone(), ws.prioritized().map_err(|e| e.to_string())?);
+    ensure(ds.fingerprint() == workspace_fingerprint(&ws), "prepared session matches canonical")?;
+
+    let mut rng = StdRng::seed_from_u64(0xE29);
+    let mut next_val: i64 = 1_000_000;
+    let mut patched_total = Duration::ZERO;
+    let mut cold_total = Duration::ZERO;
+    let mut max_churn = 0.0f64;
+    for batch_no in 0..BATCHES {
+        // Generate against the evolving oracle workspace so every op is
+        // valid at its position in the batch (sequential semantics).
+        let mut batch = Vec::new();
+        let sig = ws.instance.signature().clone();
+        for _ in 0..INSERTS_PER_BATCH {
+            let g = rng.random_range(0..(N as i64 / 4).max(1));
+            let b = rng.random_range(0i64..4);
+            let f = Fact::parse_new(&sig, "R", [g.into(), b.into(), next_val.into()])
+                .map_err(|e| e.to_string())?;
+            next_val += 1;
+            let op = DeltaOp::InsertFact(f);
+            ws = apply_ops_to_workspace(&ws, std::slice::from_ref(&op))
+                .map_err(|e| e.to_string())?;
+            batch.push(op);
+        }
+        for _ in 0..DELETES_PER_BATCH {
+            // Any fact without incident priority edges can be deleted.
+            let n = ws.instance.len() as u32;
+            let id = (0..n)
+                .map(|k| FactId((k + rng.random_range(0..n)) % n))
+                .find(|&id| ws.priority.edges().iter().all(|&(a, b)| a != id && b != id))
+                .ok_or("no edge-free fact to delete")?;
+            let op = DeltaOp::DeleteFact(ws.instance.fact(id).clone());
+            ws = apply_ops_to_workspace(&ws, std::slice::from_ref(&op))
+                .map_err(|e| e.to_string())?;
+            batch.push(op);
+        }
+        let churn = batch.len() as f64 * 100.0 / ws.instance.len() as f64;
+        max_churn = max_churn.max(churn);
+        ensure(churn <= 10.0, "delta batches stay at <=10% churn")?;
+
+        // The patched in-place path on the persistent session.
+        let t = Instant::now();
+        let report = ds.apply_delta(&batch).map_err(|e| e.to_string())?;
+        patched_total += t.elapsed();
+        ensure(!report.rebuilt, "low-churn batches must take the patched path")?;
+        ensure(report.applied == batch.len(), "every op in the batch applies")?;
+
+        // The cold rebuild a cache miss would pay: re-validate the
+        // mutated workspace and rebuild every artifact from scratch.
+        let t = Instant::now();
+        let cold =
+            DeltaSession::prepare(schema.clone(), ws.prioritized().map_err(|e| e.to_string())?);
+        cold_total += t.elapsed();
+
+        ensure(
+            ds.fingerprint() == cold.fingerprint()
+                && ds.fingerprint() == workspace_fingerprint(&ws),
+            &format!("batch {batch_no}: patched session diverged from the cold rebuild"),
+        )?;
+    }
+
+    let patched_us = patched_total.as_secs_f64() * 1e6 / BATCHES as f64;
+    let cold_us = cold_total.as_secs_f64() * 1e6 / BATCHES as f64;
+    let speedup = cold_us / patched_us;
+    ensure(
+        speedup >= 2.0,
+        &format!(
+            "patched deltas must be >=2x faster than cold rebuilds ({patched_us:.1}us vs {cold_us:.1}us = {speedup:.1}x)"
+        ),
+    )?;
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"workload\": \"single_fd_workload({N}, 4, 0.30), conflict-restricted, {BATCHES} batches of {} ops\",\n  \"machine\": {{\n    \"os\": \"{}\",\n    \"arch\": \"{}\",\n    \"cores\": {cores}\n  }},\n  \"batches\": {BATCHES},\n  \"ops_per_batch\": {},\n  \"max_churn_percent\": {max_churn:.2},\n  \"patched_mean_us\": {patched_us:.2},\n  \"cold_rebuild_mean_us\": {cold_us:.2},\n  \"speedup\": {speedup:.1},\n  \"gate\": \"patched >= 2x cold rebuild at <=10% churn\"\n}}\n",
+        INSERTS_PER_BATCH + DELETES_PER_BATCH,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        INSERTS_PER_BATCH + DELETES_PER_BATCH,
+    );
+    let out_path = "BENCH_delta.json";
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+
+    Ok(vec![
+        "extension: patch cached sessions in place instead of rebuilding them".into(),
+        format!(
+            "measured: {BATCHES} batches x {} ops on {N} facts (max churn {max_churn:.1}%), all patched in place, fingerprints bit-identical to cold rebuilds",
+            INSERTS_PER_BATCH + DELETES_PER_BATCH,
+        ),
+        format!(
+            "measured: per-delta {patched_us:.0}us patched vs {cold_us:.0}us cold rebuild -> {speedup:.1}x (gate >=2x); {out_path} rewritten"
         ),
     ])
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--clients N] [--duration-s S]
 //!         [--max-work N] [--timeout-ms MS] [--json PATH]
-//!         [--no-keepalive] [--certify]
+//!         [--no-keepalive] [--certify] [--delta]
 //!         [--require-cache-hits] [--require-reconcile]
 //!         FILE.rpr [FILE.rpr …]
 //! ```
@@ -22,6 +22,15 @@
 //! missed the session cache, or if `--require-reconcile` is set and
 //! the counter delta disagrees with the client-side count (only
 //! meaningful when loadgen is the server's sole client).
+//!
+//! `--delta` exercises `POST /delta` instead: each workspace is first
+//! warmed into the session cache with one `/check`, then every request
+//! applies a self-inverting `insert`+`delete` pair of a fresh fact —
+//! the fingerprint is unchanged by each batch, so concurrent clients
+//! can all address the session by its original fingerprint. Under
+//! `--require-reconcile` the run additionally demands that every
+//! request came back `200` and that the server's `rpr_delta_ops_total`
+//! delta equals exactly two ops per completed request.
 
 use rpr_bench::load::{check_body, run_load, scrape_counter, LoadBody, LoadSpec};
 use std::time::Duration;
@@ -36,8 +45,42 @@ fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 
 /// Flags that take no value (everything after any other `--flag` is
 /// that flag's value, not a positional file).
-const BARE_FLAGS: [&str; 4] =
-    ["--no-keepalive", "--certify", "--require-cache-hits", "--require-reconcile"];
+const BARE_FLAGS: [&str; 5] =
+    ["--no-keepalive", "--certify", "--delta", "--require-cache-hits", "--require-reconcile"];
+
+/// Builds the `/delta` body for one workspace: a self-inverting
+/// `insert`+`delete` pair of a fact provably absent from the instance,
+/// addressed by the workspace's canonical fingerprint. Applying the
+/// pair leaves the fingerprint unchanged, so the same body stays valid
+/// for the whole run no matter how the clients interleave.
+fn delta_body(ws: &rpr_format::Workspace) -> String {
+    let sig = ws.instance.signature();
+    let (_, sym) = sig.iter().next().expect("workspace signature has a relation");
+    let (name, arity) = (sym.name().to_owned(), sym.arity());
+    let mut base = 9_000_000_000i64;
+    let fact_text = loop {
+        let values: Vec<rpr_data::Value> = (0..arity as i64).map(|j| (base + j).into()).collect();
+        let fact = rpr_data::Fact::parse_new(sig, &name, values.clone())
+            .expect("fresh fact matches its own signature");
+        if ws.instance.id_of(&fact).is_none() {
+            let rendered: Vec<String> = (0..arity as i64).map(|j| (base + j).to_string()).collect();
+            break format!("{name}({})", rendered.join(", "));
+        }
+        base += arity as i64;
+    };
+    let fp = rpr_format::workspace_fingerprint(ws).to_hex();
+    rpr_serve::Json::obj([
+        ("fingerprint", rpr_serve::Json::str(fp)),
+        (
+            "ops",
+            rpr_serve::Json::Arr(vec![
+                rpr_serve::Json::str(format!("insert {fact_text}")),
+                rpr_serve::Json::str(format!("delete {fact_text}")),
+            ]),
+        ),
+    ])
+    .render()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +93,7 @@ fn main() {
     let json_path = opt_value(&args, "--json");
     let keepalive = !args.iter().any(|a| a == "--no-keepalive");
     let certify = args.iter().any(|a| a == "--certify");
+    let delta = args.iter().any(|a| a == "--delta");
     let require_cache_hits = args.iter().any(|a| a == "--require-cache-hits");
     let require_reconcile = args.iter().any(|a| a == "--require-reconcile");
 
@@ -73,20 +117,56 @@ fn main() {
         std::process::exit(1);
     }
 
-    let bodies: Vec<LoadBody> = files
+    let texts: Vec<(String, String)> = files
         .iter()
         .map(|f| {
             let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
                 eprintln!("loadgen: cannot read {f}: {e}");
                 std::process::exit(1);
             });
-            LoadBody {
-                label: f.rsplit('/').next().unwrap_or(f).to_owned(),
-                path: "/check".to_owned(),
-                body: check_body(&text, max_work, timeout_ms, certify),
-            }
+            (f.rsplit('/').next().unwrap_or(f).to_owned(), text)
         })
         .collect();
+    let bodies: Vec<LoadBody> = texts
+        .iter()
+        .map(|(label, text)| {
+            let (path, body) = if delta {
+                let ws = rpr_format::parse_workspace(text).unwrap_or_else(|e| {
+                    eprintln!("loadgen: {label} does not parse: {e}");
+                    std::process::exit(1);
+                });
+                ("/delta".to_owned(), delta_body(&ws))
+            } else {
+                ("/check".to_owned(), check_body(text, max_work, timeout_ms, certify))
+            };
+            LoadBody { label: label.clone(), path, body }
+        })
+        .collect();
+
+    // Delta traffic addresses sessions by fingerprint, so each
+    // workspace must already sit in the server's cache; warm them
+    // before the first metrics scrape so the warm-up requests stay out
+    // of the reconciliation window.
+    if delta {
+        for (label, text) in &texts {
+            let body = check_body(text, max_work, timeout_ms, false);
+            match rpr_serve::client_call(&addr, "POST", "/check", body.as_bytes()) {
+                Ok((200, _)) => {}
+                Ok((status, response)) => {
+                    eprintln!(
+                        "loadgen: warm-up /check of {label} got {status}: {}",
+                        String::from_utf8_lossy(&response)
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("loadgen: warm-up /check of {label} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("loadgen: warmed {} session(s) via /check", texts.len());
+    }
 
     // Each `/metrics` scrape is itself a request and counts itself in
     // the value it returns (the counter bumps before rendering), so
@@ -96,6 +176,8 @@ fn main() {
     let hits_before = scrape_counter(&addr, "rpr_cache_hits_total").unwrap_or(0);
     let issued_before = scrape_counter(&addr, "rpr_certificates_issued_total").unwrap_or(0);
     let audit_failures_before = scrape_counter(&addr, "rpr_audit_failures_total").unwrap_or(0);
+    let delta_ops_before =
+        if delta { scrape_counter(&addr, "rpr_delta_ops_total").unwrap_or(0) } else { 0 };
     let spec = LoadSpec {
         addr: addr.clone(),
         bodies,
@@ -115,6 +197,11 @@ fn main() {
         scrape_counter(&addr, "rpr_certificates_issued_total").unwrap_or(0) - issued_before;
     let audit_failures =
         scrape_counter(&addr, "rpr_audit_failures_total").unwrap_or(0) - audit_failures_before;
+    let delta_ops = if delta {
+        scrape_counter(&addr, "rpr_delta_ops_total").unwrap_or(0) - delta_ops_before
+    } else {
+        0
+    };
     let requests_after = scrape_counter(&addr, "rpr_requests_total");
     let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
     println!(
@@ -131,6 +218,12 @@ fn main() {
         println!("loadgen:   status {code}: {n}");
     }
     println!("loadgen: cache hits {hits} ({:.1}% of completed)", hit_rate * 100.0);
+    if delta {
+        println!(
+            "loadgen: delta ops applied {delta_ops} (expected {} = 2 × the 200s)",
+            2 * stats.status(200)
+        );
+    }
     if certify {
         println!(
             "loadgen: certificates received {} (server issued {issued}, audit failures {audit_failures})",
@@ -140,17 +233,18 @@ fn main() {
 
     // Seven scrapes land between the two readings: the cache-hits /
     // certificates / audit-failures scrapes before the run, and the
-    // same three plus the requests_total scrape after it.
-    let expected_delta = stats.completed + 7;
+    // same three plus the requests_total scrape after it. Delta mode
+    // adds its own ops scrape on each side.
+    let expected_delta = stats.completed + 7 + if delta { 2 } else { 0 };
     let reconciled = match (requests_before, requests_after) {
         (Some(before), Some(after)) => {
-            let delta = after - before;
+            let counted = after - before;
             println!(
-                "loadgen: server counted {delta} request(s); expected {expected_delta} \
-                 (completed + 7 scrapes){}",
-                if delta == expected_delta { " — reconciled" } else { " — MISMATCH" },
+                "loadgen: server counted {counted} request(s); expected {expected_delta} \
+                 (completed + scrapes){}",
+                if counted == expected_delta { " — reconciled" } else { " — MISMATCH" },
             );
-            delta == expected_delta
+            counted == expected_delta
         }
         _ => {
             println!("loadgen: rpr_requests_total not scrapeable; reconciliation skipped");
@@ -167,6 +261,19 @@ fn main() {
             stats.certificates
         );
     }
+    // Delta accounting: nothing but 200s (every op batch applied), and
+    // the server's op counter moved by exactly two per request.
+    let delta_reconciled =
+        !delta || (stats.status(200) == stats.completed && delta_ops == 2 * stats.completed);
+    if delta && !delta_reconciled {
+        println!(
+            "loadgen: delta MISMATCH — {} of {} requests returned 200, \
+             rpr_delta_ops_total moved by {delta_ops} (expected {})",
+            stats.status(200),
+            stats.completed,
+            2 * stats.completed
+        );
+    }
 
     if let Some(path) = json_path {
         let statuses = stats
@@ -176,8 +283,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"reconciled\": {reconciled}\n}}\n",
-            stats.certificates,
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"delta_ops\": {delta_ops},\n  \"reconciled\": {reconciled}\n}}\n",
             stats.completed,
             stats.lost,
             stats.throughput(),
@@ -185,6 +291,7 @@ fn main() {
             stats.quantile(0.90).as_secs_f64() * 1e3,
             stats.quantile(0.99).as_secs_f64() * 1e3,
             stats.max().as_secs_f64() * 1e3,
+            stats.certificates,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("loadgen: cannot write {path}: {e}");
@@ -197,12 +304,16 @@ fn main() {
         eprintln!("loadgen: FAIL — {} request(s) lost to transport errors", stats.lost);
         std::process::exit(1);
     }
-    if require_cache_hits && hits == 0 && stats.completed > files.len() as u64 {
+    if require_cache_hits && !delta && hits == 0 && stats.completed > files.len() as u64 {
         eprintln!("loadgen: FAIL — repeated traffic produced zero session-cache hits");
         std::process::exit(1);
     }
     if require_reconcile && !reconciled {
         eprintln!("loadgen: FAIL — rpr_requests_total does not reconcile with requests sent");
+        std::process::exit(1);
+    }
+    if require_reconcile && !delta_reconciled {
+        eprintln!("loadgen: FAIL — rpr_delta_ops_total does not reconcile with the /delta traffic");
         std::process::exit(1);
     }
     if require_reconcile && certify && !certs_reconciled {

@@ -650,6 +650,59 @@ pub fn lint(ws: &Workspace) -> String {
     out
 }
 
+/// `rpr delta FILE OPSFILE [--out OUT]` — apply a delta-op script
+/// (`insert`/`delete`/`prefer`/`unprefer` lines) to the workspace
+/// through the incremental [`rpr_core::DeltaSession`] path, then
+/// cross-check the patched artifacts against the brute-force oracle
+/// rebuild ([`rpr_format::apply_ops_to_workspace`]). Returns the
+/// report plus the mutated workspace (for `--out`).
+///
+/// # Errors
+/// On malformed ops, ops the session rejects (absent facts, deletes
+/// with incident edges, priority cycles, …), or — never expected — an
+/// incremental/oracle divergence.
+pub fn delta(ws: &Workspace, ops_text: &str) -> Result<(String, Workspace), CommandError> {
+    use rpr_format::{apply_ops_to_workspace, parse_delta_script, workspace_fingerprint};
+
+    let ops = parse_delta_script(ws.instance.signature(), ops_text)
+        .map_err(|e| fail(format!("ops: {e}")))?;
+    let before = workspace_fingerprint(ws);
+    let pi = ws.prioritized().map_err(|e| fail(e.to_string()))?;
+    let mut session = rpr_core::DeltaSession::prepare(std::sync::Arc::new(ws.schema.clone()), pi);
+    let report = session.apply_delta(&ops).map_err(|e| fail(e.to_string()))?;
+    let mutated = apply_ops_to_workspace(ws, &ops).map_err(|e| fail(e.to_string()))?;
+    let after = workspace_fingerprint(&mutated);
+    if session.fingerprint() != after {
+        return Err(fail("internal: patched session diverged from the oracle rebuild"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "applied {} op(s): {} insert(s), {} delete(s), {} priority op(s)",
+        report.applied, report.inserts, report.deletes, report.priority_ops
+    );
+    let _ = writeln!(
+        out,
+        "path: {}",
+        if report.rebuilt {
+            "rebuilt (churn above the patch threshold)"
+        } else {
+            "patched in place"
+        }
+    );
+    let _ = writeln!(out, "fingerprint: {} -> {}", before.to_hex(), after.to_hex());
+    let _ = writeln!(
+        out,
+        "facts: {} -> {}; priority edges: {} -> {}",
+        ws.instance.len(),
+        mutated.instance.len(),
+        ws.priority.edge_count(),
+        mutated.priority.edge_count()
+    );
+    Ok((out, mutated))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,5 +844,31 @@ repair bad: BookLoc(b1, drama, lib3); LibLoc(lib1, almaden)
         assert!(all.contains("certain : \n") || all.contains("certain :"));
         assert!(global.contains("(edenvale)"));
         assert!(cqa(&ws, "broken", "all", 1 << 20).is_err());
+    }
+
+    #[test]
+    fn delta_patches_and_cross_checks() {
+        let ws = parse_workspace(RUNNING).unwrap();
+        let (report, mutated) = delta(
+            &ws,
+            "# grow the catalog\ninsert BookLoc(b2, poetry, lib3)\nprefer LibLoc(lib3, almaden) > LibLoc(lib1, almaden)\n",
+        )
+        .unwrap();
+        assert!(
+            report.contains("applied 2 op(s): 1 insert(s), 0 delete(s), 1 priority op(s)"),
+            "{report}"
+        );
+        assert!(report.contains("patched in place"), "{report}");
+        assert!(report.contains("fingerprint: "), "{report}");
+        assert_eq!(mutated.instance.len(), ws.instance.len() + 1);
+        assert_eq!(mutated.priority.edge_count(), ws.priority.edge_count() + 1);
+        // The mutated workspace is itself checkable.
+        assert!(check(&mutated, Some("good")).is_ok());
+        // Rejections surface the delta grammar / session diagnostics.
+        assert!(delta(&ws, "banana\n").unwrap_err().to_string().contains("expected `insert`"));
+        assert!(delta(&ws, "delete LibLoc(nope, nope)\n")
+            .unwrap_err()
+            .to_string()
+            .contains("not in the instance"));
     }
 }

@@ -37,6 +37,10 @@ commands:
                                       (all commands read both forms)
   stats     FILE                      conflict statistics of the instance
   derive    FILE \"R: 1 -> 2\"          Armstrong-axiom proof that the FD is implied
+  delta     FILE OPSFILE [--out OUT]  apply insert/delete/prefer/unprefer ops through
+                                      the incremental session (cross-checked against
+                                      a cold rebuild; --out writes the mutated
+                                      workspace, .rprb for binary)
   certify   FILE [NAME] [--classify]  emit verdict certificates (one canonical JSON
                                       document per line; --classify certifies the
                                       dichotomy classification instead)
@@ -46,7 +50,7 @@ commands:
             [--timeout-ms MS] [--max-work N] [--idle-timeout-ms MS]
             [--requests-per-conn N] [--max-connections N] [--self-audit]
                                       run the repair-checking HTTP service
-                                      (keep-alive; POST /check /classify /cqa,
+                                      (keep-alive; POST /check /classify /cqa /delta,
                                       GET /healthz /metrics; --self-audit re-checks
                                       every issued certificate before responding)
   request   URL [FILE] [--repairs A,B] [--query Q] [--semantics S]
@@ -251,6 +255,30 @@ fn run(args: &[String]) -> Result<CliResult, UsageOr> {
             commands::derive(&ws, fd_text)
                 .map(CliResult::ok)
                 .map_err(|e| UsageOr::Command(e.to_string()))
+        }
+        "delta" => {
+            let ops_path = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| UsageOr::Usage("delta needs an ops file".into()))?;
+            let ops_text = std::fs::read_to_string(ops_path)
+                .map_err(|e| UsageOr::Command(format!("cannot read {ops_path}: {e}")))?;
+            let (mut report, mutated) =
+                commands::delta(&ws, &ops_text).map_err(|e| UsageOr::Command(e.to_string()))?;
+            if let Some(out) = opt_value(args, "--out") {
+                if out.ends_with(".rprb") {
+                    let bytes = store::encode(&mutated);
+                    std::fs::write(&out, &bytes)
+                        .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
+                    report.push_str(&format!("wrote {out} ({} bytes, binary)\n", bytes.len()));
+                } else {
+                    let text = rpr_cli::format::render_workspace(&mutated);
+                    std::fs::write(&out, &text)
+                        .map_err(|e| UsageOr::Command(format!("cannot write {out}: {e}")))?;
+                    report.push_str(&format!("wrote {out} ({} bytes, text)\n", text.len()));
+                }
+            }
+            Ok(CliResult::ok(report))
         }
         "export" => {
             let out =

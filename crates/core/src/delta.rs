@@ -1,0 +1,788 @@
+//! Incremental session mutation: patch cached workspaces instead of
+//! rebuilding them.
+//!
+//! A [`CheckSession`](crate::CheckSession) amortizes the conflict
+//! graph, CSR adjacency, and Lemma 4.2 block structures across many
+//! candidate checks — but any change to the instance or priority
+//! relation used to discard the whole session. A [`DeltaSession`] keeps
+//! those artifacts *live* under mutation:
+//!
+//! * **Conflict graph** — deletes drop one adjacency row and shift the
+//!   rest; inserts grow the universe and re-derive only the edges
+//!   incident to the new fact (a per-FD scan of its relation).
+//! * **CSR / components** — rebuilt once per batch from the patched
+//!   bitset graph (the packing is cheap relative to conflict
+//!   derivation), and only when the batch touched facts.
+//! * **FD blocks** — the touched relation's blocks are edited in place
+//!   (binary search on the canonical lhs/rhs projection order, so the
+//!   patch is bit-identical to `FdBlocks::build`); untouched relations
+//!   only remap ids, which preserves that order under dense renumbering.
+//! * **Fingerprint** — the canonical 128-bit content fingerprint is
+//!   maintained by two unordered accumulators (fact multiset, priority
+//!   edge set) with O(1) add/remove, and cross-checked against the
+//!   from-scratch [`content_fingerprint`] in debug builds.
+//!
+//! **Atomicity.** [`apply_delta`](DeltaSession::apply_delta) validates
+//! the entire op sequence against a content-keyed simulation before
+//! touching anything; on any [`DeltaError`] the session is unchanged.
+//!
+//! **Bit-identity.** The id layout after a delta matches a from-scratch
+//! build over the mutated workspace: deletes renumber survivors densely
+//! (relative order preserved), inserts append. The differential suite
+//! checks verdicts, witnesses, certificates, and fingerprints of
+//! patched sessions against cold rebuilds over randomized op sequences.
+//!
+//! **Rebuild threshold.** Batches whose structural churn (inserts +
+//! deletes) reaches [`REBUILD_CHURN_PERCENT`] of the instance fall back
+//! to a cold [`SessionArtifacts::build`] — above that point the
+//! localized patches cost more than the rebuild they avoid. The report
+//! says which path ran so operators can count rebuilds.
+
+use crate::fingerprint::{
+    content_fingerprint, mode_word, priority_edge_fingerprint, schema_fingerprint,
+};
+use crate::global_1fd::FdBlocks;
+use crate::session::{CheckSession, Plan, SessionArtifacts};
+use rpr_classify::{Complexity, RelationClass};
+use rpr_data::fingerprint::{Fingerprint, FingerprintBuilder, UnorderedAccumulator};
+use rpr_data::{fingerprint_fact, fingerprint_signature, Fact, FxHashMap, FxHashSet};
+use rpr_fd::{CsrConflictGraph, Fd, Schema};
+use rpr_priority::{PrioritizedInstance, PriorityMode};
+use std::fmt;
+use std::sync::Arc;
+
+/// Structural churn (inserts + deletes as a percentage of the base
+/// instance) at or above which a batch cold-rebuilds the artifacts
+/// instead of patching them.
+pub const REBUILD_CHURN_PERCENT: usize = 25;
+
+/// One mutation of a prioritized instance. Facts are identified by
+/// *content*, not id — ids are an internal dense numbering that shifts
+/// under deletes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Add a fact. Errors if the fact is already present.
+    InsertFact(Fact),
+    /// Remove a fact. Errors if absent or still referenced by priority
+    /// edges (drop the edges first).
+    DeleteFact(Fact),
+    /// Add (`prefer: true`) or remove (`prefer: false`) the priority
+    /// edge `better ≻ worse`.
+    SetPriority {
+        /// The preferred fact.
+        better: Fact,
+        /// The dominated fact.
+        worse: Fact,
+        /// Add the edge (`true`) or remove it (`false`).
+        prefer: bool,
+    },
+}
+
+/// Why a delta batch was rejected. The session is unchanged whenever
+/// one of these is returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Insert of a fact that is already present.
+    AlreadyPresent {
+        /// Index of the offending op in the batch.
+        op: usize,
+        /// The fact, rendered with its relation name.
+        fact: String,
+    },
+    /// Delete or priority edge referencing a fact not in the instance.
+    MissingFact {
+        /// Index of the offending op in the batch.
+        op: usize,
+        /// The fact, rendered with its relation name.
+        fact: String,
+    },
+    /// Delete of a fact that still has incident priority edges.
+    HasEdges {
+        /// Index of the offending op in the batch.
+        op: usize,
+        /// The fact, rendered with its relation name.
+        fact: String,
+    },
+    /// Prefer of an edge that already exists.
+    DuplicateEdge {
+        /// Index of the offending op in the batch.
+        op: usize,
+    },
+    /// Unprefer of an edge that does not exist.
+    MissingEdge {
+        /// Index of the offending op in the batch.
+        op: usize,
+    },
+    /// Prefer joining non-conflicting facts in conflict-restricted
+    /// mode (§2.3 forbids such edges).
+    NotConflicting {
+        /// Index of the offending op in the batch.
+        op: usize,
+    },
+    /// Prefer that would close a priority cycle (§2.3 demands
+    /// acyclicity).
+    Cyclic {
+        /// Index of the offending op in the batch.
+        op: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::AlreadyPresent { op, fact } => {
+                write!(f, "op {op}: insert of fact already present: {fact}")
+            }
+            DeltaError::MissingFact { op, fact } => {
+                write!(f, "op {op}: fact not in the instance: {fact}")
+            }
+            DeltaError::HasEdges { op, fact } => {
+                write!(f, "op {op}: delete of fact with incident priority edges: {fact}")
+            }
+            DeltaError::DuplicateEdge { op } => {
+                write!(f, "op {op}: preference already present")
+            }
+            DeltaError::MissingEdge { op } => {
+                write!(f, "op {op}: unprefer of preference not present")
+            }
+            DeltaError::NotConflicting { op } => {
+                write!(f, "op {op}: preference joins non-conflicting facts (conflict mode)")
+            }
+            DeltaError::Cyclic { op } => {
+                write!(f, "op {op}: preference would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What a successful [`apply_delta`](DeltaSession::apply_delta) did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Total ops applied (the batch length).
+    pub applied: usize,
+    /// Facts inserted.
+    pub inserts: usize,
+    /// Facts deleted.
+    pub deletes: usize,
+    /// Priority edges added or removed.
+    pub priority_ops: usize,
+    /// `true` when churn hit [`REBUILD_CHURN_PERCENT`] and the
+    /// artifacts were cold-rebuilt instead of patched.
+    pub rebuilt: bool,
+}
+
+/// A mutable, cache-resident check session: owned workspace plus live
+/// artifacts and an incrementally-maintained content fingerprint.
+/// See the module docs.
+#[must_use = "a DeltaSession is the cached product of expensive preparation — store or use it"]
+pub struct DeltaSession {
+    schema: Arc<Schema>,
+    pi: PrioritizedInstance,
+    artifacts: SessionArtifacts,
+    /// Fixed lane: schema fingerprint (the schema never mutates).
+    schema_fp: Fingerprint,
+    /// Fixed lane: signature fingerprint (prefix of the instance lane).
+    sig_fp: Fingerprint,
+    /// Live lane: the unordered fact-content multiset.
+    fact_acc: UnorderedAccumulator,
+    /// Live lane: the unordered priority-edge set.
+    edge_acc: UnorderedAccumulator,
+    mode_word: u64,
+}
+
+impl DeltaSession {
+    /// Prepares a mutable session. This is the expensive step (conflict
+    /// graph, CSR packing, classification, block structures, lane
+    /// accumulators); [`apply_delta`](Self::apply_delta) afterwards
+    /// costs work proportional to the ops, not the workspace.
+    pub fn prepare(schema: Arc<Schema>, pi: PrioritizedInstance) -> Self {
+        let artifacts = SessionArtifacts::build(&schema, &pi);
+        let sig = pi.instance().signature();
+        let fact_acc = UnorderedAccumulator::from_items(
+            pi.instance().iter().map(|(_, f)| fingerprint_fact(sig, f)),
+        );
+        let edge_acc =
+            UnorderedAccumulator::from_items(pi.priority().edges().iter().map(|&(hi, lo)| {
+                priority_edge_fingerprint(sig, pi.instance().fact(hi), pi.instance().fact(lo))
+            }));
+        DeltaSession {
+            schema_fp: schema_fingerprint(&schema),
+            sig_fp: fingerprint_signature(sig),
+            mode_word: mode_word(pi.mode()),
+            schema,
+            pi,
+            artifacts,
+            fact_acc,
+            edge_acc,
+        }
+    }
+
+    /// The schema the session was prepared under.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The prioritized instance in its current (post-delta) state.
+    pub fn prioritized(&self) -> &PrioritizedInstance {
+        &self.pi
+    }
+
+    /// The complexity of checking under the cached classification.
+    pub fn complexity(&self) -> Complexity {
+        self.artifacts.complexity()
+    }
+
+    /// A borrowing [`CheckSession`] view over the live artifacts.
+    /// Views are cheap; create one per request and configure `jobs` /
+    /// budgets on the view.
+    pub fn session(&self) -> CheckSession<'_> {
+        CheckSession::from_artifacts(&self.schema, &self.pi, &self.artifacts)
+    }
+
+    /// The canonical content fingerprint of the current state, composed
+    /// from the incrementally-maintained lanes. Bit-identical to
+    /// [`content_fingerprint`] over the same workspace.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut inst = FingerprintBuilder::new();
+        inst.fingerprint(self.sig_fp);
+        inst.fingerprint(self.fact_acc.finish());
+        let mut b = FingerprintBuilder::new();
+        b.fingerprint(self.schema_fp);
+        b.fingerprint(inst.finish());
+        b.fingerprint(self.edge_acc.finish());
+        b.word(self.mode_word);
+        b.finish()
+    }
+
+    /// Approximate resident bytes of the workspace plus artifacts
+    /// (cache-sizing gauge; intentionally coarse).
+    pub fn approx_bytes(&self) -> usize {
+        let inst = self.pi.instance();
+        let n = inst.len();
+        let mut values = 0usize;
+        for (_, f) in inst.iter() {
+            values += 24 + 16 * f.tuple().len();
+        }
+        let graph = self.artifacts.cg.edges().len() * 12 + n * 16;
+        let blocks: usize = self
+            .artifacts
+            .rel_blocks
+            .iter()
+            .flatten()
+            .map(|b| b.groups().iter().flatten().flatten().count() * 4)
+            .sum();
+        let edges = self.pi.priority().edge_count() * 24;
+        values + graph + blocks + edges + n * (n / 64 + 1) / 4
+    }
+
+    /// Applies a batch of ops atomically: the whole sequence is
+    /// validated against the current state first, and on any error the
+    /// session — artifacts, fingerprint, everything — is unchanged.
+    ///
+    /// # Errors
+    /// The first [`DeltaError`] in op order.
+    pub fn apply_delta(&mut self, ops: &[DeltaOp]) -> Result<DeltaReport, DeltaError> {
+        let (inserts, deletes, priority_ops) = self.validate(ops)?;
+        let structural = inserts + deletes;
+        let rebuilt = structural * 100 >= self.pi.instance().len().max(4) * REBUILD_CHURN_PERCENT
+            && structural > 0;
+        if rebuilt {
+            for op in ops {
+                self.apply_op_data(op);
+            }
+            self.artifacts = SessionArtifacts::build(&self.schema, &self.pi);
+        } else {
+            for op in ops {
+                self.apply_op_patched(op);
+            }
+            if structural > 0 {
+                self.finish_structural_batch();
+            }
+        }
+        debug_assert_eq!(
+            self.fingerprint(),
+            content_fingerprint(&self.schema, &self.pi),
+            "incremental fingerprint lanes diverged from the canonical composition"
+        );
+        Ok(DeltaReport { applied: ops.len(), inserts, deletes, priority_ops, rebuilt })
+    }
+
+    /// Validates the op sequence against a content-keyed simulation of
+    /// the current state without mutating anything. Returns the op
+    /// class counts on success.
+    fn validate(&self, ops: &[DeltaOp]) -> Result<(usize, usize, usize), DeltaError> {
+        let inst = self.pi.instance();
+        let sig = inst.signature();
+        let classical = self.pi.mode() == PriorityMode::ConflictRestricted;
+        // Membership overlay: absent key = defer to the base instance.
+        let mut member: FxHashMap<Fact, bool> = FxHashMap::default();
+        // Batches without priority ops (the structural fast path) never
+        // mutate edges, so delete-degree checks can scan the base
+        // priority by id instead of paying for a content-keyed copy of
+        // every edge.
+        if !ops.iter().any(|op| matches!(op, DeltaOp::SetPriority { .. })) {
+            let (mut inserts, mut deletes) = (0usize, 0usize);
+            for (i, op) in ops.iter().enumerate() {
+                let present = |m: &FxHashMap<Fact, bool>, f: &Fact| {
+                    *m.get(f).unwrap_or(&inst.id_of(f).is_some())
+                };
+                match op {
+                    DeltaOp::InsertFact(f) => {
+                        if present(&member, f) {
+                            return Err(DeltaError::AlreadyPresent {
+                                op: i,
+                                fact: f.display(sig).to_string(),
+                            });
+                        }
+                        member.insert(f.clone(), true);
+                        inserts += 1;
+                    }
+                    DeltaOp::DeleteFact(f) => {
+                        if !present(&member, f) {
+                            return Err(DeltaError::MissingFact {
+                                op: i,
+                                fact: f.display(sig).to_string(),
+                            });
+                        }
+                        // Batch-inserted facts have no base id and no
+                        // edges; base facts keep their base degree.
+                        if let Some(id) = inst.id_of(f) {
+                            if member.get(f) != Some(&true)
+                                && self
+                                    .pi
+                                    .priority()
+                                    .edges()
+                                    .iter()
+                                    .any(|&(a, b)| a == id || b == id)
+                            {
+                                return Err(DeltaError::HasEdges {
+                                    op: i,
+                                    fact: f.display(sig).to_string(),
+                                });
+                            }
+                        }
+                        member.insert(f.clone(), false);
+                        deletes += 1;
+                    }
+                    DeltaOp::SetPriority { .. } => unreachable!("checked above"),
+                }
+            }
+            return Ok((inserts, deletes, 0));
+        }
+        // Priority edges and a worse-adjacency, both by fact content.
+        let mut edges: FxHashSet<(Fact, Fact)> = FxHashSet::default();
+        let mut worse_of: FxHashMap<Fact, Vec<Fact>> = FxHashMap::default();
+        let mut degree: FxHashMap<Fact, usize> = FxHashMap::default();
+        for &(hi, lo) in self.pi.priority().edges() {
+            let (hi, lo) = (inst.fact(hi).clone(), inst.fact(lo).clone());
+            *degree.entry(hi.clone()).or_default() += 1;
+            *degree.entry(lo.clone()).or_default() += 1;
+            worse_of.entry(hi.clone()).or_default().push(lo.clone());
+            edges.insert((hi, lo));
+        }
+        let (mut inserts, mut deletes, mut priority_ops) = (0usize, 0usize, 0usize);
+        for (i, op) in ops.iter().enumerate() {
+            let present =
+                |m: &FxHashMap<Fact, bool>, f: &Fact| *m.get(f).unwrap_or(&inst.id_of(f).is_some());
+            match op {
+                DeltaOp::InsertFact(f) => {
+                    if present(&member, f) {
+                        return Err(DeltaError::AlreadyPresent {
+                            op: i,
+                            fact: f.display(sig).to_string(),
+                        });
+                    }
+                    member.insert(f.clone(), true);
+                    inserts += 1;
+                }
+                DeltaOp::DeleteFact(f) => {
+                    if !present(&member, f) {
+                        return Err(DeltaError::MissingFact {
+                            op: i,
+                            fact: f.display(sig).to_string(),
+                        });
+                    }
+                    if degree.get(f).copied().unwrap_or(0) > 0 {
+                        return Err(DeltaError::HasEdges {
+                            op: i,
+                            fact: f.display(sig).to_string(),
+                        });
+                    }
+                    member.insert(f.clone(), false);
+                    deletes += 1;
+                }
+                DeltaOp::SetPriority { better, worse, prefer } => {
+                    for f in [better, worse] {
+                        if !present(&member, f) {
+                            return Err(DeltaError::MissingFact {
+                                op: i,
+                                fact: f.display(sig).to_string(),
+                            });
+                        }
+                    }
+                    let key = (better.clone(), worse.clone());
+                    if *prefer {
+                        if edges.contains(&key) {
+                            return Err(DeltaError::DuplicateEdge { op: i });
+                        }
+                        if classical && !self.schema.conflicting(better, worse) {
+                            return Err(DeltaError::NotConflicting { op: i });
+                        }
+                        if Self::reaches(&worse_of, worse, better) {
+                            return Err(DeltaError::Cyclic { op: i });
+                        }
+                        *degree.entry(better.clone()).or_default() += 1;
+                        *degree.entry(worse.clone()).or_default() += 1;
+                        worse_of.entry(better.clone()).or_default().push(worse.clone());
+                        edges.insert(key);
+                    } else {
+                        if !edges.remove(&key) {
+                            return Err(DeltaError::MissingEdge { op: i });
+                        }
+                        *degree.entry(better.clone()).or_default() -= 1;
+                        *degree.entry(worse.clone()).or_default() -= 1;
+                        if let Some(row) = worse_of.get_mut(better) {
+                            if let Some(pos) = row.iter().position(|f| f == worse) {
+                                row.remove(pos);
+                            }
+                        }
+                    }
+                    priority_ops += 1;
+                }
+            }
+        }
+        Ok((inserts, deletes, priority_ops))
+    }
+
+    /// Does `from ≻ … ≻ to` hold in the simulated adjacency (including
+    /// the trivial `from == to` path, which rejects self-loops)?
+    fn reaches(worse_of: &FxHashMap<Fact, Vec<Fact>>, from: &Fact, to: &Fact) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen: FxHashSet<&Fact> = FxHashSet::default();
+        let mut stack = vec![from];
+        seen.insert(from);
+        while let Some(node) = stack.pop() {
+            for succ in worse_of.get(node).map_or(&[][..], |v| v) {
+                if succ == to {
+                    return true;
+                }
+                if seen.insert(succ) {
+                    stack.push(succ);
+                }
+            }
+        }
+        false
+    }
+
+    /// Applies one validated op to the workspace and fingerprint lanes
+    /// only (cold-rebuild path: artifacts are rebuilt afterwards).
+    fn apply_op_data(&mut self, op: &DeltaOp) {
+        let sig = self.pi.instance().signature().clone();
+        match op {
+            DeltaOp::InsertFact(f) => {
+                self.fact_acc.add(fingerprint_fact(&sig, f));
+                self.pi.insert_fact(f.clone());
+            }
+            DeltaOp::DeleteFact(f) => {
+                self.fact_acc.remove(fingerprint_fact(&sig, f));
+                let id = self.pi.instance().id_of(f).expect("validated delete");
+                self.pi.remove_fact(id);
+            }
+            DeltaOp::SetPriority { better, worse, prefer } => {
+                let fp = priority_edge_fingerprint(&sig, better, worse);
+                let (bi, wi) = (
+                    self.pi.instance().id_of(better).expect("validated endpoint"),
+                    self.pi.instance().id_of(worse).expect("validated endpoint"),
+                );
+                if *prefer {
+                    self.edge_acc.add(fp);
+                    self.pi.add_edge(&self.schema, bi, wi).expect("validated edge");
+                } else {
+                    self.edge_acc.remove(fp);
+                    self.pi.remove_edge(bi, wi);
+                }
+            }
+        }
+    }
+
+    /// Applies one validated op, patching the artifacts in place.
+    /// Blocks of the touched single-FD relation are edited in place
+    /// (canonical order makes the patch bit-identical to a rebuild);
+    /// blocks of *other* relations are only id-remapped on deletes.
+    fn apply_op_patched(&mut self, op: &DeltaOp) {
+        match op {
+            DeltaOp::InsertFact(f) => {
+                let rel = f.rel();
+                let fd = self.single_fd_of(rel);
+                self.apply_op_data(op);
+                let inst = self.pi.instance();
+                let id = inst.id_of(f).expect("just inserted");
+                self.artifacts.cg.insert_fact(&self.schema, inst, id);
+                for dom in &mut self.artifacts.rel_domains {
+                    dom.grow(inst.len());
+                }
+                self.artifacts.rel_domains[rel.index()].insert(id);
+                if let Some(fd) = fd {
+                    if let Some(blocks) = self.artifacts.rel_blocks[rel.index()].as_mut() {
+                        blocks.insert(inst, fd, id);
+                    }
+                }
+            }
+            DeltaOp::DeleteFact(f) => {
+                let rel = f.rel();
+                let fd = self.single_fd_of(rel);
+                let id = self.pi.instance().id_of(f).expect("validated delete");
+                if let Some(fd) = fd {
+                    if let Some(blocks) = self.artifacts.rel_blocks[rel.index()].as_mut() {
+                        blocks.remove(self.pi.instance(), fd, id);
+                    }
+                }
+                self.apply_op_data(op);
+                self.artifacts.cg.remove_fact(id);
+                for dom in &mut self.artifacts.rel_domains {
+                    dom.remove_shift(id);
+                }
+                for blocks in self.artifacts.rel_blocks.iter_mut().flatten() {
+                    blocks.remap_remove(id);
+                }
+            }
+            DeltaOp::SetPriority { .. } => self.apply_op_data(op),
+        }
+    }
+
+    /// The single FD the plan tracks blocks for on `rel`, if any.
+    fn single_fd_of(&self, rel: rpr_data::RelId) -> Option<Fd> {
+        if let Plan::Classical(class) = &self.artifacts.plan {
+            for (r, rc) in class.per_relation() {
+                if *r == rel {
+                    if let RelationClass::SingleFd(fd) = rc {
+                        return Some(*fd);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Re-derives the batch-amortized artifacts after structural ops:
+    /// CSR packing and components from the patched bitset graph, and
+    /// fresh Lemma 4.2 blocks for every touched single-FD relation.
+    fn finish_structural_batch(&mut self) {
+        let art = &mut self.artifacts;
+        art.csr = CsrConflictGraph::from_graph(&art.cg);
+        art.nontrivial_components =
+            art.csr.components().into_iter().filter(|c| c.len() > 1).collect();
+        if let Plan::Classical(class) = &art.plan {
+            let inst = self.pi.instance();
+            for (rel, rc) in class.per_relation() {
+                if let RelationClass::SingleFd(fd) = rc {
+                    if art.rel_blocks[rel.index()].is_none() {
+                        art.rel_blocks[rel.index()] =
+                            Some(FdBlocks::build(inst, *fd, &art.rel_domains[rel.index()]));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_data::{FactId, FactSet, Instance, Signature, Value};
+    use rpr_priority::PriorityRelation;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn workspace() -> (Arc<Schema>, PrioritizedInstance) {
+        let sig = Signature::new([("R", 2), ("S", 2)]).unwrap();
+        let schema =
+            Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..]), ("S", &[1][..], &[2][..])])
+                .unwrap();
+        let mut i = Instance::new(sig);
+        i.insert_named("R", [v("a"), v("x")]).unwrap(); // 0
+        i.insert_named("R", [v("a"), v("y")]).unwrap(); // 1
+        i.insert_named("R", [v("b"), v("x")]).unwrap(); // 2
+        i.insert_named("S", [v("k"), v("1")]).unwrap(); // 3
+        i.insert_named("S", [v("k"), v("2")]).unwrap(); // 4
+        let p = PriorityRelation::new(i.len(), [(FactId(0), FactId(1))]).unwrap();
+        let pi = PrioritizedInstance::conflict_restricted(&schema, i, p).unwrap();
+        (Arc::new(schema), pi)
+    }
+
+    fn fact(pi: &PrioritizedInstance, rel: &str, a: &str, b: &str) -> Fact {
+        Fact::parse_new(pi.instance().signature(), rel, [v(a), v(b)]).unwrap()
+    }
+
+    /// The patched session must agree with a freshly-prepared one on
+    /// fingerprint and on every check over every subset.
+    fn assert_matches_cold(ds: &DeltaSession) {
+        let cold = DeltaSession::prepare(Arc::clone(ds.schema()), ds.prioritized().clone());
+        assert_eq!(ds.fingerprint(), cold.fingerprint());
+        let n = ds.prioritized().instance().len();
+        assert!(n <= 12, "exhaustive subset check needs a small instance");
+        for bits in 0..(1u32 << n) {
+            let mut j = FactSet::empty(n);
+            for b in 0..n {
+                if bits >> b & 1 == 1 {
+                    j.insert(FactId(b as u32));
+                }
+            }
+            assert_eq!(
+                ds.session().check(&j),
+                cold.session().check(&j),
+                "candidate {j:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn patched_inserts_and_deletes_match_cold_rebuild() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let f_new = fact(ds.prioritized(), "R", "b", "z");
+        let f_old = fact(ds.prioritized(), "S", "k", "1");
+        let report = ds
+            .apply_delta(&[DeltaOp::InsertFact(f_new.clone()), DeltaOp::DeleteFact(f_old.clone())])
+            .unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!((report.inserts, report.deletes), (1, 1));
+        assert_matches_cold(&ds);
+    }
+
+    #[test]
+    fn priority_ops_match_cold_rebuild() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let (s1, s2) =
+            (fact(ds.prioritized(), "S", "k", "1"), fact(ds.prioritized(), "S", "k", "2"));
+        let (r_x, r_y) =
+            (fact(ds.prioritized(), "R", "a", "x"), fact(ds.prioritized(), "R", "a", "y"));
+        let report = ds
+            .apply_delta(&[
+                DeltaOp::SetPriority { better: s2.clone(), worse: s1.clone(), prefer: true },
+                DeltaOp::SetPriority { better: r_x, worse: r_y, prefer: false },
+            ])
+            .unwrap();
+        assert_eq!(report.priority_ops, 2);
+        assert!(!report.rebuilt, "priority-only batches never rebuild");
+        assert_matches_cold(&ds);
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips_the_fingerprint() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let before = ds.fingerprint();
+        let f = fact(ds.prioritized(), "S", "k", "1");
+        ds.apply_delta(&[DeltaOp::DeleteFact(f.clone())]).unwrap();
+        assert_ne!(ds.fingerprint(), before);
+        ds.apply_delta(&[DeltaOp::InsertFact(f)]).unwrap();
+        assert_eq!(ds.fingerprint(), before);
+        assert_matches_cold(&ds);
+    }
+
+    #[test]
+    fn failed_batches_leave_the_session_unchanged() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let before = ds.fingerprint();
+        let good = fact(ds.prioritized(), "R", "c", "w");
+        let dup = fact(ds.prioritized(), "R", "a", "x");
+        let err =
+            ds.apply_delta(&[DeltaOp::InsertFact(good), DeltaOp::InsertFact(dup)]).unwrap_err();
+        assert!(matches!(err, DeltaError::AlreadyPresent { op: 1, .. }));
+        assert_eq!(ds.fingerprint(), before);
+        assert_eq!(ds.prioritized().instance().len(), 5);
+        assert_matches_cold(&ds);
+    }
+
+    #[test]
+    fn validation_rejects_every_error_class() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let (r_x, r_y) =
+            (fact(ds.prioritized(), "R", "a", "x"), fact(ds.prioritized(), "R", "a", "y"));
+        let r_b = fact(ds.prioritized(), "R", "b", "x");
+        let ghost = fact(ds.prioritized(), "R", "q", "q");
+        type ErrCase = (Vec<DeltaOp>, fn(&DeltaError) -> bool);
+        let cases: Vec<ErrCase> = vec![
+            (vec![DeltaOp::DeleteFact(ghost.clone())], |e| {
+                matches!(e, DeltaError::MissingFact { op: 0, .. })
+            }),
+            // Fact 0 carries the seed edge 0 ≻ 1.
+            (vec![DeltaOp::DeleteFact(r_x.clone())], |e| {
+                matches!(e, DeltaError::HasEdges { op: 0, .. })
+            }),
+            (
+                vec![DeltaOp::SetPriority {
+                    better: r_x.clone(),
+                    worse: r_y.clone(),
+                    prefer: true,
+                }],
+                |e| matches!(e, DeltaError::DuplicateEdge { op: 0 }),
+            ),
+            (
+                vec![DeltaOp::SetPriority {
+                    better: r_y.clone(),
+                    worse: r_x.clone(),
+                    prefer: true,
+                }],
+                |e| matches!(e, DeltaError::Cyclic { op: 0 }),
+            ),
+            (
+                vec![DeltaOp::SetPriority {
+                    better: r_x.clone(),
+                    worse: r_b.clone(),
+                    prefer: true,
+                }],
+                |e| matches!(e, DeltaError::NotConflicting { op: 0 }),
+            ),
+            (
+                vec![DeltaOp::SetPriority {
+                    better: r_y.clone(),
+                    worse: r_b.clone(),
+                    prefer: false,
+                }],
+                |e| matches!(e, DeltaError::MissingEdge { op: 0 }),
+            ),
+            (vec![DeltaOp::InsertFact(r_b.clone())], |e| {
+                matches!(e, DeltaError::AlreadyPresent { op: 0, .. })
+            }),
+        ];
+        let before = ds.fingerprint();
+        for (ops, check) in cases {
+            let err = ds.apply_delta(&ops).unwrap_err();
+            assert!(check(&err), "unexpected error {err:?} for {ops:?}");
+            assert_eq!(ds.fingerprint(), before, "failed batch mutated state");
+        }
+    }
+
+    #[test]
+    fn heavy_churn_takes_the_rebuild_path() {
+        let (schema, pi) = workspace();
+        let mut ds = DeltaSession::prepare(schema, pi);
+        let sig = ds.prioritized().instance().signature().clone();
+        let ops: Vec<DeltaOp> = (0..4)
+            .map(|k| {
+                DeltaOp::InsertFact(
+                    Fact::parse_new(&sig, "S", [v(&format!("n{k}")), v("1")]).unwrap(),
+                )
+            })
+            .collect();
+        let report = ds.apply_delta(&ops).unwrap();
+        assert!(report.rebuilt, "4 inserts into 5 facts is 80% churn");
+        assert_matches_cold(&ds);
+        // A single follow-up op patches instead.
+        let one = fact(ds.prioritized(), "S", "n9", "9");
+        let report = ds.apply_delta(&[DeltaOp::InsertFact(one)]).unwrap();
+        assert!(!report.rebuilt);
+        assert_matches_cold(&ds);
+    }
+}

@@ -1,0 +1,81 @@
+//! Canonical content fingerprints of prioritized instances.
+//!
+//! The serving layer caches prepared sessions keyed by the *content* of
+//! `(schema, FDs, instance, priority, mode)`. This module composes the
+//! `rpr-data` fingerprint primitives into that key: every component is
+//! hashed by content (relation names, tuple values, endpoint facts of
+//! priority edges) and set-valued components are combined
+//! order-insensitively, so two workspaces declaring the same data in
+//! different orders — and therefore assigning different `FactId`s —
+//! produce the same fingerprint.
+//!
+//! It lives in rpr-core (rather than the format crate, which re-exports
+//! it for workspace files) because [`DeltaSession`](crate::DeltaSession)
+//! maintains the same fingerprint *incrementally* across mutations and
+//! must agree bit-for-bit with the from-scratch composition here.
+
+use rpr_data::fingerprint::{combine_unordered, fingerprint_fact, Fingerprint, FingerprintBuilder};
+use rpr_data::{Instance, Signature};
+use rpr_fd::Schema;
+use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
+
+/// Fingerprint of a schema: its signature plus the *set* of FDs
+/// (each hashed by relation name and attribute bitmasks).
+pub fn schema_fingerprint(schema: &Schema) -> Fingerprint {
+    let sig = schema.signature();
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(rpr_data::fingerprint_signature(sig));
+    b.fingerprint(combine_unordered(schema.fds().iter().map(|fd| {
+        let mut f = FingerprintBuilder::new();
+        f.str(sig.symbol(fd.rel).name()).word(fd.lhs.bits()).word(fd.rhs.bits());
+        f.finish()
+    })));
+    b.finish()
+}
+
+/// Fingerprint of one priority edge `hi ≻ lo`, hashed as the ordered
+/// pair of its endpoint facts' content digests (so renumbering facts
+/// does not change the result).
+pub fn priority_edge_fingerprint(
+    sig: &Signature,
+    hi: &rpr_data::Fact,
+    lo: &rpr_data::Fact,
+) -> Fingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(fingerprint_fact(sig, hi));
+    b.fingerprint(fingerprint_fact(sig, lo));
+    b.finish()
+}
+
+/// Fingerprint of a priority relation over a fixed instance: the *set*
+/// of [`priority_edge_fingerprint`]s.
+pub fn priority_fingerprint(instance: &Instance, priority: &PriorityRelation) -> Fingerprint {
+    let sig: &Signature = instance.signature();
+    combine_unordered(
+        priority
+            .edges()
+            .iter()
+            .map(|&(hi, lo)| priority_edge_fingerprint(sig, instance.fact(hi), instance.fact(lo))),
+    )
+}
+
+/// The mode word mixed into the canonical fingerprint.
+pub(crate) fn mode_word(mode: PriorityMode) -> u64 {
+    match mode {
+        PriorityMode::ConflictRestricted => 1,
+        PriorityMode::CrossConflict => 2,
+    }
+}
+
+/// The canonical 128-bit fingerprint of a prioritized instance under a
+/// schema: schema (signature + FDs), instance facts, priority edges,
+/// and priority mode. Declaration order of relations, FDs, facts and
+/// preferences does not affect the result.
+pub fn content_fingerprint(schema: &Schema, pi: &PrioritizedInstance) -> Fingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(schema_fingerprint(schema));
+    b.fingerprint(rpr_data::fingerprint_instance(pi.instance()));
+    b.fingerprint(priority_fingerprint(pi.instance(), pi.priority()));
+    b.word(mode_word(pi.mode()));
+    b.finish()
+}

@@ -27,7 +27,7 @@
 //! scans (same witnesses, linear work).
 
 use crate::improvement::{CheckOutcome, Improvement};
-use rpr_data::{FactId, FactSet, FxHashMap, Instance, Tuple};
+use rpr_data::{FactId, FactSet, Instance};
 use rpr_fd::{ConflictGraph, Fd};
 use rpr_priority::PriorityRelation;
 
@@ -48,19 +48,121 @@ impl FdBlocks {
         &self.groups
     }
 
-    /// Groups `domain`'s facts by `A`- then `B`-projection.
-    pub fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> FdBlocks {
-        let mut map: FxHashMap<Tuple, FxHashMap<Tuple, Vec<FactId>>> = FxHashMap::default();
-        for id in domain.iter() {
-            let f = instance.fact(id);
-            debug_assert_eq!(f.rel(), fd.rel, "domain contains foreign facts");
-            map.entry(f.project(fd.lhs))
-                .or_default()
-                .entry(f.project(fd.rhs))
-                .or_default()
-                .push(id);
+    /// Renumbers the ids after a base-instance delete at `d`: every id
+    /// above `d` shifts down by one. `d` itself must not appear in the
+    /// blocks (deletes of this relation rebuild its blocks instead).
+    /// Ids inside blocks stay ascending under the uniform shift, so the
+    /// remapped structure is exactly what [`FdBlocks::build`] over the
+    /// shrunken instance produces.
+    pub(crate) fn remap_remove(&mut self, d: FactId) {
+        for group in &mut self.groups {
+            for block in group {
+                for id in block.iter_mut() {
+                    debug_assert_ne!(*id, d, "deleted fact still present in untouched blocks");
+                    if *id > d {
+                        id.0 -= 1;
+                    }
+                }
+            }
         }
-        FdBlocks { groups: map.into_values().map(|g| g.into_values().collect()).collect() }
+    }
+
+    /// Groups `domain`'s facts by `A`- then `B`-projection.
+    ///
+    /// Grouping is sort-based with in-place attribute comparisons (no
+    /// projection tuples are materialized), and the resulting group and
+    /// block order is *canonical* — groups sorted by `A`-projection,
+    /// blocks within a group by `B`-projection, ids within a block
+    /// ascending — so two builds over equal content produce identical
+    /// structures, and [`insert`](Self::insert) /
+    /// [`remove`](Self::remove) can patch the structure in place while
+    /// staying bit-identical to a from-scratch build.
+    pub fn build(instance: &Instance, fd: Fd, domain: &FactSet) -> FdBlocks {
+        use std::cmp::Ordering;
+        let cmp_on = |x: FactId, y: FactId, attrs| Self::cmp_facts(instance, x, y, attrs);
+        let mut ids: Vec<FactId> = domain.iter().collect();
+        ids.sort_unstable_by(|&x, &y| {
+            cmp_on(x, y, fd.lhs).then_with(|| cmp_on(x, y, fd.rhs)).then(x.cmp(&y))
+        });
+        let mut groups: Vec<Vec<Vec<FactId>>> = Vec::new();
+        for id in ids {
+            debug_assert_eq!(instance.fact(id).rel(), fd.rel, "domain contains foreign facts");
+            if let Some(group) = groups.last_mut() {
+                let rep = group[0][0];
+                if cmp_on(rep, id, fd.lhs) == Ordering::Equal {
+                    let block = group.last_mut().expect("groups hold at least one block");
+                    if cmp_on(block[0], id, fd.rhs) == Ordering::Equal {
+                        block.push(id);
+                    } else {
+                        group.push(vec![id]);
+                    }
+                    continue;
+                }
+            }
+            groups.push(vec![vec![id]]);
+        }
+        FdBlocks { groups }
+    }
+
+    /// Compares two facts on an attribute set, value-wise in place.
+    fn cmp_facts(
+        instance: &Instance,
+        x: FactId,
+        y: FactId,
+        attrs: rpr_data::AttrSet,
+    ) -> std::cmp::Ordering {
+        let (f, g) = (instance.fact(x), instance.fact(y));
+        for a in attrs.iter() {
+            match f.get(a).cmp(g.get(a)) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Patches in the fact `id`, freshly appended to `instance` (so it
+    /// carries the maximal id). Binary-searches the canonical order for
+    /// its group and block; the result is exactly what
+    /// [`build`](Self::build) over the grown domain produces.
+    pub(crate) fn insert(&mut self, instance: &Instance, fd: Fd, id: FactId) {
+        match self.groups.binary_search_by(|g| Self::cmp_facts(instance, g[0][0], id, fd.lhs)) {
+            Ok(gi) => {
+                let group = &mut self.groups[gi];
+                match group.binary_search_by(|b| Self::cmp_facts(instance, b[0], id, fd.rhs)) {
+                    // The appended id is maximal, so a push keeps the
+                    // block's ids ascending.
+                    Ok(bi) => group[bi].push(id),
+                    Err(bi) => group.insert(bi, vec![id]),
+                }
+            }
+            Err(gi) => self.groups.insert(gi, vec![vec![id]]),
+        }
+    }
+
+    /// Patches out the fact `id` (still present in `instance`), dropping
+    /// its block and group if they become empty. The caller follows up
+    /// with [`remap_remove`](Self::remap_remove) once the instance has
+    /// shrunk. The result is exactly what [`build`](Self::build) over
+    /// the shrunken domain produces.
+    pub(crate) fn remove(&mut self, instance: &Instance, fd: Fd, id: FactId) {
+        let gi = self
+            .groups
+            .binary_search_by(|g| Self::cmp_facts(instance, g[0][0], id, fd.lhs))
+            .expect("deleted fact's group is present");
+        let group = &mut self.groups[gi];
+        let bi = group
+            .binary_search_by(|b| Self::cmp_facts(instance, b[0], id, fd.rhs))
+            .expect("deleted fact's block is present");
+        let block = &mut group[bi];
+        let pos = block.iter().position(|&x| x == id).expect("deleted fact is in its block");
+        block.remove(pos);
+        if block.is_empty() {
+            group.remove(bi);
+        }
+        if self.groups[gi].is_empty() {
+            self.groups.remove(gi);
+        }
     }
 
     /// The minimal `f ∈ j` conflicting inside `j`, with its minimal

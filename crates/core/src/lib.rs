@@ -34,7 +34,9 @@ pub mod certificate;
 pub mod checker;
 pub mod completion;
 pub mod construct;
+pub mod delta;
 pub mod exact;
+pub mod fingerprint;
 pub mod global_1fd;
 pub mod global_2keys;
 pub mod global_ccp_const;
@@ -66,7 +68,11 @@ pub use completion::{
     is_completion_optimal_brute,
 };
 pub use construct::construct_globally_optimal_repair;
+pub use delta::{DeltaError, DeltaOp, DeltaReport, DeltaSession, REBUILD_CHURN_PERCENT};
 pub use exact::{check_global_exact, check_global_exact_bounded};
+pub use fingerprint::{
+    content_fingerprint, priority_edge_fingerprint, priority_fingerprint, schema_fingerprint,
+};
 pub use global_1fd::check_global_1fd;
 pub use global_2keys::check_global_2keys;
 pub use global_ccp_const::{

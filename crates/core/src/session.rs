@@ -126,20 +126,20 @@ pub(crate) enum Plan {
 /// [`CheckSession`] views created from them.
 #[must_use = "building session artifacts is the expensive step — use them in a CheckSession"]
 pub struct SessionArtifacts {
-    cg: ConflictGraph,
-    csr: CsrConflictGraph,
-    plan: Plan,
+    pub(crate) cg: ConflictGraph,
+    pub(crate) csr: CsrConflictGraph,
+    pub(crate) plan: Plan,
     /// `rel_domains[rel.index()]` is the fact partition of that
     /// relation (classical dispatch domains).
-    rel_domains: Vec<FactSet>,
+    pub(crate) rel_domains: Vec<FactSet>,
     /// `rel_blocks[rel.index()]` caches the Lemma 4.2 group/block
     /// structure for relations classified as a single FD — the hash
     /// grouping is candidate-independent, so it is built once here
     /// instead of on every check.
-    rel_blocks: Vec<Option<FdBlocks>>,
+    pub(crate) rel_blocks: Vec<Option<FdBlocks>>,
     /// Connected components with ≥ 2 members, ordered by minimal
     /// member; singletons can never witness an inconsistency.
-    nontrivial_components: Vec<Vec<FactId>>,
+    pub(crate) nontrivial_components: Vec<Vec<FactId>>,
 }
 
 impl SessionArtifacts {

@@ -174,6 +174,79 @@ pub fn combine_unordered<I: IntoIterator<Item = Fingerprint>>(items: I) -> Finge
     b.finish()
 }
 
+/// An incrementally-maintained [`combine_unordered`]: the commutative
+/// sum/xor/count state kept live so items can be added *and removed*
+/// in O(1), with `finish()` producing exactly the digest
+/// `combine_unordered` would compute over the current multiset.
+///
+/// This is what makes workspace fingerprints patchable: a delta that
+/// inserts or deletes a fact (or priority edge) updates the affected
+/// lane in constant time instead of re-folding the whole multiset.
+/// Removal relies on the algebra being a group: the sum lane subtracts,
+/// the xor lane is its own inverse, and the count decrements — so any
+/// add/remove history that ends in the same multiset ends in the same
+/// state, bit for bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnorderedAccumulator {
+    sum: u128,
+    xor: u128,
+    count: u64,
+}
+
+impl UnorderedAccumulator {
+    /// An accumulator over the empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds an accumulator from an existing multiset of digests.
+    pub fn from_items<I: IntoIterator<Item = Fingerprint>>(items: I) -> Self {
+        let mut acc = Self::new();
+        for fp in items {
+            acc.add(fp);
+        }
+        acc
+    }
+
+    /// Adds one item digest to the multiset.
+    pub fn add(&mut self, fp: Fingerprint) {
+        self.sum = self.sum.wrapping_add(fp.0);
+        self.xor ^= fp.0.rotate_left(9);
+        self.count += 1;
+    }
+
+    /// Removes one item digest from the multiset. The caller must only
+    /// remove digests previously added (the count underflows otherwise,
+    /// which panics in debug builds like any other integer underflow).
+    pub fn remove(&mut self, fp: Fingerprint) {
+        self.sum = self.sum.wrapping_sub(fp.0);
+        self.xor ^= fp.0.rotate_left(9);
+        self.count -= 1;
+    }
+
+    /// Number of items currently in the multiset.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Is the multiset empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The digest of the current multiset — identical to
+    /// [`combine_unordered`] over the same items.
+    pub fn finish(&self) -> Fingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.word(self.count)
+            .word((self.sum >> 64) as u64)
+            .word(self.sum as u64)
+            .word((self.xor >> 64) as u64)
+            .word(self.xor as u64);
+        b.finish()
+    }
+}
+
 /// Digest of a single constant (structural, recursing into pairs).
 pub fn fingerprint_value(v: &Value) -> Fingerprint {
     let mut b = FingerprintBuilder::new();
@@ -319,6 +392,48 @@ mod tests {
         let i = Fact::parse_new(&sig, "R", [Value::int(1)]).unwrap();
         let s = Fact::parse_new(&sig, "R", [Value::sym("1")]).unwrap();
         assert_ne!(fingerprint_fact(&sig, &i), fingerprint_fact(&sig, &s));
+    }
+
+    #[test]
+    fn accumulator_matches_combine_unordered() {
+        let item = |i: u64| {
+            let mut b = FingerprintBuilder::new();
+            b.word(i);
+            b.finish()
+        };
+        let items: Vec<Fingerprint> = (0..40).map(item).collect();
+        let mut acc = UnorderedAccumulator::new();
+        for &fp in &items {
+            acc.add(fp);
+        }
+        assert_eq!(acc.finish(), combine_unordered(items.iter().copied()));
+        assert_eq!(acc.len(), 40);
+
+        // Remove half (in a scrambled order) — equals a fresh fold.
+        for i in (0..40).step_by(2) {
+            acc.remove(item(i));
+        }
+        let survivors: Vec<Fingerprint> = (1..40).step_by(2).map(item).collect();
+        assert_eq!(acc.finish(), combine_unordered(survivors));
+
+        // Remove-then-re-add round-trips bit for bit.
+        let before = acc.clone();
+        acc.remove(item(7));
+        assert_ne!(acc.finish(), before.finish());
+        acc.add(item(7));
+        assert_eq!(acc, before);
+
+        // Empty accumulator equals the empty fold.
+        let empty = UnorderedAccumulator::new();
+        assert_eq!(empty.finish(), combine_unordered(std::iter::empty()));
+        assert!(empty.is_empty());
+        assert_eq!(UnorderedAccumulator::from_items(items).finish(), {
+            let mut a = UnorderedAccumulator::new();
+            for i in 0..40 {
+                a.add(item(i));
+            }
+            a.finish()
+        });
     }
 
     #[test]

@@ -89,6 +89,34 @@ impl Instance {
         Ok(self.insert(fact))
     }
 
+    /// Removes the fact with the given id, shifting every later id
+    /// down by one so the dense layout stays exactly what inserting the
+    /// surviving facts in order would produce. That canonical layout is
+    /// what lets a patched workspace stay bit-identical (fact ids,
+    /// certificates, rendered text) to a from-scratch parse of the
+    /// edited content. O(n) — a delete costs one sweep of the instance.
+    ///
+    /// # Panics
+    /// Panics if the id is not from this instance.
+    pub fn remove_fact(&mut self, id: FactId) -> Fact {
+        let removed = self.facts.remove(id.index());
+        self.index.remove(&removed);
+        for slot in self.index.values_mut() {
+            if *slot > id {
+                slot.0 -= 1;
+            }
+        }
+        for rel in &mut self.by_rel {
+            rel.retain(|&f| f != id);
+            for f in rel.iter_mut() {
+                if *f > id {
+                    f.0 -= 1;
+                }
+            }
+        }
+        removed
+    }
+
     /// The fact with the given id.
     ///
     /// # Panics
@@ -269,6 +297,41 @@ impl FactSet {
         if i < self.universe {
             self.words[i / 64] &= !(1 << (i % 64));
         }
+    }
+
+    /// Extends the universe (new ids start absent). Used by the delta
+    /// path when a fact is appended to the base instance.
+    ///
+    /// # Panics
+    /// Panics if `new_universe` is smaller than the current universe.
+    pub fn grow(&mut self, new_universe: usize) {
+        assert!(new_universe >= self.universe, "universe cannot shrink via grow");
+        self.universe = new_universe;
+        self.words.resize(new_universe.div_ceil(64), 0);
+    }
+
+    /// Deletes position `id` from the universe entirely: the bit at
+    /// `id` is dropped and every higher bit shifts down by one, i.e.
+    /// the set follows [`Instance::remove_fact`]'s id renumbering.
+    ///
+    /// # Panics
+    /// Panics if the id is outside the universe.
+    pub fn remove_shift(&mut self, id: FactId) {
+        let i = id.index();
+        assert!(i < self.universe, "fact id {i} outside universe {}", self.universe);
+        let w = i / 64;
+        let b = i % 64;
+        let low_mask = (1u64 << b) - 1;
+        let word = self.words[w];
+        self.words[w] = (word & low_mask) | ((word >> 1) & !low_mask);
+        for k in w + 1..self.words.len() {
+            let carry = self.words[k] & 1;
+            self.words[k - 1] |= carry << 63;
+            self.words[k] >>= 1;
+        }
+        self.universe -= 1;
+        self.words.truncate(self.universe.div_ceil(64));
+        self.trim();
     }
 
     /// `self ∪ other`.
@@ -466,6 +529,53 @@ mod tests {
         assert_eq!(got, vec![5, 63, 64, 65, 199]);
         assert_eq!(s.first(), Some(FactId(5)));
         assert_eq!(FactSet::empty(10).first(), None);
+    }
+
+    #[test]
+    fn remove_fact_shifts_ids_like_a_reinsert() {
+        let mut i = small_instance();
+        let removed = i.remove_fact(FactId(1)); // R(a,c)
+        assert_eq!(removed.display(i.signature()).to_string(), "R(a,c)");
+        assert_eq!(i.len(), 2);
+        // Survivors keep their relative order under dense renumbering.
+        assert_eq!(i.fact(FactId(0)).display(i.signature()).to_string(), "R(a,b)");
+        assert_eq!(i.fact(FactId(1)).display(i.signature()).to_string(), "S(x)");
+        assert_eq!(i.id_of(&removed), None);
+        let s = i.signature().rel_id("S").unwrap();
+        assert_eq!(i.facts_of(s), &[FactId(1)]);
+        // The layout equals a fresh instance built from the survivors.
+        let mut fresh = Instance::new(i.signature().clone());
+        fresh.insert_named("R", [Value::sym("a"), Value::sym("b")]).unwrap();
+        fresh.insert_named("S", [Value::sym("x")]).unwrap();
+        for (id, fact) in i.iter() {
+            assert_eq!(fresh.id_of(fact), Some(id));
+        }
+    }
+
+    #[test]
+    fn factset_grow_and_remove_shift() {
+        let mut s = FactSet::empty(130);
+        for id in [3u32, 63, 64, 65, 129] {
+            s.insert(FactId(id));
+        }
+        // Deleting position 64 drops it and shifts 65→64, 129→128.
+        s.remove_shift(FactId(64));
+        assert_eq!(s.universe(), 129);
+        assert_eq!(s.iter().map(|f| f.0).collect::<Vec<_>>(), vec![3, 63, 64, 128]);
+        // Deleting an absent position still renumbers the ones above.
+        s.remove_shift(FactId(0));
+        assert_eq!(s.iter().map(|f| f.0).collect::<Vec<_>>(), vec![2, 62, 63, 127]);
+        assert_eq!(s.universe(), 128);
+        // Growing appends absent ids and permits inserting them.
+        s.grow(200);
+        assert_eq!(s.universe(), 200);
+        assert_eq!(s.len(), 4);
+        s.insert(FactId(199));
+        assert!(s.contains(FactId(199)));
+        // Shrinking a universe across a word boundary stays exact.
+        let mut t = FactSet::full(65);
+        t.remove_shift(FactId(10));
+        assert_eq!(t, FactSet::full(64));
     }
 
     #[test]

@@ -89,6 +89,61 @@ impl ConflictGraph {
         }
     }
 
+    /// Removes fact `d` from the graph, renumbering every id above `d`
+    /// down by one — the same dense layout a from-scratch build over
+    /// the shrunken instance produces.
+    ///
+    /// Cost: `O(n²/64)` worst case (one word-shift pass per
+    /// materialized row), independent of the FD set.
+    pub fn remove_fact(&mut self, d: FactId) {
+        assert!(d.index() < self.n, "remove_fact: id out of range");
+        self.adjacency.remove(d.index());
+        for row in self.adjacency.iter_mut().flatten() {
+            row.remove_shift(d);
+        }
+        self.n -= 1;
+        self.empty_row = FactSet::empty(self.n);
+    }
+
+    /// Extends the graph with the fact `id` freshly appended to
+    /// `instance` (so `id.index() == self.len()` and `instance`
+    /// already contains it), deriving only the conflict edges incident
+    /// to the new fact.
+    ///
+    /// Cost: `O(|facts_of(rel)| · |fds_for(rel)|)` — localized to the
+    /// new fact's relation rather than the whole instance.
+    pub fn insert_fact(&mut self, schema: &Schema, instance: &Instance, id: FactId) {
+        assert_eq!(id.index(), self.n, "insert_fact: id must be appended");
+        assert_eq!(instance.len(), self.n + 1, "insert_fact: instance not grown");
+        self.n += 1;
+        for row in self.adjacency.iter_mut().flatten() {
+            row.grow(self.n);
+        }
+        self.adjacency.push(None);
+        self.empty_row = FactSet::empty(self.n);
+
+        let f = instance.fact(id);
+        let rel = f.rel();
+        for &fd in schema.fds_for(rel) {
+            if fd.is_trivial() {
+                continue;
+            }
+            // In-place attribute comparisons: projecting would allocate
+            // two tuples per compared fact, dominating the whole patch.
+            for &other in instance.facts_of(rel) {
+                if other == id {
+                    continue;
+                }
+                let g = instance.fact(other);
+                if g.agrees_on(f, fd.lhs) && !g.agrees_on(f, fd.rhs) {
+                    let n = self.n;
+                    Self::row_mut(&mut self.adjacency, id, n).insert(other);
+                    Self::row_mut(&mut self.adjacency, other, n).insert(id);
+                }
+            }
+        }
+    }
+
     /// Number of facts (vertices).
     pub fn len(&self) -> usize {
         self.n
@@ -302,6 +357,55 @@ mod tests {
         let g = ConflictGraph::new(&schema, &i);
         assert!(g.edges().is_empty());
         assert!(g.is_repair(&i.full_set()));
+    }
+
+    fn assert_same_graph(a: &ConflictGraph, b: &ConflictGraph) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn remove_fact_matches_cold_rebuild() {
+        let (schema, mut i) = libloc();
+        let mut g = ConflictGraph::new(&schema, &i);
+        // Remove a fact from the middle (g2a = 2), then from the front.
+        for victim in [FactId(2), FactId(0)] {
+            i.remove_fact(victim);
+            g.remove_fact(victim);
+            assert_same_graph(&g, &ConflictGraph::new(&schema, &i));
+        }
+    }
+
+    #[test]
+    fn insert_fact_matches_cold_rebuild() {
+        let (schema, mut i) = libloc();
+        let mut g = ConflictGraph::new(&schema, &i);
+        for (a, b) in [("lib4", "almaden"), ("lib1", "downtown"), ("lib9", "nowhere")] {
+            let id = i.insert_named("LibLoc", [v(a), v(b)]).unwrap();
+            g.insert_fact(&schema, &i, id);
+            assert_same_graph(&g, &ConflictGraph::new(&schema, &i));
+        }
+    }
+
+    #[test]
+    fn interleaved_mutations_match_cold_rebuild() {
+        let (schema, mut i) = libloc();
+        let mut g = ConflictGraph::new(&schema, &i);
+        i.remove_fact(FactId(5));
+        g.remove_fact(FactId(5));
+        let id = i.insert_named("LibLoc", [v("lib2"), v("cambrian")]).unwrap();
+        g.insert_fact(&schema, &i, id);
+        i.remove_fact(FactId(1));
+        g.remove_fact(FactId(1));
+        assert_same_graph(&g, &ConflictGraph::new(&schema, &i));
+        // Delete-then-reinsert round trip lands back on the same graph
+        // shape as removing then re-adding at the end.
+        let f = i.fact(FactId(0)).clone();
+        i.remove_fact(FactId(0));
+        g.remove_fact(FactId(0));
+        let id = i.insert(f);
+        g.insert_fact(&schema, &i, id);
+        assert_same_graph(&g, &ConflictGraph::new(&schema, &i));
     }
 
     #[test]

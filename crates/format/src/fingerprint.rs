@@ -1,50 +1,21 @@
 //! Canonical whole-workspace fingerprints.
 //!
 //! The serving layer caches prepared check sessions keyed by the
-//! *content* of `(schema, FDs, priority, instance)`. This module
-//! composes the `rpr-data` fingerprint primitives into that key:
-//! every component is hashed by content (relation names, tuple values,
-//! endpoint facts of priority edges) and set-valued components are
-//! combined order-insensitively, so two workspaces that declare the
-//! same data in different orders — and therefore assign different
-//! `FactId`s — produce the same fingerprint.
+//! *content* of `(schema, FDs, priority, instance)`. The composition
+//! itself lives in `rpr-core` ([`rpr_core::fingerprint`]) because the
+//! incremental [`DeltaSession`](rpr_core::DeltaSession) maintains the
+//! same fingerprint across mutations and must agree with it
+//! bit-for-bit; this module applies it to parsed [`Workspace`]s.
 //!
 //! Candidate repairs are deliberately **excluded**: they vary per
 //! request while the cached session artifacts depend only on the
 //! prioritized instance.
 
 use crate::format::Workspace;
-use rpr_data::fingerprint::{combine_unordered, fingerprint_fact, Fingerprint, FingerprintBuilder};
-use rpr_data::{Instance, Signature};
-use rpr_fd::Schema;
+use rpr_data::fingerprint::{Fingerprint, FingerprintBuilder};
 use rpr_priority::{PriorityMode, PriorityRelation};
 
-/// Fingerprint of a schema: its signature plus the *set* of FDs
-/// (each hashed by relation name and attribute bitmasks).
-pub fn schema_fingerprint(schema: &Schema) -> Fingerprint {
-    let sig = schema.signature();
-    let mut b = FingerprintBuilder::new();
-    b.fingerprint(rpr_data::fingerprint_signature(sig));
-    b.fingerprint(combine_unordered(schema.fds().iter().map(|fd| {
-        let mut f = FingerprintBuilder::new();
-        f.str(sig.symbol(fd.rel).name()).word(fd.lhs.bits()).word(fd.rhs.bits());
-        f.finish()
-    })));
-    b.finish()
-}
-
-/// Fingerprint of a priority relation over a fixed instance: the *set*
-/// of edges, each hashed as the ordered pair of its endpoint facts'
-/// content digests (so renumbering facts does not change the result).
-pub fn priority_fingerprint(instance: &Instance, priority: &PriorityRelation) -> Fingerprint {
-    let sig: &Signature = instance.signature();
-    combine_unordered(priority.edges().iter().map(|&(hi, lo)| {
-        let mut b = FingerprintBuilder::new();
-        b.fingerprint(fingerprint_fact(sig, instance.fact(hi)));
-        b.fingerprint(fingerprint_fact(sig, instance.fact(lo)));
-        b.finish()
-    }))
-}
+pub use rpr_core::fingerprint::{priority_fingerprint, schema_fingerprint};
 
 /// The canonical 128-bit fingerprint of a workspace's prioritized
 /// instance: schema (signature + FDs), instance facts, priority edges,
@@ -57,6 +28,25 @@ pub fn workspace_fingerprint(ws: &Workspace) -> Fingerprint {
     b.fingerprint(rpr_data::fingerprint_instance(&ws.instance));
     b.fingerprint(priority_fingerprint(&ws.instance, &ws.priority));
     b.word(match ws.mode {
+        PriorityMode::ConflictRestricted => 1,
+        PriorityMode::CrossConflict => 2,
+    });
+    b.finish()
+}
+
+/// `workspace_fingerprint` without the `Workspace` wrapper, for callers
+/// holding the components separately.
+pub fn components_fingerprint(
+    schema: &rpr_fd::Schema,
+    instance: &rpr_data::Instance,
+    priority: &PriorityRelation,
+    mode: PriorityMode,
+) -> Fingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.fingerprint(schema_fingerprint(schema));
+    b.fingerprint(rpr_data::fingerprint_instance(instance));
+    b.fingerprint(priority_fingerprint(instance, priority));
+    b.word(match mode {
         PriorityMode::ConflictRestricted => 1,
         PriorityMode::CrossConflict => 2,
     });
@@ -118,5 +108,12 @@ mode conflict
         let a = parse_workspace(BASE).unwrap();
         let b = parse_workspace(&with_repair).unwrap();
         assert_eq!(workspace_fingerprint(&a), workspace_fingerprint(&b));
+    }
+
+    #[test]
+    fn agrees_with_the_core_composition() {
+        let ws = parse_workspace(BASE).unwrap();
+        let pi = ws.prioritized().unwrap();
+        assert_eq!(workspace_fingerprint(&ws), rpr_core::content_fingerprint(&ws.schema, &pi));
     }
 }

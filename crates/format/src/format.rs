@@ -115,7 +115,7 @@ fn parse_value(token: &str) -> Value {
 }
 
 /// Parses `NAME(v1, …, vn)` into a fact.
-fn parse_fact(sig: &Signature, text: &str, line: usize) -> Result<Fact, FormatError> {
+pub(crate) fn parse_fact(sig: &Signature, text: &str, line: usize) -> Result<Fact, FormatError> {
     let text = text.trim();
     let open = text
         .find('(')

@@ -70,6 +70,53 @@ impl PrioritizedInstance {
     pub fn mode(&self) -> PriorityMode {
         self.mode
     }
+
+    /// Appends a fact, growing the priority universe with it. Returns
+    /// the new fact's id (or the existing id if the fact was already
+    /// present — callers rejecting duplicates check membership first).
+    pub fn insert_fact(&mut self, fact: Fact) -> FactId {
+        let id = self.instance.insert(fact);
+        self.priority.grow(self.instance.len());
+        id
+    }
+
+    /// Removes a fact, renumbering ids above it down by one.
+    ///
+    /// # Panics
+    /// Panics if the fact still participates in priority edges — the
+    /// delta layer rejects such deletes with a typed error first.
+    pub fn remove_fact(&mut self, id: FactId) -> Fact {
+        let fact = self.instance.remove_fact(id);
+        self.priority.remove_fact(id);
+        fact
+    }
+
+    /// Adds the priority edge `f ≻ g`, preserving the mode invariant:
+    /// in conflict-restricted mode the endpoints must conflict under
+    /// `schema`.
+    ///
+    /// # Errors
+    /// [`PriorityError::NotConflicting`], [`PriorityError::Cyclic`], or
+    /// [`PriorityError::OutOfRange`]; the instance is unchanged on error.
+    pub fn add_edge(&mut self, schema: &Schema, f: FactId, g: FactId) -> Result<(), PriorityError> {
+        if f.index() >= self.instance.len() {
+            return Err(PriorityError::OutOfRange(f));
+        }
+        if g.index() >= self.instance.len() {
+            return Err(PriorityError::OutOfRange(g));
+        }
+        if self.mode == PriorityMode::ConflictRestricted
+            && !schema.conflicting(self.instance.fact(f), self.instance.fact(g))
+        {
+            return Err(PriorityError::NotConflicting(f, g));
+        }
+        self.priority.insert_edge(f, g)
+    }
+
+    /// Removes the priority edge `f ≻ g`; returns whether it existed.
+    pub fn remove_edge(&mut self, f: FactId, g: FactId) -> bool {
+        self.priority.remove_edge(f, g)
+    }
 }
 
 impl fmt::Debug for PrioritizedInstance {
@@ -183,6 +230,34 @@ mod tests {
         let p = b.build().unwrap();
         assert!(p.prefers(FactId(1), FactId(0)));
         assert!(PrioritizedInstance::conflict_restricted(&schema, i, p).is_ok());
+    }
+
+    #[test]
+    fn mutators_preserve_mode_invariant() {
+        let (schema, i) = setup();
+        let p = PriorityRelation::empty(3);
+        let mut pi = PrioritizedInstance::conflict_restricted(&schema, i, p).unwrap();
+        // Cross edges stay forbidden through the mutator.
+        let err = pi.add_edge(&schema, FactId(0), FactId(2)).unwrap_err();
+        assert!(matches!(err, PriorityError::NotConflicting(..)));
+        pi.add_edge(&schema, FactId(0), FactId(1)).unwrap();
+        assert!(pi.priority().prefers(FactId(0), FactId(1)));
+        // A new fact grows the universe; edges to it work once it conflicts.
+        let sig = pi.instance().signature().clone();
+        let id = pi.insert_fact(Fact::parse_new(&sig, "R", [v("a"), v("z")]).unwrap());
+        assert_eq!(id, FactId(3));
+        pi.add_edge(&schema, FactId(3), FactId(0)).unwrap();
+        assert!(matches!(
+            pi.add_edge(&schema, FactId(1), FactId(3)),
+            Err(PriorityError::Cyclic { .. })
+        ));
+        // Deleting requires shedding edges first; then ids renumber.
+        assert!(pi.remove_edge(FactId(0), FactId(1)));
+        assert!(pi.remove_edge(FactId(3), FactId(0)));
+        let removed = pi.remove_fact(FactId(0));
+        assert_eq!(*removed.get(2), v("x"));
+        assert_eq!(pi.instance().len(), 3);
+        assert_eq!(pi.priority().len(), 3);
     }
 
     #[test]

@@ -162,6 +162,115 @@ impl PriorityRelation {
         !self.better[f.index()].iter().any(|g| set.contains(*g))
     }
 
+    /// Extends the relation's universe to `n` facts (new facts carry no
+    /// edges). Used by the delta path when a fact is appended.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "grow cannot shrink the relation");
+        self.worse.resize(n, Vec::new());
+        self.better.resize(n, Vec::new());
+        self.n = n;
+    }
+
+    /// Adds the edge `f ≻ g`, preserving acyclicity.
+    ///
+    /// A duplicate edge is a silent no-op (callers wanting to reject
+    /// duplicates should consult [`prefers`](Self::prefers) first).
+    ///
+    /// # Errors
+    /// [`PriorityError::OutOfRange`] for ids outside the universe;
+    /// [`PriorityError::Cyclic`] (with a witness) if `g` already
+    /// reaches `f`, in which case the relation is unchanged.
+    pub fn insert_edge(&mut self, f: FactId, g: FactId) -> Result<(), PriorityError> {
+        if f.index() >= self.n {
+            return Err(PriorityError::OutOfRange(f));
+        }
+        if g.index() >= self.n {
+            return Err(PriorityError::OutOfRange(g));
+        }
+        if self.edge_set.contains(&(f.0, g.0)) {
+            return Ok(());
+        }
+        if let Some(path) = self.path_between(g, f) {
+            // path = g ≻ … ≻ f; the new edge f ≻ g closes the cycle.
+            return Err(PriorityError::Cyclic { cycle: path });
+        }
+        self.edge_set.insert((f.0, g.0));
+        self.worse[f.index()].push(g);
+        self.better[g.index()].push(f);
+        self.edges.push((f, g));
+        Ok(())
+    }
+
+    /// Removes the edge `f ≻ g`; returns whether it was present.
+    pub fn remove_edge(&mut self, f: FactId, g: FactId) -> bool {
+        if !self.edge_set.remove(&(f.0, g.0)) {
+            return false;
+        }
+        self.worse[f.index()].retain(|&x| x != g);
+        self.better[g.index()].retain(|&x| x != f);
+        self.edges.retain(|&e| e != (f, g));
+        true
+    }
+
+    /// Removes fact `d` from the universe, renumbering ids above `d`
+    /// down by one — the same dense layout a rebuild over the shrunken
+    /// instance produces.
+    ///
+    /// # Panics
+    /// Panics if `d` still has incident edges; the delta layer rejects
+    /// such deletes before getting here.
+    pub fn remove_fact(&mut self, d: FactId) {
+        assert!(d.index() < self.n, "remove_fact: id out of range");
+        assert!(
+            self.worse[d.index()].is_empty() && self.better[d.index()].is_empty(),
+            "remove_fact: fact {} still has priority edges",
+            d.0
+        );
+        let shift = |id: FactId| if id > d { FactId(id.0 - 1) } else { id };
+        self.worse.remove(d.index());
+        self.better.remove(d.index());
+        for row in self.worse.iter_mut().chain(self.better.iter_mut()) {
+            for id in row.iter_mut() {
+                *id = shift(*id);
+            }
+        }
+        for (a, b) in self.edges.iter_mut() {
+            *a = shift(*a);
+            *b = shift(*b);
+        }
+        self.edge_set = self.edges.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        self.n -= 1;
+    }
+
+    /// A directed path `from ≻ … ≻ to`, if one exists.
+    fn path_between(&self, from: FactId, to: FactId) -> Option<Vec<FactId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent: Vec<Option<FactId>> = vec![None; self.n];
+        let mut stack = vec![from];
+        parent[from.index()] = Some(from);
+        while let Some(node) = stack.pop() {
+            for &succ in &self.worse[node.index()] {
+                if parent[succ.index()].is_none() {
+                    parent[succ.index()] = Some(node);
+                    if succ == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = parent[cur.index()].expect("reached chain");
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    stack.push(succ);
+                }
+            }
+        }
+        None
+    }
+
     /// A topological order of the facts (better facts first). `None` is
     /// impossible for a constructed relation (acyclicity is enforced),
     /// so this returns the order directly.
@@ -351,6 +460,60 @@ mod tests {
         for &(a, b) in p.edges() {
             assert!(pos[a.index()] < pos[b.index()], "{a:?} must precede {b:?}");
         }
+    }
+
+    #[test]
+    fn incremental_edges_match_fresh_build() {
+        let mut p = PriorityRelation::empty(4);
+        p.insert_edge(f(0), f(1)).unwrap();
+        p.insert_edge(f(2), f(1)).unwrap();
+        p.insert_edge(f(1), f(3)).unwrap();
+        let fresh = PriorityRelation::new(4, [(f(0), f(1)), (f(2), f(1)), (f(1), f(3))]).unwrap();
+        assert_eq!(p.edges(), fresh.edges());
+        // Closing a cycle is rejected and leaves the relation unchanged.
+        let err = p.insert_edge(f(3), f(0)).unwrap_err();
+        assert!(matches!(err, PriorityError::Cyclic { cycle } if cycle == vec![f(0), f(1), f(3)]));
+        assert_eq!(p.edges(), fresh.edges());
+        // Self-loops too.
+        assert!(matches!(p.insert_edge(f(2), f(2)), Err(PriorityError::Cyclic { .. })));
+        // Duplicates are a no-op.
+        p.insert_edge(f(0), f(1)).unwrap();
+        assert_eq!(p.edge_count(), 3);
+    }
+
+    #[test]
+    fn remove_edge_and_reinsert() {
+        let mut p = PriorityRelation::new(3, [(f(0), f(1)), (f(1), f(2))]).unwrap();
+        assert!(p.remove_edge(f(0), f(1)));
+        assert!(!p.remove_edge(f(0), f(1)));
+        assert!(!p.prefers(f(0), f(1)));
+        assert_eq!(p.edges(), &[(f(1), f(2))]);
+        // Removal re-enables the reverse direction.
+        p.insert_edge(f(2), f(0)).unwrap();
+        p.insert_edge(f(1), f(0)).unwrap();
+        assert_eq!(p.worse_than(f(1)), &[f(2), f(0)]);
+    }
+
+    #[test]
+    fn grow_and_remove_fact_renumber() {
+        let mut p = PriorityRelation::new(3, [(f(0), f(2))]).unwrap();
+        p.grow(5);
+        p.insert_edge(f(4), f(3)).unwrap();
+        // Remove fact 1 (no incident edges): ids above shift down.
+        p.remove_fact(f(1));
+        let fresh = PriorityRelation::new(4, [(f(0), f(1)), (f(3), f(2))]).unwrap();
+        assert_eq!(p.edges(), fresh.edges());
+        assert!(p.prefers(f(0), f(1)));
+        assert!(p.prefers(f(3), f(2)));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.better_than(f(1)), &[f(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has priority edges")]
+    fn remove_fact_with_edges_panics() {
+        let mut p = PriorityRelation::new(2, [(f(0), f(1))]).unwrap();
+        p.remove_fact(f(0));
     }
 
     #[test]

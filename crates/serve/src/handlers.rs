@@ -15,18 +15,30 @@
 //! | handler/worker panic       | 500 (isolated, server survives) |
 //! | malformed request          | 400                             |
 //! | unknown route / bad method | 404 / 405                       |
+//!
+//! `POST /delta` adds two of its own: 404 when no session is cached
+//! under the request's fingerprint (the client re-uploads via
+//! `/check`), and 409 when the fingerprint is stale (a concurrent
+//! delta moved the session on; the response carries the current
+//! fingerprint to re-sync against).
+//!
+//! Sessions are cached as mutable [`SessionSlot`]s: checking endpoints
+//! hold a slot's read lock for the whole request, so a concurrent
+//! delta can never mutate the workspace out from under a half-finished
+//! batch check.
 
-use crate::cache::{CacheOutcome, SessionCache};
+use crate::cache::{CacheOutcome, SessionCache, SessionSlot};
 use crate::http::{Request, Response};
 use crate::json::{parse_json, Json};
 use crate::metrics::Metrics;
-use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, Outcome, OwnedCheckSession};
+use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, DeltaSession, Outcome, Stop};
 use rpr_cqa::RepairSemantics;
 use rpr_data::{fingerprint::Fingerprint, FactSet};
 use rpr_format::{
-    parse_workspace_raw, render_certificate, scan_object, workspace_fingerprint, RawStr,
-    SliceValue, Workspace,
+    delta_ops_from_strings, parse_workspace_raw, render_certificate, scan_object,
+    workspace_fingerprint, RawStr, SliceValue, Workspace,
 };
+use rpr_priority::PrioritizedInstance;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,15 +86,17 @@ pub fn handle(state: &ServerState, req: &Request<'_>) -> Response {
         }
         ("GET", "/metrics") => {
             state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
-            // The cache counts evictions under its own lock; sync the
-            // counter at scrape time so the rendered value is exact.
+            // The cache counts evictions and sizes under its own lock;
+            // sync at scrape time so the rendered values are exact.
             state.metrics.cache_evictions_total.store(state.cache.evictions(), Ordering::Relaxed);
+            state.metrics.session_cache_bytes.store(state.cache.total_bytes(), Ordering::Relaxed);
             Response::text(200, state.metrics.render_prometheus())
         }
         ("POST", "/check") => timed(state, &state.metrics.check_latency, req, check),
         ("POST", "/classify") => timed(state, &state.metrics.classify_latency, req, classify),
         ("POST", "/cqa") => timed(state, &state.metrics.cqa_latency, req, cqa),
-        (_, "/healthz" | "/metrics") | (_, "/check" | "/classify" | "/cqa") => {
+        ("POST", "/delta") => timed(state, &state.metrics.delta_latency, req, delta),
+        (_, "/healthz" | "/metrics") | (_, "/check" | "/classify" | "/cqa" | "/delta") => {
             state.metrics.bad_request_total.fetch_add(1, Ordering::Relaxed);
             error_response(405, "method not allowed for this path")
         }
@@ -141,6 +155,11 @@ struct Body<'a> {
     /// `"certify": true` asks `/check` to attach a verdict certificate
     /// to every completed result.
     certify: bool,
+    /// `/delta`: the hex fingerprint naming the cached session.
+    fingerprint: Option<RawStr<'a>>,
+    /// `/delta`: the op strings to apply, in order. Only set when the
+    /// field is an array.
+    ops: Option<Vec<SliceValue<'a>>>,
 }
 
 /// Scans the body once, in place. No JSON tree is built: strings stay
@@ -168,33 +187,21 @@ fn parse_body<'a>(req: &Request<'a>) -> Result<Body<'a>, Response> {
             if let SliceValue::Bool(b) = value {
                 body.certify = b;
             }
+        } else if key.is("fingerprint") {
+            body.fingerprint = value.as_raw_str();
+        } else if key.is("ops") {
+            if let SliceValue::Arr(items) = value {
+                body.ops = Some(items);
+            }
         }
     })
     .map_err(|e| error_response(400, &e.to_string()))?;
     Ok(body)
 }
 
-/// The parsed, validated common part of a POST body.
-struct Prepared {
-    workspace: Workspace,
-    fingerprint: Fingerprint,
-    session: Arc<OwnedCheckSession>,
-    cached: bool,
-    budget: Budget,
-}
-
-fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
-    let ws_raw =
-        body.workspace.ok_or_else(|| error_response(400, "missing string field `workspace`"))?;
-    let workspace = parse_workspace_raw(&ws_raw)
-        .map_err(|e| error_response(400, &format!("workspace: {e}")))?;
-    let fingerprint = workspace_fingerprint(&workspace);
-    // Validate before touching the cache so a broken workspace can
-    // never leave a placeholder entry behind.
-    let pi =
-        workspace.prioritized().map_err(|e| error_response(400, &format!("workspace: {e}")))?;
-
-    // Budget: request override, else server default; drain always attached.
+/// The request's budget: body override, else server default; the
+/// drain token is always attached.
+fn request_budget(state: &ServerState, body: &Body<'_>) -> Result<Budget, Response> {
     let timeout =
         match &body.timeout_ms {
             Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
@@ -216,36 +223,91 @@ fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
     if let Some(w) = max_work {
         budget = budget.with_max_work(w);
     }
+    Ok(budget)
+}
+
+/// The parsed, validated common part of a workspace-carrying POST
+/// body, up to (but not including) the hit-verification that needs the
+/// slot lock.
+struct Prepared {
+    workspace: Workspace,
+    fingerprint: Fingerprint,
+    slot: Arc<SessionSlot>,
+    /// Raw cache outcome; content verification may still demote a hit.
+    hit: bool,
+    budget: Budget,
+    /// The request's own parsed instance: consumed by the build
+    /// closure on a miss, kept for hit verification on a hit.
+    pi: Option<PrioritizedInstance>,
+}
+
+fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
+    let ws_raw =
+        body.workspace.ok_or_else(|| error_response(400, "missing string field `workspace`"))?;
+    let workspace = parse_workspace_raw(&ws_raw)
+        .map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+    let fingerprint = workspace_fingerprint(&workspace);
+    // Validate before touching the cache so a broken workspace can
+    // never leave a placeholder entry behind.
+    let pi =
+        workspace.prioritized().map_err(|e| error_response(400, &format!("workspace: {e}")))?;
+    let budget = request_budget(state, body)?;
 
     // Session: LRU by fingerprint. The fingerprint is content-based
     // but not collision-resistant against adversaries, and the cache
     // crosses the HTTP trust boundary — so a hit is only reused after
-    // verifying it really is the same content.
+    // verifying it really is the same content (see `activate`).
     let mut pi = Some(pi);
-    let (mut session, outcome) = state.cache.get_or_build(fingerprint, || {
-        Arc::new(OwnedCheckSession::prepare(
+    let (slot, outcome) = state.cache.get_or_build(fingerprint, || {
+        SessionSlot::new(DeltaSession::prepare(
             Arc::new(workspace.schema.clone()),
-            Arc::new(pi.take().expect("build closure runs at most once")),
+            pi.take().expect("build closure runs at most once"),
         ))
     });
-    let mut cached = outcome == CacheOutcome::Hit;
+    Ok(Prepared { workspace, fingerprint, slot, hit: outcome == CacheOutcome::Hit, budget, pi })
+}
+
+/// A read-locked view over the prepared session. The guard is held
+/// until the response is built, so `POST /delta` (which takes the
+/// write lock) serializes against in-flight checks instead of mutating
+/// under them. When a cache hit fails content verification (a crafted
+/// fingerprint collision), `fresh` carries a session built from the
+/// request's own workspace and the guard only keeps the slot alive.
+struct ActiveSession<'a> {
+    guard: std::sync::RwLockReadGuard<'a, DeltaSession>,
+    fresh: Option<DeltaSession>,
+    cached: bool,
+}
+
+impl ActiveSession<'_> {
+    fn get(&self) -> &DeltaSession {
+        self.fresh.as_ref().unwrap_or(&self.guard)
+    }
+}
+
+/// Locks the slot for reading and verifies a hit's content identity —
+/// a collision degrades to a counted miss served fresh, never to
+/// another workspace's verdicts.
+fn activate<'a>(state: &ServerState, p: &mut Prepared, slot: &'a SessionSlot) -> ActiveSession<'a> {
+    let guard = slot.read();
+    let mut fresh = None;
+    let mut cached = p.hit;
     if cached {
-        let fresh = pi.take().expect("a hit leaves the parsed instance untouched");
-        if !crate::identity::content_equal(
-            session.schema(),
-            session.prioritized(),
-            &workspace.schema,
-            &fresh,
+        let request_pi = p.pi.take().expect("a hit leaves the parsed instance untouched");
+        if crate::identity::content_equal(
+            guard.schema(),
+            guard.prioritized(),
+            &p.workspace.schema,
+            &request_pi,
         ) {
+            drop(request_pi);
+        } else {
             // Fingerprint collision: serving the cached session would
             // return another workspace's verdicts. Build fresh and
             // leave the cache alone (caching the collider would only
             // make the two keys thrash one slot).
             state.metrics.cache_collisions_total.fetch_add(1, Ordering::Relaxed);
-            session = Arc::new(OwnedCheckSession::prepare(
-                Arc::new(workspace.schema.clone()),
-                Arc::new(fresh),
-            ));
+            fresh = Some(DeltaSession::prepare(Arc::new(p.workspace.schema.clone()), request_pi));
             cached = false;
         }
     }
@@ -254,14 +316,14 @@ fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
     } else {
         state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
     }
-    Ok(Prepared { workspace, fingerprint, session, cached, budget })
+    ActiveSession { guard, fresh, cached }
 }
 
-fn base_response(p: &Prepared) -> Vec<(&'static str, Json)> {
+fn base_response(p: &Prepared, active: &ActiveSession<'_>) -> Vec<(&'static str, Json)> {
     vec![
         ("fingerprint", Json::str(p.fingerprint.to_hex())),
-        ("cached", Json::Bool(p.cached)),
-        ("complexity", Json::str(complexity_str(p.session.complexity()))),
+        ("cached", Json::Bool(active.cached)),
+        ("complexity", Json::str(complexity_str(active.get().complexity()))),
     ]
 }
 
@@ -276,8 +338,10 @@ fn complexity_str(c: rpr_classify::Complexity) -> &'static str {
 /// dichotomy, plus cache/fingerprint info.
 fn classify(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
-    let p = prepare(state, &body)?;
-    let mut fields = base_response(&p);
+    let mut p = prepare(state, &body)?;
+    let slot = Arc::clone(&p.slot);
+    let active = activate(state, &mut p, &slot);
+    let mut fields = base_response(&p, &active);
     fields.push(("status", Json::str("done")));
     fields.push((
         "mode",
@@ -325,22 +389,21 @@ struct CheckRun {
 
 fn run_check(
     state: &ServerState,
-    owned: &OwnedCheckSession,
+    ds: &DeltaSession,
     sets: &[FactSet],
     budget: &Budget,
     certify: bool,
 ) -> CheckRun {
-    let session: CheckSession<'_> = owned.session().with_jobs(state.jobs);
+    let session: CheckSession<'_> = ds.session().with_jobs(state.jobs);
     let outcomes = session.check_batch_bounded(sets, budget);
     let mut certs = vec![None; outcomes.len()];
     if certify {
         for (i, outcome) in outcomes.iter().enumerate() {
             if let Outcome::Done(check_outcome) = outcome {
                 let cert = session.certify(&sets[i], check_outcome);
-                let pi = owned.prioritized();
+                let pi = ds.prioritized();
                 #[allow(unused_mut)]
-                let mut text =
-                    render_certificate(owned.schema(), pi.instance(), pi.priority(), &cert);
+                let mut text = render_certificate(ds.schema(), pi.instance(), pi.priority(), &cert);
                 #[cfg(feature = "faults")]
                 if state.corrupt_certificates {
                     if let Some(bad) =
@@ -369,26 +432,28 @@ fn audit_certs(state: &ServerState, certs: &[Option<String>]) -> usize {
 /// `POST /check` — batch repair checking through the cached session.
 fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
-    let p = prepare(state, &body)?;
+    let mut p = prepare(state, &body)?;
     let candidates = requested_repairs(body.repairs.as_deref(), &p.workspace)?;
     if candidates.is_empty() {
         return Err(error_response(400, "workspace declares no candidate repairs (add `repair NAME: ...` lines or pass `repairs`)"));
     }
     let sets: Vec<FactSet> = candidates.iter().map(|(_, s)| s.clone()).collect();
 
-    let mut run = run_check(state, &p.session, &sets, &p.budget, body.certify);
+    let slot = Arc::clone(&p.slot);
+    let active = activate(state, &mut p, &slot);
+    let mut run = run_check(state, active.get(), &sets, &p.budget, body.certify);
 
     // Cache-hit audit: a stale or colliding cached session surfaces as
     // certificates whose evidence does not re-validate. Such a hit
     // degrades to a counted miss — rebuild from the request's own
     // workspace and recompute — instead of serving the cached lie.
-    if body.certify && p.cached && audit_certs(state, &run.certs) > 0 {
+    if body.certify && active.cached && audit_certs(state, &run.certs) > 0 {
         state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
         let pi = p
             .workspace
             .prioritized()
             .map_err(|e| error_response(400, &format!("workspace: {e}")))?;
-        let fresh = OwnedCheckSession::prepare(Arc::new(p.workspace.schema.clone()), Arc::new(pi));
+        let fresh = DeltaSession::prepare(Arc::new(p.workspace.schema.clone()), pi);
         run = run_check(state, &fresh, &sets, &p.budget, true);
     }
 
@@ -435,7 +500,7 @@ fn check(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
         state.metrics.certificates_issued_total.fetch_add(issued, Ordering::Relaxed);
     }
 
-    let mut fields = base_response(&p);
+    let mut fields = base_response(&p, &active);
     fields.push(("results", Json::Arr(results)));
     let status = if any_cancelled {
         fields.push(("status", Json::str("cancelled")));
@@ -467,10 +532,104 @@ fn verdict_str(outcome: &CheckOutcome) -> &'static str {
     }
 }
 
+/// `POST /delta` — mutate a cached session in place. The body names
+/// the session by its current fingerprint and carries op strings in
+/// the delta grammar:
+///
+/// ```json
+/// {"fingerprint": "…32 hex…", "ops": ["insert R(a, b)", "prefer R(a, b) > R(a, c)"]}
+/// ```
+///
+/// The whole batch is atomic: any invalid op is a 400 and the session
+/// is untouched. On success the cache entry moves under the new
+/// fingerprint (returned in the response) so follow-up requests —
+/// including further deltas — address the mutated state.
+fn delta(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
+    let body = parse_body(req)?;
+    let fp_raw = body
+        .fingerprint
+        .ok_or_else(|| error_response(400, "missing string field `fingerprint`"))?;
+    let fingerprint = Fingerprint::from_hex(&fp_raw.cow())
+        .ok_or_else(|| error_response(400, "`fingerprint` must be 32 hex digits"))?;
+    let ops_raw =
+        body.ops.as_deref().ok_or_else(|| error_response(400, "missing array field `ops`"))?;
+    let op_strings: Vec<std::borrow::Cow<'_, str>> = ops_raw
+        .iter()
+        .map(|v| {
+            v.as_raw_str()
+                .map(|r| r.cow())
+                .ok_or_else(|| error_response(400, "`ops` must be an array of strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    let budget = request_budget(state, &body)?;
+
+    let Some(slot) = state.cache.get(fingerprint) else {
+        return Err(error_response(
+            404,
+            "no cached session under this fingerprint (POST the workspace to /check first)",
+        ));
+    };
+    let mut session = slot.write();
+    // Fingerprint compare-and-swap: the key the client targeted must
+    // still be the session's content. A concurrent delta that got in
+    // first moved it on; answer 409 with the current fingerprint so
+    // the client can re-sync instead of blindly mutating state it has
+    // not seen.
+    let current = session.fingerprint();
+    if current != fingerprint {
+        return Err(Response::json(
+            409,
+            Json::obj([
+                ("error", Json::str("fingerprint is stale: the session was mutated concurrently")),
+                ("fingerprint", Json::str(current.to_hex())),
+            ])
+            .render(),
+        ));
+    }
+    let ops = delta_ops_from_strings(session.prioritized().instance().signature(), &op_strings)
+        .map_err(|e| error_response(400, &format!("ops: {e}")))?;
+    // Admission against the request budget: one work unit per op,
+    // charged before anything mutates, so a tripped budget is a clean
+    // 422 no-op (and a draining server a clean 503).
+    match budget.charge(ops.len() as u64) {
+        Ok(()) => {}
+        Err(Stop::Cancelled) => {
+            return Err(error_response(503, "server is draining").with_header("retry-after", "1"));
+        }
+        Err(Stop::Exceeded(report)) => {
+            let fields = [
+                ("status", Json::str("exceeded")),
+                ("budget_report", parse_json(&report.to_json()).unwrap_or(Json::Null)),
+            ];
+            return Err(Response::json(422, Json::obj(fields).render()));
+        }
+    }
+    let report = session.apply_delta(&ops).map_err(|e| error_response(400, &e.to_string()))?;
+    let new_fp = session.fingerprint();
+    slot.sync_bytes(&session);
+    state.cache.rekey(fingerprint, new_fp);
+    state.metrics.delta_ops_total.fetch_add(report.applied as u64, Ordering::Relaxed);
+    if report.rebuilt {
+        state.metrics.delta_rebuilds_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let fields = [
+        ("fingerprint", Json::str(new_fp.to_hex())),
+        ("previous_fingerprint", Json::str(fingerprint.to_hex())),
+        ("status", Json::str("done")),
+        ("applied", Json::Int(report.applied as i64)),
+        ("inserts", Json::Int(report.inserts as i64)),
+        ("deletes", Json::Int(report.deletes as i64)),
+        ("priority_ops", Json::Int(report.priority_ops as i64)),
+        ("rebuilt", Json::Bool(report.rebuilt)),
+        ("complexity", Json::str(complexity_str(session.complexity()))),
+    ];
+    Ok(Response::json(200, Json::obj(fields).render()))
+}
+
 /// `POST /cqa` — consistent query answering over the cached session.
 fn cqa(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     let body = parse_body(req)?;
-    let p = prepare(state, &body)?;
+    let mut p = prepare(state, &body)?;
     let query_raw =
         body.query.ok_or_else(|| error_response(400, "missing string field `query`"))?;
     let semantics: RepairSemantics = body
@@ -481,13 +640,16 @@ fn cqa(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
         .map_err(|_| {
             error_response(400, "unknown `semantics` (use all|pareto|global|completion)")
         })?;
-    let query = rpr_format::parse_query(p.session.prioritized().instance(), &query_raw.cow())
+    let slot = Arc::clone(&p.slot);
+    let active = activate(state, &mut p, &slot);
+    let ds = active.get();
+    let query = rpr_format::parse_query(ds.prioritized().instance(), &query_raw.cow())
         .map_err(|e| error_response(400, &format!("query: {e}")))?;
 
-    let session: CheckSession<'_> = p.session.session().with_jobs(state.jobs);
+    let session: CheckSession<'_> = ds.session().with_jobs(state.jobs);
     let outcome = rpr_cqa::answers_session_bounded(&session, &query, semantics, &p.budget);
 
-    let mut fields = base_response(&p);
+    let mut fields = base_response(&p, &active);
     let render_answers = |answers: &rpr_cqa::CqaAnswers| {
         [
             (
@@ -588,6 +750,18 @@ mod tests {
     }
 
     #[test]
+    fn metrics_scrape_syncs_cache_bytes() {
+        let state = state(4);
+        assert_eq!(post_check(&state, WS_A).status, 200);
+        let scrape =
+            handle(&state, &Request { method: "GET", path: "/metrics", body: b"", close: false });
+        let text = String::from_utf8(scrape.body).unwrap();
+        let expected = format!("rpr_session_cache_bytes {}\n", state.cache.total_bytes());
+        assert!(state.cache.total_bytes() > 0);
+        assert!(text.contains(&expected), "got:\n{text}");
+    }
+
+    #[test]
     fn malformed_bodies_keep_their_diagnostics() {
         let state = state(2);
         for (body, expect) in [
@@ -627,7 +801,7 @@ mod tests {
         let ws_b = rpr_format::parse_workspace(WS_B).unwrap();
         let pi_b = ws_b.prioritized().unwrap();
         let (_, outcome) = state.cache.get_or_build(workspace_fingerprint(&ws_a), || {
-            Arc::new(OwnedCheckSession::prepare(Arc::new(ws_b.schema.clone()), Arc::new(pi_b)))
+            SessionSlot::new(DeltaSession::prepare(Arc::new(ws_b.schema.clone()), pi_b))
         });
         assert_eq!(outcome, CacheOutcome::Miss);
 

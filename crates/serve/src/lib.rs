@@ -15,15 +15,18 @@
 //! | `POST /check`     | `{workspace, repairs?, timeout_ms?, max_work?}`  | per-candidate verdicts |
 //! | `POST /classify`  | `{workspace}`                                    | dichotomy side + mode |
 //! | `POST /cqa`       | `{workspace, query, semantics?, …}`              | certain/possible answers |
+//! | `POST /delta`     | `{fingerprint, ops, timeout_ms?, max_work?}`     | mutates the cached session in place |
 //! | `GET /healthz`    | —                                                | liveness |
 //! | `GET /metrics`    | —                                                | Prometheus text |
 //! | `POST /shutdown`  | —                                                | initiates graceful drain |
 //!
 //! ## Architecture
 //!
-//! * [`cache`] — LRU of [`OwnedCheckSession`](rpr_core::OwnedCheckSession)s
-//!   keyed by the canonical workspace fingerprint, so repeated traffic
-//!   against one database hits the amortized path;
+//! * [`cache`] — LRU of mutable [`DeltaSession`](rpr_core::DeltaSession)
+//!   slots keyed by the canonical workspace fingerprint, so repeated
+//!   traffic against one database hits the amortized path and
+//!   `POST /delta` patches the cached artifacts in place (the entry
+//!   is re-keyed under its post-delta fingerprint);
 //! * [`identity`] — content-equality verification of cache hits: the
 //!   fingerprint is not collision-resistant against adversaries, so a
 //!   hit is only reused after proving it is the same content (a crafted
@@ -57,7 +60,7 @@ pub mod metrics;
 pub mod poll;
 pub mod server;
 
-pub use cache::{CacheOutcome, SessionCache};
+pub use cache::{CacheOutcome, SessionCache, SessionSlot};
 pub use handlers::{BudgetDefaults, ServerState};
 pub use http::{client_call, HttpClient};
 pub use json::{parse_json, Json, JsonError};

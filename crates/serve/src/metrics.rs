@@ -123,12 +123,17 @@ macro_rules! counters {
             pub queue_depth: AtomicU64,
             /// Requests currently being handled by workers (gauge).
             pub in_flight: AtomicU64,
+            /// Approximate resident bytes of all cached sessions
+            /// (gauge; synced from the cache at scrape time).
+            pub session_cache_bytes: AtomicU64,
             /// Latency of completed `/check` requests.
             pub check_latency: Histogram,
             /// Latency of completed `/classify` requests.
             pub classify_latency: Histogram,
             /// Latency of completed `/cqa` requests.
             pub cqa_latency: Histogram,
+            /// Latency of completed `/delta` requests.
+            pub delta_latency: Histogram,
             /// Requests served per connection, observed at connection
             /// close (histogram; keep-alive efficacy).
             pub requests_per_connection: CountHistogram,
@@ -179,6 +184,10 @@ counters! {
     certificates_issued_total => "rpr_certificates_issued_total",
     /// Certificates failing `rpr-audit` re-validation (cache-hit and `--self-audit` checks).
     audit_failures_total => "rpr_audit_failures_total",
+    /// Delta ops applied to cached sessions (`POST /delta`).
+    delta_ops_total => "rpr_delta_ops_total",
+    /// Delta batches whose churn forced a cold artifact rebuild.
+    delta_rebuilds_total => "rpr_delta_rebuilds_total",
 }
 
 impl Metrics {
@@ -197,15 +206,18 @@ impl Metrics {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         self.render_counters(&mut out);
-        for (name, gauge) in
-            [("rpr_queue_depth", &self.queue_depth), ("rpr_in_flight", &self.in_flight)]
-        {
+        for (name, gauge) in [
+            ("rpr_queue_depth", &self.queue_depth),
+            ("rpr_in_flight", &self.in_flight),
+            ("rpr_session_cache_bytes", &self.session_cache_bytes),
+        ] {
             writeln_type(&mut out, name, "gauge");
             out.push_str(&format!("{name} {}\n", gauge.load(Ordering::Relaxed)));
         }
         self.check_latency.render("rpr_check_latency_seconds", &mut out);
         self.classify_latency.render("rpr_classify_latency_seconds", &mut out);
         self.cqa_latency.render("rpr_cqa_latency_seconds", &mut out);
+        self.delta_latency.render("rpr_delta_latency_seconds", &mut out);
         self.requests_per_connection.render("rpr_http_requests_per_connection", &mut out);
         out
     }
