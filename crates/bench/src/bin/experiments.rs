@@ -159,6 +159,12 @@ fn main() {
             title: "Extension: incremental delta patching vs cold session rebuild",
             run: e29,
         },
+        Experiment {
+            id: "e30",
+            title:
+                "Extension: component-sharded sessions (parallel shards, local exact, shard reuse)",
+            run: e30,
+        },
     ];
 
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -1674,6 +1680,244 @@ fn e29() -> ExpResult {
         ),
         format!(
             "measured: per-delta {patched_us:.0}us patched vs {cold_us:.0}us cold rebuild -> {speedup:.1}x (gate >=2x); {out_path} rewritten"
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------- E30
+
+/// Builds the chain-component setup of `rpr_gen::chain_components`
+/// plus the priority (`f2 > f1 > f0` per chain) and the globally
+/// optimal even-offset repair `J`.
+fn chain_setup(
+    components: usize,
+    size: usize,
+) -> Result<(Schema, PrioritizedInstance, rpr_data::FactSet), String> {
+    let (schema, instance) = rpr_gen::chain_components(components, size);
+    let chain = |k: u32, i: u32| FactId(k * size as u32 + i);
+    let mut edges = Vec::new();
+    for k in 0..components as u32 {
+        edges.push((chain(k, 1), chain(k, 0)));
+        edges.push((chain(k, 2), chain(k, 1)));
+    }
+    let priority = PriorityRelation::new(instance.len(), edges).map_err(|e| e.to_string())?;
+    let evens = instance.fact_ids().filter(|f| (f.index() % size).is_multiple_of(2));
+    let j = instance.set_of(evens);
+    let pi = PrioritizedInstance::conflict_restricted(&schema, instance, priority)
+        .map_err(|e| e.to_string())?;
+    Ok((schema, pi, j))
+}
+
+/// Best-of-`reps` wall clock of `f`.
+fn best_of(reps: usize, mut f: impl FnMut() -> Result<(), String>) -> Result<f64, String> {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f()?;
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    Ok(best)
+}
+
+/// Component-sharded sessions. The exponential fall-back decomposes
+/// over conflict components (improvements never span them once the
+/// whole-domain pre-checks pass), so a 64-chain workload costs
+/// `64 × 2^size` instead of `2^(64·size)`, shards of one candidate fan
+/// out across `--jobs` workers, and delta batches re-derive only the
+/// components they touch. Gates (committed to `BENCH_shard.json`):
+/// shard balance ≥4 (the machine-independent parallelism bound;
+/// wall-clock ≥4x at 8 jobs is additionally enforced on ≥8-core
+/// machines), component-local exact ≥10x over the whole-domain search,
+/// and single-chain delta batches reusing 63/64 shards at ≥2x over a
+/// cold artifact rebuild — all under bit-identical verdicts and
+/// witnesses at jobs ∈ {1, 2, 8}.
+fn e30() -> ExpResult {
+    use rpr_core::{DeltaOp, DeltaSession, SessionArtifacts};
+    use rpr_data::Fact;
+    use std::sync::Arc;
+
+    const COMPONENTS: usize = 64;
+    const SERVE_SIZE: usize = 6; // the committed many_components.rpr shape
+    const HEAVY_SIZE: usize = 20; // per-shard Fib(22) search nodes
+    const DELTA_BATCHES: usize = 16;
+
+    // -- Verdict/witness bit-identity across jobs on the serve shape --
+    let (schema_a, pi_a, j_a) = chain_setup(COMPONENTS, SERVE_SIZE)?;
+    let base = CheckSession::new(&schema_a, &pi_a).with_jobs(1);
+    let v_opt = base.check(&j_a).map_err(|e| e.to_string())?;
+    ensure(v_opt.is_optimal(), "the even-offset repair is globally optimal")?;
+    // {f1, f4} per chain is a repair improved by J (f2 beats f1).
+    let improvable = pi_a
+        .instance()
+        .set_of(pi_a.instance().fact_ids().filter(|f| matches!(f.index() % SERVE_SIZE, 1 | 4)));
+    // An inconsistent candidate pins the witness pair too.
+    let bad = pi_a.instance().set_of([FactId(0), FactId(1)]);
+    for jobs in [2, 8] {
+        let s = CheckSession::new(&schema_a, &pi_a).with_jobs(jobs);
+        for cand in [&j_a, &improvable, &bad] {
+            ensure(
+                s.check(cand) == base.check(cand),
+                &format!("jobs={jobs}: verdict+witness must be bit-identical to jobs=1"),
+            )?;
+        }
+    }
+    match base.check(&improvable).map_err(|e| e.to_string())? {
+        rpr_core::CheckOutcome::Improvable(_) => {}
+        other => return Err(format!("{{f1, f4}} chains must be improvable, got {other:?}")),
+    }
+
+    // -- The committed serve workload decomposes into the same shards --
+    let ws_text = std::fs::read_to_string("workloads/many_components.rpr")
+        .map_err(|e| format!("workloads/many_components.rpr: {e}"))?;
+    let ws = rpr_format::parse_workspace(&ws_text).map_err(|e| e.to_string())?;
+    let ws_pi = ws.prioritized().map_err(|e| e.to_string())?;
+    let ws_j = ws.repair("J").ok_or("many_components.rpr names repair J")?.clone();
+    ensure(
+        SessionArtifacts::build(&ws.schema, &ws_pi).shard_count() == COMPONENTS,
+        &format!("the committed workload splits into {COMPONENTS} shards"),
+    )?;
+    ensure(
+        CheckSession::new(&ws.schema, &ws_pi)
+            .with_jobs(8)
+            .check(&ws_j)
+            .map_err(|e| e.to_string())?
+            .is_optimal(),
+        "the committed workload's repair J is globally optimal under 8-job sharding",
+    )?;
+
+    // -- Shard balance (machine-independent) + 8-job wall clock --
+    let (schema_b, pi_b, j_b) = chain_setup(COMPONENTS, HEAVY_SIZE)?;
+    let art = SessionArtifacts::build(&schema_b, &pi_b);
+    let layout = art.components();
+    let shard_work: Vec<u128> = layout
+        .nontrivial()
+        .iter()
+        .map(|&c| 1u128 << layout.component(c as usize).len().min(120))
+        .collect();
+    let total_work: u128 = shard_work.iter().sum();
+    let max_work = *shard_work.iter().max().ok_or("workload has nontrivial components")?;
+    let balance = (total_work / max_work) as usize;
+    ensure(
+        balance >= 4,
+        &format!("shard balance (total/max exponential work) must be >=4, got {balance}"),
+    )?;
+    let session1 = CheckSession::from_artifacts(&schema_b, &pi_b, &art).with_jobs(1);
+    let session8 = CheckSession::from_artifacts(&schema_b, &pi_b, &art).with_jobs(8);
+    ensure(
+        session1.check(&j_b) == session8.check(&j_b),
+        "heavy workload: jobs=8 verdict must equal jobs=1",
+    )?;
+    let t1_us = best_of(10, || session1.check(&j_b).map(drop).map_err(|e| e.to_string()))?;
+    let t8_us = best_of(10, || session8.check(&j_b).map(drop).map_err(|e| e.to_string()))?;
+    let jobs_speedup = t1_us / t8_us;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let wall_clock_gated = cores >= 8;
+    if wall_clock_gated {
+        ensure(
+            jobs_speedup >= 4.0,
+            &format!(
+                "on {cores} cores, 8-job sharded checking must be >=4x, got {jobs_speedup:.1}x"
+            ),
+        )?;
+    }
+
+    // -- Component-local exact vs the whole-domain baseline search --
+    let (schema_c, pi_c, j_c) = chain_setup(4, SERVE_SIZE)?;
+    let local = CheckSession::new(&schema_c, &pi_c).with_jobs(1);
+    let cg = local.conflict_graph();
+    let domain = pi_c.instance().full_set();
+    ensure(
+        check_global_exact(cg, pi_c.priority(), &domain, &j_c, 1 << 30)
+            .map_err(|e| e.to_string())?
+            == local.check(&j_c).map_err(|e| e.to_string())?,
+        "whole-domain and component-local searches agree on the verdict",
+    )?;
+    let local_us = best_of(50, || local.check(&j_c).map(drop).map_err(|e| e.to_string()))?;
+    let whole_us = best_of(10, || {
+        check_global_exact(cg, pi_c.priority(), &domain, &j_c, 1 << 30)
+            .map(drop)
+            .map_err(|e| e.to_string())
+    })?;
+    let local_speedup = whole_us / local_us;
+    ensure(
+        local_speedup >= 10.0,
+        &format!(
+            "component-local exact must be >=10x over whole-domain \
+             ({local_us:.1}us vs {whole_us:.1}us = {local_speedup:.1}x)"
+        ),
+    )?;
+
+    // -- Delta shard reuse: single-chain batches skip 63/64 shards --
+    let (schema_d, pi_d, _) = chain_setup(COMPONENTS, SERVE_SIZE)?;
+    let schema_arc = Arc::new(schema_d);
+    let mut ds = DeltaSession::prepare(schema_arc.clone(), pi_d);
+    let mut patched_total = 0.0f64;
+    let mut cold_total = 0.0f64;
+    for batch_no in 0..DELTA_BATCHES {
+        // Delete + re-insert one interior fact of chain `batch_no * 4`:
+        // the batch dirties that single chain and nothing else.
+        let k = (batch_no * 4) % COMPONENTS;
+        let sig = ds.prioritized().instance().signature().clone();
+        let sym = |s: String| rpr_data::Value::sym(&s);
+        let f = Fact::parse_new(
+            &sig,
+            "R4",
+            vec![sym(format!("a{k}_1")), sym(format!("b{k}_2")), sym(format!("c{k}_3"))],
+        )
+        .map_err(|e| e.to_string())?;
+        let batch = vec![DeltaOp::DeleteFact(f.clone()), DeltaOp::InsertFact(f)];
+        let t = Instant::now();
+        let report = ds.apply_delta(&batch).map_err(|e| e.to_string())?;
+        patched_total += t.elapsed().as_secs_f64() * 1e6;
+        ensure(!report.rebuilt, "two-op batches take the patched path")?;
+        ensure(
+            report.components_total == COMPONENTS && report.components_reused == COMPONENTS - 1,
+            &format!(
+                "batch {batch_no}: expected {}/{COMPONENTS} shards reused, got {}/{}",
+                COMPONENTS - 1,
+                report.components_reused,
+                report.components_total
+            ),
+        )?;
+        // The cold baseline: re-derive every artifact from the current
+        // state (what the patched path would pay without shard reuse).
+        let t = Instant::now();
+        let cold = SessionArtifacts::build(&schema_arc, ds.prioritized());
+        cold_total += t.elapsed().as_secs_f64() * 1e6;
+        ensure(cold.shard_count() == COMPONENTS, "cold rebuild sees all shards")?;
+    }
+    let patched_us = patched_total / DELTA_BATCHES as f64;
+    let cold_us = cold_total / DELTA_BATCHES as f64;
+    let delta_speedup = cold_us / patched_us;
+    ensure(
+        delta_speedup >= 2.0,
+        &format!(
+            "single-shard deltas must be >=2x over cold artifact rebuilds \
+             ({patched_us:.1}us vs {cold_us:.1}us = {delta_speedup:.1}x)"
+        ),
+    )?;
+
+    let json = format!(
+        "{{\n  \"workload\": \"workloads/many_components.rpr = chain_components({COMPONENTS}, {SERVE_SIZE}); chain_components({COMPONENTS}, {HEAVY_SIZE}) heavy shards; chain_components(4, {SERVE_SIZE}) local-vs-whole\",\n  \"machine\": {{\n    \"os\": \"{}\",\n    \"arch\": \"{}\",\n    \"cores\": {cores}\n  }},\n  \"bit_identity\": \"verdicts and witnesses identical at jobs 1/2/8 on optimal, improvable and inconsistent candidates\",\n  \"shard_balance\": {{\n    \"components\": {COMPONENTS},\n    \"total_over_max_exponential_work\": {balance},\n    \"gate\": \"balance >= 4 (machine-independent available parallelism)\"\n  }},\n  \"throughput\": {{\n    \"jobs1_best_us\": {t1_us:.1},\n    \"jobs8_best_us\": {t8_us:.1},\n    \"speedup\": {jobs_speedup:.2},\n    \"wall_clock_gated\": {wall_clock_gated},\n    \"gate\": \"speedup >= 4x enforced only when cores >= 8 (cores recorded above)\"\n  }},\n  \"component_local_exact\": {{\n    \"sharded_best_us\": {local_us:.1},\n    \"whole_domain_best_us\": {whole_us:.1},\n    \"speedup\": {local_speedup:.1},\n    \"gate\": \"component-local >= 10x whole-domain\"\n  }},\n  \"delta_shard_reuse\": {{\n    \"batches\": {DELTA_BATCHES},\n    \"components_reused_per_batch\": {},\n    \"patched_mean_us\": {patched_us:.1},\n    \"cold_artifact_rebuild_mean_us\": {cold_us:.1},\n    \"speedup\": {delta_speedup:.1},\n    \"gate\": \"63/64 shards reused and patched >= 2x cold\"\n  }}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        COMPONENTS - 1,
+    );
+    let out_path = "BENCH_shard.json";
+    std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+
+    Ok(vec![
+        "extension: shard sessions by conflict component (parallel shards, local exact, delta reuse)".into(),
+        format!(
+            "measured: verdicts/witnesses bit-identical at jobs 1/2/8; shard balance {balance} (gate >=4); 8-job wall clock {jobs_speedup:.2}x on {cores} core(s){}",
+            if wall_clock_gated { " (gated >=4x)" } else { " (recorded, gated on >=8 cores)" },
+        ),
+        format!(
+            "measured: component-local exact {local_us:.0}us vs whole-domain {whole_us:.0}us -> {local_speedup:.0}x (gate >=10x)"
+        ),
+        format!(
+            "measured: single-chain deltas reuse {}/{COMPONENTS} shards, {patched_us:.0}us patched vs {cold_us:.0}us cold -> {delta_speedup:.1}x (gate >=2x); {out_path} rewritten",
+            COMPONENTS - 1,
         ),
     ])
 }

@@ -178,6 +178,8 @@ fn main() {
     let audit_failures_before = scrape_counter(&addr, "rpr_audit_failures_total").unwrap_or(0);
     let delta_ops_before =
         if delta { scrape_counter(&addr, "rpr_delta_ops_total").unwrap_or(0) } else { 0 };
+    let component_skips_before =
+        if delta { scrape_counter(&addr, "rpr_component_skips_total").unwrap_or(0) } else { 0 };
     let spec = LoadSpec {
         addr: addr.clone(),
         bodies,
@@ -202,6 +204,13 @@ fn main() {
     } else {
         0
     };
+    let component_skips = if delta {
+        scrape_counter(&addr, "rpr_component_skips_total").unwrap_or(0) - component_skips_before
+    } else {
+        0
+    };
+    let session_components =
+        if delta { scrape_counter(&addr, "rpr_session_components").unwrap_or(0) } else { 0 };
     let requests_after = scrape_counter(&addr, "rpr_requests_total");
     let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
     println!(
@@ -223,6 +232,11 @@ fn main() {
             "loadgen: delta ops applied {delta_ops} (expected {} = 2 × the 200s)",
             2 * stats.status(200)
         );
+        println!(
+            "loadgen: session shards {session_components}, component skips {component_skips} \
+             (expected {} = shards × the 200s)",
+            session_components * stats.status(200)
+        );
     }
     if certify {
         println!(
@@ -234,8 +248,9 @@ fn main() {
     // Seven scrapes land between the two readings: the cache-hits /
     // certificates / audit-failures scrapes before the run, and the
     // same three plus the requests_total scrape after it. Delta mode
-    // adds its own ops scrape on each side.
-    let expected_delta = stats.completed + 7 + if delta { 2 } else { 0 };
+    // adds its ops and component-skips scrapes on each side plus the
+    // shard-gauge scrape after the run.
+    let expected_delta = stats.completed + 7 + if delta { 5 } else { 0 };
     let reconciled = match (requests_before, requests_after) {
         (Some(before), Some(after)) => {
             let counted = after - before;
@@ -274,6 +289,18 @@ fn main() {
             2 * stats.completed
         );
     }
+    // Shard accounting: each self-inverting batch leaves every
+    // nontrivial component untouched, so the dirty-shard tracker must
+    // report all of them reused on every request.
+    let shards_reconciled = !delta || component_skips == session_components * stats.completed;
+    if delta && !shards_reconciled {
+        println!(
+            "loadgen: shard MISMATCH — rpr_component_skips_total moved by {component_skips} \
+             (expected {} = {session_components} shard(s) × {} request(s))",
+            session_components * stats.completed,
+            stats.completed
+        );
+    }
 
     if let Some(path) = json_path {
         let statuses = stats
@@ -283,7 +310,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"delta_ops\": {delta_ops},\n  \"reconciled\": {reconciled}\n}}\n",
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"delta_ops\": {delta_ops},\n  \"session_components\": {session_components},\n  \"component_skips\": {component_skips},\n  \"reconciled\": {reconciled}\n}}\n",
             stats.completed,
             stats.lost,
             stats.throughput(),
@@ -314,6 +341,13 @@ fn main() {
     }
     if require_reconcile && !delta_reconciled {
         eprintln!("loadgen: FAIL — rpr_delta_ops_total does not reconcile with the /delta traffic");
+        std::process::exit(1);
+    }
+    if require_reconcile && !shards_reconciled {
+        eprintln!(
+            "loadgen: FAIL — rpr_component_skips_total does not reconcile with \
+             rpr_session_components × the /delta traffic"
+        );
         std::process::exit(1);
     }
     if require_reconcile && certify && !certs_reconciled {

@@ -45,8 +45,10 @@ use crate::global_1fd::FdBlocks;
 use crate::session::{CheckSession, Plan, SessionArtifacts};
 use rpr_classify::{Complexity, RelationClass};
 use rpr_data::fingerprint::{Fingerprint, FingerprintBuilder, UnorderedAccumulator};
-use rpr_data::{fingerprint_fact, fingerprint_signature, Fact, FxHashMap, FxHashSet};
-use rpr_fd::{CsrConflictGraph, Fd, Schema};
+use rpr_data::{
+    fingerprint_fact, fingerprint_signature, Fact, FactId, FactSet, FxHashMap, FxHashSet,
+};
+use rpr_fd::{ComponentLayout, CsrConflictGraph, Fd, Schema};
 use rpr_priority::{PrioritizedInstance, PriorityMode};
 use std::fmt;
 use std::sync::Arc;
@@ -171,6 +173,12 @@ pub struct DeltaReport {
     /// `true` when churn hit [`REBUILD_CHURN_PERCENT`] and the
     /// artifacts were cold-rebuilt instead of patched.
     pub rebuilt: bool,
+    /// Nontrivial conflict components (session shards) after the batch.
+    pub components_total: usize,
+    /// Nontrivial pre-batch components the patched path carried over
+    /// without re-deriving (renumber-only). `0` on the rebuild path;
+    /// equal to `components_total` for batches that touched no facts.
+    pub components_reused: usize,
 }
 
 /// A mutable, cache-resident check session: owned workspace plus live
@@ -288,17 +296,30 @@ impl DeltaSession {
         let structural = inserts + deletes;
         let rebuilt = structural * 100 >= self.pi.instance().len().max(4) * REBUILD_CHURN_PERCENT
             && structural > 0;
+        let mut components_reused = 0;
         if rebuilt {
             for op in ops {
                 self.apply_op_data(op);
             }
             self.artifacts = SessionArtifacts::build(&self.schema, &self.pi);
         } else {
+            let mut tracker = ShardTracker::new(&self.artifacts);
             for op in ops {
-                self.apply_op_patched(op);
+                self.apply_op_patched(op, &mut tracker);
             }
             if structural > 0 {
-                self.finish_structural_batch();
+                components_reused = self.finish_structural_batch(tracker);
+            } else {
+                components_reused = self.artifacts.shard_count();
+                if priority_ops > 0 && self.artifacts.ccp_union.is_some() {
+                    // ccp Hard shards follow conflict ∪ priority
+                    // connectivity, so priority edits alone can split
+                    // or merge them.
+                    self.artifacts.ccp_union = Some(SessionArtifacts::ccp_union_layout(
+                        &self.artifacts.cg,
+                        self.pi.priority(),
+                    ));
+                }
             }
         }
         debug_assert_eq!(
@@ -306,7 +327,15 @@ impl DeltaSession {
             content_fingerprint(&self.schema, &self.pi),
             "incremental fingerprint lanes diverged from the canonical composition"
         );
-        Ok(DeltaReport { applied: ops.len(), inserts, deletes, priority_ops, rebuilt })
+        Ok(DeltaReport {
+            applied: ops.len(),
+            inserts,
+            deletes,
+            priority_ops,
+            rebuilt,
+            components_total: self.artifacts.shard_count(),
+            components_reused,
+        })
     }
 
     /// Validates the op sequence against a content-keyed simulation of
@@ -513,7 +542,10 @@ impl DeltaSession {
     /// Blocks of the touched single-FD relation are edited in place
     /// (canonical order makes the patch bit-identical to a rebuild);
     /// blocks of *other* relations are only id-remapped on deletes.
-    fn apply_op_patched(&mut self, op: &DeltaOp) {
+    /// `tracker` records which pre-batch components the op dirtied, so
+    /// [`finish_structural_batch`](Self::finish_structural_batch) can
+    /// skip the clean shards.
+    fn apply_op_patched(&mut self, op: &DeltaOp, tracker: &mut ShardTracker) {
         match op {
             DeltaOp::InsertFact(f) => {
                 let rel = f.rel();
@@ -522,6 +554,7 @@ impl DeltaSession {
                 let inst = self.pi.instance();
                 let id = inst.id_of(f).expect("just inserted");
                 self.artifacts.cg.insert_fact(&self.schema, inst, id);
+                tracker.record_insert();
                 for dom in &mut self.artifacts.rel_domains {
                     dom.grow(inst.len());
                 }
@@ -541,6 +574,7 @@ impl DeltaSession {
                         blocks.remove(self.pi.instance(), fd, id);
                     }
                 }
+                tracker.record_delete(&self.artifacts, id);
                 self.apply_op_data(op);
                 self.artifacts.cg.remove_fact(id);
                 for dom in &mut self.artifacts.rel_domains {
@@ -568,14 +602,58 @@ impl DeltaSession {
         None
     }
 
-    /// Re-derives the batch-amortized artifacts after structural ops:
-    /// CSR packing and components from the patched bitset graph, and
-    /// fresh Lemma 4.2 blocks for every touched single-FD relation.
-    fn finish_structural_batch(&mut self) {
+    /// Re-derives the batch-amortized artifacts after structural ops,
+    /// scoped to the shards the batch dirtied: CSR rows are remapped
+    /// (not re-derived) for facts whose adjacency is unchanged, the
+    /// component DFS re-runs only inside touched components, and clean
+    /// shards are renumbered in place. Returns the number of nontrivial
+    /// components reused without a re-derivation.
+    fn finish_structural_batch(&mut self, tracker: ShardTracker) -> usize {
+        let ShardTracker { new_to_old, mut touched } = tracker;
         let art = &mut self.artifacts;
-        art.csr = CsrConflictGraph::from_graph(&art.cg);
-        art.nontrivial_components =
-            art.csr.components().into_iter().filter(|c| c.len() > 1).collect();
+        let n_new = art.cg.len();
+        debug_assert_eq!(n_new, new_to_old.len());
+        let n_old = art.components.universe();
+        let mut old_to_new = vec![u32::MAX; n_old];
+        for (i, &o) in new_to_old.iter().enumerate() {
+            if o != u32::MAX {
+                old_to_new[o as usize] = i as u32;
+            }
+        }
+        // Rows that changed shape: inserted facts and their neighbors.
+        // An inserted fact can also *merge* components, so its
+        // surviving neighbors' old components count as touched.
+        let mut rederive = FactSet::empty(n_new);
+        for (i, &o) in new_to_old.iter().enumerate() {
+            if o != u32::MAX {
+                continue;
+            }
+            let id = FactId(i as u32);
+            rederive.insert(id);
+            for g in art.cg.conflicts_of(id).iter() {
+                rederive.insert(g);
+                let g_old = new_to_old[g.index()];
+                if g_old != u32::MAX {
+                    touched[art.components.component_of(FactId(g_old))] = true;
+                }
+            }
+        }
+        let csr = CsrConflictGraph::patched(&art.csr, &art.cg, &old_to_new, &new_to_old, &rederive);
+        debug_assert!(
+            csr == CsrConflictGraph::from_graph(&art.cg),
+            "patched CSR diverged from a from-scratch packing"
+        );
+        let (components, reused) =
+            ComponentLayout::patched(&art.components, &csr, &old_to_new, &new_to_old, &touched);
+        debug_assert!(
+            components == ComponentLayout::from_csr(&csr),
+            "patched component layout diverged from a from-scratch derivation"
+        );
+        art.csr = csr;
+        art.components = components;
+        if art.ccp_union.is_some() {
+            art.ccp_union = Some(SessionArtifacts::ccp_union_layout(&art.cg, self.pi.priority()));
+        }
         if let Plan::Classical(class) = &art.plan {
             let inst = self.pi.instance();
             for (rel, rc) in class.per_relation() {
@@ -586,6 +664,50 @@ impl DeltaSession {
                     }
                 }
             }
+        }
+        reused
+    }
+
+    /// Number of nontrivial conflict components (session shards) in the
+    /// current state — the serve layer's `rpr_session_components`
+    /// gauge.
+    pub fn shard_count(&self) -> usize {
+        self.artifacts.shard_count()
+    }
+}
+
+/// Per-batch dirty-shard bookkeeping for the patched delta path: the
+/// dense id renumbering accumulated so far (`new_to_old`) plus which
+/// pre-batch components were structurally touched. Deletes dirty the
+/// deleted fact's whole component (removing a bridge fact can split
+/// it); inserts are resolved at batch finish from the final adjacency
+/// (an insert can merge several components).
+struct ShardTracker {
+    /// Current id → pre-batch id; `u32::MAX` for facts inserted by
+    /// this batch.
+    new_to_old: Vec<u32>,
+    /// Pre-batch component index → dirtied by this batch.
+    touched: Vec<bool>,
+}
+
+impl ShardTracker {
+    fn new(artifacts: &SessionArtifacts) -> Self {
+        ShardTracker {
+            new_to_old: (0..artifacts.components.universe() as u32).collect(),
+            touched: vec![false; artifacts.components.len()],
+        }
+    }
+
+    /// Records an append (the new fact holds the maximal id).
+    fn record_insert(&mut self) {
+        self.new_to_old.push(u32::MAX);
+    }
+
+    /// Records a delete of the *current* id `d`, before renumbering.
+    fn record_delete(&mut self, artifacts: &SessionArtifacts, d: FactId) {
+        let old = self.new_to_old.remove(d.index());
+        if old != u32::MAX {
+            self.touched[artifacts.components.component_of(FactId(old))] = true;
         }
     }
 }

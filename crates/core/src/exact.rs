@@ -82,8 +82,33 @@ pub(crate) fn check_global_exact_stop(
     // maximal consistent subsets of `domain` by branching over its
     // facts; each leaf is tested as a global improvement.
     let facts: Vec<_> = domain.iter().collect();
-    let mut current = FactSet::empty(j.universe());
+    Ok(match exhaustive_improvement(cg, priority, &facts, j, budget)? {
+        Some(imp) => {
+            debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
+            CheckOutcome::Improvable(imp)
+        }
+        None => CheckOutcome::Optimal,
+    })
+}
 
+/// The exhaustive core: branches over `facts` (sorted ascending),
+/// enumerating the maximal consistent subsets of that universe, and
+/// returns the first global improvement of `j` found, if any.
+///
+/// `j` must be the candidate restricted to the same universe as
+/// `facts`. Sessions call this once per conflict component (`facts` =
+/// the component's members, `j` = the candidate ∩ component):
+/// improvements never span components, so a component-local hit is a
+/// valid global improvement, and the search pays `2^|component|`
+/// instead of `2^|domain|`. One work unit is charged per recursion
+/// node.
+pub(crate) fn exhaustive_improvement(
+    cg: &ConflictGraph,
+    priority: &PriorityRelation,
+    facts: &[rpr_data::FactId],
+    j: &FactSet,
+    budget: &Budget,
+) -> Result<Option<Improvement>, Stop> {
     struct Search<'a> {
         cg: &'a ConflictGraph,
         priority: &'a PriorityRelation,
@@ -100,7 +125,7 @@ pub(crate) fn check_global_exact_stop(
             }
             self.budget.step()?;
             if idx == self.facts.len() {
-                // Maximality within the domain.
+                // Maximality within the branching universe.
                 let maximal = self
                     .facts
                     .iter()
@@ -127,15 +152,10 @@ pub(crate) fn check_global_exact_stop(
         }
     }
 
-    let mut search = Search { cg, priority, j, facts: &facts, budget, found: None };
+    let mut current = FactSet::empty(j.universe());
+    let mut search = Search { cg, priority, j, facts, budget, found: None };
     search.recurse(0, &mut current)?;
-    Ok(match search.found {
-        Some(imp) => {
-            debug_assert!(imp.is_valid_global_improvement(cg, priority, j));
-            CheckOutcome::Improvable(imp)
-        }
-        None => CheckOutcome::Optimal,
-    })
+    Ok(search.found)
 }
 
 #[cfg(test)]

@@ -226,6 +226,101 @@ impl FdBlocks {
     }
 }
 
+/// Per-group-range evaluation of the three 1FD phases, produced by
+/// [`eval_1fd_groups`] so sessions can fan the group axis out over
+/// workers and reduce deterministically (see
+/// `CheckSession::check_1fd_sharded`).
+pub(crate) struct GroupRangeEval {
+    /// Minimal-`f` consistency witness among the range's groups.
+    pub incons: Option<(FactId, FactId)>,
+    /// Minimal addable fact among the range's groups.
+    pub max_wit: Option<FactId>,
+    /// First improvable `(group index, witness)` in the range, in group
+    /// then block order.
+    pub improvable: Option<(usize, Improvement)>,
+}
+
+/// Evaluates consistency, maximality, and the block-swap scan for the
+/// groups in `range` only. Reducing range results hierarchically —
+/// min-by-`f` inconsistency first, then min maximality witness, then
+/// the improvable hit with the smallest group index — reproduces the
+/// sequential [`check_global_1fd_with_blocks`] verdict and witness
+/// exactly, because that function's phases are themselves global
+/// min-reductions (consistency, maximality) or first-in-group-order
+/// scans (improvability).
+pub(crate) fn eval_1fd_groups(
+    priority: &PriorityRelation,
+    blocks: &FdBlocks,
+    j: &FactSet,
+    range: std::ops::Range<usize>,
+) -> GroupRangeEval {
+    let mut out = GroupRangeEval { incons: None, max_wit: None, improvable: None };
+    for gi in range {
+        let group = &blocks.groups[gi];
+        // Phase 1: the two minimal j-members in distinct blocks.
+        if group.len() >= 2 {
+            let mut lo: Option<FactId> = None;
+            let mut hi: Option<FactId> = None;
+            for block in group {
+                let Some(&m) = block.iter().find(|id| j.contains(**id)) else {
+                    continue;
+                };
+                match lo {
+                    None => lo = Some(m),
+                    Some(f0) if m < f0 => {
+                        lo = Some(m);
+                        hi = Some(hi.map_or(f0, |h| h.min(f0)));
+                    }
+                    Some(_) => hi = Some(hi.map_or(m, |h| h.min(m))),
+                }
+            }
+            if let (Some(f), Some(g)) = (lo, hi) {
+                if out.incons.is_none_or(|(bf, _)| f < bf) {
+                    out.incons = Some((f, g));
+                }
+            }
+        }
+        // Phase 2: minimal addable fact (meaningful only when the
+        // reduce finds no inconsistency anywhere).
+        let j_block = group.iter().position(|b| b.iter().any(|id| j.contains(*id)));
+        let candidate = match j_block {
+            None => group.iter().flatten().copied().min(),
+            Some(bf) => group[bf].iter().copied().find(|id| !j.contains(*id)),
+        };
+        if let Some(c) = candidate {
+            if out.max_wit.is_none_or(|b| c < b) {
+                out.max_wit = Some(c);
+            }
+        }
+        // Phase 3: first improvable block swap in this group.
+        if out.improvable.is_some() || group.len() < 2 {
+            continue;
+        }
+        let Some(bf) = j_block else { continue };
+        let removed: Vec<FactId> = group[bf].iter().copied().filter(|id| j.contains(*id)).collect();
+        for (bg, block) in group.iter().enumerate() {
+            if bg == bf {
+                continue;
+            }
+            let improves =
+                removed.iter().all(|&f_prime| block.iter().any(|&g| priority.prefers(g, f_prime)));
+            if improves {
+                let mut rem = FactSet::empty(j.universe());
+                for &f in &removed {
+                    rem.insert(f);
+                }
+                let mut add = FactSet::empty(j.universe());
+                for &g in block {
+                    add.insert(g);
+                }
+                out.improvable = Some((gi, Improvement { removed: rem, added: add }));
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// Runs `GRepCheck1FD` for the facts in `domain` (one relation), under
 /// the single FD `fd` to which `Δ|R` is equivalent.
 ///
@@ -408,6 +503,47 @@ mod tests {
                 let scan_max =
                     i.full_set().difference(&j).iter().find(|&g| !cg.conflicts_with_set(g, &j));
                 assert_eq!(blocks.maximality_witness(&j), scan_max, "J = {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_eval_reduce_matches_sequential_on_every_subset() {
+        // Split the groups into every possible two-range partition and
+        // check that the hierarchical reduce reproduces the sequential
+        // verdict and witness on every candidate subset.
+        let (schema, i, fd) = bookloc();
+        let cg = ConflictGraph::new(&schema, &i);
+        let p = PriorityRelation::new(i.len(), [(FactId(2), FactId(0)), (FactId(2), FactId(1))])
+            .unwrap();
+        let blocks = FdBlocks::build(&i, fd, &i.full_set());
+        let n_groups = blocks.groups().len();
+        for bits in 0u32..(1 << i.len()) {
+            let j = i.set_of((0..i.len() as u32).filter(|b| bits >> b & 1 == 1).map(FactId));
+            let sequential = check_global_1fd_with_blocks(&cg, &p, &blocks, &j);
+            for split in 0..=n_groups {
+                let parts = [
+                    eval_1fd_groups(&p, &blocks, &j, 0..split),
+                    eval_1fd_groups(&p, &blocks, &j, split..n_groups),
+                ];
+                let incons = parts.iter().filter_map(|e| e.incons).min_by_key(|&(f, _)| f);
+                let reduced = if let Some((f, g)) = incons {
+                    CheckOutcome::Inconsistent(f, g)
+                } else if let Some(g) = parts.iter().filter_map(|e| e.max_wit).min() {
+                    let mut added = FactSet::empty(j.universe());
+                    added.insert(g);
+                    CheckOutcome::Improvable(Improvement {
+                        removed: FactSet::empty(j.universe()),
+                        added,
+                    })
+                } else if let Some((_, imp)) =
+                    parts.into_iter().filter_map(|e| e.improvable).min_by_key(|&(gi, _)| gi)
+                {
+                    CheckOutcome::Improvable(imp)
+                } else {
+                    CheckOutcome::Optimal
+                };
+                assert_eq!(reduced, sequential, "J = {bits:b}, split at {split}");
             }
         }
     }

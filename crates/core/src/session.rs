@@ -51,18 +51,19 @@
 //! of a degraded batch are bit-identical to an unbounded run too.
 
 use crate::checker::DEFAULT_EXACT_BUDGET;
-use crate::exact::check_global_exact_stop;
-use crate::global_1fd::{check_global_1fd_with_blocks, FdBlocks};
+use crate::exact::exhaustive_improvement;
+use crate::global_1fd::{check_global_1fd_with_blocks, eval_1fd_groups, FdBlocks};
 use crate::global_2keys::check_global_2keys;
 use crate::global_ccp_const::check_global_ccp_const;
 use crate::global_ccp_pk::check_global_ccp_pk;
-use crate::improvement::{BudgetExceeded, CheckOutcome};
+use crate::improvement::{BudgetExceeded, CheckOutcome, Improvement};
+use crate::pareto::find_pareto_improvement;
 use rpr_classify::{
     classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
 };
 use rpr_data::{FactId, FactSet, Instance};
 use rpr_engine::{Budget, Outcome, PanicReport, Stop};
-use rpr_fd::{ConflictGraph, CsrConflictGraph, Schema};
+use rpr_fd::{ComponentLayout, ConflictGraph, CsrConflictGraph, Schema};
 use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -137,9 +138,16 @@ pub struct SessionArtifacts {
     /// grouping is candidate-independent, so it is built once here
     /// instead of on every check.
     pub(crate) rel_blocks: Vec<Option<FdBlocks>>,
-    /// Connected components with ≥ 2 members, ordered by minimal
-    /// member; singletons can never witness an inconsistency.
-    pub(crate) nontrivial_components: Vec<Vec<FactId>>,
+    /// The connected components of the conflict graph, CSR-packed.
+    /// Shards: the consistency pre-pass, the per-component exact
+    /// fall-back, and the delta layer's dirty-component tracking all
+    /// schedule over this partition.
+    pub(crate) components: ComponentLayout,
+    /// Components of the *union* graph (conflict ∪ priority edges),
+    /// built only for cross-conflict Hard plans: ccp priorities may
+    /// join facts that never conflict, so the exact fall-back must
+    /// decompose along union connectivity to stay sound.
+    pub(crate) ccp_union: Option<ComponentLayout>,
 }
 
 impl SessionArtifacts {
@@ -153,13 +161,35 @@ impl SessionArtifacts {
         Self::build_with_plan(schema, pi, plan)
     }
 
+    /// The one shared derivation of the candidate-independent graph
+    /// structure: CSR packing plus the component shard layout. Both the
+    /// cold build below and the delta layer's rebuild path go through
+    /// here, so the shard layout has a single home.
+    pub(crate) fn derive_structure(cg: &ConflictGraph) -> (CsrConflictGraph, ComponentLayout) {
+        let csr = CsrConflictGraph::from_graph(cg);
+        let components = ComponentLayout::from_csr(&csr);
+        (csr, components)
+    }
+
+    /// The union-graph (conflict ∪ priority) component layout a ccp
+    /// Hard plan decomposes its exact search over. Rebuilt by the delta
+    /// layer whenever structure or priority changes.
+    pub(crate) fn ccp_union_layout(
+        cg: &ConflictGraph,
+        priority: &PriorityRelation,
+    ) -> ComponentLayout {
+        ComponentLayout::from_edges(
+            cg.len(),
+            cg.edges().into_iter().chain(priority.edges().iter().copied()),
+        )
+    }
+
     fn build_with_plan(schema: &Schema, pi: &PrioritizedInstance, plan: Plan) -> Self {
         let instance = pi.instance();
         let cg = ConflictGraph::new(schema, instance);
-        let csr = CsrConflictGraph::from_graph(&cg);
+        let (csr, components) = Self::derive_structure(&cg);
         let rel_domains: Vec<FactSet> =
             schema.signature().rel_ids().map(|rel| instance.rel_set(rel)).collect();
-        let nontrivial_components = csr.components().into_iter().filter(|c| c.len() > 1).collect();
         let mut rel_blocks: Vec<Option<FdBlocks>> =
             schema.signature().rel_ids().map(|_| None).collect();
         if let Plan::Classical(class) = &plan {
@@ -170,7 +200,11 @@ impl SessionArtifacts {
                 }
             }
         }
-        SessionArtifacts { cg, csr, plan, rel_domains, rel_blocks, nontrivial_components }
+        let ccp_union = match &plan {
+            Plan::Ccp(CcpClass::Hard { .. }) => Some(Self::ccp_union_layout(&cg, pi.priority())),
+            _ => None,
+        };
+        SessionArtifacts { cg, csr, plan, rel_domains, rel_blocks, components, ccp_union }
     }
 
     /// The complexity of checking under the cached classification.
@@ -195,6 +229,18 @@ impl SessionArtifacts {
     /// The CSR conflict graph (maximality-cover emission).
     pub(crate) fn csr_graph(&self) -> &CsrConflictGraph {
         &self.csr
+    }
+
+    /// The component shard layout (conflict connectivity).
+    pub fn components(&self) -> &ComponentLayout {
+        &self.components
+    }
+
+    /// Number of nontrivial conflict components — the session's
+    /// parallel scheduling units (the serve layer exports this as the
+    /// `rpr_session_components` gauge).
+    pub fn shard_count(&self) -> usize {
+        self.components.nontrivial().len()
     }
 }
 
@@ -449,7 +495,7 @@ impl<'a> CheckSession<'a> {
         }
         match &self.art.plan {
             Plan::Classical(class) => self.check_classical(class, j, jobs, exact),
-            Plan::Ccp(class) => self.check_ccp(class, j, exact),
+            Plan::Ccp(class) => self.check_ccp(class, j, jobs, exact),
         }
     }
 
@@ -457,22 +503,24 @@ impl<'a> CheckSession<'a> {
     /// conflict partner — exactly the witness the sequential loop
     /// `for f in j.iter() { cg.conflicts_in(f, j).first() }` finds.
     fn consistency_witness(&self, j: &FactSet, jobs: usize) -> Option<(FactId, FactId)> {
-        let parallel = jobs > 1
-            && j.universe() >= PARALLEL_PREPASS_MIN_FACTS
-            && self.art.nontrivial_components.len() > 1;
+        let nontrivial = self.art.components.nontrivial();
+        let parallel =
+            jobs > 1 && j.universe() >= PARALLEL_PREPASS_MIN_FACTS && nontrivial.len() > 1;
         if !parallel {
             return j.iter().find_map(|f| self.art.csr.first_conflict_in(f, j).map(|g| (f, g)));
         }
         // Conflicts never leave a component, so each component can be
         // scanned independently; the global witness is the one with the
-        // minimal inconsistent fact.
-        let per_component =
-            rethrow(self.fan_out_n(jobs, self.art.nontrivial_components.len(), |c| {
-                self.art.nontrivial_components[c]
-                    .iter()
-                    .filter(|f| j.contains(**f))
-                    .find_map(|&f| self.art.csr.first_conflict_in(f, j).map(|g| (f, g)))
-            }));
+        // minimal inconsistent fact. Singleton components have no
+        // conflicts and are skipped wholesale.
+        let per_component = rethrow(self.fan_out_n(jobs, nontrivial.len(), |c| {
+            self.art
+                .components
+                .component(nontrivial[c] as usize)
+                .iter()
+                .filter(|f| j.contains(**f))
+                .find_map(|&f| self.art.csr.first_conflict_in(f, j).map(|g| (f, g)))
+        }));
         per_component.into_iter().flatten().min_by_key(|&(f, _)| f)
     }
 
@@ -488,9 +536,10 @@ impl<'a> CheckSession<'a> {
             // Evaluate all relations concurrently, then scan in
             // `per_relation()` order: the first error or non-optimal
             // outcome is exactly what the sequential early exit
-            // returns.
+            // returns. Each relation task runs its shards sequentially
+            // — the relations themselves are the parallel unit here.
             let outcomes = rethrow(
-                self.fan_out_n(jobs, rels.len(), |i| self.check_relation(&rels[i], j, exact)),
+                self.fan_out_n(jobs, rels.len(), |i| self.check_relation(&rels[i], j, 1, exact)),
             );
             for outcome in outcomes {
                 match outcome? {
@@ -499,8 +548,11 @@ impl<'a> CheckSession<'a> {
                 }
             }
         } else {
+            // A single classified relation (or sequential mode): route
+            // the jobs knob down so the relation's own shards fan out —
+            // intra-candidate parallelism.
             for rc in rels {
-                let outcome = self.check_relation(rc, j, exact)?;
+                let outcome = self.check_relation(rc, j, jobs, exact)?;
                 if !outcome.is_optimal() {
                     return Ok(outcome);
                 }
@@ -513,6 +565,7 @@ impl<'a> CheckSession<'a> {
         &self,
         (rel, class): &(rpr_data::RelId, RelationClass),
         j: &FactSet,
+        jobs: usize,
         exact: ExactCtl<'_>,
     ) -> Result<CheckOutcome, Stop> {
         let instance = self.pi.instance();
@@ -529,12 +582,19 @@ impl<'a> CheckSession<'a> {
                 let blocks = self.art.rel_blocks[rel.index()]
                     .as_ref()
                     .expect("blocks cached for every single-FD relation");
-                check_global_1fd_with_blocks(&self.art.cg, priority, blocks, &j_rel)
+                self.check_1fd_sharded(priority, blocks, &j_rel, jobs)
             }
             RelationClass::TwoKeys(a1, a2) => {
                 check_global_2keys(instance, &self.art.cg, priority, *a1, *a2, domain, &j_rel)
             }
-            RelationClass::Hard(_) => self.check_exact(priority, domain, &j_rel, exact)?,
+            RelationClass::Hard(_) => self.check_exact_sharded(
+                priority,
+                domain,
+                &j_rel,
+                exact,
+                jobs,
+                &self.art.components,
+            )?,
         })
     }
 
@@ -542,6 +602,7 @@ impl<'a> CheckSession<'a> {
         &self,
         class: &CcpClass,
         j: &FactSet,
+        jobs: usize,
         exact: ExactCtl<'_>,
     ) -> Result<CheckOutcome, Stop> {
         let instance = self.pi.instance();
@@ -554,30 +615,149 @@ impl<'a> CheckSession<'a> {
             CcpClass::ConstantAttributeAssignment(consts) => {
                 check_global_ccp_const(instance, &self.art.cg, priority, consts, j)
             }
-            CcpClass::Hard { .. } => self.check_exact(priority, &instance.full_set(), j, exact)?,
+            CcpClass::Hard { .. } => {
+                // Plain conflict components are NOT sound shards here:
+                // ccp priority edges may cross them, and a lost fact's
+                // beater could then live in another conflict component.
+                // The union layout (conflict ∪ priority connectivity)
+                // restores locality.
+                let layout = self
+                    .art
+                    .ccp_union
+                    .as_ref()
+                    .expect("union layout cached for every ccp Hard plan");
+                self.check_exact_sharded(priority, &instance.full_set(), j, exact, jobs, layout)?
+            }
         })
     }
 
-    /// The exponential fall-back, metered per `exact`. Legacy mode
-    /// arms a fresh private allowance per call — each hard relation
-    /// historically got its own `exact_budget` — while engine mode
-    /// charges the one shared budget.
-    fn check_exact(
+    /// The single-FD check with its group axis fanned out: each worker
+    /// evaluates a contiguous group range, and the hierarchical reduce
+    /// (min-`f` inconsistency, then min maximality witness, then the
+    /// improvable hit with the smallest group index) reproduces the
+    /// sequential verdict and witness exactly.
+    fn check_1fd_sharded(
+        &self,
+        priority: &PriorityRelation,
+        blocks: &FdBlocks,
+        j_rel: &FactSet,
+        jobs: usize,
+    ) -> CheckOutcome {
+        let n_groups = blocks.groups().len();
+        let parallel = jobs > 1 && n_groups > 1 && j_rel.universe() >= PARALLEL_PREPASS_MIN_FACTS;
+        if !parallel {
+            return check_global_1fd_with_blocks(&self.art.cg, priority, blocks, j_rel);
+        }
+        let workers = jobs.min(n_groups);
+        let chunk = n_groups.div_ceil(workers);
+        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (w * chunk).min(n_groups)..((w + 1) * chunk).min(n_groups))
+            .collect();
+        let parts = rethrow(self.fan_out_n(jobs, ranges.len(), |i| {
+            eval_1fd_groups(priority, blocks, j_rel, ranges[i].clone())
+        }));
+        if let Some((f, g)) = parts.iter().filter_map(|e| e.incons).min_by_key(|&(f, _)| f) {
+            debug_assert!(self.art.cg.conflicting(f, g));
+            return CheckOutcome::Inconsistent(f, g);
+        }
+        if let Some(g) = parts.iter().filter_map(|e| e.max_wit).min() {
+            debug_assert!(!self.art.cg.conflicts_with_set(g, j_rel));
+            let mut added = FactSet::empty(j_rel.universe());
+            added.insert(g);
+            return CheckOutcome::Improvable(Improvement {
+                removed: FactSet::empty(j_rel.universe()),
+                added,
+            });
+        }
+        match parts.into_iter().filter_map(|e| e.improvable).min_by_key(|&(gi, _)| gi) {
+            Some((_, imp)) => {
+                debug_assert!(imp.is_valid_global_improvement(&self.art.cg, priority, j_rel));
+                CheckOutcome::Improvable(imp)
+            }
+            None => CheckOutcome::Optimal,
+        }
+    }
+
+    /// The exponential fall-back, decomposed over `layout`'s nontrivial
+    /// components and metered per `exact`.
+    ///
+    /// Soundness: after the whole-domain consistency and Pareto
+    /// pre-checks pass, any global improvement exchanges facts inside a
+    /// single component (conflict components classically; union
+    /// components in ccp mode, where priority edges also bind), so the
+    /// search runs per shard — `2^(max component size)` instead of
+    /// `2^(domain size)` — and a component-local hit is returned as the
+    /// global witness.
+    ///
+    /// Legacy metering arms a fresh private allowance per *shard*
+    /// (mirroring the historical per-relation semantics one level
+    /// down), which keeps `Exceeded` deterministic at every `jobs`
+    /// setting; engine metering charges the one shared budget, so the
+    /// exact trip point under parallelism is as scheduling-dependent as
+    /// it already was across relations and batch candidates.
+    fn check_exact_sharded(
         &self,
         priority: &PriorityRelation,
         domain: &FactSet,
         j_rel: &FactSet,
         exact: ExactCtl<'_>,
+        jobs: usize,
+        layout: &ComponentLayout,
     ) -> Result<CheckOutcome, Stop> {
-        match exact {
-            ExactCtl::Legacy(steps) => {
-                let b = Budget::unlimited().with_max_work(steps as u64);
-                check_global_exact_stop(&self.art.cg, priority, domain, j_rel, &b)
-            }
-            ExactCtl::Engine(budget) => {
-                check_global_exact_stop(&self.art.cg, priority, domain, j_rel, budget)
+        // Whole-domain pre-checks, bit-identical to the one-shot
+        // `check_global_exact` witnesses.
+        for f in j_rel.iter() {
+            if let Some(g) = self.art.cg.conflicts_in(f, j_rel).first() {
+                return Ok(CheckOutcome::Inconsistent(f, g));
             }
         }
+        if let Some(imp) = find_pareto_improvement(&self.art.cg, priority, j_rel, domain) {
+            return Ok(CheckOutcome::Improvable(imp));
+        }
+        // Components never span relations, so a shard is relevant iff
+        // its lead fact lies in this relation's domain (ccp passes the
+        // full set and keeps every shard). Trivial components cannot
+        // host an improvement: a conflict-free (and, in ccp, priority-
+        // free) fact belongs to every repair and beats nothing.
+        let shards: Vec<usize> = layout
+            .nontrivial()
+            .iter()
+            .map(|&c| c as usize)
+            .filter(|&c| domain.contains(layout.component(c)[0]))
+            .collect();
+        let search = |c: usize| -> Result<Option<Improvement>, Stop> {
+            let comp = layout.component_set(c);
+            let j_c = j_rel.intersect(&comp);
+            let facts = layout.component(c);
+            match exact {
+                ExactCtl::Legacy(steps) => {
+                    let b = Budget::unlimited().with_max_work(steps as u64);
+                    exhaustive_improvement(&self.art.cg, priority, facts, &j_c, &b)
+                }
+                ExactCtl::Engine(budget) => {
+                    exhaustive_improvement(&self.art.cg, priority, facts, &j_c, budget)
+                }
+            }
+        };
+        if jobs > 1 && shards.len() > 1 {
+            // All shards run concurrently; scanning the results in
+            // component order reproduces the sequential early exit.
+            let results = rethrow(self.fan_out_n(jobs, shards.len(), |i| search(shards[i])));
+            for r in results {
+                if let Some(imp) = r? {
+                    debug_assert!(imp.is_valid_global_improvement(&self.art.cg, priority, j_rel));
+                    return Ok(CheckOutcome::Improvable(imp));
+                }
+            }
+        } else {
+            for &c in &shards {
+                if let Some(imp) = search(c)? {
+                    debug_assert!(imp.is_valid_global_improvement(&self.art.cg, priority, j_rel));
+                    return Ok(CheckOutcome::Improvable(imp));
+                }
+            }
+        }
+        Ok(CheckOutcome::Optimal)
     }
 
     /// Runs `task(0..n_tasks)` on up to `self.jobs` scoped workers and

@@ -56,20 +56,49 @@ fn assert_prompt_deadline_trip<T: std::fmt::Debug>(
     );
 }
 
-/// A blowup instance for S6 = {∅→1, 2→3}: the first attribute is
-/// constant (so ∅→1 induces no conflicts) and every `b` group is a
-/// clique of `c` values under 2→3 — `members^groups` repairs.
-fn dense_const_first(schema: &Schema, groups: usize, members: usize) -> Instance {
+/// Fills a ternary relation from explicit symbolic rows.
+fn ternary_rows(schema: &Schema, rows: impl IntoIterator<Item = [String; 3]>) -> Instance {
     let name = schema.signature().symbol(rpr_data::RelId(0)).name().to_owned();
     let mut i = Instance::new(schema.signature().clone());
-    let v = |s: String| Value::sym(&s);
-    for b in 0..groups {
-        for c in 0..members {
-            i.insert_named(&name, [v("k".to_owned()), v(format!("b{b}")), v(format!("c{c}"))])
-                .unwrap();
-        }
+    for [a, b, c] in rows {
+        i.insert_named(&name, [Value::sym(&a), Value::sym(&b), Value::sym(&c)]).unwrap();
     }
     i
+}
+
+/// A blowup instance whose exponential search space lives inside ONE
+/// conflict component. The session checker decomposes the exact search
+/// per component, so a blowup spread across many small components
+/// (a product of cheap per-component searches) no longer blows up —
+/// the corpus must concentrate it.
+fn single_component_blowup(i: usize, schema: &Schema) -> Instance {
+    match i {
+        // S3 = {12→3, 3→2}: per-group cliques over `c` (12→3) glued
+        // together by shared `c` values across groups (3→2). Maximal
+        // repairs pick a near-injective group → c assignment.
+        3 => ternary_rows(
+            schema,
+            (0..18).flat_map(|g| {
+                (0..6).map(move |c| [format!("a{g}"), format!("b{g}"), format!("c{c}")])
+            }),
+        ),
+        // S5 = {1→3, 2→3}: a single K_{50,50} under 2→3 (same `b`,
+        // two `c` classes); `a` unique so 1→3 stays silent.
+        5 => ternary_rows(
+            schema,
+            (0..100).map(|n| [format!("a{n}"), "b".to_owned(), format!("c{}", n % 2)]),
+        ),
+        // S6 = {∅→1, 2→3}: two `a` values join everything into one
+        // component via ∅→1; within a side, per-`b` cliques under 2→3
+        // keep `members^groups` maximal choices.
+        6 => ternary_rows(
+            schema,
+            (0..18).flat_map(|g| {
+                (0..6).map(move |c| [format!("k{}", g % 2), format!("b{g}"), format!("c{c}")])
+            }),
+        ),
+        _ => dense_ternary(schema, 18, 6),
+    }
 }
 
 #[test]
@@ -78,9 +107,9 @@ fn hard_schemas_trip_the_deadline_promptly() {
     for i in 1..=6 {
         let schema = hard_schema(i);
         // Sized so even the release-mode exact search cannot finish
-        // inside the deadline (the search space grows as members^groups).
-        let instance =
-            if i == 6 { dense_const_first(&schema, 18, 6) } else { dense_ternary(&schema, 18, 6) };
+        // inside the deadline, with the blowup concentrated in a
+        // single conflict component (see `single_component_blowup`).
+        let instance = single_component_blowup(i, &schema);
         let cg = ConflictGraph::new(&schema, &instance);
         // An empty priority makes every repair globally optimal, so
         // confirming the candidate forces the full exponential search.
@@ -100,7 +129,18 @@ fn ccp_hard_schemas_trip_the_deadline_promptly() {
     let deadline = Duration::from_millis(60);
     for x in ['b', 'c'] {
         let schema = ccp_hard_schema(x);
-        let instance = dense_ternary(&schema, 18, 6);
+        // Sb = {1→2} alone splits `dense_ternary` into per-`a` cliques
+        // that the per-component search polishes off instantly; a
+        // single K_{50,50} (one `a` group, two `b` classes told apart
+        // by unique `c`s) keeps the blowup inside one component.
+        let instance = if x == 'b' {
+            ternary_rows(
+                &schema,
+                (0..100).map(|n| ["a".to_owned(), format!("b{}", n % 2), format!("c{n}")]),
+            )
+        } else {
+            dense_ternary(&schema, 18, 6)
+        };
         let cg = ConflictGraph::new(&schema, &instance);
         let priority = PriorityRelation::empty(instance.len());
         let j = construct_globally_optimal_repair(&cg, &priority);

@@ -32,6 +32,7 @@ pub enum Row<'a> {
 }
 
 /// Hybrid CSR / bitset conflict adjacency. See the module docs.
+#[derive(Clone, PartialEq)]
 pub struct CsrConflictGraph {
     n: usize,
     /// `offsets[i]..offsets[i+1]` indexes `neighbors` for sparse rows;
@@ -173,50 +174,358 @@ impl CsrConflictGraph {
         set.iter().all(|id| !self.conflicts_with_set(id, set))
     }
 
-    /// The connected components of the conflict graph, each as the
-    /// sorted list of member fact ids, ordered by their minimal member.
-    /// Isolated vertices (degree 0) form singleton components and are
-    /// included.
+    /// Incrementally repack after a structural delta batch, reusing the
+    /// neighbor lists of rows the batch did not touch.
     ///
-    /// Sessions use components as parallel scheduling units; the
-    /// ordering makes the partition deterministic.
-    pub fn components(&self) -> Vec<Vec<FactId>> {
-        let mut comp = vec![u32::MAX; self.n];
-        let mut out: Vec<Vec<FactId>> = Vec::new();
+    /// `cg` is the already-patched bitset graph (the source of truth),
+    /// `old` the pre-batch packing. Ids were densely renumbered by the
+    /// batch: `old_to_new[o]` maps a surviving old id to its new id
+    /// (`u32::MAX` if deleted) and `new_to_old[i]` the inverse
+    /// (`u32::MAX` for facts inserted by the batch). `rederive` holds
+    /// the new ids whose adjacency actually changed shape (inserted
+    /// facts and their neighbors); every other surviving sparse row is
+    /// produced by remapping the old list through `old_to_new`, which
+    /// costs `O(degree)` instead of an `O(n/64)` bitset walk.
+    ///
+    /// The result is bit-identical to `from_graph(cg)`.
+    pub fn patched(
+        old: &CsrConflictGraph,
+        cg: &ConflictGraph,
+        old_to_new: &[u32],
+        new_to_old: &[u32],
+        rederive: &FactSet,
+    ) -> Self {
+        let n = cg.len();
+        debug_assert_eq!(n, new_to_old.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut dense_idx = vec![SPARSE; n];
+        let mut dense_rows = Vec::new();
+        offsets.push(0u32);
+        for (i, slot) in dense_idx.iter_mut().enumerate() {
+            let o = new_to_old[i];
+            let remap: Option<&[u32]> = if o != u32::MAX && !rederive.contains(FactId(i as u32)) {
+                match old.row(FactId(o)) {
+                    // Deleted neighbors map to u32::MAX and are dropped
+                    // below; renumbering is order-preserving, so the
+                    // mapped list stays sorted.
+                    Row::Sparse(s) => Some(s),
+                    // An old dense row: the patched bitset row is the
+                    // same data, so fall through to the derive path.
+                    Row::Dense(_) => None,
+                }
+            } else {
+                None
+            };
+            match remap {
+                Some(s) => {
+                    let start = neighbors.len();
+                    neighbors.extend(
+                        s.iter().map(|&g| old_to_new[g as usize]).filter(|&g| g != u32::MAX),
+                    );
+                    let degree = neighbors.len() - start;
+                    if Self::is_dense(degree, n) {
+                        neighbors.truncate(start);
+                        *slot = dense_rows.len() as u32;
+                        dense_rows.push(cg.conflicts_of(FactId(i as u32)).clone());
+                    }
+                }
+                None => {
+                    let row = cg.conflicts_of(FactId(i as u32));
+                    if Self::is_dense(row.len(), n) {
+                        *slot = dense_rows.len() as u32;
+                        dense_rows.push(row.clone());
+                    } else {
+                        neighbors.extend(row.iter().map(|id| id.0));
+                    }
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        neighbors.shrink_to_fit();
+        CsrConflictGraph { n, offsets, neighbors, dense_idx, dense_rows }
+    }
+}
+
+/// Flat CSR-packed partition of the fact universe into connected
+/// components: component member lists concatenated into one fact array
+/// with offsets, plus the inverse fact → component index. Replaces the
+/// allocating `Vec<Vec<FactId>>` the sessions used to rebuild on every
+/// structural change.
+///
+/// Invariants (relied on for bit-identical scheduling at every `jobs`
+/// setting): members of a component are sorted ascending, components
+/// are ordered by their minimal member, and `nontrivial` lists the
+/// indices of components with ≥ 2 members in ascending order. Isolated
+/// vertices form singleton components and are included.
+#[derive(Clone, PartialEq)]
+pub struct ComponentLayout {
+    /// `offsets[c]..offsets[c+1]` indexes `facts` for component `c`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted member lists of all components.
+    facts: Vec<FactId>,
+    /// Fact id → component index.
+    comp_of: Vec<u32>,
+    /// Indices of components with ≥ 2 members, ascending.
+    nontrivial: Vec<u32>,
+}
+
+impl ComponentLayout {
+    /// Derives the connected components of a packed conflict graph.
+    pub fn from_csr(csr: &CsrConflictGraph) -> Self {
+        let n = csr.len();
+        let mut comp_of = vec![u32::MAX; n];
+        let mut offsets = Vec::with_capacity(16);
+        offsets.push(0u32);
+        let mut facts: Vec<FactId> = Vec::with_capacity(n);
+        let mut nontrivial = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
-        for i in 0..self.n {
-            if comp[i] != u32::MAX {
+        for i in 0..n {
+            if comp_of[i] != u32::MAX {
                 continue;
             }
-            let c = out.len() as u32;
-            comp[i] = c;
+            let c = (offsets.len() - 1) as u32;
+            comp_of[i] = c;
             stack.push(i as u32);
-            let mut members = Vec::new();
+            let start = facts.len();
             while let Some(v) = stack.pop() {
-                members.push(FactId(v));
-                match self.row(FactId(v)) {
+                facts.push(FactId(v));
+                match csr.row(FactId(v)) {
                     Row::Sparse(s) => {
                         for &g in s {
-                            if comp[g as usize] == u32::MAX {
-                                comp[g as usize] = c;
+                            if comp_of[g as usize] == u32::MAX {
+                                comp_of[g as usize] = c;
                                 stack.push(g);
                             }
                         }
                     }
                     Row::Dense(bits) => {
                         for g in bits.iter() {
-                            if comp[g.index()] == u32::MAX {
-                                comp[g.index()] = c;
+                            if comp_of[g.index()] == u32::MAX {
+                                comp_of[g.index()] = c;
                                 stack.push(g.0);
                             }
                         }
                     }
                 }
             }
-            members.sort_unstable();
-            out.push(members);
+            facts[start..].sort_unstable();
+            if facts.len() - start > 1 {
+                nontrivial.push(c);
+            }
+            offsets.push(facts.len() as u32);
+        }
+        ComponentLayout { offsets, facts, comp_of, nontrivial }
+    }
+
+    /// Derives components of the union graph given by an explicit edge
+    /// list over `n` vertices. Sessions use this for the cross-conflict
+    /// mode, where priority edges may join facts that never conflict,
+    /// so decomposition must follow conflict ∪ priority connectivity.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (FactId, FactId)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            if a != b {
+                adj[a.index()].push(b.0);
+                adj[b.index()].push(a.0);
+            }
+        }
+        let mut comp_of = vec![u32::MAX; n];
+        let mut offsets = Vec::with_capacity(16);
+        offsets.push(0u32);
+        let mut facts: Vec<FactId> = Vec::with_capacity(n);
+        let mut nontrivial = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if comp_of[i] != u32::MAX {
+                continue;
+            }
+            let c = (offsets.len() - 1) as u32;
+            comp_of[i] = c;
+            stack.push(i as u32);
+            let start = facts.len();
+            while let Some(v) = stack.pop() {
+                facts.push(FactId(v));
+                for &g in &adj[v as usize] {
+                    if comp_of[g as usize] == u32::MAX {
+                        comp_of[g as usize] = c;
+                        stack.push(g);
+                    }
+                }
+            }
+            facts[start..].sort_unstable();
+            if facts.len() - start > 1 {
+                nontrivial.push(c);
+            }
+            offsets.push(facts.len() as u32);
+        }
+        ComponentLayout { offsets, facts, comp_of, nontrivial }
+    }
+
+    /// Rebuilds the layout after a structural delta batch, re-running
+    /// the component DFS only inside components the batch touched.
+    ///
+    /// `touched_old[c]` marks pre-batch components that lost a member,
+    /// gained an edge to an inserted fact, or otherwise changed;
+    /// members of untouched components are renumbered in place (the
+    /// dense renumbering is order-preserving, so sortedness and the
+    /// min-member component order survive). Inserted facts (where
+    /// `new_to_old` is `u32::MAX`) are always re-derived.
+    ///
+    /// Returns the layout plus the number of untouched *nontrivial*
+    /// pre-batch components that were reused without a DFS — the
+    /// per-shard skip count surfaced through delta reports and serve
+    /// metrics. The result is bit-identical to `from_csr(csr)`.
+    pub fn patched(
+        old: &ComponentLayout,
+        csr: &CsrConflictGraph,
+        old_to_new: &[u32],
+        new_to_old: &[u32],
+        touched_old: &[bool],
+    ) -> (Self, usize) {
+        let n = csr.len();
+        debug_assert_eq!(n, new_to_old.len());
+        debug_assert_eq!(old.len(), touched_old.len());
+        // Canonical label of each fact's component: its minimal member.
+        let mut label = vec![u32::MAX; n];
+        let mut reused = 0usize;
+        for (c, &dirty) in touched_old.iter().enumerate() {
+            if dirty {
+                continue;
+            }
+            let members = old.component(c);
+            // Untouched components lost no members, so every mapping is
+            // live, and order preservation makes the first member the
+            // minimal one after renumbering too.
+            let lead = old_to_new[members[0].index()];
+            debug_assert_ne!(lead, u32::MAX);
+            for &m in members {
+                label[old_to_new[m.index()] as usize] = lead;
+            }
+            if members.len() > 1 {
+                reused += 1;
+            }
+        }
+        // DFS the touched region over the patched adjacency. Edges
+        // cannot escape into untouched components: an old edge would
+        // have put both endpoints in the same (touched) component, and
+        // new edges only involve inserted facts, whose neighbors'
+        // components are marked touched by the caller.
+        let mut visited = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut members: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if label[i] != u32::MAX || visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            stack.push(i as u32);
+            members.clear();
+            while let Some(v) = stack.pop() {
+                members.push(v);
+                match csr.row(FactId(v)) {
+                    Row::Sparse(s) => {
+                        for &g in s {
+                            if !visited[g as usize] {
+                                debug_assert_eq!(label[g as usize], u32::MAX);
+                                visited[g as usize] = true;
+                                stack.push(g);
+                            }
+                        }
+                    }
+                    Row::Dense(bits) => {
+                        for g in bits.iter() {
+                            if !visited[g.index()] {
+                                debug_assert_eq!(label[g.index()], u32::MAX);
+                                visited[g.index()] = true;
+                                stack.push(g.0);
+                            }
+                        }
+                    }
+                }
+            }
+            // The DFS started from the minimal unlabeled member, but
+            // the component may contain smaller ids discovered later in
+            // the walk — take the true minimum as the label.
+            let lead = *members.iter().min().unwrap();
+            for &m in &members {
+                label[m as usize] = lead;
+            }
+        }
+        // Flatten: scanning ascending, a fact equal to its label is the
+        // lead of a fresh component, and leads appear in min-member
+        // order — exactly the from_csr component order.
+        let mut index_of = vec![u32::MAX; n];
+        let mut sizes: Vec<u32> = Vec::new();
+        for (f, &l) in label.iter().enumerate() {
+            if l == f as u32 {
+                index_of[f] = sizes.len() as u32;
+                sizes.push(0);
+            }
+        }
+        for &l in &label {
+            sizes[index_of[l as usize] as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        offsets.push(0u32);
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        let mut cursor: Vec<u32> = offsets[..sizes.len()].to_vec();
+        let mut facts = vec![FactId(0); n];
+        let mut comp_of = vec![u32::MAX; n];
+        for (f, &l) in label.iter().enumerate() {
+            let c = index_of[l as usize];
+            facts[cursor[c as usize] as usize] = FactId(f as u32);
+            cursor[c as usize] += 1;
+            comp_of[f] = c;
+        }
+        let nontrivial = (0..sizes.len() as u32).filter(|&c| sizes[c as usize] > 1).collect();
+        (ComponentLayout { offsets, facts, comp_of, nontrivial }, reused)
+    }
+
+    /// Number of components (including singletons).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Is the underlying universe empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Size of the fact universe the layout partitions.
+    pub fn universe(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// The sorted member list of component `c`.
+    pub fn component(&self, c: usize) -> &[FactId] {
+        &self.facts[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// The component index of fact `f`.
+    pub fn component_of(&self, f: FactId) -> usize {
+        self.comp_of[f.index()] as usize
+    }
+
+    /// Indices of components with ≥ 2 members, ascending.
+    pub fn nontrivial(&self) -> &[u32] {
+        &self.nontrivial
+    }
+
+    /// The members of component `c` as a bitset over the universe.
+    pub fn component_set(&self, c: usize) -> FactSet {
+        let mut out = FactSet::empty(self.universe());
+        for &f in self.component(c) {
+            out.insert(f);
         }
         out
+    }
+
+    /// Size of the largest component (0 when the universe is empty).
+    pub fn max_component_size(&self) -> usize {
+        (0..self.len()).map(|c| self.component(c).len()).max().unwrap_or(0)
     }
 }
 
@@ -264,11 +573,54 @@ mod tests {
         let csr = CsrConflictGraph::from_graph(&cg);
         assert_eq!(csr.dense_row_count(), 0);
         assert_eq!(csr.packed_neighbor_count(), 200);
-        assert_eq!(csr.components().len(), 100);
+        assert_eq!(ComponentLayout::from_csr(&csr).len(), 100);
         for (a, b) in cg.edges() {
             assert!(csr.conflicting(a, b));
             assert!(csr.conflicting(b, a));
         }
+    }
+
+    #[test]
+    fn layout_partitions_disjoint_edges() {
+        let sig = Signature::new([("R", 2)]).unwrap();
+        let schema = Schema::from_named(sig.clone(), [("R", &[1][..], &[2][..])]).unwrap();
+        let mut inst = Instance::new(sig);
+        for k in 0..10 {
+            for v in 0..2 {
+                inst.insert_named("R", [Value::Int(k), Value::Int(v)]).unwrap();
+            }
+        }
+        // One conflict-free fact in its own key group → singleton.
+        inst.insert_named("R", [Value::Int(99), Value::Int(0)]).unwrap();
+        let csr = CsrConflictGraph::new(&schema, &inst);
+        let layout = ComponentLayout::from_csr(&csr);
+        assert_eq!(layout.len(), 11);
+        assert_eq!(layout.universe(), 21);
+        assert_eq!(layout.nontrivial().len(), 10);
+        assert_eq!(layout.max_component_size(), 2);
+        for c in 0..layout.len() {
+            let members = layout.component(c);
+            assert!(members.windows(2).all(|w| w[0] < w[1]));
+            for &f in members {
+                assert_eq!(layout.component_of(f), c);
+                assert!(layout.component_set(c).contains(f));
+            }
+        }
+        // Components are ordered by minimal member.
+        let leads: Vec<_> = (0..layout.len()).map(|c| layout.component(c)[0]).collect();
+        assert!(leads.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_edges_unions_extra_connectivity() {
+        // 6 isolated vertices plus explicit edges 0–1, 1–2, 4–5.
+        let edges = [(FactId(0), FactId(1)), (FactId(1), FactId(2)), (FactId(4), FactId(5))];
+        let layout = ComponentLayout::from_edges(6, edges);
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout.component(0), &[FactId(0), FactId(1), FactId(2)]);
+        assert_eq!(layout.component(1), &[FactId(3)]);
+        assert_eq!(layout.component(2), &[FactId(4), FactId(5)]);
+        assert_eq!(layout.nontrivial(), &[0, 2]);
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub use schemas::{
     single_fd_schema, two_keys_schema,
 };
 pub use synthetic::{
-    random_ccp_priority, random_conflict_priority, random_instance, random_repair, InstanceSpec,
+    chain_components, random_ccp_priority, random_conflict_priority, random_instance,
+    random_repair, InstanceSpec,
 };

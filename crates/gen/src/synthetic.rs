@@ -103,6 +103,44 @@ fn orient(a: FactId, b: FactId, rank: &[u64]) -> (FactId, FactId) {
     }
 }
 
+/// Builds the deterministic chain-component workload: `components`
+/// disjoint conflict *chains* (paths) of `size` facts each over the
+/// hard schema S4 = {1→2, 2→3}.
+///
+/// Within a chain, facts `2t` and `2t+1` share the first attribute
+/// (conflict under 1→2) and facts `2t+1` and `2t+2` share the second
+/// with distinct third attributes (conflict under 2→3); all values are
+/// namespaced per chain, so the conflict graph is exactly `components`
+/// path components. A path of `m` facts has `Fib(m+2)` maximal
+/// independent sets, so per-component exact search stays exponential
+/// in `size` while the instance itself only grows linearly — the knob
+/// for session-sharding experiments (`components` ⇒ available
+/// parallelism and shard-reuse granularity, `size` ⇒ per-shard cost).
+///
+/// Fact ids are contiguous per chain (`k*size..(k+1)*size`); the
+/// even-offset facts of every chain together form a repair.
+pub fn chain_components(components: usize, size: usize) -> (Schema, Instance) {
+    let schema = crate::schemas::hard_schema(4);
+    let sig = schema.signature().clone();
+    let name = sig.iter().next().expect("S4 has one relation").1.name().to_owned();
+    let mut instance = Instance::new(sig);
+    for k in 0..components {
+        for i in 0..size {
+            instance
+                .insert_named(
+                    &name,
+                    [
+                        Value::sym(format!("a{k}_{}", i / 2)),
+                        Value::sym(format!("b{k}_{}", i.div_ceil(2))),
+                        Value::sym(format!("c{k}_{i}")),
+                    ],
+                )
+                .expect("chain tuples are ternary");
+        }
+    }
+    (schema, instance)
+}
+
 /// Draws a random repair: greedy completion over a random fact order.
 pub fn random_repair<R: Rng>(cg: &ConflictGraph, rng: &mut R) -> FactSet {
     let mut order: Vec<FactId> = (0..cg.len() as u32).map(FactId).collect();
@@ -186,6 +224,24 @@ mod tests {
             let j = random_repair(&cg, &mut rng);
             assert!(cg.is_repair(&j));
         }
+    }
+
+    #[test]
+    fn chain_components_are_disjoint_paths() {
+        let (schema, i) = chain_components(5, 7);
+        assert_eq!(i.len(), 35);
+        let cg = ConflictGraph::new(&schema, &i);
+        // A path of m facts has exactly m-1 edges; chains are disjoint.
+        assert_eq!(cg.edges().len(), 5 * 6);
+        let layout = rpr_fd::ComponentLayout::from_csr(&rpr_fd::CsrConflictGraph::from_graph(&cg));
+        assert_eq!(layout.nontrivial().len(), 5);
+        for &c in layout.nontrivial() {
+            assert_eq!(layout.component(c as usize).len(), 7);
+        }
+        // Even offsets form a maximal independent set of every path.
+        let evens = i.fact_ids().filter(|f| f.index() % 7 % 2 == 0).collect::<Vec<_>>();
+        let j = i.set_of(evens);
+        assert!(cg.is_repair(&j));
     }
 
     #[test]

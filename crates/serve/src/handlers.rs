@@ -316,7 +316,9 @@ fn activate<'a>(state: &ServerState, p: &mut Prepared, slot: &'a SessionSlot) ->
     } else {
         state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
     }
-    ActiveSession { guard, fresh, cached }
+    let active = ActiveSession { guard, fresh, cached };
+    state.metrics.session_components.store(active.get().shard_count() as u64, Ordering::Relaxed);
+    active
 }
 
 fn base_response(p: &Prepared, active: &ActiveSession<'_>) -> Vec<(&'static str, Json)> {
@@ -612,6 +614,11 @@ fn delta(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
     if report.rebuilt {
         state.metrics.delta_rebuilds_total.fetch_add(1, Ordering::Relaxed);
     }
+    state
+        .metrics
+        .component_skips_total
+        .fetch_add(report.components_reused as u64, Ordering::Relaxed);
+    state.metrics.session_components.store(session.shard_count() as u64, Ordering::Relaxed);
     let fields = [
         ("fingerprint", Json::str(new_fp.to_hex())),
         ("previous_fingerprint", Json::str(fingerprint.to_hex())),
@@ -621,6 +628,8 @@ fn delta(state: &ServerState, req: &Request<'_>) -> Result<Response, Response> {
         ("deletes", Json::Int(report.deletes as i64)),
         ("priority_ops", Json::Int(report.priority_ops as i64)),
         ("rebuilt", Json::Bool(report.rebuilt)),
+        ("components_total", Json::Int(report.components_total as i64)),
+        ("components_reused", Json::Int(report.components_reused as i64)),
         ("complexity", Json::str(complexity_str(session.complexity()))),
     ];
     Ok(Response::json(200, Json::obj(fields).render()))

@@ -126,6 +126,9 @@ macro_rules! counters {
             /// Approximate resident bytes of all cached sessions
             /// (gauge; synced from the cache at scrape time).
             pub session_cache_bytes: AtomicU64,
+            /// Nontrivial conflict components (session shards) of the
+            /// most recently prepared or patched session (gauge).
+            pub session_components: AtomicU64,
             /// Latency of completed `/check` requests.
             pub check_latency: Histogram,
             /// Latency of completed `/classify` requests.
@@ -188,6 +191,8 @@ counters! {
     delta_ops_total => "rpr_delta_ops_total",
     /// Delta batches whose churn forced a cold artifact rebuild.
     delta_rebuilds_total => "rpr_delta_rebuilds_total",
+    /// Conflict components reused without re-derivation by patched delta batches.
+    component_skips_total => "rpr_component_skips_total",
 }
 
 impl Metrics {
@@ -210,6 +215,7 @@ impl Metrics {
             ("rpr_queue_depth", &self.queue_depth),
             ("rpr_in_flight", &self.in_flight),
             ("rpr_session_cache_bytes", &self.session_cache_bytes),
+            ("rpr_session_components", &self.session_components),
         ] {
             writeln_type(&mut out, name, "gauge");
             out.push_str(&format!("{name} {}\n", gauge.load(Ordering::Relaxed)));

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpr_data::{FactId, FactSet, Instance};
-use rpr_fd::{ConflictGraph, CsrConflictGraph, Schema};
+use rpr_fd::{ComponentLayout, ConflictGraph, CsrConflictGraph, Schema};
 use rpr_gen::schemas;
 use rpr_gen::synthetic::{random_instance, InstanceSpec};
 
@@ -114,5 +114,8 @@ fn lazy_empty_rows_pack_to_empty_csr_ranges() {
     }
     assert_eq!(csr.first_conflict_in(FactId(0), &everything), Some(FactId(1)));
     // Components: one edge + 49 singletons.
-    assert_eq!(csr.components().len(), 50);
+    let layout = ComponentLayout::from_csr(&csr);
+    assert_eq!(layout.len(), 50);
+    assert_eq!(layout.nontrivial(), &[0], "the edge holds the smallest ids");
+    assert_eq!(layout.max_component_size(), 2);
 }
