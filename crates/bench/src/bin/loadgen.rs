@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--clients N] [--duration-s S]
 //!         [--max-work N] [--timeout-ms MS] [--json PATH]
-//!         [--no-keepalive] [--certify] [--delta]
+//!         [--no-keepalive] [--certify] [--delta] [--shard-reuse]
 //!         [--require-cache-hits] [--require-reconcile]
 //!         FILE.rpr [FILE.rpr …]
 //! ```
@@ -31,6 +31,18 @@
 //! `--require-reconcile` the run additionally demands that every
 //! request came back `200` and that the server's `rpr_delta_ops_total`
 //! delta equals exactly two ops per completed request.
+//!
+//! `--shard-reuse` (implies `--delta`) additionally audits the shard
+//! store: every delta re-attaches the session's shards, and since the
+//! self-inverting batch leaves every component's content untouched,
+//! each re-attach must hit the store once per nontrivial component —
+//! so `rpr_shard_hits_total` must move by exactly
+//! `rpr_session_components × completed`, `rpr_shard_store_entries`
+//! must equal the component count (no duplicate shard artifacts),
+//! `rpr_shard_evictions_total` must not move, and
+//! `rpr_session_cache_bytes` must exceed `rpr_shard_store_bytes`
+//! (dedup-aware: private session bytes + each shared shard once).
+//! Under `--require-reconcile` any violation is a failing exit.
 
 use rpr_bench::load::{check_body, run_load, scrape_counter, LoadBody, LoadSpec};
 use std::time::Duration;
@@ -45,8 +57,14 @@ fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 
 /// Flags that take no value (everything after any other `--flag` is
 /// that flag's value, not a positional file).
-const BARE_FLAGS: [&str; 5] =
-    ["--no-keepalive", "--certify", "--delta", "--require-cache-hits", "--require-reconcile"];
+const BARE_FLAGS: [&str; 6] = [
+    "--no-keepalive",
+    "--certify",
+    "--delta",
+    "--shard-reuse",
+    "--require-cache-hits",
+    "--require-reconcile",
+];
 
 /// Builds the `/delta` body for one workspace: a self-inverting
 /// `insert`+`delete` pair of a fact provably absent from the instance,
@@ -93,7 +111,8 @@ fn main() {
     let json_path = opt_value(&args, "--json");
     let keepalive = !args.iter().any(|a| a == "--no-keepalive");
     let certify = args.iter().any(|a| a == "--certify");
-    let delta = args.iter().any(|a| a == "--delta");
+    let shard_reuse = args.iter().any(|a| a == "--shard-reuse");
+    let delta = shard_reuse || args.iter().any(|a| a == "--delta");
     let require_cache_hits = args.iter().any(|a| a == "--require-cache-hits");
     let require_reconcile = args.iter().any(|a| a == "--require-reconcile");
 
@@ -180,6 +199,13 @@ fn main() {
         if delta { scrape_counter(&addr, "rpr_delta_ops_total").unwrap_or(0) } else { 0 };
     let component_skips_before =
         if delta { scrape_counter(&addr, "rpr_component_skips_total").unwrap_or(0) } else { 0 };
+    let shard_hits_before =
+        if shard_reuse { scrape_counter(&addr, "rpr_shard_hits_total").unwrap_or(0) } else { 0 };
+    let shard_evictions_before = if shard_reuse {
+        scrape_counter(&addr, "rpr_shard_evictions_total").unwrap_or(0)
+    } else {
+        0
+    };
     let spec = LoadSpec {
         addr: addr.clone(),
         bodies,
@@ -211,6 +237,18 @@ fn main() {
     };
     let session_components =
         if delta { scrape_counter(&addr, "rpr_session_components").unwrap_or(0) } else { 0 };
+    let (shard_hits, shard_evictions, shard_entries, shard_bytes, session_bytes) = if shard_reuse {
+        (
+            scrape_counter(&addr, "rpr_shard_hits_total").unwrap_or(0) - shard_hits_before,
+            scrape_counter(&addr, "rpr_shard_evictions_total").unwrap_or(0)
+                - shard_evictions_before,
+            scrape_counter(&addr, "rpr_shard_store_entries").unwrap_or(0),
+            scrape_counter(&addr, "rpr_shard_store_bytes").unwrap_or(0),
+            scrape_counter(&addr, "rpr_session_cache_bytes").unwrap_or(0),
+        )
+    } else {
+        (0, 0, 0, 0, 0)
+    };
     let requests_after = scrape_counter(&addr, "rpr_requests_total");
     let hit_rate = hits as f64 / (stats.completed.max(1)) as f64;
     println!(
@@ -238,6 +276,14 @@ fn main() {
             session_components * stats.status(200)
         );
     }
+    if shard_reuse {
+        println!(
+            "loadgen: shard store hits {shard_hits} (expected {} = components × the 200s), \
+             entries {shard_entries}, bytes {shard_bytes}, evictions {shard_evictions}, \
+             session bytes {session_bytes}",
+            session_components * stats.status(200)
+        );
+    }
     if certify {
         println!(
             "loadgen: certificates received {} (server issued {issued}, audit failures {audit_failures})",
@@ -249,8 +295,10 @@ fn main() {
     // certificates / audit-failures scrapes before the run, and the
     // same three plus the requests_total scrape after it. Delta mode
     // adds its ops and component-skips scrapes on each side plus the
-    // shard-gauge scrape after the run.
-    let expected_delta = stats.completed + 7 + if delta { 5 } else { 0 };
+    // shard-gauge scrape after the run; shard-reuse mode adds its two
+    // counter scrapes before and five store scrapes after.
+    let expected_delta =
+        stats.completed + 7 + if delta { 5 } else { 0 } + if shard_reuse { 7 } else { 0 };
     let reconciled = match (requests_before, requests_after) {
         (Some(before), Some(after)) => {
             let counted = after - before;
@@ -301,6 +349,25 @@ fn main() {
             stats.completed
         );
     }
+    // Shard-store accounting: every re-attach must find all of its
+    // shards already resident (one hit per nontrivial component, no
+    // duplicate entries, no evictions without a ceiling), and the
+    // dedup-aware session bytes must dominate the store's share.
+    let store_reconciled = !shard_reuse
+        || (shard_hits == session_components * stats.completed
+            && shard_entries == session_components
+            && shard_evictions == 0
+            && shard_bytes > 0
+            && session_bytes > shard_bytes);
+    if shard_reuse && !store_reconciled {
+        println!(
+            "loadgen: shard store MISMATCH — hits {shard_hits} (expected {}), \
+             entries {shard_entries} (expected {session_components}), \
+             evictions {shard_evictions} (expected 0), bytes {shard_bytes} (expected > 0), \
+             session bytes {session_bytes} (expected > store bytes)",
+            session_components * stats.completed,
+        );
+    }
 
     if let Some(path) = json_path {
         let statuses = stats
@@ -310,7 +377,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         let json = format!(
-            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"delta_ops\": {delta_ops},\n  \"session_components\": {session_components},\n  \"component_skips\": {component_skips},\n  \"reconciled\": {reconciled}\n}}\n",
+            "{{\n  \"clients\": {clients},\n  \"duration_s\": {duration_s},\n  \"keepalive\": {keepalive},\n  \"completed\": {},\n  \"lost\": {},\n  \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \"p90_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"max_ms\": {:.3},\n  \"statuses\": {{{statuses}}},\n  \"cache_hits\": {hits},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"certificates\": {},\n  \"certificates_issued\": {issued},\n  \"audit_failures\": {audit_failures},\n  \"delta_ops\": {delta_ops},\n  \"session_components\": {session_components},\n  \"component_skips\": {component_skips},\n  \"shard_hits\": {shard_hits},\n  \"shard_store_entries\": {shard_entries},\n  \"shard_store_bytes\": {shard_bytes},\n  \"shard_evictions\": {shard_evictions},\n  \"session_cache_bytes\": {session_bytes},\n  \"reconciled\": {reconciled}\n}}\n",
             stats.completed,
             stats.lost,
             stats.throughput(),
@@ -347,6 +414,13 @@ fn main() {
         eprintln!(
             "loadgen: FAIL — rpr_component_skips_total does not reconcile with \
              rpr_session_components × the /delta traffic"
+        );
+        std::process::exit(1);
+    }
+    if require_reconcile && !store_reconciled {
+        eprintln!(
+            "loadgen: FAIL — the shard-store metric families do not reconcile with \
+             the /delta traffic"
         );
         std::process::exit(1);
     }

@@ -47,12 +47,15 @@ commands:
   audit     FILE                      independently re-validate certificates with
                                       rpr-audit (exit 0 all valid, 2 otherwise)
   serve     [--addr HOST:PORT] [--jobs N] [--queue N] [--cache N]
-            [--timeout-ms MS] [--max-work N] [--idle-timeout-ms MS]
-            [--requests-per-conn N] [--max-connections N] [--self-audit]
+            [--cache-bytes-max N] [--timeout-ms MS] [--max-work N]
+            [--idle-timeout-ms MS] [--requests-per-conn N]
+            [--max-connections N] [--self-audit]
                                       run the repair-checking HTTP service
                                       (keep-alive; POST /check /classify /cqa /delta,
                                       GET /healthz /metrics; --self-audit re-checks
-                                      every issued certificate before responding)
+                                      every issued certificate before responding;
+                                      --cache-bytes-max caps shard-store bytes,
+                                      evicting cold shards LRU-first)
   request   URL [FILE] [--repairs A,B] [--query Q] [--semantics S]
             [--timeout-ms MS] [--max-work N]
                                       send one request to a running server, e.g.
@@ -349,6 +352,7 @@ fn run_serve(args: &[String]) -> Result<CliResult, UsageOr> {
         jobs: opt_parse(args, "--jobs")?,
         queue_capacity: opt_parse(args, "--queue")?.unwrap_or(defaults.queue_capacity),
         cache_capacity: opt_parse(args, "--cache")?.unwrap_or(defaults.cache_capacity),
+        cache_bytes_max: opt_parse(args, "--cache-bytes-max")?.or(defaults.cache_bytes_max),
         default_timeout_ms: opt_parse(args, "--timeout-ms")?.or(defaults.default_timeout_ms),
         default_max_work: opt_parse(args, "--max-work")?,
         install_signal_handlers: true,

@@ -43,6 +43,7 @@ use crate::fingerprint::{
 };
 use crate::global_1fd::FdBlocks;
 use crate::session::{CheckSession, Plan, SessionArtifacts};
+use crate::shard_store::ShardStore;
 use rpr_classify::{Complexity, RelationClass};
 use rpr_data::fingerprint::{Fingerprint, FingerprintBuilder, UnorderedAccumulator};
 use rpr_data::{
@@ -198,6 +199,9 @@ pub struct DeltaSession {
     /// Live lane: the unordered priority-edge set.
     edge_acc: UnorderedAccumulator,
     mode_word: u64,
+    /// The content-addressed shard store the session resolves its
+    /// exact-path shards through; `None` keeps shards private.
+    store: Option<Arc<ShardStore>>,
 }
 
 impl DeltaSession {
@@ -206,7 +210,21 @@ impl DeltaSession {
     /// accumulators); [`apply_delta`](Self::apply_delta) afterwards
     /// costs work proportional to the ops, not the workspace.
     pub fn prepare(schema: Arc<Schema>, pi: PrioritizedInstance) -> Self {
-        let artifacts = SessionArtifacts::build(&schema, &pi);
+        Self::prepare_with_store(schema, pi, None)
+    }
+
+    /// [`DeltaSession::prepare`] with exact-path shards resolved
+    /// through a shared [`ShardStore`]: components already cached by
+    /// any workspace are reused instead of rebuilt, and every
+    /// [`apply_delta`](Self::apply_delta) re-points the session's
+    /// shard index through the store so clean shards stay shared
+    /// across fingerprints.
+    pub fn prepare_with_store(
+        schema: Arc<Schema>,
+        pi: PrioritizedInstance,
+        store: Option<Arc<ShardStore>>,
+    ) -> Self {
+        let artifacts = SessionArtifacts::build_with_store(&schema, &pi, store.as_deref());
         let sig = pi.instance().signature();
         let fact_acc = UnorderedAccumulator::from_items(
             pi.instance().iter().map(|(_, f)| fingerprint_fact(sig, f)),
@@ -224,7 +242,13 @@ impl DeltaSession {
             artifacts,
             fact_acc,
             edge_acc,
+            store,
         }
+    }
+
+    /// The shard store the session is attached to, if any.
+    pub fn store(&self) -> Option<&Arc<ShardStore>> {
+        self.store.as_ref()
     }
 
     /// The schema the session was prepared under.
@@ -301,7 +325,8 @@ impl DeltaSession {
             for op in ops {
                 self.apply_op_data(op);
             }
-            self.artifacts = SessionArtifacts::build(&self.schema, &self.pi);
+            self.artifacts =
+                SessionArtifacts::build_with_store(&self.schema, &self.pi, self.store.as_deref());
         } else {
             let mut tracker = ShardTracker::new(&self.artifacts);
             for op in ops {
@@ -320,6 +345,13 @@ impl DeltaSession {
                         self.pi.priority(),
                     ));
                 }
+            }
+            if structural > 0 || priority_ops > 0 {
+                // Re-point the shard index: clean components resolve
+                // to their existing store entries (hits); dirtied
+                // components insert fresh shard entries under their
+                // new content fingerprints.
+                self.artifacts.attach_shards(&self.schema, &self.pi, self.store.as_deref());
             }
         }
         debug_assert_eq!(

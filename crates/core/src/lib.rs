@@ -45,6 +45,7 @@ pub mod improvement;
 pub mod owned;
 pub mod pareto;
 pub mod session;
+pub mod shard_store;
 
 pub use brute::{
     count_globally_optimal_repairs, count_globally_optimal_repairs_bounded,
@@ -86,3 +87,4 @@ pub use owned::OwnedCheckSession;
 pub use pareto::{find_pareto_improvement, is_pareto_optimal, is_pareto_optimal_brute};
 pub use rpr_engine::{Budget, BudgetReport, CancelToken, ExceedReason, Outcome, PanicReport, Stop};
 pub use session::{default_jobs, resolve_jobs, CheckSession, SessionArtifacts};
+pub use shard_store::{SessionIndex, ShardData, ShardStore, ShardStoreStats};

@@ -51,23 +51,24 @@
 //! of a degraded batch are bit-identical to an unbounded run too.
 
 use crate::checker::DEFAULT_EXACT_BUDGET;
-use crate::exact::exhaustive_improvement;
 use crate::global_1fd::{check_global_1fd_with_blocks, eval_1fd_groups, FdBlocks};
 use crate::global_2keys::check_global_2keys;
 use crate::global_ccp_const::check_global_ccp_const;
 use crate::global_ccp_pk::check_global_ccp_pk;
 use crate::improvement::{BudgetExceeded, CheckOutcome, Improvement};
 use crate::pareto::find_pareto_improvement;
+use crate::shard_store::{SessionIndex, ShardData, ShardStore};
 use rpr_classify::{
     classify_schema, classify_schema_ccp, CcpClass, Complexity, RelationClass, SchemaClass,
 };
-use rpr_data::{FactId, FactSet, Instance};
+use rpr_data::{FactId, FactSet, Fingerprint, Instance};
 use rpr_engine::{Budget, Outcome, PanicReport, Stop};
 use rpr_fd::{ComponentLayout, ConflictGraph, CsrConflictGraph, Schema};
 use rpr_priority::{PrioritizedInstance, PriorityMode, PriorityRelation};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Below this universe size a parallel consistency pre-pass costs more
 /// in thread startup than it saves.
@@ -148,17 +149,38 @@ pub struct SessionArtifacts {
     /// join facts that never conflict, so the exact fall-back must
     /// decompose along union connectivity to stay sound.
     pub(crate) ccp_union: Option<ComponentLayout>,
+    /// Content-addressed shard handles for the exact fall-back,
+    /// indexed by component id of the exact layout (`components`
+    /// classically, `ccp_union` for ccp Hard plans); `Some` exactly at
+    /// nontrivial components, empty when the plan has no hard path.
+    /// Sessions attached to a [`ShardStore`] share these across
+    /// workspace fingerprints; detached builds own them privately.
+    pub(crate) exact_shards: Vec<Option<Arc<ShardData>>>,
 }
 
 impl SessionArtifacts {
     /// Builds the artifacts, classifying the schema under the dichotomy
-    /// matching `pi.mode()`.
+    /// matching `pi.mode()`. Shards are private (detached from any
+    /// store); [`SessionArtifacts::build_with_store`] shares them.
     pub fn build(schema: &Schema, pi: &PrioritizedInstance) -> Self {
+        Self::build_with_store(schema, pi, None)
+    }
+
+    /// [`SessionArtifacts::build`] with the exact-path shards resolved
+    /// through a content-addressed [`ShardStore`]: components whose
+    /// content (facts, incident FDs, intra-component priority edges)
+    /// is already cached — by *any* workspace — reuse the stored shard
+    /// instead of rebuilding it.
+    pub fn build_with_store(
+        schema: &Schema,
+        pi: &PrioritizedInstance,
+        store: Option<&ShardStore>,
+    ) -> Self {
         let plan = match pi.mode() {
             PriorityMode::ConflictRestricted => Plan::Classical(classify_schema(schema)),
             PriorityMode::CrossConflict => Plan::Ccp(classify_schema_ccp(schema)),
         };
-        Self::build_with_plan(schema, pi, plan)
+        Self::build_with_plan_store(schema, pi, plan, store)
     }
 
     /// The one shared derivation of the candidate-independent graph
@@ -185,6 +207,15 @@ impl SessionArtifacts {
     }
 
     fn build_with_plan(schema: &Schema, pi: &PrioritizedInstance, plan: Plan) -> Self {
+        Self::build_with_plan_store(schema, pi, plan, None)
+    }
+
+    fn build_with_plan_store(
+        schema: &Schema,
+        pi: &PrioritizedInstance,
+        plan: Plan,
+        store: Option<&ShardStore>,
+    ) -> Self {
         let instance = pi.instance();
         let cg = ConflictGraph::new(schema, instance);
         let (csr, components) = Self::derive_structure(&cg);
@@ -204,7 +235,96 @@ impl SessionArtifacts {
             Plan::Ccp(CcpClass::Hard { .. }) => Some(Self::ccp_union_layout(&cg, pi.priority())),
             _ => None,
         };
-        SessionArtifacts { cg, csr, plan, rel_domains, rel_blocks, components, ccp_union }
+        let mut art = SessionArtifacts {
+            cg,
+            csr,
+            plan,
+            rel_domains,
+            rel_blocks,
+            components,
+            ccp_union,
+            exact_shards: Vec::new(),
+        };
+        art.attach_shards(schema, pi, store);
+        art
+    }
+
+    /// The component layout the exact fall-back decomposes over, if the
+    /// plan has a hard path at all: plain conflict components
+    /// classically, union components for ccp Hard plans.
+    pub(crate) fn exact_layout(&self) -> Option<&ComponentLayout> {
+        match &self.plan {
+            Plan::Classical(class) => class
+                .per_relation()
+                .iter()
+                .any(|(_, rc)| matches!(rc, RelationClass::Hard(_)))
+                .then_some(&self.components),
+            Plan::Ccp(CcpClass::Hard { .. }) => {
+                Some(self.ccp_union.as_ref().expect("union layout cached for ccp Hard"))
+            }
+            Plan::Ccp(_) => None,
+        }
+    }
+
+    /// (Re)resolves the exact-path shard handles, through `store` when
+    /// attached. Both the cold build and the delta layer's
+    /// re-pointing path come through here: a component whose content
+    /// fingerprint is already resident — inserted by this workspace or
+    /// any other — is reused as-is (a store *hit*); only changed
+    /// components build new shard entries. Detached sessions get the
+    /// same reuse against their own previous handles, so delta patches
+    /// keep clean shards (and their verdict memos) either way.
+    pub(crate) fn attach_shards(
+        &mut self,
+        schema: &Schema,
+        pi: &PrioritizedInstance,
+        store: Option<&ShardStore>,
+    ) {
+        let prev: rpr_data::FxHashMap<u128, Arc<ShardData>> =
+            self.exact_shards.drain(..).flatten().map(|s| (s.fingerprint().0, s)).collect();
+        let shards = match self.exact_layout() {
+            None => Vec::new(),
+            Some(layout) => {
+                let instance = pi.instance();
+                let priority = pi.priority();
+                let mut shards: Vec<Option<Arc<ShardData>>> = vec![None; layout.len()];
+                for &c in layout.nontrivial() {
+                    let c = c as usize;
+                    let fp = layout.shard_fingerprint(c, schema, instance, priority.edges());
+                    let members = layout.component(c);
+                    let build = || ShardData::build(fp, members, &self.cg, priority);
+                    shards[c] = Some(match store {
+                        Some(store) => store.get_or_insert(fp, build),
+                        None => prev.get(&fp.0).cloned().unwrap_or_else(|| Arc::new(build())),
+                    });
+                }
+                shards
+            }
+        };
+        self.exact_shards = shards;
+    }
+
+    /// The thin per-workspace tier of the two-tier cache: the ordered
+    /// shard keys this workspace's exact path dispatches to, bound to
+    /// its content fingerprint.
+    pub fn session_index(&self, workspace: Fingerprint) -> SessionIndex {
+        let keys =
+            self.exact_shards.iter().filter_map(|s| s.as_ref().map(|s| s.fingerprint())).collect();
+        SessionIndex::new(workspace, keys)
+    }
+
+    /// Estimated resident bytes of the shard handles this session
+    /// holds. With a store attached these bytes are *shared* — summing
+    /// them across sessions double-counts, which is exactly what the
+    /// deduplication-aware accounting in the serve layer avoids.
+    pub fn shard_bytes(&self) -> usize {
+        self.exact_shards.iter().flatten().map(|s| s.bytes()).sum()
+    }
+
+    /// The exact-path shard handles (component id → shard), for tests
+    /// and diagnostics.
+    pub fn exact_shards(&self) -> &[Option<Arc<ShardData>>] {
+        &self.exact_shards
     }
 
     /// The complexity of checking under the cached classification.
@@ -726,17 +846,17 @@ impl<'a> CheckSession<'a> {
             .filter(|&c| domain.contains(layout.component(c)[0]))
             .collect();
         let search = |c: usize| -> Result<Option<Improvement>, Stop> {
-            let comp = layout.component_set(c);
-            let j_c = j_rel.intersect(&comp);
-            let facts = layout.component(c);
+            // The per-component searches run on content-addressed
+            // shards in local coordinates: identical recursion, but the
+            // artifact (and its verdict memo) is shared across every
+            // session whose component content matches.
+            let shard = self.art.exact_shards[c]
+                .as_ref()
+                .expect("shard attached for every nontrivial exact component");
+            let members = layout.component(c);
             match exact {
-                ExactCtl::Legacy(steps) => {
-                    let b = Budget::unlimited().with_max_work(steps as u64);
-                    exhaustive_improvement(&self.art.cg, priority, facts, &j_c, &b)
-                }
-                ExactCtl::Engine(budget) => {
-                    exhaustive_improvement(&self.art.cg, priority, facts, &j_c, budget)
-                }
+                ExactCtl::Legacy(steps) => shard.check_legacy(members, j_rel, steps),
+                ExactCtl::Engine(budget) => shard.check_engine(members, j_rel, budget),
             }
         };
         if jobs > 1 && shards.len() > 1 {

@@ -226,6 +226,35 @@ impl Budget {
         Ok(())
     }
 
+    /// Charges `n` work units only if the work allowance can absorb
+    /// all of them, returning whether the charge was applied. When the
+    /// allowance would trip mid-way the counter is left unchanged and
+    /// `Ok(false)` is returned, so a memoized fast path can fall back
+    /// to the real computation — which then re-charges the same units
+    /// step by step and trips exactly where an uncached run would.
+    /// Cancellation and the deadline are polled as in
+    /// [`charge`](Budget::charge).
+    ///
+    /// # Errors
+    /// [`Stop::Exceeded`] on deadline expiry, [`Stop::Cancelled`] when
+    /// the token is cancelled.
+    pub fn try_charge(&self, n: u64) -> Result<bool, Stop> {
+        let w = self.work.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        if w > self.max_work {
+            self.work.fetch_sub(n, Ordering::Relaxed);
+            return Ok(false);
+        }
+        if self.cancel.is_cancelled() {
+            return Err(Stop::Cancelled);
+        }
+        #[cfg(feature = "faults")]
+        self.fault_on_work(w);
+        if w % POLL_PERIOD < n || w == n {
+            self.poll_deadline()?;
+        }
+        Ok(true)
+    }
+
     /// Polls cancellation and the deadline *without* charging work.
     /// Call between coarse units of work (batch candidates, relations)
     /// so bounds are observed even when no fine-grained steps run.

@@ -527,6 +527,62 @@ impl ComponentLayout {
     pub fn max_component_size(&self) -> usize {
         (0..self.len()).map(|c| self.component(c).len()).max().unwrap_or(0)
     }
+
+    /// The canonical 128-bit content address of component `c`: a hash
+    /// over the member facts' *contents* (relation name + tuple values,
+    /// order-insensitive), the FDs of every relation present in the
+    /// component, and the intra-component `priority` edges as ordered
+    /// pairs of fact contents. Two components — in the same workspace
+    /// or across workspaces with entirely different `FactId`
+    /// numberings — get the same fingerprint iff they describe the same
+    /// shard-local checking problem, which is what lets the shard store
+    /// share one artifact between them.
+    ///
+    /// `priority` is the workspace's full edge list; edges with either
+    /// endpoint outside the component are ignored. Edges are hashed by
+    /// endpoint content, so renumbering-invariant.
+    pub fn shard_fingerprint(
+        &self,
+        c: usize,
+        schema: &Schema,
+        instance: &Instance,
+        priority: &[(FactId, FactId)],
+    ) -> rpr_data::Fingerprint {
+        use rpr_data::{combine_unordered, fingerprint_fact, FingerprintBuilder};
+        let sig = instance.signature();
+        let members = self.component(c);
+        let facts_fp =
+            combine_unordered(members.iter().map(|&f| fingerprint_fact(sig, instance.fact(f))));
+        // Distinct relations of the component, each contributing its
+        // full FD set (the conflicts the shard's facts can witness).
+        let mut rels: Vec<_> = members.iter().map(|&f| instance.fact(f).rel()).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        let fds_fp = combine_unordered(rels.iter().flat_map(|&rel| {
+            schema.fds_for(rel).iter().map(move |fd| {
+                let mut b = FingerprintBuilder::new();
+                b.str(sig.symbol(rel).name()).word(fd.lhs.bits()).word(fd.rhs.bits());
+                b.finish()
+            })
+        }));
+        let edges_fp = combine_unordered(priority.iter().filter_map(|&(hi, lo)| {
+            let inside =
+                self.comp_of[hi.index()] as usize == c && self.comp_of[lo.index()] as usize == c;
+            inside.then(|| {
+                let mut b = FingerprintBuilder::new();
+                b.fingerprint(fingerprint_fact(sig, instance.fact(hi)))
+                    .fingerprint(fingerprint_fact(sig, instance.fact(lo)));
+                b.finish()
+            })
+        }));
+        let mut b = FingerprintBuilder::new();
+        b.str("shard")
+            .word(members.len() as u64)
+            .fingerprint(facts_fp)
+            .fingerprint(fds_fp)
+            .fingerprint(edges_fp);
+        b.finish()
+    }
 }
 
 #[cfg(test)]

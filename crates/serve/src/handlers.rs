@@ -31,7 +31,9 @@ use crate::cache::{CacheOutcome, SessionCache, SessionSlot};
 use crate::http::{Request, Response};
 use crate::json::{parse_json, Json};
 use crate::metrics::Metrics;
-use rpr_core::{Budget, CancelToken, CheckOutcome, CheckSession, DeltaSession, Outcome, Stop};
+use rpr_core::{
+    Budget, CancelToken, CheckOutcome, CheckSession, DeltaSession, Outcome, ShardStore, Stop,
+};
 use rpr_cqa::RepairSemantics;
 use rpr_data::{fingerprint::Fingerprint, FactSet};
 use rpr_format::{
@@ -57,6 +59,10 @@ pub struct BudgetDefaults {
 pub struct ServerState {
     /// The fingerprint-keyed LRU of prepared sessions.
     pub cache: SessionCache,
+    /// The content-addressed shard store shared by every cached
+    /// session: immutable per-component artifacts keyed by shard
+    /// fingerprint, ref-counted across workspace fingerprints.
+    pub shard_store: Arc<ShardStore>,
     /// The metrics registry.
     pub metrics: Metrics,
     /// Server-level budget defaults.
@@ -86,10 +92,21 @@ pub fn handle(state: &ServerState, req: &Request<'_>) -> Response {
         }
         ("GET", "/metrics") => {
             state.metrics.done_total.fetch_add(1, Ordering::Relaxed);
-            // The cache counts evictions and sizes under its own lock;
-            // sync at scrape time so the rendered values are exact.
+            // The cache and shard store count evictions and sizes
+            // under their own locks; sync at scrape time so the
+            // rendered values are exact. Session bytes are
+            // deduplication-aware: per-session private bytes plus the
+            // store's resident bytes, each shared shard counted once.
             state.metrics.cache_evictions_total.store(state.cache.evictions(), Ordering::Relaxed);
-            state.metrics.session_cache_bytes.store(state.cache.total_bytes(), Ordering::Relaxed);
+            let shards = state.shard_store.stats();
+            state
+                .metrics
+                .session_cache_bytes
+                .store(state.cache.total_bytes() + shards.bytes, Ordering::Relaxed);
+            state.metrics.shard_store_entries.store(shards.entries, Ordering::Relaxed);
+            state.metrics.shard_store_bytes.store(shards.bytes, Ordering::Relaxed);
+            state.metrics.shard_hits_total.store(shards.hits, Ordering::Relaxed);
+            state.metrics.shard_evictions_total.store(shards.evictions, Ordering::Relaxed);
             Response::text(200, state.metrics.render_prometheus())
         }
         ("POST", "/check") => timed(state, &state.metrics.check_latency, req, check),
@@ -117,6 +134,10 @@ fn timed(
     let response = match f(state, req) {
         Ok(r) | Err(r) => r,
     };
+    // Memoization grows shards in place and deltas re-point shard
+    // keys, so re-apply the store's byte ceiling after every mutating
+    // endpoint (cold shards only; live sessions pin theirs).
+    state.shard_store.enforce_ceiling();
     histogram.observe(start.elapsed());
     count_status(&state.metrics, response.status);
     response
@@ -259,9 +280,10 @@ fn prepare(state: &ServerState, body: &Body<'_>) -> Result<Prepared, Response> {
     // verifying it really is the same content (see `activate`).
     let mut pi = Some(pi);
     let (slot, outcome) = state.cache.get_or_build(fingerprint, || {
-        SessionSlot::new(DeltaSession::prepare(
+        SessionSlot::new(DeltaSession::prepare_with_store(
             Arc::new(workspace.schema.clone()),
             pi.take().expect("build closure runs at most once"),
+            Some(Arc::clone(&state.shard_store)),
         ))
     });
     Ok(Prepared { workspace, fingerprint, slot, hit: outcome == CacheOutcome::Hit, budget, pi })
@@ -724,6 +746,7 @@ mod tests {
     fn state(cache_capacity: usize) -> ServerState {
         ServerState {
             cache: SessionCache::new(cache_capacity),
+            shard_store: Arc::new(ShardStore::new()),
             metrics: Metrics::default(),
             defaults: BudgetDefaults { timeout: None, max_work: None },
             jobs: 1,
@@ -765,7 +788,12 @@ mod tests {
         let scrape =
             handle(&state, &Request { method: "GET", path: "/metrics", body: b"", close: false });
         let text = String::from_utf8(scrape.body).unwrap();
-        let expected = format!("rpr_session_cache_bytes {}\n", state.cache.total_bytes());
+        // Dedup-aware: private session bytes plus shared shard bytes,
+        // each shard counted once.
+        let expected = format!(
+            "rpr_session_cache_bytes {}\n",
+            state.cache.total_bytes() + state.shard_store.resident_bytes()
+        );
         assert!(state.cache.total_bytes() > 0);
         assert!(text.contains(&expected), "got:\n{text}");
     }

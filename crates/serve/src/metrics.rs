@@ -123,9 +123,17 @@ macro_rules! counters {
             pub queue_depth: AtomicU64,
             /// Requests currently being handled by workers (gauge).
             pub in_flight: AtomicU64,
-            /// Approximate resident bytes of all cached sessions
-            /// (gauge; synced from the cache at scrape time).
+            /// Actual resident bytes of the session tier: per-session
+            /// private bytes plus shared shard-store bytes, each shard
+            /// counted once however many sessions reference it (gauge;
+            /// synced from the cache and store at scrape time).
             pub session_cache_bytes: AtomicU64,
+            /// Shards resident in the content-addressed shard store
+            /// (gauge; synced at scrape time).
+            pub shard_store_entries: AtomicU64,
+            /// Estimated resident bytes of the shard store, each shard
+            /// counted once (gauge; synced at scrape time).
+            pub shard_store_bytes: AtomicU64,
             /// Nontrivial conflict components (session shards) of the
             /// most recently prepared or patched session (gauge).
             pub session_components: AtomicU64,
@@ -193,6 +201,10 @@ counters! {
     delta_rebuilds_total => "rpr_delta_rebuilds_total",
     /// Conflict components reused without re-derivation by patched delta batches.
     component_skips_total => "rpr_component_skips_total",
+    /// Shard-store lookups answered by an existing shard (cross-fingerprint reuse included).
+    shard_hits_total => "rpr_shard_hits_total",
+    /// Cold shards evicted by the `--cache-bytes-max` ceiling.
+    shard_evictions_total => "rpr_shard_evictions_total",
 }
 
 impl Metrics {
@@ -216,6 +228,8 @@ impl Metrics {
             ("rpr_in_flight", &self.in_flight),
             ("rpr_session_cache_bytes", &self.session_cache_bytes),
             ("rpr_session_components", &self.session_components),
+            ("rpr_shard_store_entries", &self.shard_store_entries),
+            ("rpr_shard_store_bytes", &self.shard_store_bytes),
         ] {
             writeln_type(&mut out, name, "gauge");
             out.push_str(&format!("{name} {}\n", gauge.load(Ordering::Relaxed)));

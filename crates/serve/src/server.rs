@@ -53,6 +53,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// LRU session-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Shard-store byte ceiling: past it, cold shards (not referenced
+    /// by any cached session) are evicted LRU-first. `None` = no cap.
+    pub cache_bytes_max: Option<u64>,
     /// Default per-request deadline (ms); requests may override.
     pub default_timeout_ms: Option<u64>,
     /// Default per-request work allowance; requests may override.
@@ -84,6 +87,7 @@ impl Default for ServeConfig {
             jobs: None,
             queue_capacity: 64,
             cache_capacity: 32,
+            cache_bytes_max: None,
             default_timeout_ms: Some(10_000),
             default_max_work: None,
             install_signal_handlers: false,
@@ -111,6 +115,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let state = Arc::new(ServerState {
             cache: crate::cache::SessionCache::new(config.cache_capacity),
+            shard_store: Arc::new(rpr_core::ShardStore::with_bytes_max(config.cache_bytes_max)),
             metrics: Metrics::default(),
             defaults: BudgetDefaults {
                 timeout: config.default_timeout_ms.map(Duration::from_millis),

@@ -24,6 +24,7 @@ const WS: &str = "relation R/2\n\
 fn state() -> ServerState {
     ServerState {
         cache: SessionCache::new(8),
+        shard_store: std::sync::Arc::new(rpr_core::ShardStore::new()),
         metrics: Metrics::default(),
         defaults: BudgetDefaults { timeout: None, max_work: None },
         jobs: 1,

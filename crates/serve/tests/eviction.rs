@@ -1,0 +1,112 @@
+//! End-to-end shard-store eviction: a live server with a 2-entry
+//! session cache and a deliberately impossible `cache_bytes_max` of
+//! one byte. Hot shards (pinned by cached sessions) must survive the
+//! ceiling untouched; a third workspace pushing the oldest session out
+//! of the LRU makes that session's *unique* shards cold — exactly
+//! those are evicted, shards shared with a still-cached workspace
+//! stay — and re-requesting the evicted workspace must produce a
+//! byte-identical response (verdicts, certificates, fingerprint).
+
+use rpr_serve::{client_call, Json, ServeConfig, Server};
+
+/// A workspace over the hard schema S4 = {1 → 2, 2 → 3}: one 2-fact
+/// conflict pair per index in `pairs` (agreeing on the first two
+/// attributes, differing on the third), `keep` preferred over `drop`,
+/// and the keeps declared as the (optimal) repair J. Values are
+/// namespaced per index, so equal indices yield content-equal
+/// components across workspaces and the store shares one artifact.
+fn pair_ws(pairs: &[u32]) -> String {
+    let mut s = String::from("relation R4/3\nfd R4: 1 -> 2\nfd R4: 2 -> 3\n");
+    for &k in pairs {
+        s += &format!("fact R4(a{k}, b{k}, c{k}_keep)\nfact R4(a{k}, b{k}, c{k}_drop)\n");
+    }
+    for &k in pairs {
+        s += &format!("prefer R4(a{k}, b{k}, c{k}_keep) > R4(a{k}, b{k}, c{k}_drop)\n");
+    }
+    let keeps: Vec<String> = pairs.iter().map(|k| format!("R4(a{k}, b{k}, c{k}_keep)")).collect();
+    s += &format!("repair J: {}\n", keeps.join("; "));
+    s
+}
+
+fn counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} not exposed:\n{metrics}"))
+        .trim()
+        .parse()
+        .expect("metric is integral")
+}
+
+#[test]
+fn byte_ceiling_evicts_cold_shards_only_and_responses_stay_identical() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: Some(2),
+        cache_capacity: 2,
+        cache_bytes_max: Some(1),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let token = server.drain_token();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // WS1 and WS2 share pair 2; WS3 is disjoint from both.
+    let ws1 = pair_ws(&[1, 2]);
+    let ws2 = pair_ws(&[2, 3]);
+    let ws3 = pair_ws(&[4, 5]);
+    let post_check = |ws: &str| {
+        let body = format!("{{\"workspace\":{},\"certify\":true}}", Json::str(ws).render());
+        let (status, raw) = client_call(&addr, "POST", "/check", body.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&raw));
+        raw
+    };
+    let scrape = || {
+        let (status, raw) = client_call(&addr, "GET", "/metrics", b"").unwrap();
+        assert_eq!(status, 200);
+        String::from_utf8(raw).unwrap()
+    };
+
+    // WS1 cold: both of its shards are hot (its session is cached), so
+    // even a 1-byte ceiling evicts nothing.
+    let first = post_check(&ws1);
+    assert!(String::from_utf8_lossy(&first).contains(r#""verdict":"optimal""#), "{first:?}");
+    let m = scrape();
+    assert_eq!(counter(&m, "rpr_shard_store_entries"), 2);
+    assert_eq!(counter(&m, "rpr_shard_evictions_total"), 0, "hot shards are never evicted");
+    assert!(counter(&m, "rpr_shard_store_bytes") > 1, "resident bytes exceed the ceiling");
+
+    // WS2 shares pair 2 with WS1: one store hit, one new entry.
+    let hits_before = counter(&m, "rpr_shard_hits_total");
+    post_check(&ws2);
+    let m = scrape();
+    assert_eq!(counter(&m, "rpr_shard_store_entries"), 3, "the shared pair is not duplicated");
+    assert_eq!(counter(&m, "rpr_shard_hits_total"), hits_before + 1);
+    assert_eq!(counter(&m, "rpr_shard_evictions_total"), 0);
+
+    // WS3 pushes WS1's session out of the 2-entry LRU: WS1's unique
+    // shard (pair 1) goes cold and falls to the ceiling; pair 2 stays,
+    // pinned by WS2's still-cached session.
+    post_check(&ws3);
+    let m = scrape();
+    assert_eq!(counter(&m, "rpr_shard_store_entries"), 4, "pairs 2..=5 stay resident");
+    assert_eq!(counter(&m, "rpr_shard_evictions_total"), 1, "only WS1's unique shard is evicted");
+
+    // Re-requesting the evicted workspace rebuilds its shard and
+    // answers byte-identically — eviction can never change a response.
+    let again = post_check(&ws1);
+    assert_eq!(
+        String::from_utf8_lossy(&first),
+        String::from_utf8_lossy(&again),
+        "post-eviction response must be byte-identical"
+    );
+    // Rebuilding WS1 displaced WS2 from the session LRU; its unique
+    // pair 3 went cold and fell, while shared pair 2 is pinned again.
+    let m = scrape();
+    assert_eq!(counter(&m, "rpr_shard_store_entries"), 4);
+    assert_eq!(counter(&m, "rpr_shard_evictions_total"), 2);
+
+    token.cancel();
+    handle.join().unwrap();
+}
